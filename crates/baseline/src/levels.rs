@@ -1,0 +1,93 @@
+//! Depth-level histograms of cell graphs.
+//!
+//! Dynamic graph batching (TensorFlow Fold, DyNet) merges a set of
+//! graphs by fusing equivalent operators at the same depth: the merged
+//! graph executes level by level, each level running one batched kernel
+//! per cell type with batch size equal to the number of fused nodes.
+
+use std::collections::BTreeMap;
+
+use bm_cell::CellTypeId;
+use bm_model::CellGraph;
+
+/// Returns, per depth level (1-based from the sources), the node count
+/// of each cell type: `levels[d][ct] = count`.
+pub fn level_histogram(graph: &CellGraph) -> Vec<BTreeMap<CellTypeId, usize>> {
+    let mut depth = vec![0usize; graph.len()];
+    let mut levels: Vec<BTreeMap<CellTypeId, usize>> = Vec::new();
+    for (id, node) in graph.iter() {
+        let d = node
+            .deps
+            .iter()
+            .map(|x| depth[x.index()] + 1)
+            .max()
+            .unwrap_or(1);
+        depth[id.index()] = d;
+        while levels.len() < d {
+            levels.push(BTreeMap::new());
+        }
+        *levels[d - 1].entry(node.cell_type).or_insert(0) += 1;
+    }
+    levels
+}
+
+/// Merges per-graph level histograms by summing counts level-wise —
+/// exactly what graph merging does to a set of requests.
+pub fn merge_histograms(
+    hists: &[Vec<BTreeMap<CellTypeId, usize>>],
+) -> Vec<BTreeMap<CellTypeId, usize>> {
+    let mut out: Vec<BTreeMap<CellTypeId, usize>> = Vec::new();
+    for h in hists {
+        for (d, level) in h.iter().enumerate() {
+            while out.len() <= d {
+                out.push(BTreeMap::new());
+            }
+            for (&ct, &n) in level {
+                *out[d].entry(ct).or_insert(0) += n;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bm_model::{LstmLm, Model, RequestInput, TreeLstm, TreeShape};
+
+    #[test]
+    fn chain_levels_are_one_per_step() {
+        let m = LstmLm::small();
+        let g = m.unfold(&RequestInput::Sequence(vec![1, 2, 3]));
+        let lv = level_histogram(&g);
+        assert_eq!(lv.len(), 3);
+        for level in &lv {
+            assert_eq!(level.values().sum::<usize>(), 1);
+        }
+    }
+
+    #[test]
+    fn complete_tree_levels_halve() {
+        let m = TreeLstm::small();
+        let g = m.unfold(&RequestInput::Tree(TreeShape::complete(8, 100)));
+        let lv = level_histogram(&g);
+        assert_eq!(lv.len(), 4);
+        assert_eq!(lv[0][&m.leaf_type()], 8);
+        assert_eq!(lv[1][&m.internal_type()], 4);
+        assert_eq!(lv[2][&m.internal_type()], 2);
+        assert_eq!(lv[3][&m.internal_type()], 1);
+    }
+
+    #[test]
+    fn merging_sums_counts() {
+        let m = LstmLm::small();
+        let g1 = m.unfold(&RequestInput::Sequence(vec![1, 2]));
+        let g2 = m.unfold(&RequestInput::Sequence(vec![1, 2, 3, 4]));
+        let merged = merge_histograms(&[level_histogram(&g1), level_histogram(&g2)]);
+        assert_eq!(merged.len(), 4);
+        assert_eq!(merged[0][&m.cell_type()], 2);
+        assert_eq!(merged[1][&m.cell_type()], 2);
+        assert_eq!(merged[2][&m.cell_type()], 1);
+        assert_eq!(merged[3][&m.cell_type()], 1);
+    }
+}

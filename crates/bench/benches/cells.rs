@@ -1,0 +1,77 @@
+//! Batched cell execution across batch sizes — the measured CPU
+//! analogue of the paper's Figure 3 microbenchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bm_cell::{
+    Cell, DecoderCell, EncoderCell, InvocationInput, LstmCell, TreeInternalCell, TreeLeafCell,
+};
+
+const HIDDEN: usize = 128;
+const VOCAB: usize = 512;
+
+fn invocations(n: usize) -> Vec<InvocationInput<'static>> {
+    (0..n)
+        .map(|i| InvocationInput::token_only((i % VOCAB) as u32))
+        .collect()
+}
+
+fn bench_lstm_step_batches(c: &mut Criterion) {
+    let cell = LstmCell::seeded(HIDDEN, HIDDEN, VOCAB, 1);
+    let mut g = c.benchmark_group("fig3_cpu_lstm_step");
+    for &b in &[2usize, 8, 32, 128] {
+        let invs = invocations(b);
+        g.throughput(Throughput::Elements(b as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, _| {
+            bench.iter(|| std::hint::black_box(cell.execute_batch(&invs)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_cell_kinds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cell_kinds_batch32");
+    let invs = invocations(32);
+    let cells: Vec<(&str, Cell)> = vec![
+        (
+            "lstm",
+            Cell::Lstm(LstmCell::seeded(HIDDEN, HIDDEN, VOCAB, 1)),
+        ),
+        (
+            "encoder",
+            Cell::Encoder(EncoderCell::seeded(HIDDEN, HIDDEN, VOCAB, 2)),
+        ),
+        (
+            "decoder",
+            Cell::Decoder(DecoderCell::seeded(HIDDEN, HIDDEN, VOCAB, 3)),
+        ),
+        (
+            "tree_leaf",
+            Cell::TreeLeaf(TreeLeafCell::seeded(HIDDEN, HIDDEN, VOCAB, 4)),
+        ),
+    ];
+    g.throughput(Throughput::Elements(32));
+    for (name, cell) in &cells {
+        g.bench_function(*name, |bench| {
+            bench.iter(|| std::hint::black_box(cell.execute_batch(&invs)));
+        });
+    }
+    // Tree internal needs child states.
+    let leaf = TreeLeafCell::seeded(HIDDEN, HIDDEN, VOCAB, 4);
+    let kids: Vec<_> = leaf
+        .execute_batch(&invocations(2))
+        .into_iter()
+        .map(|o| o.state)
+        .collect();
+    let internal = Cell::TreeInternal(TreeInternalCell::seeded(HIDDEN, 5));
+    let tree_invs: Vec<InvocationInput<'_>> = (0..32)
+        .map(|_| InvocationInput::tree(&kids[0], &kids[1]))
+        .collect();
+    g.bench_function("tree_internal", |bench| {
+        bench.iter(|| std::hint::black_box(internal.execute_batch(&tree_invs)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lstm_step_batches, bench_cell_kinds);
+criterion_main!(benches);

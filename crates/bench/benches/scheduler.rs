@@ -1,0 +1,118 @@
+//! Scheduler-overhead benchmarks: how much host time the cellular
+//! batching engine spends per task and per node. The paper attributes
+//! ~65 µs per step to "scheduling and gathering overhead" (§7.3); these
+//! benches measure our engine's share of it.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bm_core::{CellularEngine, RequestId, SchedulerConfig, WorkerId};
+use bm_model::{LstmLm, LstmLmConfig, Model, RequestInput, TreeLstm, TreeShape};
+
+/// Admits `n` chain requests and drains the engine to completion,
+/// returning the number of tasks processed.
+fn drain_chains(n: usize, len: usize) -> usize {
+    let model = LstmLm::new(LstmLmConfig {
+        max_batch: 512,
+        ..Default::default()
+    });
+    let mut engine = CellularEngine::new(
+        Arc::new(model.registry().clone()),
+        SchedulerConfig::default(),
+    );
+    for i in 0..n {
+        engine.on_arrival(
+            RequestId(i as u64),
+            model.unfold(&RequestInput::Sequence(vec![1; len])),
+            0,
+        );
+    }
+    let mut tasks = 0;
+    let mut now = 0;
+    while engine.active_requests() > 0 {
+        let ts = engine.dispatch(WorkerId(0));
+        assert!(!ts.is_empty());
+        for t in ts {
+            now += 1;
+            tasks += 1;
+            engine.on_task_started(t.id, now);
+            let tokens = vec![None; t.entries.len()];
+            engine.on_task_completed(t.id, &tokens, now);
+        }
+    }
+    tasks
+}
+
+fn bench_chain_scheduling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_chain_drain");
+    for &n in &[16usize, 64, 256] {
+        // n requests x 8 steps each.
+        g.throughput(Throughput::Elements((n * 8) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter(|| std::hint::black_box(drain_chains(n, 8)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_tree_scheduling(c: &mut Criterion) {
+    let model = TreeLstm::small();
+    let graph_proto = model.unfold(&RequestInput::Tree(TreeShape::complete(16, 100)));
+    let mut g = c.benchmark_group("engine_tree_drain");
+    g.throughput(Throughput::Elements((31 * 64) as u64));
+    g.bench_function("64x16leaf", |bench| {
+        bench.iter(|| {
+            let mut engine = CellularEngine::new(
+                Arc::new(model.registry().clone()),
+                SchedulerConfig::default(),
+            );
+            for i in 0..64u64 {
+                engine.on_arrival(RequestId(i), graph_proto.clone(), 0);
+            }
+            let mut now = 0;
+            while engine.active_requests() > 0 {
+                for t in engine.dispatch(WorkerId(0)) {
+                    now += 1;
+                    engine.on_task_started(t.id, now);
+                    let tokens = vec![None; t.entries.len()];
+                    engine.on_task_completed(t.id, &tokens, now);
+                }
+            }
+            std::hint::black_box(now)
+        });
+    });
+    g.finish();
+}
+
+fn bench_arrival_processing(c: &mut Criterion) {
+    // Unfold + partition + admission cost per request.
+    let model = LstmLm::small();
+    let mut g = c.benchmark_group("engine_admission");
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("64_chains_len24", |bench| {
+        bench.iter(|| {
+            let mut engine = CellularEngine::new(
+                Arc::new(model.registry().clone()),
+                SchedulerConfig::default(),
+            );
+            for i in 0..64u64 {
+                engine.on_arrival(
+                    RequestId(i),
+                    model.unfold(&RequestInput::Sequence(vec![1; 24])),
+                    0,
+                );
+            }
+            std::hint::black_box(engine.total_ready_nodes())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_chain_scheduling,
+    bench_tree_scheduling,
+    bench_arrival_processing
+);
+criterion_main!(benches);

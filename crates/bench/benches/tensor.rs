@@ -1,0 +1,73 @@
+//! Tensor-substrate kernel benchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bm_tensor::{ops, xavier_uniform, Matrix};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    for &n in &[64usize, 128, 256] {
+        let a = xavier_uniform(n, n, 1);
+        let b = xavier_uniform(n, n, 2);
+        g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::new("square", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b)));
+        });
+    }
+    // The LSTM shape: (batch, 2h) x (2h, 4h) with h = 128.
+    for &batch in &[4usize, 64, 256] {
+        let a = xavier_uniform(batch, 256, 3);
+        let b = xavier_uniform(256, 512, 4);
+        g.throughput(Throughput::Elements((2 * batch * 256 * 512) as u64));
+        g.bench_with_input(BenchmarkId::new("lstm_shape", batch), &batch, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_gather_scatter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gather");
+    let x = xavier_uniform(1024, 256, 5);
+    let idx: Vec<usize> = (0..512).map(|i| (i * 7) % 1024).collect();
+    g.throughput(Throughput::Elements((512 * 256) as u64));
+    g.bench_function("gather_rows_512x256", |bench| {
+        bench.iter(|| std::hint::black_box(ops::gather_rows(&x, &idx)));
+    });
+    let src = xavier_uniform(512, 256, 6);
+    g.bench_function("scatter_rows_512x256", |bench| {
+        let mut dst = Matrix::zeros(1024, 256);
+        bench.iter(|| {
+            ops::scatter_rows(&mut dst, &src, &idx);
+            std::hint::black_box(&dst);
+        });
+    });
+    g.finish();
+}
+
+fn bench_elementwise(c: &mut Criterion) {
+    let mut g = c.benchmark_group("elementwise");
+    let x = xavier_uniform(256, 1024, 7);
+    g.throughput(Throughput::Elements(x.len() as u64));
+    g.bench_function("sigmoid_256x1024", |bench| {
+        bench.iter(|| std::hint::black_box(ops::sigmoid(&x)));
+    });
+    g.bench_function("tanh_256x1024", |bench| {
+        bench.iter(|| std::hint::black_box(ops::tanh(&x)));
+    });
+    g.bench_function("softmax_256x1024", |bench| {
+        bench.iter(|| std::hint::black_box(ops::softmax(&x)));
+    });
+    g.bench_function("argmax_256x1024", |bench| {
+        bench.iter(|| std::hint::black_box(ops::argmax(&x)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_gather_scatter,
+    bench_elementwise
+);
+criterion_main!(benches);

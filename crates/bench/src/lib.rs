@@ -1,0 +1,14 @@
+//! Criterion benchmarks for the BatchMaker reproduction.
+//!
+//! The benchmark targets live in `benches/`:
+//!
+//! - `tensor` — matmul/gather/softmax kernels of the tensor substrate;
+//! - `cells` — batched cell execution across batch sizes (the measured
+//!   CPU analogue of Figure 3);
+//! - `scheduler` — the cellular-batching engine's per-task scheduling
+//!   overhead (the paper measures ~65 µs of scheduling + gathering per
+//!   step, §7.3);
+//! - `figures` — one benchmark per reproduced figure, running the
+//!   corresponding experiment at `Scale::Quick`.
+//!
+//! Run with `cargo bench --workspace`.

@@ -1,0 +1,216 @@
+//! GRU cell — an extension beyond the paper's evaluated models.
+//!
+//! The paper's cell abstraction is deliberately generic ("a simple cell
+//! contains a few tensor operators; a complex cell such as LSTM not only
+//! contains many operators but also its own internal recursion", §3.1).
+//! A GRU exercises the scheduler with a cell whose state has no memory
+//! component, validating that nothing in the system assumes LSTM state
+//! layout.
+//!
+//! Step (with `x` the embedded token and `h` the previous hidden state):
+//!
+//! ```text
+//! r = sigmoid([x, h] · Wr + br)
+//! z = sigmoid([x, h] · Wz + bz)
+//! n = tanh([x, r * h] · Wn + bn)
+//! h' = (1 - z) * n + z * h
+//! ```
+
+use bm_tensor::io::WeightBundle;
+use bm_tensor::{ops, xavier_uniform, Matrix};
+
+use crate::persist::{expect, expect_shape};
+use crate::state::{CellOutput, CellState, InvocationInput};
+
+/// A GRU cell with its own embedding table.
+#[derive(Debug, Clone)]
+pub struct GruCell {
+    embed: Matrix,
+    wr: Matrix,
+    br: Matrix,
+    wz: Matrix,
+    bz: Matrix,
+    wn: Matrix,
+    bn: Matrix,
+    embed_size: usize,
+    hidden_size: usize,
+}
+
+impl GruCell {
+    /// Creates a cell with seeded Xavier weights.
+    pub fn seeded(embed_size: usize, hidden_size: usize, vocab: usize, seed: u64) -> Self {
+        let io = embed_size + hidden_size;
+        GruCell {
+            embed: xavier_uniform(vocab, embed_size, seed ^ 0x6ee1_0001),
+            wr: xavier_uniform(io, hidden_size, seed ^ 0x6ee1_0002),
+            br: Matrix::zeros(1, hidden_size),
+            wz: xavier_uniform(io, hidden_size, seed ^ 0x6ee1_0003),
+            bz: Matrix::zeros(1, hidden_size),
+            wn: xavier_uniform(io, hidden_size, seed ^ 0x6ee1_0004),
+            bn: Matrix::zeros(1, hidden_size),
+            embed_size,
+            hidden_size,
+        }
+    }
+
+    /// Embedding width.
+    pub fn embed_size(&self) -> usize {
+        self.embed_size
+    }
+
+    /// Hidden state width.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.embed.rows()
+    }
+
+    /// Input tensor shapes per invocation.
+    pub fn input_shapes(&self) -> Vec<(usize, usize)> {
+        vec![(1, self.embed_size), (1, self.hidden_size)]
+    }
+
+    /// Fingerprint over all weights.
+    pub fn weight_fingerprint(&self) -> u64 {
+        crate::fingerprint_weights(&[
+            &self.embed,
+            &self.wr,
+            &self.br,
+            &self.wz,
+            &self.bz,
+            &self.wn,
+            &self.bn,
+        ])
+    }
+
+    /// Runs one batched step; see [`crate::Cell::execute_batch`].
+    pub fn execute_batch(&self, inputs: &[InvocationInput<'_>]) -> Vec<CellOutput> {
+        let batch = inputs.len();
+        let ids: Vec<usize> = inputs
+            .iter()
+            .map(|inv| inv.token.expect("gru invocation requires a token") as usize)
+            .collect();
+        let x = ops::embedding(&self.embed, &ids);
+        let mut h = Matrix::zeros(batch, self.hidden_size);
+        for (r, inv) in inputs.iter().enumerate() {
+            match inv.states.len() {
+                0 => {}
+                1 => h.row_mut(r).copy_from_slice(&inv.states[0].h),
+                n => panic!("gru invocation with {n} states"),
+            }
+        }
+        let xh = ops::concat_cols(&[&x, &h]);
+        let r = ops::sigmoid(&ops::affine(&xh, &self.wr, &self.br));
+        let z = ops::sigmoid(&ops::affine(&xh, &self.wz, &self.bz));
+        let xrh = ops::concat_cols(&[&x, &ops::mul(&r, &h)]);
+        let n = ops::tanh(&ops::affine(&xrh, &self.wn, &self.bn));
+        let one_minus_z = ops::map(&z, |v| 1.0 - v);
+        let h_new = ops::add(&ops::mul(&one_minus_z, &n), &ops::mul(&z, &h));
+        (0..batch)
+            .map(|row| {
+                CellOutput::state_only(CellState {
+                    h: h_new.row(row).to_vec(),
+                    c: Vec::new(),
+                })
+            })
+            .collect()
+    }
+
+    /// Exports the cell's weights (§4.2 persistence).
+    pub fn to_bundle(&self) -> WeightBundle {
+        let mut b = WeightBundle::new();
+        b.insert("embed", self.embed.clone());
+        for (name, m) in [
+            ("wr", &self.wr),
+            ("br", &self.br),
+            ("wz", &self.wz),
+            ("bz", &self.bz),
+            ("wn", &self.wn),
+            ("bn", &self.bn),
+        ] {
+            b.insert(name, m.clone());
+        }
+        b
+    }
+
+    /// Reconstructs the cell from saved weights, inferring shapes.
+    pub fn from_bundle(bundle: &WeightBundle) -> Result<Self, String> {
+        let embed = expect(bundle, "embed")?;
+        let wr = expect(bundle, "wr")?;
+        let hidden = wr.cols();
+        let embed_size = embed.cols();
+        let io = embed_size + hidden;
+        expect_shape(wr, (io, hidden), "wr")?;
+        let get = |name: &str, shape: (usize, usize)| -> Result<Matrix, String> {
+            let m = expect(bundle, name)?;
+            expect_shape(m, shape, name)?;
+            Ok(m.clone())
+        };
+        Ok(GruCell {
+            embed: embed.clone(),
+            wr: wr.clone(),
+            br: get("br", (1, hidden))?,
+            wz: get("wz", (io, hidden))?,
+            bz: get("bz", (1, hidden))?,
+            wn: get("wn", (io, hidden))?,
+            bn: get("bn", (1, hidden))?,
+            embed_size,
+            hidden_size: hidden,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell() -> GruCell {
+        GruCell::seeded(4, 5, 12, 77)
+    }
+
+    #[test]
+    fn state_has_no_memory_cell() {
+        let c = cell();
+        let out = c.execute_batch(&[InvocationInput::token_only(2)]);
+        assert_eq!(out[0].state.h.len(), 5);
+        assert!(out[0].state.c.is_empty());
+    }
+
+    #[test]
+    fn batched_equals_sequential() {
+        let c = cell();
+        let a = c.execute_batch(&[InvocationInput::token_only(1)]);
+        let b = c.execute_batch(&[InvocationInput::token_only(7)]);
+        let both = c.execute_batch(&[
+            InvocationInput::token_only(1),
+            InvocationInput::token_only(7),
+        ]);
+        assert_eq!(both[0], a[0]);
+        assert_eq!(both[1], b[0]);
+    }
+
+    #[test]
+    fn hidden_state_stays_bounded() {
+        let c = cell();
+        let mut s = CellState {
+            h: vec![0.0; 5],
+            c: Vec::new(),
+        };
+        for t in 0..20 {
+            let out = c.execute_batch(&[InvocationInput::chain(t % 12, &s)]);
+            s = out.into_iter().next().unwrap().state;
+            assert!(s.h.iter().all(|v| v.abs() <= 1.0));
+        }
+    }
+
+    #[test]
+    fn chain_changes_state() {
+        let c = cell();
+        let a = c.execute_batch(&[InvocationInput::token_only(3)]);
+        let b = c.execute_batch(&[InvocationInput::chain(3, &a[0].state)]);
+        assert_ne!(a[0].state, b[0].state);
+    }
+}

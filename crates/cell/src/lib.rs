@@ -1,0 +1,244 @@
+//! RNN cell IR, cell types and the batched cell executor.
+//!
+//! The central abstraction of the paper is the **cell**: "a (sub-)dataflow
+//! graph [used] as a basic computation unit for expressing the recurrent
+//! structure of an RNN" (§3.1). Cells of the same *type* — identical
+//! subgraph, shared weights, identically-shaped inputs — can be batched
+//! together whenever there is no data dependency between them.
+//!
+//! This crate provides:
+//!
+//! - concrete cell implementations: [`LstmCell`], [`GruCell`],
+//!   [`EncoderCell`], [`DecoderCell`], [`TreeLeafCell`],
+//!   [`TreeInternalCell`], all expressed over `bm-tensor` kernels;
+//! - the type-erased [`Cell`] enum with [`Cell::execute_batch`], the
+//!   batched executor used by workers (rows from many requests are
+//!   gathered into one contiguous batch, the cell runs once, and results
+//!   scatter back per request — exactly the memory behaviour §4.3
+//!   describes);
+//! - [`CellSignature`]/[`CellTypeId`] identity ("BatchMaker identifies
+//!   the type of each cell by its definition, weights, and input tensor
+//!   shapes", §4.2) and the [`CellRegistry`] that materializes cells at
+//!   startup;
+//! - analytic FLOP accounting ([`cost`]) used to calibrate the simulated
+//!   device in `bm-device`.
+
+pub mod cost;
+mod gru;
+mod lstm;
+mod persist;
+mod registry;
+mod seq2seq;
+mod signature;
+mod state;
+mod tree;
+
+pub use gru::GruCell;
+pub use lstm::LstmCell;
+pub use registry::{CellMeta, CellRegistry};
+pub use seq2seq::{DecoderCell, EncoderCell};
+pub use signature::{CellSignature, CellTypeId};
+pub use state::{CellOutput, CellState, InvocationInput};
+pub use tree::{TreeInternalCell, TreeLeafCell};
+
+use bm_tensor::Matrix;
+
+/// A type-erased RNN cell.
+///
+/// Each variant is one cell *kind*; two cells of the same kind are still
+/// different *types* if their weights differ (see [`CellSignature`]).
+#[derive(Debug, Clone)]
+pub enum Cell {
+    /// Plain LSTM step over an embedded token.
+    Lstm(LstmCell),
+    /// GRU step over an embedded token (extension beyond the paper).
+    Gru(GruCell),
+    /// Seq2Seq encoder step (embedding + LSTM).
+    Encoder(EncoderCell),
+    /// Seq2Seq decoder step (embedding + LSTM + vocab projection + argmax).
+    Decoder(DecoderCell),
+    /// TreeLSTM leaf cell (embedding + input transform).
+    TreeLeaf(TreeLeafCell),
+    /// TreeLSTM internal (binary) cell combining two children.
+    TreeInternal(TreeInternalCell),
+}
+
+impl Cell {
+    /// Human-readable kind name.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Cell::Lstm(_) => "lstm",
+            Cell::Gru(_) => "gru",
+            Cell::Encoder(_) => "encoder",
+            Cell::Decoder(_) => "decoder",
+            Cell::TreeLeaf(_) => "tree_leaf",
+            Cell::TreeInternal(_) => "tree_internal",
+        }
+    }
+
+    /// Hidden state width produced by the cell.
+    pub fn hidden_size(&self) -> usize {
+        match self {
+            Cell::Lstm(c) => c.hidden_size(),
+            Cell::Gru(c) => c.hidden_size(),
+            Cell::Encoder(c) => c.hidden_size(),
+            Cell::Decoder(c) => c.hidden_size(),
+            Cell::TreeLeaf(c) => c.hidden_size(),
+            Cell::TreeInternal(c) => c.hidden_size(),
+        }
+    }
+
+    /// Number of recurrent state inputs an invocation of this cell takes.
+    pub fn state_arity(&self) -> usize {
+        match self {
+            Cell::Lstm(_) | Cell::Gru(_) | Cell::Encoder(_) | Cell::Decoder(_) => 1,
+            Cell::TreeLeaf(_) => 0,
+            Cell::TreeInternal(_) => 2,
+        }
+    }
+
+    /// Whether invocations of this cell consume a token input.
+    pub fn takes_token(&self) -> bool {
+        !matches!(self, Cell::TreeInternal(_))
+    }
+
+    /// Whether invocations of this cell emit a token output (decoder).
+    pub fn emits_token(&self) -> bool {
+        matches!(self, Cell::Decoder(_))
+    }
+
+    /// Executes the cell once over a batch of invocations.
+    ///
+    /// The executor gathers per-invocation rows into contiguous matrices,
+    /// runs the cell's dataflow once at batch size `inputs.len()`, and
+    /// scatters the rows of the result back into per-invocation outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or any invocation does not match the
+    /// cell's arity (wrong number of states, missing token).
+    pub fn execute_batch(&self, inputs: &[InvocationInput<'_>]) -> Vec<CellOutput> {
+        assert!(!inputs.is_empty(), "execute_batch on empty batch");
+        match self {
+            Cell::Lstm(c) => c.execute_batch(inputs),
+            Cell::Gru(c) => c.execute_batch(inputs),
+            Cell::Encoder(c) => c.execute_batch(inputs),
+            Cell::Decoder(c) => c.execute_batch(inputs),
+            Cell::TreeLeaf(c) => c.execute_batch(inputs),
+            Cell::TreeInternal(c) => c.execute_batch(inputs),
+        }
+    }
+
+    /// Analytic floating-point operation count for one execution at
+    /// batch size `batch`.
+    pub fn flops(&self, batch: usize) -> u64 {
+        match self {
+            Cell::Lstm(c) => cost::lstm_flops(batch, c.embed_size(), c.hidden_size()),
+            Cell::Gru(c) => cost::gru_flops(batch, c.embed_size(), c.hidden_size()),
+            Cell::Encoder(c) => cost::lstm_flops(batch, c.embed_size(), c.hidden_size()),
+            Cell::Decoder(c) => {
+                cost::lstm_flops(batch, c.embed_size(), c.hidden_size())
+                    + cost::projection_flops(batch, c.hidden_size(), c.vocab_size())
+            }
+            Cell::TreeLeaf(c) => cost::tree_leaf_flops(batch, c.embed_size(), c.hidden_size()),
+            Cell::TreeInternal(c) => cost::tree_internal_flops(batch, c.hidden_size()),
+        }
+    }
+
+    /// Exports the cell's weights as a named bundle (§4.2 persistence).
+    pub fn to_bundle(&self) -> bm_tensor::io::WeightBundle {
+        match self {
+            Cell::Lstm(c) => c.to_bundle(),
+            Cell::Gru(c) => c.to_bundle(),
+            Cell::Encoder(c) => c.to_bundle(),
+            Cell::Decoder(c) => c.to_bundle(),
+            Cell::TreeLeaf(c) => c.to_bundle(),
+            Cell::TreeInternal(c) => c.to_bundle(),
+        }
+    }
+
+    /// Reconstructs a cell of the given kind from saved weights.
+    ///
+    /// `kind` is a [`Cell::kind_name`] value.
+    pub fn from_bundle(kind: &str, bundle: &bm_tensor::io::WeightBundle) -> Result<Self, String> {
+        Ok(match kind {
+            "lstm" => Cell::Lstm(LstmCell::from_bundle(bundle)?),
+            "gru" => Cell::Gru(GruCell::from_bundle(bundle)?),
+            "encoder" => Cell::Encoder(EncoderCell::from_bundle(bundle)?),
+            "decoder" => Cell::Decoder(DecoderCell::from_bundle(bundle)?),
+            "tree_leaf" => Cell::TreeLeaf(TreeLeafCell::from_bundle(bundle)?),
+            "tree_internal" => Cell::TreeInternal(TreeInternalCell::from_bundle(bundle)?),
+            other => return Err(format!("unknown cell kind {other:?}")),
+        })
+    }
+
+    /// The cell's identity signature (kind, shapes, weight fingerprint).
+    pub fn signature(&self) -> CellSignature {
+        let (shapes, fp): (Vec<(usize, usize)>, u64) = match self {
+            Cell::Lstm(c) => (c.input_shapes(), c.weight_fingerprint()),
+            Cell::Gru(c) => (c.input_shapes(), c.weight_fingerprint()),
+            Cell::Encoder(c) => (c.input_shapes(), c.weight_fingerprint()),
+            Cell::Decoder(c) => (c.input_shapes(), c.weight_fingerprint()),
+            Cell::TreeLeaf(c) => (c.input_shapes(), c.weight_fingerprint()),
+            Cell::TreeInternal(c) => (c.input_shapes(), c.weight_fingerprint()),
+        };
+        CellSignature::new(self.kind_name(), shapes, fp)
+    }
+}
+
+/// FNV-1a fingerprint of a set of weight matrices.
+///
+/// Used to build [`CellSignature`]s: two cells share a type only if their
+/// weights are bit-identical.
+pub(crate) fn fingerprint_weights(mats: &[&Matrix]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for m in mats {
+        for d in [m.rows() as u64, m.cols() as u64] {
+            for b in d.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        for v in m.as_slice() {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_distinguishes_values_and_shapes() {
+        let a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 2, 2.0);
+        let c = Matrix::filled(4, 1, 1.0);
+        let fa = fingerprint_weights(&[&a]);
+        assert_eq!(fa, fingerprint_weights(&[&a.clone()]));
+        assert_ne!(fa, fingerprint_weights(&[&b]));
+        assert_ne!(fa, fingerprint_weights(&[&c]));
+    }
+
+    #[test]
+    fn cell_arity_and_token_flags() {
+        let lstm = Cell::Lstm(LstmCell::seeded(8, 16, 100, 1));
+        assert_eq!(lstm.state_arity(), 1);
+        assert!(lstm.takes_token());
+        assert!(!lstm.emits_token());
+
+        let leaf = Cell::TreeLeaf(TreeLeafCell::seeded(8, 16, 100, 2));
+        assert_eq!(leaf.state_arity(), 0);
+
+        let internal = Cell::TreeInternal(TreeInternalCell::seeded(16, 3));
+        assert_eq!(internal.state_arity(), 2);
+        assert!(!internal.takes_token());
+
+        let dec = Cell::Decoder(DecoderCell::seeded(8, 16, 100, 4));
+        assert!(dec.emits_token());
+    }
+}

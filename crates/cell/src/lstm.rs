@@ -1,0 +1,273 @@
+//! LSTM cell: the paper's workhorse (Hochreiter & Schmidhuber, §2.1).
+//!
+//! The step computes, with `x` the embedded input and `(h, c)` the
+//! previous state:
+//!
+//! ```text
+//! z            = [x, h] · W + b          // (batch, 4h)
+//! i, f, g, o   = split(z, 4)
+//! c'           = sigmoid(f) * c + sigmoid(i) * tanh(g)
+//! h'           = sigmoid(o) * tanh(c')
+//! ```
+//!
+//! This matches the paper's microbenchmark configuration: "one
+//! matrix-multiplication operation with input tensor shapes `b × 2h` and
+//! `2h × 4h`" (§2.2, footnote 2) when the embedding width equals the
+//! hidden width.
+
+use bm_tensor::io::WeightBundle;
+use bm_tensor::{ops, xavier_uniform, Matrix};
+
+use crate::persist::{expect, expect_shape};
+use crate::state::{CellOutput, CellState, InvocationInput};
+
+/// The weight set and math of one LSTM step, shared by every cell kind
+/// that embeds an LSTM (plain, encoder, decoder).
+#[derive(Debug, Clone)]
+pub(crate) struct LstmCore {
+    /// Fused gate weights, `(embed + hidden, 4 * hidden)`.
+    pub w: Matrix,
+    /// Fused gate bias, `(1, 4 * hidden)`.
+    pub b: Matrix,
+    pub input_size: usize,
+    pub hidden_size: usize,
+}
+
+impl LstmCore {
+    pub fn seeded(input_size: usize, hidden_size: usize, seed: u64) -> Self {
+        LstmCore {
+            w: xavier_uniform(input_size + hidden_size, 4 * hidden_size, seed),
+            b: Matrix::zeros(1, 4 * hidden_size),
+            input_size,
+            hidden_size,
+        }
+    }
+
+    /// One batched LSTM step.
+    ///
+    /// `x` is `(batch, input)`, `h`/`c` are `(batch, hidden)`.
+    /// Returns `(h', c')`.
+    pub fn step(&self, x: &Matrix, h: &Matrix, c: &Matrix) -> (Matrix, Matrix) {
+        debug_assert_eq!(x.cols(), self.input_size);
+        debug_assert_eq!(h.cols(), self.hidden_size);
+        let xh = ops::concat_cols(&[x, h]);
+        let z = ops::affine(&xh, &self.w, &self.b);
+        let gates = ops::split_cols(&z, 4);
+        let i = ops::sigmoid(&gates[0]);
+        let f = ops::sigmoid(&gates[1]);
+        let g = ops::tanh(&gates[2]);
+        let o = ops::sigmoid(&gates[3]);
+        let c_new = ops::add(&ops::mul(&f, c), &ops::mul(&i, &g));
+        let h_new = ops::mul(&o, &ops::tanh(&c_new));
+        (h_new, c_new)
+    }
+}
+
+/// Gathers batched `(x, h, c)` matrices for chain-style invocations,
+/// embedding tokens via `embed` and substituting zero state where an
+/// invocation has no predecessor.
+pub(crate) fn gather_chain_inputs(
+    embed: &Matrix,
+    hidden_size: usize,
+    inputs: &[InvocationInput<'_>],
+) -> (Matrix, Matrix, Matrix) {
+    let batch = inputs.len();
+    let ids: Vec<usize> = inputs
+        .iter()
+        .map(|inv| inv.token.expect("chain cell invocation requires a token") as usize)
+        .collect();
+    let x = ops::embedding(embed, &ids);
+    let mut h = Matrix::zeros(batch, hidden_size);
+    let mut c = Matrix::zeros(batch, hidden_size);
+    for (r, inv) in inputs.iter().enumerate() {
+        match inv.states.len() {
+            0 => {} // Chain start: implicit zero state.
+            1 => {
+                let s = inv.states[0];
+                assert_eq!(s.width(), hidden_size, "state width mismatch");
+                h.row_mut(r).copy_from_slice(&s.h);
+                c.row_mut(r).copy_from_slice(&s.c);
+            }
+            n => panic!("chain cell invocation with {n} states"),
+        }
+    }
+    (x, h, c)
+}
+
+/// Scatters batched `(h, c)` rows back into per-invocation outputs.
+pub(crate) fn scatter_states(h: &Matrix, c: &Matrix) -> Vec<CellOutput> {
+    (0..h.rows())
+        .map(|r| {
+            CellOutput::state_only(CellState {
+                h: h.row(r).to_vec(),
+                c: c.row(r).to_vec(),
+            })
+        })
+        .collect()
+}
+
+/// A plain LSTM cell with its own embedding table.
+///
+/// This is the cell type of the paper's "LSTM" application (a chain over
+/// an input sentence).
+#[derive(Debug, Clone)]
+pub struct LstmCell {
+    embed: Matrix,
+    core: LstmCore,
+}
+
+impl LstmCell {
+    /// Creates a cell with seeded Xavier weights.
+    pub fn seeded(embed_size: usize, hidden_size: usize, vocab: usize, seed: u64) -> Self {
+        LstmCell {
+            embed: xavier_uniform(vocab, embed_size, seed ^ 0x5eed_0001),
+            core: LstmCore::seeded(embed_size, hidden_size, seed),
+        }
+    }
+
+    /// Embedding width.
+    pub fn embed_size(&self) -> usize {
+        self.core.input_size
+    }
+
+    /// Hidden state width.
+    pub fn hidden_size(&self) -> usize {
+        self.core.hidden_size
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.embed.rows()
+    }
+
+    /// Input tensor shapes per invocation (token embedding row, h row, c row).
+    pub fn input_shapes(&self) -> Vec<(usize, usize)> {
+        vec![
+            (1, self.embed_size()),
+            (1, self.hidden_size()),
+            (1, self.hidden_size()),
+        ]
+    }
+
+    /// Fingerprint over all weights.
+    pub fn weight_fingerprint(&self) -> u64 {
+        crate::fingerprint_weights(&[&self.embed, &self.core.w, &self.core.b])
+    }
+
+    /// Runs one batched step; see [`crate::Cell::execute_batch`].
+    pub fn execute_batch(&self, inputs: &[InvocationInput<'_>]) -> Vec<CellOutput> {
+        let (x, h, c) = gather_chain_inputs(&self.embed, self.hidden_size(), inputs);
+        let (h2, c2) = self.core.step(&x, &h, &c);
+        scatter_states(&h2, &c2)
+    }
+
+    /// Exports the cell's weights (§4.2 persistence).
+    pub fn to_bundle(&self) -> WeightBundle {
+        let mut b = WeightBundle::new();
+        b.insert("embed", self.embed.clone());
+        b.insert("w", self.core.w.clone());
+        b.insert("b", self.core.b.clone());
+        b
+    }
+
+    /// Reconstructs the cell from saved weights, inferring shapes.
+    pub fn from_bundle(bundle: &WeightBundle) -> Result<Self, String> {
+        let embed = expect(bundle, "embed")?;
+        let w = expect(bundle, "w")?;
+        let hidden = w.cols() / 4;
+        let input = embed.cols();
+        expect_shape(w, (input + hidden, 4 * hidden), "w")?;
+        let b = expect(bundle, "b")?;
+        expect_shape(b, (1, 4 * hidden), "b")?;
+        Ok(LstmCell {
+            embed: embed.clone(),
+            core: LstmCore {
+                w: w.clone(),
+                b: b.clone(),
+                input_size: input,
+                hidden_size: hidden,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell() -> LstmCell {
+        LstmCell::seeded(4, 6, 20, 42)
+    }
+
+    #[test]
+    fn step_shapes() {
+        let c = cell();
+        let out = c.execute_batch(&[InvocationInput::token_only(3)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].state.h.len(), 6);
+        assert_eq!(out[0].state.c.len(), 6);
+        assert_eq!(out[0].token, None);
+    }
+
+    #[test]
+    fn batched_equals_sequential() {
+        // The core correctness property of batching: executing requests
+        // together must give bit-identical results to one-at-a-time.
+        let c = cell();
+        let s1 = c.execute_batch(&[InvocationInput::token_only(3)]);
+        let s2 = c.execute_batch(&[InvocationInput::token_only(9)]);
+        let both = c.execute_batch(&[
+            InvocationInput::token_only(3),
+            InvocationInput::token_only(9),
+        ]);
+        assert_eq!(both[0], s1[0]);
+        assert_eq!(both[1], s2[0]);
+    }
+
+    #[test]
+    fn chained_steps_differ_from_first() {
+        let c = cell();
+        let first = c.execute_batch(&[InvocationInput::token_only(1)]);
+        let second = c.execute_batch(&[InvocationInput::chain(1, &first[0].state)]);
+        assert_ne!(first[0].state, second[0].state);
+    }
+
+    #[test]
+    fn outputs_bounded_by_tanh() {
+        let c = cell();
+        let mut state = CellState::zeros(6);
+        for t in 0..10 {
+            let out = c.execute_batch(&[InvocationInput::chain(t % 20, &state)]);
+            state = out.into_iter().next().unwrap().state;
+            assert!(state.h.iter().all(|v| v.abs() <= 1.0));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_clones() {
+        let c = cell();
+        let d = c.clone();
+        let a = c.execute_batch(&[InvocationInput::token_only(5)]);
+        let b = d.execute_batch(&[InvocationInput::token_only(5)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn missing_token_panics() {
+        let c = cell();
+        let s = CellState::zeros(6);
+        let bad = InvocationInput {
+            token: None,
+            states: vec![&s],
+        };
+        let _ = c.execute_batch(&[bad]);
+    }
+
+    #[test]
+    fn fingerprint_varies_with_seed() {
+        let a = LstmCell::seeded(4, 6, 20, 1);
+        let b = LstmCell::seeded(4, 6, 20, 2);
+        assert_ne!(a.weight_fingerprint(), b.weight_fingerprint());
+    }
+}

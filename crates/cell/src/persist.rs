@@ -1,0 +1,41 @@
+//! Shared helpers for cell weight persistence (§4.2: "BatchMaker loads
+//! each cell's definition and its pre-trained weights from files").
+
+use bm_tensor::io::WeightBundle;
+use bm_tensor::Matrix;
+
+/// Fetches a required matrix from a bundle.
+pub(crate) fn expect<'a>(b: &'a WeightBundle, name: &str) -> Result<&'a Matrix, String> {
+    b.get(name)
+        .ok_or_else(|| format!("missing weight {name:?}"))
+}
+
+/// Validates a loaded matrix's shape.
+pub(crate) fn expect_shape(m: &Matrix, shape: (usize, usize), name: &str) -> Result<(), String> {
+    if m.shape() != shape {
+        return Err(format!(
+            "weight {name:?} has shape {:?}, expected {shape:?}",
+            m.shape()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expect_reports_missing() {
+        let b = WeightBundle::new();
+        assert!(expect(&b, "w").unwrap_err().contains("missing"));
+    }
+
+    #[test]
+    fn expect_shape_reports_mismatch() {
+        let m = Matrix::zeros(2, 3);
+        assert!(expect_shape(&m, (2, 3), "w").is_ok());
+        let err = expect_shape(&m, (3, 2), "w").unwrap_err();
+        assert!(err.contains("(2, 3)") && err.contains("(3, 2)"));
+    }
+}

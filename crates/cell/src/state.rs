@@ -1,0 +1,120 @@
+//! Per-invocation cell state, inputs and outputs.
+//!
+//! In the real runtime, outputs of each executed cell node live as
+//! per-request row vectors owned by the request processor; a batched task
+//! *gathers* the relevant rows into contiguous matrices before execution
+//! and scatters results back afterwards (§4.3). These types are the
+//! per-row currency of that protocol.
+
+/// The recurrent state one cell invocation produces for one request.
+///
+/// For LSTM-family cells both `h` and `c` are populated; for GRU cells
+/// `c` is empty.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CellState {
+    /// Hidden state row.
+    pub h: Vec<f32>,
+    /// Memory cell row (empty for cells without a memory cell).
+    pub c: Vec<f32>,
+}
+
+impl CellState {
+    /// A zero state of hidden width `h` with a memory cell of the same width.
+    pub fn zeros(h: usize) -> Self {
+        CellState {
+            h: vec![0.0; h],
+            c: vec![0.0; h],
+        }
+    }
+
+    /// Width of the hidden state.
+    pub fn width(&self) -> usize {
+        self.h.len()
+    }
+}
+
+/// One invocation's inputs within a batched task.
+///
+/// `states` carries 0, 1 or 2 predecessor states depending on the cell's
+/// arity (0 for tree leaves, 1 for chain cells, 2 for tree internal
+/// cells). `token` is the input word id for token-taking cells.
+#[derive(Debug, Clone)]
+pub struct InvocationInput<'a> {
+    /// Input token id, if the cell consumes one.
+    pub token: Option<u32>,
+    /// Predecessor recurrent states, in cell-defined order
+    /// (e.g. `[left, right]` for tree internal cells).
+    pub states: Vec<&'a CellState>,
+}
+
+impl<'a> InvocationInput<'a> {
+    /// An invocation with only a token (tree leaf, or chain start with an
+    /// implicit zero state).
+    pub fn token_only(token: u32) -> Self {
+        InvocationInput {
+            token: Some(token),
+            states: Vec::new(),
+        }
+    }
+
+    /// A chain-cell invocation: one token plus the predecessor state.
+    pub fn chain(token: u32, prev: &'a CellState) -> Self {
+        InvocationInput {
+            token: Some(token),
+            states: vec![prev],
+        }
+    }
+
+    /// A tree-internal invocation combining two child states.
+    pub fn tree(left: &'a CellState, right: &'a CellState) -> Self {
+        InvocationInput {
+            token: None,
+            states: vec![left, right],
+        }
+    }
+}
+
+/// One invocation's outputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellOutput {
+    /// The produced recurrent state.
+    pub state: CellState,
+    /// The produced token (decoder cells only).
+    pub token: Option<u32>,
+}
+
+impl CellOutput {
+    /// An output carrying only a state.
+    pub fn state_only(state: CellState) -> Self {
+        CellOutput { state, token: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_state_shape() {
+        let s = CellState::zeros(4);
+        assert_eq!(s.width(), 4);
+        assert_eq!(s.c.len(), 4);
+        assert!(s.h.iter().chain(s.c.iter()).all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn invocation_constructors() {
+        let s = CellState::zeros(2);
+        let t = InvocationInput::token_only(7);
+        assert_eq!(t.token, Some(7));
+        assert!(t.states.is_empty());
+
+        let c = InvocationInput::chain(3, &s);
+        assert_eq!(c.states.len(), 1);
+
+        let s2 = CellState::zeros(2);
+        let tr = InvocationInput::tree(&s, &s2);
+        assert_eq!(tr.token, None);
+        assert_eq!(tr.states.len(), 2);
+    }
+}

@@ -1,0 +1,393 @@
+//! Binary constituency TreeLSTM cells (Tai et al., paper §2.1 Figure 2).
+//!
+//! "There are two types of RNN cells, leaf cell and internal cell. All
+//! RNN cells of the same type share the same parameter weights."
+//!
+//! The leaf cell embeds an input word and produces an initial `(h, c)`;
+//! the internal cell combines the states of its two children with
+//! per-child forget gates (the *N*-ary TreeLSTM of Tai et al. with
+//! `N = 2`, which is all the TreeBank dataset requires — §7.5 notes the
+//! dataset "contains only binary tree samples").
+
+use bm_tensor::io::WeightBundle;
+use bm_tensor::{ops, xavier_uniform, Matrix};
+
+use crate::persist::{expect, expect_shape};
+use crate::state::{CellOutput, CellState, InvocationInput};
+
+/// TreeLSTM leaf cell: token embedding to initial `(h, c)`.
+///
+/// ```text
+/// i = sigmoid(x · Wi + bi)
+/// o = sigmoid(x · Wo + bo)
+/// u = tanh   (x · Wu + bu)
+/// c = i * u
+/// h = o * tanh(c)
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreeLeafCell {
+    embed: Matrix,
+    wi: Matrix,
+    bi: Matrix,
+    wo: Matrix,
+    bo: Matrix,
+    wu: Matrix,
+    bu: Matrix,
+    embed_size: usize,
+    hidden_size: usize,
+}
+
+impl TreeLeafCell {
+    /// Creates a cell with seeded Xavier weights.
+    pub fn seeded(embed_size: usize, hidden_size: usize, vocab: usize, seed: u64) -> Self {
+        TreeLeafCell {
+            embed: xavier_uniform(vocab, embed_size, seed ^ 0x1eaf_0001),
+            wi: xavier_uniform(embed_size, hidden_size, seed ^ 0x1eaf_0002),
+            bi: Matrix::zeros(1, hidden_size),
+            wo: xavier_uniform(embed_size, hidden_size, seed ^ 0x1eaf_0003),
+            bo: Matrix::zeros(1, hidden_size),
+            wu: xavier_uniform(embed_size, hidden_size, seed ^ 0x1eaf_0004),
+            bu: Matrix::zeros(1, hidden_size),
+            embed_size,
+            hidden_size,
+        }
+    }
+
+    /// Embedding width.
+    pub fn embed_size(&self) -> usize {
+        self.embed_size
+    }
+
+    /// Hidden state width.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.embed.rows()
+    }
+
+    /// Input tensor shapes per invocation.
+    pub fn input_shapes(&self) -> Vec<(usize, usize)> {
+        vec![(1, self.embed_size)]
+    }
+
+    /// Fingerprint over all weights.
+    pub fn weight_fingerprint(&self) -> u64 {
+        crate::fingerprint_weights(&[
+            &self.embed,
+            &self.wi,
+            &self.bi,
+            &self.wo,
+            &self.bo,
+            &self.wu,
+            &self.bu,
+        ])
+    }
+
+    /// Runs one batched step; see [`crate::Cell::execute_batch`].
+    pub fn execute_batch(&self, inputs: &[InvocationInput<'_>]) -> Vec<CellOutput> {
+        let ids: Vec<usize> = inputs
+            .iter()
+            .map(|inv| {
+                assert!(inv.states.is_empty(), "leaf cell takes no state inputs");
+                inv.token.expect("leaf invocation requires a token") as usize
+            })
+            .collect();
+        let x = ops::embedding(&self.embed, &ids);
+        let i = ops::sigmoid(&ops::affine(&x, &self.wi, &self.bi));
+        let o = ops::sigmoid(&ops::affine(&x, &self.wo, &self.bo));
+        let u = ops::tanh(&ops::affine(&x, &self.wu, &self.bu));
+        let c = ops::mul(&i, &u);
+        let h = ops::mul(&o, &ops::tanh(&c));
+        (0..inputs.len())
+            .map(|r| {
+                CellOutput::state_only(CellState {
+                    h: h.row(r).to_vec(),
+                    c: c.row(r).to_vec(),
+                })
+            })
+            .collect()
+    }
+
+    /// Exports the cell's weights (§4.2 persistence).
+    pub fn to_bundle(&self) -> WeightBundle {
+        let mut b = WeightBundle::new();
+        b.insert("embed", self.embed.clone());
+        for (name, m) in [
+            ("wi", &self.wi),
+            ("bi", &self.bi),
+            ("wo", &self.wo),
+            ("bo", &self.bo),
+            ("wu", &self.wu),
+            ("bu", &self.bu),
+        ] {
+            b.insert(name, m.clone());
+        }
+        b
+    }
+
+    /// Reconstructs the cell from saved weights, inferring shapes.
+    pub fn from_bundle(bundle: &WeightBundle) -> Result<Self, String> {
+        let embed = expect(bundle, "embed")?;
+        let wi = expect(bundle, "wi")?;
+        let embed_size = embed.cols();
+        let hidden = wi.cols();
+        expect_shape(wi, (embed_size, hidden), "wi")?;
+        let get = |name: &str, shape: (usize, usize)| -> Result<Matrix, String> {
+            let m = expect(bundle, name)?;
+            expect_shape(m, shape, name)?;
+            Ok(m.clone())
+        };
+        Ok(TreeLeafCell {
+            embed: embed.clone(),
+            wi: wi.clone(),
+            bi: get("bi", (1, hidden))?,
+            wo: get("wo", (embed_size, hidden))?,
+            bo: get("bo", (1, hidden))?,
+            wu: get("wu", (embed_size, hidden))?,
+            bu: get("bu", (1, hidden))?,
+            embed_size,
+            hidden_size: hidden,
+        })
+    }
+}
+
+/// TreeLSTM internal (binary) cell combining two child states.
+///
+/// With `hs = [h_left, h_right]`:
+///
+/// ```text
+/// i  = sigmoid(hs · Wi + bi)
+/// fl = sigmoid(hs · Wfl + bfl)
+/// fr = sigmoid(hs · Wfr + bfr)
+/// o  = sigmoid(hs · Wo + bo)
+/// u  = tanh   (hs · Wu + bu)
+/// c  = i * u + fl * c_left + fr * c_right
+/// h  = o * tanh(c)
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreeInternalCell {
+    wi: Matrix,
+    bi: Matrix,
+    wfl: Matrix,
+    bfl: Matrix,
+    wfr: Matrix,
+    bfr: Matrix,
+    wo: Matrix,
+    bo: Matrix,
+    wu: Matrix,
+    bu: Matrix,
+    hidden_size: usize,
+}
+
+impl TreeInternalCell {
+    /// Creates a cell with seeded Xavier weights.
+    pub fn seeded(hidden_size: usize, seed: u64) -> Self {
+        let hs = 2 * hidden_size;
+        TreeInternalCell {
+            wi: xavier_uniform(hs, hidden_size, seed ^ 0x7ee_0001),
+            bi: Matrix::zeros(1, hidden_size),
+            wfl: xavier_uniform(hs, hidden_size, seed ^ 0x7ee_0002),
+            bfl: Matrix::filled(1, hidden_size, 1.0), // Forget bias 1: standard practice.
+            wfr: xavier_uniform(hs, hidden_size, seed ^ 0x7ee_0003),
+            bfr: Matrix::filled(1, hidden_size, 1.0),
+            wo: xavier_uniform(hs, hidden_size, seed ^ 0x7ee_0004),
+            bo: Matrix::zeros(1, hidden_size),
+            wu: xavier_uniform(hs, hidden_size, seed ^ 0x7ee_0005),
+            bu: Matrix::zeros(1, hidden_size),
+            hidden_size,
+        }
+    }
+
+    /// Hidden state width.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    /// Input tensor shapes per invocation (left h, left c, right h, right c).
+    pub fn input_shapes(&self) -> Vec<(usize, usize)> {
+        vec![(1, self.hidden_size); 4]
+    }
+
+    /// Fingerprint over all weights.
+    pub fn weight_fingerprint(&self) -> u64 {
+        crate::fingerprint_weights(&[
+            &self.wi, &self.bi, &self.wfl, &self.bfl, &self.wfr, &self.bfr, &self.wo, &self.bo,
+            &self.wu, &self.bu,
+        ])
+    }
+
+    /// Runs one batched step; see [`crate::Cell::execute_batch`].
+    pub fn execute_batch(&self, inputs: &[InvocationInput<'_>]) -> Vec<CellOutput> {
+        let batch = inputs.len();
+        let h = self.hidden_size;
+        let mut hl = Matrix::zeros(batch, h);
+        let mut hr = Matrix::zeros(batch, h);
+        let mut cl = Matrix::zeros(batch, h);
+        let mut cr = Matrix::zeros(batch, h);
+        for (r, inv) in inputs.iter().enumerate() {
+            assert_eq!(
+                inv.states.len(),
+                2,
+                "internal cell requires exactly two child states"
+            );
+            hl.row_mut(r).copy_from_slice(&inv.states[0].h);
+            cl.row_mut(r).copy_from_slice(&inv.states[0].c);
+            hr.row_mut(r).copy_from_slice(&inv.states[1].h);
+            cr.row_mut(r).copy_from_slice(&inv.states[1].c);
+        }
+        let hs = ops::concat_cols(&[&hl, &hr]);
+        let i = ops::sigmoid(&ops::affine(&hs, &self.wi, &self.bi));
+        let fl = ops::sigmoid(&ops::affine(&hs, &self.wfl, &self.bfl));
+        let fr = ops::sigmoid(&ops::affine(&hs, &self.wfr, &self.bfr));
+        let o = ops::sigmoid(&ops::affine(&hs, &self.wo, &self.bo));
+        let u = ops::tanh(&ops::affine(&hs, &self.wu, &self.bu));
+        let c = ops::add(
+            &ops::mul(&i, &u),
+            &ops::add(&ops::mul(&fl, &cl), &ops::mul(&fr, &cr)),
+        );
+        let h_out = ops::mul(&o, &ops::tanh(&c));
+        (0..batch)
+            .map(|r| {
+                CellOutput::state_only(CellState {
+                    h: h_out.row(r).to_vec(),
+                    c: c.row(r).to_vec(),
+                })
+            })
+            .collect()
+    }
+
+    /// Exports the cell's weights (§4.2 persistence).
+    pub fn to_bundle(&self) -> WeightBundle {
+        let mut b = WeightBundle::new();
+        for (name, m) in [
+            ("wi", &self.wi),
+            ("bi", &self.bi),
+            ("wfl", &self.wfl),
+            ("bfl", &self.bfl),
+            ("wfr", &self.wfr),
+            ("bfr", &self.bfr),
+            ("wo", &self.wo),
+            ("bo", &self.bo),
+            ("wu", &self.wu),
+            ("bu", &self.bu),
+        ] {
+            b.insert(name, m.clone());
+        }
+        b
+    }
+
+    /// Reconstructs the cell from saved weights, inferring shapes.
+    pub fn from_bundle(bundle: &WeightBundle) -> Result<Self, String> {
+        let wi = expect(bundle, "wi")?;
+        let hidden = wi.cols();
+        let hs = 2 * hidden;
+        expect_shape(wi, (hs, hidden), "wi")?;
+        let get = |name: &str, shape: (usize, usize)| -> Result<Matrix, String> {
+            let m = expect(bundle, name)?;
+            expect_shape(m, shape, name)?;
+            Ok(m.clone())
+        };
+        Ok(TreeInternalCell {
+            wi: wi.clone(),
+            bi: get("bi", (1, hidden))?,
+            wfl: get("wfl", (hs, hidden))?,
+            bfl: get("bfl", (1, hidden))?,
+            wfr: get("wfr", (hs, hidden))?,
+            bfr: get("bfr", (1, hidden))?,
+            wo: get("wo", (hs, hidden))?,
+            bo: get("bo", (1, hidden))?,
+            wu: get("wu", (hs, hidden))?,
+            bu: get("bu", (1, hidden))?,
+            hidden_size: hidden,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_produces_state() {
+        let leaf = TreeLeafCell::seeded(4, 6, 10, 1);
+        let out = leaf.execute_batch(&[InvocationInput::token_only(3)]);
+        assert_eq!(out[0].state.h.len(), 6);
+        assert_eq!(out[0].state.c.len(), 6);
+    }
+
+    #[test]
+    fn internal_combines_children() {
+        let leaf = TreeLeafCell::seeded(4, 6, 10, 1);
+        let internal = TreeInternalCell::seeded(6, 2);
+        let kids = leaf.execute_batch(&[
+            InvocationInput::token_only(1),
+            InvocationInput::token_only(2),
+        ]);
+        let out = internal.execute_batch(&[InvocationInput::tree(&kids[0].state, &kids[1].state)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].state.h.len(), 6);
+    }
+
+    #[test]
+    fn internal_is_order_sensitive() {
+        // Left/right children use distinct forget gates, so swapping them
+        // must change the output.
+        let leaf = TreeLeafCell::seeded(4, 6, 10, 1);
+        let internal = TreeInternalCell::seeded(6, 2);
+        let kids = leaf.execute_batch(&[
+            InvocationInput::token_only(1),
+            InvocationInput::token_only(2),
+        ]);
+        let ab = internal.execute_batch(&[InvocationInput::tree(&kids[0].state, &kids[1].state)]);
+        let ba = internal.execute_batch(&[InvocationInput::tree(&kids[1].state, &kids[0].state)]);
+        assert_ne!(ab[0].state, ba[0].state);
+    }
+
+    #[test]
+    fn batched_equals_sequential() {
+        let leaf = TreeLeafCell::seeded(4, 6, 10, 1);
+        let internal = TreeInternalCell::seeded(6, 2);
+        let kids = leaf.execute_batch(&[
+            InvocationInput::token_only(1),
+            InvocationInput::token_only(2),
+            InvocationInput::token_only(3),
+            InvocationInput::token_only(4),
+        ]);
+        let a = internal.execute_batch(&[InvocationInput::tree(&kids[0].state, &kids[1].state)]);
+        let b = internal.execute_batch(&[InvocationInput::tree(&kids[2].state, &kids[3].state)]);
+        let both = internal.execute_batch(&[
+            InvocationInput::tree(&kids[0].state, &kids[1].state),
+            InvocationInput::tree(&kids[2].state, &kids[3].state),
+        ]);
+        assert_eq!(both[0], a[0]);
+        assert_eq!(both[1], b[0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn internal_rejects_single_child() {
+        let internal = TreeInternalCell::seeded(6, 2);
+        let s = CellState::zeros(6);
+        let bad = InvocationInput {
+            token: None,
+            states: vec![&s],
+        };
+        let _ = internal.execute_batch(&[bad]);
+    }
+
+    #[test]
+    fn leaf_batched_equals_sequential() {
+        let leaf = TreeLeafCell::seeded(4, 6, 10, 9);
+        let a = leaf.execute_batch(&[InvocationInput::token_only(5)]);
+        let b = leaf.execute_batch(&[InvocationInput::token_only(6)]);
+        let both = leaf.execute_batch(&[
+            InvocationInput::token_only(5),
+            InvocationInput::token_only(6),
+        ]);
+        assert_eq!(both[0], a[0]);
+        assert_eq!(both[1], b[0]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Every cell kind round-trips through its weight bundle with identical
+//! identity (signature) and identical batched outputs.
+
+use bm_cell::{
+    Cell, DecoderCell, EncoderCell, GruCell, InvocationInput, LstmCell, TreeInternalCell,
+    TreeLeafCell,
+};
+
+fn cells() -> Vec<Cell> {
+    vec![
+        Cell::Lstm(LstmCell::seeded(6, 8, 24, 11)),
+        Cell::Gru(GruCell::seeded(6, 8, 24, 12)),
+        Cell::Encoder(EncoderCell::seeded(6, 8, 24, 13)),
+        Cell::Decoder(DecoderCell::seeded(6, 8, 24, 14)),
+        Cell::TreeLeaf(TreeLeafCell::seeded(6, 8, 24, 15)),
+        Cell::TreeInternal(TreeInternalCell::seeded(8, 16)),
+    ]
+}
+
+fn sample_invocations(cell: &Cell) -> Vec<bm_cell::CellOutput> {
+    match cell.state_arity() {
+        2 => {
+            let z = bm_cell::CellState::zeros(cell.hidden_size());
+            cell.execute_batch(&[InvocationInput::tree(&z, &z), InvocationInput::tree(&z, &z)])
+        }
+        _ => cell.execute_batch(&[
+            InvocationInput::token_only(1),
+            InvocationInput::token_only(7),
+        ]),
+    }
+}
+
+#[test]
+fn all_kinds_round_trip() {
+    for cell in cells() {
+        let bundle = cell.to_bundle();
+        let restored = Cell::from_bundle(cell.kind_name(), &bundle).expect("round trip succeeds");
+        assert_eq!(
+            cell.signature(),
+            restored.signature(),
+            "{} signature changed",
+            cell.kind_name()
+        );
+        assert_eq!(
+            sample_invocations(&cell),
+            sample_invocations(&restored),
+            "{} outputs changed",
+            cell.kind_name()
+        );
+    }
+}
+
+#[test]
+fn bundle_serialization_round_trip() {
+    for cell in cells() {
+        let mut buf = Vec::new();
+        cell.to_bundle().write_to(&mut buf).unwrap();
+        let bundle = bm_tensor::io::WeightBundle::read_from(&mut buf.as_slice()).unwrap();
+        let restored = Cell::from_bundle(cell.kind_name(), &bundle).unwrap();
+        assert_eq!(cell.signature(), restored.signature());
+    }
+}
+
+#[test]
+fn unknown_kind_rejected() {
+    let bundle = cells()[0].to_bundle();
+    assert!(Cell::from_bundle("transformer", &bundle).is_err());
+}
+
+#[test]
+fn wrong_kind_bundle_rejected() {
+    // A GRU bundle cannot reconstruct an LSTM (missing fused gate
+    // weights).
+    let gru_bundle = cells()[1].to_bundle();
+    assert!(Cell::from_bundle("lstm", &gru_bundle).is_err());
+}

@@ -1,0 +1,725 @@
+//! The cellular-batching engine: request processor + scheduler.
+//!
+//! This is the paper's manager (§4.2 Figure 6) as a *pure state
+//! machine*: it owns no threads and no clock. Drivers feed it events —
+//! request arrivals, task starts, task completions — and pull batched
+//! tasks for idle workers via [`CellularEngine::dispatch`], which
+//! implements Algorithm 1 verbatim (Schedule / Batch / FormBatchedTask,
+//! including cell-type selection order, `MaxTasksToSubmit`, subgraph
+//! pinning and the min-batch-size gate).
+//!
+//! Two drivers exist: the threaded real-time runtime
+//! ([`crate::runtime::Runtime`]) and the discrete-event simulator in
+//! `bm-sim`. Both therefore benchmark exactly the scheduling policy that
+//! the correctness tests validate.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bm_cell::{CellRegistry, CellTypeId};
+use bm_model::{CellGraph, NodeId};
+
+use crate::ids::{RequestId, SubgraphId, TaskId, WorkerId};
+use crate::partition::{partition, Partition};
+use crate::task::{CompletedRequest, Task, TaskEntry};
+
+/// Tunables of the scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    /// "The maximum number of tasks that can be submitted to a worker"
+    /// per `Schedule` invocation (Algorithm 1; default 5).
+    pub max_tasks_to_submit: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            max_tasks_to_submit: 5,
+        }
+    }
+}
+
+/// Per-request bookkeeping held by the request processor.
+#[derive(Debug)]
+struct RequestState {
+    graph: CellGraph,
+    arrival_us: u64,
+    start_us: Option<u64>,
+    /// Per node: dependencies not yet satisfied. Intra-subgraph edges are
+    /// satisfied at *submission* of the dependency (FIFO per worker
+    /// guarantees order); external edges at *completion*.
+    unmet: Vec<u32>,
+    /// Per node: dependents (reverse edges).
+    dependents: Vec<Vec<u32>>,
+    /// Per node: whether it has been submitted in a task.
+    submitted: Vec<bool>,
+    /// Per node: whether it has completed.
+    completed: Vec<bool>,
+    /// Per node: whether it was cancelled by `<eos>` termination.
+    cancelled: Vec<bool>,
+    /// Local subgraph index per node.
+    node_subgraph: Vec<usize>,
+    /// Global subgraph ids, indexed by local subgraph index.
+    subgraph_ids: Vec<SubgraphId>,
+    /// Nodes not yet completed or cancelled.
+    remaining: usize,
+    /// Nodes executed so far.
+    executed: usize,
+}
+
+/// Per-subgraph scheduler state.
+#[derive(Debug)]
+struct SubgraphState {
+    request: RequestId,
+    cell_type: CellTypeId,
+    /// Nodes whose dependencies are satisfied and not yet submitted.
+    ready: std::collections::VecDeque<u32>,
+    /// External dependency edges not yet satisfied; the subgraph is
+    /// passed to the scheduler only when this reaches zero (§4.3).
+    external_unmet: usize,
+    /// Worker the subgraph is pinned to while it has in-flight tasks.
+    pinned: Option<WorkerId>,
+    /// Number of in-flight tasks containing nodes of this subgraph.
+    inflight: usize,
+    /// Last worker this subgraph executed on (for transfer accounting).
+    last_worker: Option<WorkerId>,
+    /// Whether the subgraph is currently in its type's scheduling queue.
+    in_queue: bool,
+}
+
+/// Per-cell-type scheduling queue.
+#[derive(Debug, Default)]
+struct TypeQueue {
+    /// Subgraphs with ready nodes, in arrival order.
+    subgraphs: std::collections::VecDeque<SubgraphId>,
+    /// Total ready nodes across queued subgraphs.
+    ready_nodes: usize,
+    /// In-flight tasks of this type (`ct.NumRunningTasks()`).
+    running_tasks: usize,
+}
+
+/// In-flight task bookkeeping.
+#[derive(Debug)]
+struct InflightTask {
+    cell_type: CellTypeId,
+    entries: Vec<(RequestId, NodeId)>,
+    subgraphs: Vec<SubgraphId>,
+}
+
+impl InflightTask {
+    fn from_task(t: &Task) -> Self {
+        InflightTask {
+            cell_type: t.cell_type,
+            entries: t.entries.iter().map(|e| (e.request, e.node)).collect(),
+            subgraphs: t.subgraphs.clone(),
+        }
+    }
+}
+
+/// Cumulative scheduling statistics.
+///
+/// The paper reports effective batch sizes ("we find that BatchMaker
+/// executes LSTM cells with batch size 64 most of the time", §7.3) and
+/// attributes overhead to gathering; these counters expose both.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Batched tasks submitted.
+    pub tasks_submitted: u64,
+    /// Cell invocations submitted across all tasks.
+    pub nodes_submitted: u64,
+    /// State rows gathered because batch composition changed (§4.3).
+    pub gathered_rows: u64,
+    /// Subgraph migrations across workers.
+    pub transfers: u64,
+    /// Nodes cancelled by `<eos>` early termination.
+    pub cancelled_nodes: u64,
+    /// Requests completed.
+    pub requests_completed: u64,
+}
+
+impl SchedulerStats {
+    /// Mean batch size across submitted tasks.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.tasks_submitted == 0 {
+            0.0
+        } else {
+            self.nodes_submitted as f64 / self.tasks_submitted as f64
+        }
+    }
+
+    /// Fraction of submitted rows that required a gather copy.
+    pub fn gather_fraction(&self) -> f64 {
+        if self.nodes_submitted == 0 {
+            0.0
+        } else {
+            self.gathered_rows as f64 / self.nodes_submitted as f64
+        }
+    }
+}
+
+/// The cellular-batching engine.
+pub struct CellularEngine {
+    registry: Arc<CellRegistry>,
+    cfg: SchedulerConfig,
+    requests: HashMap<RequestId, RequestState>,
+    subgraphs: HashMap<SubgraphId, SubgraphState>,
+    queues: Vec<TypeQueue>,
+    inflight: HashMap<TaskId, InflightTask>,
+    /// Last batch composition per (worker, cell type), for gather
+    /// accounting: identical composition ⇒ no gather copies (§4.3).
+    last_composition: HashMap<(WorkerId, CellTypeId), Vec<SubgraphId>>,
+    next_subgraph: u64,
+    next_task: u64,
+    /// Completed requests not yet drained by the driver.
+    completions: Vec<CompletedRequest>,
+    stats: SchedulerStats,
+}
+
+impl CellularEngine {
+    /// Creates an engine over the given registry.
+    pub fn new(registry: Arc<CellRegistry>, cfg: SchedulerConfig) -> Self {
+        let queues = (0..registry.len()).map(|_| TypeQueue::default()).collect();
+        CellularEngine {
+            registry,
+            cfg,
+            requests: HashMap::new(),
+            subgraphs: HashMap::new(),
+            queues,
+            inflight: HashMap::new(),
+            last_composition: HashMap::new(),
+            next_subgraph: 0,
+            next_task: 0,
+            completions: Vec::new(),
+            stats: SchedulerStats::default(),
+        }
+    }
+
+    /// Cumulative scheduling statistics.
+    pub fn stats(&self) -> SchedulerStats {
+        self.stats
+    }
+
+    /// The registry the engine schedules for.
+    pub fn registry(&self) -> &Arc<CellRegistry> {
+        &self.registry
+    }
+
+    /// Admits a request: unfolds bookkeeping, partitions the graph and
+    /// releases dependency-free subgraphs to the scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request id is already active or the graph fails
+    /// validation against the registry.
+    pub fn on_arrival(&mut self, id: RequestId, graph: CellGraph, now_us: u64) {
+        assert!(
+            !self.requests.contains_key(&id),
+            "duplicate request id {id}"
+        );
+        graph
+            .validate(&self.registry)
+            .unwrap_or_else(|e| panic!("invalid graph for {id}: {e}"));
+        let n = graph.len();
+        let part: Partition = partition(&graph);
+
+        let mut unmet = vec![0u32; n];
+        let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (nid, node) in graph.iter() {
+            unmet[nid.index()] = node.deps.len() as u32;
+            for d in &node.deps {
+                dependents[d.index()].push(nid.0);
+            }
+        }
+
+        // Create subgraph states.
+        let mut subgraph_ids = Vec::with_capacity(part.len());
+        for sg_local in 0..part.len() {
+            let sg_id = SubgraphId(self.next_subgraph);
+            self.next_subgraph += 1;
+            let cell_type = graph
+                .node(NodeId(part.members[sg_local][0] as u32))
+                .cell_type;
+            let mut state = SubgraphState {
+                request: id,
+                cell_type,
+                ready: std::collections::VecDeque::new(),
+                external_unmet: part.external_deps[sg_local],
+                pinned: None,
+                inflight: 0,
+                last_worker: None,
+                in_queue: false,
+            };
+            if state.external_unmet == 0 {
+                // Released immediately: queue nodes with no unmet deps.
+                for &m in &part.members[sg_local] {
+                    if unmet[m] == 0 {
+                        state.ready.push_back(m as u32);
+                    }
+                }
+            }
+            subgraph_ids.push(sg_id);
+            self.subgraphs.insert(sg_id, state);
+        }
+
+        let req = RequestState {
+            arrival_us: now_us,
+            start_us: None,
+            unmet,
+            dependents,
+            submitted: vec![false; n],
+            completed: vec![false; n],
+            cancelled: vec![false; n],
+            node_subgraph: part.node_subgraph,
+            subgraph_ids: subgraph_ids.clone(),
+            remaining: n,
+            executed: 0,
+            graph,
+        };
+        self.requests.insert(id, req);
+
+        // Enqueue released subgraphs with ready nodes.
+        for sg_id in subgraph_ids {
+            self.maybe_enqueue(sg_id);
+        }
+    }
+
+    fn maybe_enqueue(&mut self, sg_id: SubgraphId) {
+        let sg = self.subgraphs.get_mut(&sg_id).expect("live subgraph");
+        if !sg.in_queue && sg.external_unmet == 0 && !sg.ready.is_empty() {
+            sg.in_queue = true;
+            let q = &mut self.queues[sg.cell_type.index()];
+            q.subgraphs.push_back(sg_id);
+            q.ready_nodes += sg.ready.len();
+        }
+    }
+
+    /// Total ready (schedulable) nodes across all cell types.
+    pub fn total_ready_nodes(&self) -> usize {
+        self.queues.iter().map(|q| q.ready_nodes).sum()
+    }
+
+    /// Number of requests currently in the system.
+    pub fn active_requests(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Number of in-flight tasks.
+    pub fn inflight_tasks(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Whether any work can be dispatched right now.
+    pub fn has_ready_work(&self) -> bool {
+        self.total_ready_nodes() > 0
+    }
+
+    /// Algorithm 1 `Schedule(worker)`: picks a cell type and forms up to
+    /// `MaxTasksToSubmit` batched tasks for `worker`.
+    ///
+    /// Returns an empty vector when nothing is schedulable (either no
+    /// ready nodes, or all ready subgraphs are pinned to other workers).
+    pub fn dispatch(&mut self, worker: WorkerId) -> Vec<Task> {
+        let Some(ct) = self.pick_cell_type() else {
+            return Vec::new();
+        };
+        self.batch(ct, worker)
+    }
+
+    /// Algorithm 1 cell-type selection (lines 5–10).
+    fn pick_cell_type(&self) -> Option<CellTypeId> {
+        let candidates = |f: &dyn Fn(&TypeQueue, &bm_cell::CellMeta) -> bool| -> Vec<CellTypeId> {
+            self.registry
+                .iter()
+                .filter(|m| f(&self.queues[m.id.index()], m))
+                .map(|m| m.id)
+                .collect()
+        };
+        // (a) types whose ready nodes meet the maximum batch size;
+        let mut s = candidates(&|q, m| q.ready_nodes >= m.max_batch);
+        // (b) types with ready nodes and no running tasks;
+        if s.is_empty() {
+            s = candidates(&|q, _| q.running_tasks == 0 && q.ready_nodes > 0);
+        }
+        // (c) any type with ready nodes.
+        if s.is_empty() {
+            s = candidates(&|q, _| q.ready_nodes > 0);
+        }
+        // Highest priority wins ties (line 10).
+        s.into_iter()
+            .max_by_key(|id| self.registry.meta(*id).priority)
+    }
+
+    /// Algorithm 1 `Batch(ct, worker)` (lines 12–23).
+    fn batch(&mut self, ct: CellTypeId, worker: WorkerId) -> Vec<Task> {
+        let meta = self.registry.meta(ct);
+        let (min_batch, max_batch) = (meta.min_batch, meta.max_batch);
+        let mut tasks = Vec::new();
+        while tasks.len() < self.cfg.max_tasks_to_submit {
+            let picks = self.form_batched_task(ct, worker, max_batch);
+            if picks.is_empty() {
+                break;
+            }
+            let size: usize = picks.iter().map(|(_, nodes)| nodes.len()).sum();
+            if size >= min_batch || tasks.is_empty() {
+                tasks.push(self.submit(ct, worker, picks));
+            } else {
+                break;
+            }
+        }
+        tasks
+    }
+
+    /// Algorithm 1 `FormBatchedTask` (lines 24–32): scans the type's
+    /// queue selecting ready nodes from subgraphs pinned to `None` or
+    /// `worker`, without mutating state. Returns per-subgraph node
+    /// counts to take from the front of each ready deque.
+    fn form_batched_task(
+        &self,
+        ct: CellTypeId,
+        worker: WorkerId,
+        max_batch: usize,
+    ) -> Vec<(SubgraphId, Vec<u32>)> {
+        let q = &self.queues[ct.index()];
+        let mut picks = Vec::new();
+        let mut total = 0;
+        for &sg_id in &q.subgraphs {
+            let sg = &self.subgraphs[&sg_id];
+            if sg.pinned.is_some() && sg.pinned != Some(worker) {
+                continue;
+            }
+            if sg.ready.is_empty() {
+                continue;
+            }
+            let take = sg.ready.len().min(max_batch - total);
+            let nodes: Vec<u32> = sg.ready.iter().take(take).copied().collect();
+            total += nodes.len();
+            picks.push((sg_id, nodes));
+            if total == max_batch {
+                break;
+            }
+        }
+        picks
+    }
+
+    /// Submits one batched task: removes the picked nodes from ready
+    /// queues, satisfies intra-subgraph dependencies (line 18), pins
+    /// subgraphs (lines 20–21) and computes gather/transfer metadata.
+    fn submit(
+        &mut self,
+        ct: CellTypeId,
+        worker: WorkerId,
+        picks: Vec<(SubgraphId, Vec<u32>)>,
+    ) -> Task {
+        let id = TaskId(self.next_task);
+        self.next_task += 1;
+
+        let mut entries: Vec<TaskEntry> = Vec::new();
+        let mut subgraph_list: Vec<SubgraphId> = Vec::new();
+        let mut transfer_rows = 0usize;
+
+        for (sg_id, nodes) in &picks {
+            let sg = self.subgraphs.get_mut(sg_id).expect("live subgraph");
+            let req_id = sg.request;
+            subgraph_list.push(*sg_id);
+            // Remove from the front of the ready deque (FormBatchedTask
+            // picked from the front).
+            for &n in nodes {
+                let popped = sg.ready.pop_front().expect("picked node is ready");
+                debug_assert_eq!(popped, n);
+                let gnode = self.requests[&req_id].graph.node(NodeId(n));
+                entries.push(TaskEntry {
+                    request: req_id,
+                    node: NodeId(n),
+                    deps: gnode.deps.clone(),
+                    token: gnode.token,
+                });
+            }
+            self.queues[ct.index()].ready_nodes -= nodes.len();
+            // Pin (line 20-21) and count migrations.
+            if sg.last_worker.is_some() && sg.last_worker != Some(worker) {
+                transfer_rows += 1;
+            }
+            sg.pinned = Some(worker);
+            sg.last_worker = Some(worker);
+            sg.inflight += 1;
+
+            // Mark submitted and satisfy intra-subgraph dependencies
+            // (UpdateNodesDependency, line 18).
+            let req = self.requests.get_mut(&req_id).expect("live request");
+            let mut newly_ready = Vec::new();
+            for &n in nodes {
+                let ni = n as usize;
+                req.submitted[ni] = true;
+                for &dep_idx in &req.dependents[ni] {
+                    let di = dep_idx as usize;
+                    if req.node_subgraph[di] == req.node_subgraph[ni] && !req.cancelled[di] {
+                        req.unmet[di] -= 1;
+                        if req.unmet[di] == 0 {
+                            newly_ready.push(dep_idx);
+                        }
+                    }
+                }
+            }
+            let sg = self.subgraphs.get_mut(sg_id).expect("live subgraph");
+            for n in newly_ready {
+                sg.ready.push_back(n);
+                self.queues[ct.index()].ready_nodes += 1;
+            }
+        }
+
+        // Drop drained subgraphs from the queue head region lazily:
+        // rebuild queue membership flags.
+        self.compact_queue(ct);
+
+        // Gather accounting: identical composition to the previous task
+        // of this (worker, cell type) ⇒ no gather copies.
+        let key = (worker, ct);
+        let gather_rows = match self.last_composition.get(&key) {
+            Some(prev) if *prev == subgraph_list => 0,
+            _ => entries.len(),
+        };
+        self.last_composition.insert(key, subgraph_list.clone());
+
+        self.queues[ct.index()].running_tasks += 1;
+        self.stats.tasks_submitted += 1;
+        self.stats.nodes_submitted += entries.len() as u64;
+        self.stats.gathered_rows += gather_rows as u64;
+        self.stats.transfers += transfer_rows as u64;
+        let task = Task {
+            id,
+            worker,
+            cell_type: ct,
+            entries,
+            subgraphs: subgraph_list,
+            gather_rows,
+            transfer_rows,
+        };
+        self.inflight.insert(id, InflightTask::from_task(&task));
+        task
+    }
+
+    /// Removes queued subgraphs that no longer have ready nodes.
+    fn compact_queue(&mut self, ct: CellTypeId) {
+        let q = &mut self.queues[ct.index()];
+        let subgraphs = &mut self.subgraphs;
+        q.subgraphs.retain(|sg_id| {
+            let sg = subgraphs.get_mut(sg_id).expect("live subgraph");
+            if sg.ready.is_empty() {
+                sg.in_queue = false;
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Notes that a task began executing; stamps the start time of any
+    /// request whose first cell this is.
+    pub fn on_task_started(&mut self, task: TaskId, now_us: u64) {
+        let Some(t) = self.inflight.get(&task) else {
+            return;
+        };
+        for (req_id, _) in &t.entries {
+            if let Some(req) = self.requests.get_mut(req_id) {
+                req.start_us.get_or_insert(now_us);
+            }
+        }
+    }
+
+    /// Processes a task completion.
+    ///
+    /// `emitted_tokens` carries, per entry, the token the cell produced
+    /// (decoder cells) — `None` elsewhere or when the driver does not
+    /// execute real math (the simulator). Used only for `<eos>` early
+    /// termination.
+    ///
+    /// Returns the requests that completed as a result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task id is unknown or `emitted_tokens` has the
+    /// wrong length.
+    pub fn on_task_completed(
+        &mut self,
+        task: TaskId,
+        emitted_tokens: &[Option<u32>],
+        now_us: u64,
+    ) -> Vec<CompletedRequest> {
+        let t = self.inflight.remove(&task).expect("unknown task id");
+        assert_eq!(
+            emitted_tokens.len(),
+            t.entries.len(),
+            "token vector must match task entries"
+        );
+        self.queues[t.cell_type.index()].running_tasks -= 1;
+
+        // Unpin subgraphs whose in-flight count drains.
+        for sg_id in &t.subgraphs {
+            let sg = self.subgraphs.get_mut(sg_id).expect("live subgraph");
+            sg.inflight -= 1;
+            if sg.inflight == 0 {
+                sg.pinned = None;
+            }
+        }
+
+        let mut completed_requests = Vec::new();
+        for (i, (req_id, node)) in t.entries.iter().enumerate() {
+            let ni = node.index();
+            // Phase 1: mark completion, detect <eos>, collect the
+            // external edges this completion satisfies.
+            let (eos_hit, released_subgraphs) = {
+                let req = self.requests.get_mut(req_id).expect("live request");
+                debug_assert!(!req.completed[ni]);
+                req.completed[ni] = true;
+                req.remaining -= 1;
+                req.executed += 1;
+                let eos_hit = matches!(
+                    (req.graph.node(*node).eos, emitted_tokens[i]),
+                    (Some(e), Some(t)) if e == t
+                );
+                let mut released = Vec::new();
+                let dependents = req.dependents[ni].clone();
+                for dep_idx in dependents {
+                    let di = dep_idx as usize;
+                    if req.cancelled[di] || req.node_subgraph[di] == req.node_subgraph[ni] {
+                        continue;
+                    }
+                    req.unmet[di] -= 1;
+                    let sg_local = req.node_subgraph[di];
+                    let sg_id = req.subgraph_ids[sg_local];
+                    let sg = self.subgraphs.get_mut(&sg_id).expect("live subgraph");
+                    sg.external_unmet -= 1;
+                    if sg.external_unmet == 0 {
+                        released.push(sg_local);
+                    }
+                }
+                (eos_hit, released)
+            };
+
+            if eos_hit {
+                self.cancel_downstream(*req_id, *node);
+            }
+
+            // Phase 2: release subgraphs whose last external dependency
+            // was just satisfied — queue every dependency-free node.
+            for sg_local in released_subgraphs {
+                self.release_subgraph(*req_id, sg_local);
+            }
+
+            // Phase 3: request completion.
+            let req = self.requests.get(req_id).expect("live request");
+            if req.remaining == 0 {
+                let done = CompletedRequest {
+                    id: *req_id,
+                    arrival_us: req.arrival_us,
+                    start_us: req.start_us.expect("started before completing"),
+                    completion_us: now_us,
+                    executed_nodes: req.executed,
+                    total_nodes: req.graph.len(),
+                };
+                completed_requests.push(done);
+                self.stats.requests_completed += 1;
+                self.retire(*req_id);
+            }
+        }
+        self.completions.extend(completed_requests.iter().copied());
+        completed_requests
+    }
+
+    /// Queues every dependency-free node of a just-released subgraph.
+    fn release_subgraph(&mut self, req_id: RequestId, sg_local: usize) {
+        let Some(req) = self.requests.get(&req_id) else {
+            return;
+        };
+        let sg_id = req.subgraph_ids[sg_local];
+        let mut to_push = Vec::new();
+        for (idx, &sgx) in req.node_subgraph.iter().enumerate() {
+            if sgx == sg_local
+                && req.unmet[idx] == 0
+                && !req.submitted[idx]
+                && !req.cancelled[idx]
+                && !req.completed[idx]
+            {
+                to_push.push(idx as u32);
+            }
+        }
+        let sg = self.subgraphs.get_mut(&sg_id).expect("live subgraph");
+        debug_assert_eq!(sg.external_unmet, 0, "releasing unreleased subgraph");
+        for n in to_push {
+            debug_assert!(!sg.ready.contains(&n));
+            sg.ready.push_back(n);
+        }
+        if sg.in_queue {
+            // Already queued (cannot happen for a fresh release, but
+            // keep the counter consistent if it ever does).
+        } else {
+            self.maybe_enqueue(sg_id);
+        }
+    }
+
+    /// Cancels all unsubmitted nodes transitively downstream of `from`.
+    fn cancel_downstream(&mut self, req_id: RequestId, from: NodeId) {
+        let req = self.requests.get_mut(&req_id).expect("live request");
+        let n = req.graph.len();
+        let mut downstream = vec![false; n];
+        downstream[from.index()] = true;
+        let mut newly_cancelled: Vec<usize> = Vec::new();
+        for i in from.index() + 1..n {
+            let node = req.graph.node(NodeId(i as u32));
+            if node.deps.iter().any(|d| downstream[d.index()]) {
+                downstream[i] = true;
+                if !req.submitted[i] && !req.cancelled[i] {
+                    req.cancelled[i] = true;
+                    req.remaining -= 1;
+                    self.stats.cancelled_nodes += 1;
+                    newly_cancelled.push(i);
+                }
+            }
+        }
+        // Remove cancelled nodes from their subgraphs' ready queues.
+        for i in newly_cancelled {
+            let sg_id = req.subgraph_ids[req.node_subgraph[i]];
+            let sg = self.subgraphs.get_mut(&sg_id).expect("live subgraph");
+            let before = sg.ready.len();
+            sg.ready.retain(|&x| x != i as u32);
+            let removed = before - sg.ready.len();
+            if removed > 0 && sg.in_queue {
+                self.queues[sg.cell_type.index()].ready_nodes -= removed;
+            }
+        }
+        // Compact any queues that drained.
+        for ct in 0..self.queues.len() {
+            self.compact_queue(CellTypeId(ct as u32));
+        }
+    }
+
+    /// Removes a finished request and its subgraphs.
+    fn retire(&mut self, req_id: RequestId) {
+        let req = self.requests.remove(&req_id).expect("live request");
+        for sg_id in req.subgraph_ids {
+            if let Some(sg) = self.subgraphs.remove(&sg_id) {
+                debug_assert!(sg.ready.is_empty(), "retiring subgraph with ready nodes");
+                if sg.in_queue {
+                    let q = &mut self.queues[sg.cell_type.index()];
+                    q.subgraphs.retain(|&x| x != sg_id);
+                }
+            }
+        }
+    }
+
+    /// Drains the accumulated completion records.
+    pub fn drain_completions(&mut self) -> Vec<CompletedRequest> {
+        std::mem::take(&mut self.completions)
+    }
+}
+
+impl std::fmt::Debug for CellularEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CellularEngine")
+            .field("requests", &self.requests.len())
+            .field("subgraphs", &self.subgraphs.len())
+            .field("inflight", &self.inflight.len())
+            .field("ready", &self.total_ready_nodes())
+            .finish()
+    }
+}

@@ -1,0 +1,47 @@
+//! Identifier types used across the scheduler.
+
+use std::fmt;
+
+pub use bm_device::WorkerId;
+
+/// Identifier of one inference request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+/// Identifier of one batched task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u64);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+/// Global identifier of one subgraph (unique across requests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubgraphId(pub u64);
+
+impl fmt::Display for SubgraphId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sg{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert_eq!(RequestId(1).to_string(), "req1");
+        assert_eq!(TaskId(2).to_string(), "task2");
+        assert_eq!(SubgraphId(3).to_string(), "sg3");
+    }
+}

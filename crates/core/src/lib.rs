@@ -1,0 +1,30 @@
+//! Cellular batching: the paper's primary contribution.
+//!
+//! This crate implements BatchMaker's manager (§4, Figure 6):
+//!
+//! - [`partition`] — splitting each request's cell graph into same-type
+//!   subgraphs (§4.3/§4.4);
+//! - [`CellularEngine`] — the request processor + scheduler as a pure
+//!   state machine, implementing Algorithm 1 exactly: cell-type
+//!   selection by (saturation, starvation, priority), batched task
+//!   formation across subgraphs, `MaxTasksToSubmit`, subgraph pinning
+//!   for worker locality, and gather/transfer accounting;
+//! - [`Runtime`] — a threaded real-time driver (manager + worker
+//!   threads) that executes real cell math on CPU and returns results
+//!   bit-identical to the unbatched reference executor.
+//!
+//! The discrete-event simulator in `bm-sim` drives the same
+//! [`CellularEngine`] under a calibrated GPU cost model to reproduce the
+//! paper's latency/throughput experiments.
+
+mod engine;
+mod ids;
+pub mod partition;
+mod runtime;
+mod task;
+
+pub use engine::{CellularEngine, SchedulerConfig, SchedulerStats};
+pub use ids::{RequestId, SubgraphId, TaskId, WorkerId};
+pub use partition::{partition, Partition};
+pub use runtime::{ResponseHandle, Runtime, ServedResult, ServedTiming};
+pub use task::{CompletedRequest, Task, TaskEntry};

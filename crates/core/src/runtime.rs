@@ -1,0 +1,385 @@
+//! The threaded real-time runtime: BatchMaker's manager/worker
+//! architecture (§4.2, Figure 6) executing *real* cell math on CPU
+//! threads.
+//!
+//! - The **manager thread** owns the [`CellularEngine`]: it admits
+//!   arriving requests, dispatches batched tasks to idle workers and
+//!   processes completion notifications.
+//! - Each **worker thread** owns one task queue. It pops a task,
+//!   gathers the batched inputs from the shared state store, executes
+//!   the cell once at the batch size, scatters outputs back and pushes a
+//!   completion record — the CPU analogue of the paper's GPU worker with
+//!   its in-progress queue and signaling kernel.
+//!
+//! The runtime exists to prove the scheduler end-to-end: its results are
+//! compared bit-for-bit against the unbatched reference executor
+//! (`bm_model::reference`), while the latency/throughput experiments use
+//! the discrete-event simulator over the same engine.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use bm_cell::{CellOutput, CellRegistry, InvocationInput};
+use bm_device::CpuTimer;
+use bm_model::{reference::GraphResult, CellGraph, Model, RequestInput, TokenSource};
+
+use crate::engine::{CellularEngine, SchedulerConfig};
+use crate::ids::{RequestId, TaskId, WorkerId};
+use crate::task::{CompletedRequest, Task};
+
+/// Timing measured for one served request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServedTiming {
+    /// Arrival, µs since runtime start.
+    pub arrival_us: u64,
+    /// First execution, µs.
+    pub start_us: u64,
+    /// Completion, µs.
+    pub completion_us: u64,
+}
+
+/// The outcome of one served request.
+#[derive(Debug, Clone)]
+pub struct ServedResult {
+    /// Per-node outputs (`None` for `<eos>`-cancelled nodes).
+    pub result: GraphResult,
+    /// Request timing.
+    pub timing: ServedTiming,
+}
+
+/// A handle to a submitted request; resolves to its result.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    rx: Receiver<ServedResult>,
+}
+
+impl ResponseHandle {
+    /// Blocks until the request completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runtime shut down before serving the request.
+    pub fn wait(self) -> ServedResult {
+        self.rx.recv().expect("runtime dropped before completion")
+    }
+
+    /// Non-blocking poll.
+    pub fn try_wait(&self) -> Option<ServedResult> {
+        self.rx.try_recv().ok()
+    }
+}
+
+enum ManagerMsg {
+    Arrive {
+        id: RequestId,
+        graph: CellGraph,
+        arrival_us: u64,
+        respond: Sender<ServedResult>,
+    },
+    TaskDone {
+        task: TaskId,
+        worker: WorkerId,
+        started_us: u64,
+        finished_us: u64,
+        tokens: Vec<Option<u32>>,
+    },
+    Shutdown,
+}
+
+type StateStore = Arc<Mutex<HashMap<(RequestId, u32), CellOutput>>>;
+
+/// The multi-threaded serving runtime.
+pub struct Runtime {
+    manager_tx: Sender<ManagerMsg>,
+    manager: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    model: Arc<dyn Model>,
+    timer: CpuTimer,
+    next_request: AtomicU64,
+}
+
+impl Runtime {
+    /// Starts a runtime with `num_workers` worker threads serving
+    /// `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_workers` is zero.
+    pub fn start(model: Arc<dyn Model>, num_workers: usize, cfg: SchedulerConfig) -> Self {
+        assert!(num_workers > 0, "need at least one worker");
+        let registry: Arc<CellRegistry> = Arc::new(model.registry().clone());
+        let store: StateStore = Arc::new(Mutex::new(HashMap::new()));
+        let timer = CpuTimer::new();
+
+        let (mgr_tx, mgr_rx) = unbounded::<ManagerMsg>();
+        let mut worker_txs = Vec::new();
+        let mut workers = Vec::new();
+        for w in 0..num_workers {
+            let (tx, rx) = unbounded::<Task>();
+            worker_txs.push(tx);
+            workers.push(spawn_worker(
+                WorkerId(w as u32),
+                rx,
+                mgr_tx.clone(),
+                Arc::clone(&registry),
+                Arc::clone(&store),
+                timer.clone(),
+            ));
+        }
+
+        let manager = spawn_manager(mgr_rx, worker_txs, registry, store, cfg, num_workers);
+
+        Runtime {
+            manager_tx: mgr_tx,
+            manager: Some(manager),
+            workers,
+            model,
+            timer,
+            next_request: AtomicU64::new(0),
+        }
+    }
+
+    /// Submits a request; returns a handle resolving to its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input fails model validation; use
+    /// [`Runtime::try_submit`] for graceful rejection.
+    pub fn submit(&self, input: &RequestInput) -> ResponseHandle {
+        self.try_submit(input)
+            .unwrap_or_else(|e| panic!("invalid request: {e}"))
+    }
+
+    /// Submits a request after validating it, rejecting malformed inputs
+    /// (wrong variant, empty sequence, out-of-vocabulary tokens) without
+    /// disturbing in-flight work.
+    pub fn try_submit(&self, input: &RequestInput) -> Result<ResponseHandle, String> {
+        self.model.validate(input)?;
+        let graph = self.model.unfold(input);
+        let id = RequestId(self.next_request.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = unbounded();
+        self.manager_tx
+            .send(ManagerMsg::Arrive {
+                id,
+                graph,
+                arrival_us: self.timer.now_us(),
+                respond: tx,
+            })
+            .expect("manager alive");
+        Ok(ResponseHandle { rx })
+    }
+
+    /// Microseconds since the runtime started.
+    pub fn now_us(&self) -> u64 {
+        self.timer.now_us()
+    }
+
+    /// Shuts the runtime down after draining in-flight requests, joining
+    /// all threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let _ = self.manager_tx.send(ManagerMsg::Shutdown);
+        if let Some(m) = self.manager.take() {
+            let _ = m.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn spawn_manager(
+    rx: Receiver<ManagerMsg>,
+    worker_txs: Vec<Sender<Task>>,
+    registry: Arc<CellRegistry>,
+    store: StateStore,
+    cfg: SchedulerConfig,
+    num_workers: usize,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("bm-manager".into())
+        .spawn(move || {
+            let mut engine = CellularEngine::new(Arc::clone(&registry), cfg);
+            let mut responders: HashMap<RequestId, (Sender<ServedResult>, usize)> = HashMap::new();
+            let mut inflight_per_worker = vec![0usize; num_workers];
+            let mut shutting_down = false;
+
+            loop {
+                let Ok(msg) = rx.recv() else { break };
+                match msg {
+                    ManagerMsg::Arrive {
+                        id,
+                        graph,
+                        arrival_us,
+                        respond,
+                    } => {
+                        let n = graph.len();
+                        responders.insert(id, (respond, n));
+                        engine.on_arrival(id, graph, arrival_us);
+                    }
+                    ManagerMsg::TaskDone {
+                        task,
+                        worker,
+                        started_us,
+                        finished_us,
+                        tokens,
+                    } => {
+                        inflight_per_worker[worker.index()] -= 1;
+                        engine.on_task_started(task, started_us);
+                        let done = engine.on_task_completed(task, &tokens, finished_us);
+                        for c in done {
+                            fulfil(&mut responders, &store, c);
+                        }
+                    }
+                    ManagerMsg::Shutdown => {
+                        shutting_down = true;
+                    }
+                }
+                // Dispatch to idle workers (the paper dispatches when a
+                // worker's queue drains; MaxTasksToSubmit amortizes the
+                // notification round-trip).
+                for (w, tx) in worker_txs.iter().enumerate() {
+                    if inflight_per_worker[w] > 0 {
+                        continue;
+                    }
+                    for t in engine.dispatch(WorkerId(w as u32)) {
+                        inflight_per_worker[w] += 1;
+                        let _ = tx.send(t);
+                    }
+                }
+                if shutting_down && engine.active_requests() == 0 {
+                    break;
+                }
+            }
+            // Dropping the worker senders makes workers exit.
+        })
+        .expect("spawn manager")
+}
+
+fn fulfil(
+    responders: &mut HashMap<RequestId, (Sender<ServedResult>, usize)>,
+    store: &StateStore,
+    done: CompletedRequest,
+) {
+    let Some((tx, n_nodes)) = responders.remove(&done.id) else {
+        return;
+    };
+    let mut outputs = Vec::with_capacity(n_nodes);
+    {
+        let mut s = store.lock();
+        for i in 0..n_nodes {
+            outputs.push(s.remove(&(done.id, i as u32)));
+        }
+    }
+    let result = GraphResult { outputs };
+    let _ = tx.send(ServedResult {
+        result,
+        timing: ServedTiming {
+            arrival_us: done.arrival_us,
+            start_us: done.start_us,
+            completion_us: done.completion_us,
+        },
+    });
+}
+
+fn spawn_worker(
+    id: WorkerId,
+    rx: Receiver<Task>,
+    mgr_tx: Sender<ManagerMsg>,
+    registry: Arc<CellRegistry>,
+    store: StateStore,
+    timer: CpuTimer,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("bm-worker-{}", id.0))
+        .spawn(move || {
+            while let Ok(task) = rx.recv() {
+                let started_us = timer.now_us();
+                let tokens = execute_task(&task, &registry, &store);
+                let finished_us = timer.now_us();
+                if mgr_tx
+                    .send(ManagerMsg::TaskDone {
+                        task: task.id,
+                        worker: id,
+                        started_us,
+                        finished_us,
+                        tokens,
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        })
+        .expect("spawn worker")
+}
+
+/// Executes one batched task against the shared state store.
+///
+/// Performs the "gather" (§4.3): reads each entry's predecessor states
+/// and token from the store, builds the contiguous batch, runs the cell
+/// once, and scatters outputs back. Returns the emitted tokens.
+fn execute_task(task: &Task, registry: &Arc<CellRegistry>, store: &StateStore) -> Vec<Option<u32>> {
+    let cell = registry.cell(task.cell_type);
+    // Gather: snapshot dependency outputs under the lock. Tasks on one
+    // worker execute in submission order, so every dependency's output
+    // is present (FIFO stream semantics, §5).
+    let gathered: Vec<(Option<u32>, Vec<CellOutput>)> = {
+        let s = store.lock();
+        task.entries
+            .iter()
+            .map(|e| {
+                let states: Vec<CellOutput> = e
+                    .deps
+                    .iter()
+                    .map(|d| {
+                        s.get(&(e.request, d.0))
+                            .unwrap_or_else(|| {
+                                panic!("missing dependency {}/{} for {}", e.request, d, e.node)
+                            })
+                            .clone()
+                    })
+                    .collect();
+                let token = match e.token {
+                    TokenSource::None => None,
+                    TokenSource::Fixed(t) => Some(t),
+                    TokenSource::FromDep(k) => Some(
+                        states[k]
+                            .token
+                            .expect("FromDep dependency emitted no token"),
+                    ),
+                };
+                (token, states)
+            })
+            .collect()
+    };
+    let invocations: Vec<InvocationInput<'_>> = gathered
+        .iter()
+        .map(|(token, states)| InvocationInput {
+            token: *token,
+            states: states.iter().map(|o| &o.state).collect(),
+        })
+        .collect();
+    let outputs = cell.execute_batch(&invocations);
+    let tokens: Vec<Option<u32>> = outputs.iter().map(|o| o.token).collect();
+    // Scatter: write results back.
+    let mut s = store.lock();
+    for (e, out) in task.entries.iter().zip(outputs) {
+        s.insert((e.request, e.node.0), out);
+    }
+    tokens
+}

@@ -1,0 +1,509 @@
+//! Scheduler state-machine tests: Algorithm 1 behaviour, dependency
+//! tracking, pinning, continuous join/leave, and `<eos>` cancellation.
+
+use std::sync::Arc;
+
+use bm_core::{CellularEngine, RequestId, SchedulerConfig, Task, WorkerId};
+use bm_model::{LstmLm, Model, RequestInput, Seq2Seq, TreeLstm, TreeShape};
+
+fn engine_for(model: &dyn Model, max_tasks: usize) -> CellularEngine {
+    CellularEngine::new(
+        Arc::new(model.registry().clone()),
+        SchedulerConfig {
+            max_tasks_to_submit: max_tasks,
+        },
+    )
+}
+
+/// Completes a task instantly with no emitted tokens.
+fn complete(engine: &mut CellularEngine, task: &Task, now: u64) -> Vec<bm_core::CompletedRequest> {
+    engine.on_task_started(task.id, now);
+    let tokens = vec![None; task.entries.len()];
+    engine.on_task_completed(task.id, &tokens, now)
+}
+
+#[test]
+fn single_chain_request_executes_in_order() {
+    let m = LstmLm::small();
+    let mut eng = engine_for(&m, 5);
+    let req = RequestId(0);
+    eng.on_arrival(req, m.unfold(&RequestInput::Sequence(vec![1, 2, 3])), 0);
+
+    // A chain exposes one ready node; MaxTasksToSubmit lets the scheduler
+    // submit successive steps as successive tasks.
+    let tasks = eng.dispatch(WorkerId(0));
+    assert_eq!(tasks.len(), 3, "3-step chain yields 3 consecutive tasks");
+    for (i, t) in tasks.iter().enumerate() {
+        assert_eq!(t.batch_size(), 1);
+        assert_eq!(t.entries[0].node.index(), i);
+    }
+    // Nothing more to dispatch.
+    assert!(eng.dispatch(WorkerId(0)).is_empty());
+
+    let mut done = Vec::new();
+    for (i, t) in tasks.iter().enumerate() {
+        done.extend(complete(&mut eng, t, 10 * (i as u64 + 1)));
+    }
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].id, req);
+    assert_eq!(done[0].executed_nodes, 3);
+    assert_eq!(done[0].completion_us, 30);
+    assert_eq!(eng.active_requests(), 0);
+}
+
+#[test]
+fn max_tasks_to_submit_caps_consecutive_tasks() {
+    let m = LstmLm::small();
+    let mut eng = engine_for(&m, 2);
+    eng.on_arrival(
+        RequestId(0),
+        m.unfold(&RequestInput::Sequence(vec![1; 10])),
+        0,
+    );
+    let tasks = eng.dispatch(WorkerId(0));
+    assert_eq!(tasks.len(), 2, "capped at MaxTasksToSubmit");
+}
+
+#[test]
+fn new_request_joins_ongoing_execution() {
+    // The core claim of cellular batching (§3.2): a newly arrived
+    // request's early cells batch together with existing requests' later
+    // cells.
+    let m = LstmLm::small();
+    let mut eng = engine_for(&m, 1);
+    eng.on_arrival(
+        RequestId(0),
+        m.unfold(&RequestInput::Sequence(vec![1; 5])),
+        0,
+    );
+
+    // Execute two steps of request 0 alone.
+    for _ in 0..2 {
+        let tasks = eng.dispatch(WorkerId(0));
+        assert_eq!(tasks[0].batch_size(), 1);
+        complete(&mut eng, &tasks[0], 1);
+    }
+
+    // Request 1 arrives mid-flight.
+    eng.on_arrival(
+        RequestId(1),
+        m.unfold(&RequestInput::Sequence(vec![2; 4])),
+        2,
+    );
+
+    // The next task batches step 3 of req0 with step 1 of req1.
+    let tasks = eng.dispatch(WorkerId(0));
+    assert_eq!(tasks[0].batch_size(), 2);
+    let reqs: Vec<u64> = tasks[0].entries.iter().map(|e| e.request.0).collect();
+    assert!(reqs.contains(&0) && reqs.contains(&1));
+}
+
+#[test]
+fn short_request_leaves_before_long_one() {
+    // §3.2: "a short request is not penalized with increased latency
+    // when it's batched with longer requests".
+    let m = LstmLm::small();
+    let mut eng = engine_for(&m, 1);
+    eng.on_arrival(
+        RequestId(0),
+        m.unfold(&RequestInput::Sequence(vec![1; 2])),
+        0,
+    );
+    eng.on_arrival(
+        RequestId(1),
+        m.unfold(&RequestInput::Sequence(vec![1; 6])),
+        0,
+    );
+
+    let mut completions = Vec::new();
+    let mut now = 0;
+    loop {
+        let tasks = eng.dispatch(WorkerId(0));
+        if tasks.is_empty() {
+            break;
+        }
+        for t in tasks {
+            now += 1;
+            completions.extend(complete(&mut eng, &t, now));
+        }
+    }
+    assert_eq!(completions.len(), 2);
+    assert_eq!(completions[0].id, RequestId(0), "short request first");
+    assert!(completions[0].completion_us < completions[1].completion_us);
+}
+
+#[test]
+fn batch_respects_max_batch_size() {
+    let cfg = bm_model::LstmLmConfig {
+        max_batch: 4,
+        ..Default::default()
+    };
+    let m = LstmLm::new(cfg);
+    let mut eng = engine_for(&m, 1);
+    for i in 0..10 {
+        eng.on_arrival(
+            RequestId(i),
+            m.unfold(&RequestInput::Sequence(vec![1; 3])),
+            0,
+        );
+    }
+    let tasks = eng.dispatch(WorkerId(0));
+    assert_eq!(tasks[0].batch_size(), 4, "batch capped at max_batch");
+}
+
+#[test]
+fn tree_leaves_batch_then_internals_release() {
+    let m = TreeLstm::small();
+    let mut eng = engine_for(&m, 1);
+    let shape = TreeShape::complete(4, 100); // 4 leaves, 3 internal.
+    eng.on_arrival(RequestId(0), m.unfold(&RequestInput::Tree(shape)), 0);
+
+    // First dispatch: all 4 leaves in one task (leaf subgraphs all
+    // released on arrival).
+    let t1 = eng.dispatch(WorkerId(0));
+    assert_eq!(t1[0].cell_type, m.leaf_type());
+    assert_eq!(t1[0].batch_size(), 4);
+
+    // Internal subgraph is not released until all leaves complete.
+    assert!(eng.dispatch(WorkerId(0)).is_empty());
+    complete(&mut eng, &t1[0], 1);
+
+    // Level 1: two internal nodes batch together.
+    let t2 = eng.dispatch(WorkerId(0));
+    assert_eq!(t2[0].cell_type, m.internal_type());
+    assert_eq!(t2[0].batch_size(), 2);
+    complete(&mut eng, &t2[0], 2);
+
+    // Root.
+    let t3 = eng.dispatch(WorkerId(0));
+    assert_eq!(t3[0].batch_size(), 1);
+    let done = complete(&mut eng, &t3[0], 3);
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].executed_nodes, 7);
+}
+
+#[test]
+fn tree_levels_pipeline_within_one_dispatch() {
+    // With MaxTasksToSubmit > 1, successive tree levels are submitted as
+    // successive tasks in one Schedule call (§4.4: "the scheduler puts
+    // the cells of x at successive levels of the tree in successive
+    // batched tasks").
+    let m = TreeLstm::small();
+    let mut eng = engine_for(&m, 5);
+    eng.on_arrival(
+        RequestId(0),
+        m.unfold(&RequestInput::Tree(TreeShape::complete(8, 100))),
+        0,
+    );
+    let leaves = eng.dispatch(WorkerId(0));
+    assert_eq!(leaves.len(), 1, "all 8 leaves fit one task");
+    complete(&mut eng, &leaves[0], 1);
+
+    let internals = eng.dispatch(WorkerId(0));
+    // 3 levels: 4, 2, 1 — pipelined as three consecutive tasks.
+    assert_eq!(internals.len(), 3);
+    assert_eq!(internals[0].batch_size(), 4);
+    assert_eq!(internals[1].batch_size(), 2);
+    assert_eq!(internals[2].batch_size(), 1);
+}
+
+#[test]
+fn seq2seq_decoder_has_priority_once_ready() {
+    let m = Seq2Seq::small();
+    let mut eng = engine_for(&m, 1);
+    // Request 0: encoder done, decoder ready. Request 1: encoder ready.
+    eng.on_arrival(
+        RequestId(0),
+        m.unfold(&RequestInput::Pair {
+            src: vec![2],
+            decode_len: 2,
+        }),
+        0,
+    );
+    let enc = eng.dispatch(WorkerId(0));
+    assert_eq!(enc[0].cell_type, m.encoder_type());
+    complete(&mut eng, &enc[0], 1);
+
+    eng.on_arrival(
+        RequestId(1),
+        m.unfold(&RequestInput::Pair {
+            src: vec![3],
+            decode_len: 1,
+        }),
+        1,
+    );
+
+    // Both a decoder node (req0) and an encoder node (req1) are ready;
+    // neither type has a full batch or running tasks, so priority picks
+    // the decoder (§4.3).
+    let next = eng.dispatch(WorkerId(0));
+    assert_eq!(next[0].cell_type, m.decoder_type());
+}
+
+#[test]
+fn subgraph_pinning_excludes_other_workers() {
+    let m = LstmLm::small();
+    let mut eng = engine_for(&m, 1);
+    eng.on_arrival(
+        RequestId(0),
+        m.unfold(&RequestInput::Sequence(vec![1; 4])),
+        0,
+    );
+
+    let t0 = eng.dispatch(WorkerId(0));
+    assert_eq!(t0.len(), 1);
+    // The subgraph is pinned to worker 0 while the task is in flight;
+    // worker 1 gets nothing even though a successor node is ready.
+    assert!(eng.has_ready_work());
+    let t1 = eng.dispatch(WorkerId(1));
+    assert!(t1.is_empty(), "pinned subgraph not schedulable elsewhere");
+
+    // Worker 0 can continue the chain.
+    let t0b = eng.dispatch(WorkerId(0));
+    assert_eq!(t0b.len(), 1);
+
+    // After all in-flight tasks complete, the subgraph unpins and
+    // worker 1 may pick it up.
+    complete(&mut eng, &t0[0], 1);
+    complete(&mut eng, &t0b[0], 2);
+    let t1b = eng.dispatch(WorkerId(1));
+    assert_eq!(t1b.len(), 1);
+    assert_eq!(t1b[0].transfer_rows, 1, "migration pays a transfer");
+}
+
+#[test]
+fn gather_free_when_composition_repeats() {
+    let m = LstmLm::small();
+    let mut eng = engine_for(&m, 3);
+    eng.on_arrival(
+        RequestId(0),
+        m.unfold(&RequestInput::Sequence(vec![1; 5])),
+        0,
+    );
+    eng.on_arrival(
+        RequestId(1),
+        m.unfold(&RequestInput::Sequence(vec![1; 5])),
+        0,
+    );
+
+    let tasks = eng.dispatch(WorkerId(0));
+    assert_eq!(tasks.len(), 3);
+    // First task gathers (fresh composition); subsequent identical
+    // compositions do not (§4.3 locality).
+    assert_eq!(tasks[0].gather_rows, 2);
+    assert_eq!(tasks[1].gather_rows, 0);
+    assert_eq!(tasks[2].gather_rows, 0);
+}
+
+#[test]
+fn composition_change_triggers_gather() {
+    let m = LstmLm::small();
+    let mut eng = engine_for(&m, 1);
+    eng.on_arrival(
+        RequestId(0),
+        m.unfold(&RequestInput::Sequence(vec![1; 2])),
+        0,
+    );
+    let t0 = eng.dispatch(WorkerId(0));
+    complete(&mut eng, &t0[0], 1);
+
+    // New request joins: composition changes, gather required.
+    eng.on_arrival(
+        RequestId(1),
+        m.unfold(&RequestInput::Sequence(vec![1; 2])),
+        1,
+    );
+    let t1 = eng.dispatch(WorkerId(0));
+    assert_eq!(t1[0].batch_size(), 2);
+    assert_eq!(t1[0].gather_rows, 2);
+}
+
+#[test]
+fn min_batch_gate_stops_tiny_followup_tasks() {
+    // min_batch = 4: the head task may be any size, but follow-up tasks
+    // below the minimum are not formed (Algorithm 1 line 16).
+    let cfg = bm_model::LstmLmConfig {
+        min_batch: 4,
+        ..Default::default()
+    };
+    let m = LstmLm::new(cfg);
+    let mut eng = engine_for(&m, 5);
+    eng.on_arrival(
+        RequestId(0),
+        m.unfold(&RequestInput::Sequence(vec![1; 9])),
+        0,
+    );
+    let tasks = eng.dispatch(WorkerId(0));
+    assert_eq!(tasks.len(), 1, "follow-ups below min_batch suppressed");
+    assert_eq!(tasks[0].batch_size(), 1, "head task exempt from the gate");
+}
+
+#[test]
+fn eos_token_cancels_remaining_decode_steps() {
+    use bm_model::Seq2SeqConfig;
+    let m = Seq2Seq::new(Seq2SeqConfig {
+        eos_terminates: true,
+        ..Default::default()
+    });
+    let mut eng = engine_for(&m, 1);
+    eng.on_arrival(
+        RequestId(0),
+        m.unfold(&RequestInput::Pair {
+            src: vec![2],
+            decode_len: 6,
+        }),
+        0,
+    );
+    // Encoder.
+    let enc = eng.dispatch(WorkerId(0));
+    complete(&mut eng, &enc[0], 1);
+    // First decode step emits <eos> (token 1).
+    let dec = eng.dispatch(WorkerId(0));
+    assert_eq!(dec[0].cell_type, m.decoder_type());
+    eng.on_task_started(dec[0].id, 2);
+    let done = eng.on_task_completed(dec[0].id, &[Some(bm_model::EOS_TOKEN)], 2);
+    // All remaining decode steps cancel; the request completes.
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].executed_nodes, 2);
+    assert_eq!(done[0].total_nodes, 7);
+    assert!(!eng.has_ready_work());
+    assert_eq!(eng.active_requests(), 0);
+}
+
+#[test]
+fn ready_type_with_full_batch_beats_priority() {
+    // Algorithm 1 rule (a): a type whose ready nodes reach the max batch
+    // size is preferred even over a higher-priority type below it.
+    let m = TreeLstm::new(bm_model::TreeLstmConfig {
+        max_batch: 4,
+        ..Default::default()
+    });
+    let mut eng = engine_for(&m, 1);
+    // Request A: a 4-leaf complete tree -> after leaves, 2+1 internals.
+    eng.on_arrival(
+        RequestId(0),
+        m.unfold(&RequestInput::Tree(TreeShape::complete(4, 100))),
+        0,
+    );
+    let leaves = eng.dispatch(WorkerId(0));
+    complete(&mut eng, &leaves[0], 1);
+    // Two internal nodes (priority 1) are now ready but below max batch.
+    // Add 4 fresh single-leaf requests: leaf type (priority 0) reaches
+    // its full batch.
+    for i in 1..=4 {
+        eng.on_arrival(
+            RequestId(i),
+            m.unfold(&RequestInput::Tree(TreeShape::leaf(1))),
+            1,
+        );
+    }
+    let next = eng.dispatch(WorkerId(0));
+    assert_eq!(
+        next[0].cell_type,
+        m.leaf_type(),
+        "full-batch type wins over priority"
+    );
+    assert_eq!(next[0].batch_size(), 4);
+}
+
+#[test]
+fn starved_type_without_running_tasks_preferred() {
+    // Algorithm 1 rule (b): among types below a full batch, one with no
+    // running tasks is preferred over one that already has tasks
+    // in flight — even if the latter has higher priority.
+    let m = Seq2Seq::small();
+    let mut eng = engine_for(&m, 1);
+    // Req 0 reaches decoding.
+    eng.on_arrival(
+        RequestId(0),
+        m.unfold(&RequestInput::Pair {
+            src: vec![2],
+            decode_len: 3,
+        }),
+        0,
+    );
+    let enc = eng.dispatch(WorkerId(0));
+    complete(&mut eng, &enc[0], 1);
+    let dec = eng.dispatch(WorkerId(0));
+    assert_eq!(dec[0].cell_type, m.decoder_type());
+    // Decoder task in flight. A fresh encoder-only request arrives.
+    eng.on_arrival(
+        RequestId(1),
+        m.unfold(&RequestInput::Pair {
+            src: vec![3, 4],
+            decode_len: 1,
+        }),
+        2,
+    );
+    // Worker 1 asks for work: decoder has a running task, encoder has
+    // none -> encoder chosen despite lower priority.
+    let next = eng.dispatch(WorkerId(1));
+    assert_eq!(next[0].cell_type, m.encoder_type());
+}
+
+#[test]
+fn many_requests_all_complete() {
+    // Soak: drive a mixed set of requests to completion and check
+    // accounting invariants.
+    let m = LstmLm::small();
+    let mut eng = engine_for(&m, 5);
+    let mut expected = 0;
+    for i in 0..50u64 {
+        let len = 1 + (i % 7) as usize;
+        eng.on_arrival(
+            RequestId(i),
+            m.unfold(&RequestInput::Sequence(vec![1; len])),
+            i,
+        );
+        expected += 1;
+    }
+    let mut now = 100;
+    let mut completed = 0;
+    let mut guard = 0;
+    while eng.active_requests() > 0 {
+        guard += 1;
+        assert!(guard < 10_000, "scheduler wedged");
+        let tasks = eng.dispatch(WorkerId(0));
+        assert!(!tasks.is_empty(), "work remains but nothing dispatched");
+        for t in tasks {
+            now += 1;
+            completed += complete(&mut eng, &t, now).len();
+        }
+    }
+    assert_eq!(completed, expected);
+    assert!(!eng.has_ready_work());
+    assert_eq!(eng.inflight_tasks(), 0);
+}
+
+#[test]
+fn scheduler_stats_account_for_everything() {
+    let m = LstmLm::small();
+    let mut eng = engine_for(&m, 5);
+    eng.on_arrival(
+        RequestId(0),
+        m.unfold(&RequestInput::Sequence(vec![1; 4])),
+        0,
+    );
+    eng.on_arrival(
+        RequestId(1),
+        m.unfold(&RequestInput::Sequence(vec![1; 4])),
+        0,
+    );
+    let mut now = 0;
+    while eng.active_requests() > 0 {
+        for t in eng.dispatch(WorkerId(0)) {
+            now += 1;
+            complete(&mut eng, &t, now);
+        }
+    }
+    let s = eng.stats();
+    assert_eq!(s.nodes_submitted, 8);
+    assert_eq!(s.requests_completed, 2);
+    assert_eq!(s.tasks_submitted, 4, "4 batch-2 steps");
+    assert!((s.mean_batch_size() - 2.0).abs() < 1e-9);
+    // Only the first task of a repeated composition gathers.
+    assert_eq!(s.gathered_rows, 2);
+    assert!(s.gather_fraction() < 0.5);
+    assert_eq!(s.transfers, 0);
+    assert_eq!(s.cancelled_nodes, 0);
+}

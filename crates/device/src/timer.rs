@@ -1,0 +1,48 @@
+//! Wall-clock timing helper for the real (CPU) runtime.
+
+use std::time::Instant;
+
+/// A monotonically increasing microsecond clock anchored at creation.
+///
+/// The real-time runtime stamps request arrival/start/completion with
+/// this clock so its measurements are directly comparable with the
+/// simulator's virtual microseconds.
+#[derive(Debug, Clone)]
+pub struct CpuTimer {
+    origin: Instant,
+}
+
+impl CpuTimer {
+    /// Creates a timer anchored at "now".
+    pub fn new() -> Self {
+        CpuTimer {
+            origin: Instant::now(),
+        }
+    }
+
+    /// Microseconds elapsed since creation.
+    pub fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+impl Default for CpuTimer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let t = CpuTimer::new();
+        let a = t.now_us();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = t.now_us();
+        assert!(b > a);
+        assert!(b - a >= 1_000);
+    }
+}

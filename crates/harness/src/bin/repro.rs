@@ -1,0 +1,90 @@
+//! The reproduction CLI: regenerates every figure of the paper.
+//!
+//! ```text
+//! repro <experiment>... [--quick] [--out DIR]
+//! repro all [--quick]
+//! ```
+//!
+//! Experiments: fig3 fig5 fig7a fig7b fig8 fig9 fig10 fig11 fig13 fig14
+//! fig15 headline ablation. Results land in `results/` as markdown + CSV and are
+//! echoed to stdout.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bm_harness::experiments::{
+    ablation, fig10, fig11, fig13, fig14, fig15, fig3, fig5, fig7, fig8, fig9, headline, Scale,
+};
+use bm_harness::write_results;
+use bm_metrics::Table;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig3", "fig5", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11", "fig13", "fig14", "fig15",
+    "headline", "ablation",
+];
+
+fn run_one(name: &str, scale: Scale) -> Option<Vec<Table>> {
+    let tables = match name {
+        "fig3" => fig3::run(scale),
+        "fig5" => fig5::run(scale),
+        "fig7a" => fig7::run_a(scale),
+        "fig7b" => fig7::run_b(scale),
+        "fig8" => fig8::run(scale),
+        "fig9" => fig9::run(scale),
+        "fig10" => fig10::run(scale),
+        "fig11" => fig11::run(scale),
+        "fig13" => fig13::run(scale),
+        "fig14" => fig14::run(scale),
+        "fig15" => fig15::run(scale),
+        "headline" => headline::run(scale),
+        "ablation" => ablation::run(scale),
+        _ => return None,
+    };
+    Some(tables)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut out_dir = PathBuf::from("results");
+    let mut selected: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--out" => match iter.next() {
+                Some(d) => out_dir = PathBuf::from(d),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "all" => selected.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
+            other => selected.push(other.to_string()),
+        }
+    }
+    if selected.is_empty() {
+        eprintln!("usage: repro <experiment>... [--quick] [--out DIR]");
+        eprintln!("experiments: {} all", EXPERIMENTS.join(" "));
+        return ExitCode::FAILURE;
+    }
+    selected.dedup();
+    for name in &selected {
+        eprintln!("== running {name} ({scale:?}) ==");
+        let start = std::time::Instant::now();
+        match run_one(name, scale) {
+            Some(tables) => {
+                write_results(&out_dir, name, &tables);
+                eprintln!("== {name} done in {:.1?} ==\n", start.elapsed());
+            }
+            None => {
+                eprintln!(
+                    "unknown experiment {name}; known: {}",
+                    EXPERIMENTS.join(" ")
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

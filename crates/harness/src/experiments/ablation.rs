@@ -1,0 +1,192 @@
+//! Ablations of the design choices §4.3/§7.1 call out (not figures in
+//! the paper, but claims it makes in prose):
+//!
+//! 1. **MaxTasksToSubmit** — submitting several tasks per Schedule call
+//!    keeps the device busy and amortizes completion notifications, but
+//!    a large value delays new requests from joining ("allows new
+//!    requests to join execution"). We sweep 1/2/5/10 and report p99
+//!    queueing and throughput.
+//! 2. **Decoder priority** — §4.3: "one can achieve better latency by
+//!    preferentially executing cell types that occur later in the
+//!    computation graph". We compare Seq2Seq with and without decoder
+//!    priority.
+//! 3. **Timeout-based batch accumulation** — §7.1: starting a non-full
+//!    batch whenever the device is idle "achieves lower latency than
+//!    any configuration of the timeout-based strategy". We sweep
+//!    timeouts for the MXNet-style baseline at a moderate load.
+
+use std::sync::Arc;
+
+use bm_core::SchedulerConfig;
+use bm_metrics::Table;
+use bm_model::{LstmLm, LstmLmConfig, Seq2Seq, Seq2SeqConfig};
+use bm_workload::{Dataset, LengthDistribution};
+
+use crate::experiments::serving::run_point;
+use crate::experiments::Scale;
+use crate::systems::{ServerFactory, SystemKind};
+
+/// Runs all three ablations.
+pub fn run(scale: Scale) -> Vec<Table> {
+    vec![
+        max_tasks_ablation(scale),
+        priority_ablation(scale),
+        timeout_ablation(scale),
+    ]
+}
+
+/// Ablation 1: `MaxTasksToSubmit` (LSTM, 8k req/s).
+pub fn max_tasks_ablation(scale: Scale) -> Table {
+    let ds = Dataset::lstm(10_000, LengthDistribution::wmt15(), 900, 0x77a1);
+    let mut t = Table::new(
+        "Ablation: MaxTasksToSubmit (LSTM @ 8k req/s, 1 GPU)",
+        &[
+            "max_tasks_to_submit",
+            "throughput_rps",
+            "queue_p99_ms",
+            "p90_ms",
+        ],
+    );
+    for &mt in &[1usize, 2, 5, 10] {
+        let model = Arc::new(LstmLm::new(LstmLmConfig {
+            max_batch: 512,
+            ..Default::default()
+        }));
+        let mut factory = ServerFactory::paper(model);
+        factory.scheduler = SchedulerConfig {
+            max_tasks_to_submit: mt,
+        };
+        let p = run_point(&factory, &SystemKind::BatchMaker, &ds, 8_000.0, 1, scale);
+        let s = p.outcome.recorder.summary();
+        let q99 = p.outcome.recorder.queueing_cdf().quantile(0.99);
+        t.push_row(vec![
+            mt.to_string(),
+            format!("{:.0}", s.throughput_rps),
+            format!("{q99:.2}"),
+            format!("{:.1}", s.p90_ms),
+        ]);
+    }
+    t
+}
+
+/// Ablation 2: decoder priority (Seq2Seq, 1 GPU, moderate load).
+pub fn priority_ablation(scale: Scale) -> Table {
+    let ds = Dataset::seq2seq(10_000, LengthDistribution::wmt15(), 450, 0x5e92);
+    let mut t = Table::new(
+        "Ablation: decoder vs encoder priority (Seq2Seq @ 1k req/s, 1 GPU)",
+        &["decoder_priority", "throughput_rps", "p50_ms", "p90_ms"],
+    );
+    for &prio in &[true, false] {
+        let model = Arc::new(Seq2Seq::new(Seq2SeqConfig {
+            decoder_priority: prio,
+            ..Default::default()
+        }));
+        let mut factory = ServerFactory::paper(model);
+        factory.pad_max_batch = 256;
+        let p = run_point(&factory, &SystemKind::BatchMaker, &ds, 1_000.0, 1, scale);
+        let s = p.outcome.recorder.summary();
+        t.push_row(vec![
+            prio.to_string(),
+            format!("{:.0}", s.throughput_rps),
+            format!("{:.1}", s.p50_ms),
+            format!("{:.1}", s.p90_ms),
+        ]);
+    }
+    t
+}
+
+/// Ablation 3: timeout-based batch accumulation for the padding
+/// baseline (LSTM, 1k req/s).
+pub fn timeout_ablation(scale: Scale) -> Table {
+    let ds = Dataset::lstm(10_000, LengthDistribution::wmt15(), 900, 0x77a1);
+    let mut t = Table::new(
+        "Ablation: batch-accumulation timeout (MXNet-style @ 300 req/s)",
+        &["timeout", "throughput_rps", "p50_ms", "p90_ms"],
+    );
+    for timeout in [None, Some(2_000u64), Some(10_000), Some(50_000)] {
+        let model = Arc::new(LstmLm::new(LstmLmConfig {
+            max_batch: 512,
+            ..Default::default()
+        }));
+        let mut factory = ServerFactory::paper(model);
+        factory.accumulation_timeout_us = timeout;
+        let p = run_point(
+            &factory,
+            &SystemKind::Mxnet { bucket_width: 10 },
+            &ds,
+            300.0,
+            1,
+            scale,
+        );
+        let label = timeout.map_or("idle-start".to_string(), |t| format!("{} ms", t / 1_000));
+        if p.outcome.saturated {
+            t.push_row(vec![label, "SATURATED".into(), "-".into(), "-".into()]);
+            continue;
+        }
+        let s = p.outcome.recorder.summary();
+        t.push_row(vec![
+            label,
+            format!("{:.0}", s.throughput_rps),
+            format!("{:.1}", s.p50_ms),
+            format!("{:.1}", s.p90_ms),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(t: &Table, row: usize, c: usize) -> String {
+        t.to_csv()
+            .lines()
+            .nth(row + 1)
+            .unwrap()
+            .split(',')
+            .nth(c)
+            .unwrap()
+            .to_string()
+    }
+
+    #[test]
+    fn small_max_tasks_minimizes_queueing() {
+        let t = max_tasks_ablation(Scale::Quick);
+        assert_eq!(t.row_count(), 4);
+        // p99 queueing grows with MaxTasksToSubmit (a new request waits
+        // behind more in-flight tasks).
+        let q1: f64 = col(&t, 0, 2).parse().unwrap();
+        let q10: f64 = col(&t, 3, 2).parse().unwrap();
+        assert!(q10 > q1, "queueing q1={q1} q10={q10}");
+    }
+
+    #[test]
+    fn decoder_priority_helps_latency() {
+        let t = priority_ablation(Scale::Quick);
+        let with: f64 = col(&t, 0, 3).parse().unwrap();
+        let without: f64 = col(&t, 1, 3).parse().unwrap();
+        // Later-cells-first (decoder priority) clearly beats the
+        // inverted rule on p90 latency.
+        assert!(
+            with < without,
+            "decoder-priority p90 {with} vs encoder-priority {without}"
+        );
+    }
+
+    #[test]
+    fn any_timeout_hurts_latency() {
+        let t = timeout_ablation(Scale::Quick);
+        let idle: f64 = col(&t, 0, 3).parse().unwrap();
+        for row in 1..t.row_count() {
+            let v = col(&t, row, 3);
+            if v == "-" {
+                continue; // Saturated timeout configuration: also worse.
+            }
+            let timeout_p90: f64 = v.parse().unwrap();
+            assert!(
+                idle <= timeout_p90 * 1.05,
+                "idle-start p90 {idle} vs timeout p90 {timeout_p90}"
+            );
+        }
+    }
+}

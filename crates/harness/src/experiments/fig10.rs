@@ -1,0 +1,75 @@
+//! Figure 10: the CDF of sequence lengths in the WMT-15-like dataset —
+//! a validation that the synthetic workload matches the paper's
+//! reported statistics (mean 24, max 330, ~99 % below 100).
+
+use bm_metrics::Table;
+use bm_workload::lengths::EmpiricalCdf;
+use bm_workload::{Dataset, LengthDistribution};
+
+use crate::experiments::Scale;
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let n = match scale {
+        Scale::Quick => 10_000,
+        Scale::Full => 100_000,
+    };
+    let ds = Dataset::lstm(n, LengthDistribution::wmt15(), 900, 0x77a1);
+    let cdf = EmpiricalCdf::new(ds.cell_counts());
+
+    let mut stats = Table::new(
+        "Figure 10: WMT-15-like sequence length distribution",
+        &["statistic", "paper", "ours"],
+    );
+    stats.push_row(vec![
+        "mean".into(),
+        "24".into(),
+        format!("{:.1}", cdf.mean()),
+    ]);
+    stats.push_row(vec!["max".into(), "330".into(), cdf.max().to_string()]);
+    stats.push_row(vec![
+        "fraction <= 100".into(),
+        "~0.99".into(),
+        format!("{:.3}", cdf.fraction_le(100)),
+    ]);
+    stats.push_row(vec![
+        "p50".into(),
+        "-".into(),
+        cdf.quantile(0.5).to_string(),
+    ]);
+    stats.push_row(vec![
+        "p90".into(),
+        "-".into(),
+        cdf.quantile(0.9).to_string(),
+    ]);
+
+    let mut curve = Table::new("Figure 10 CDF curve", &["length", "cumulative_fraction"]);
+    for (x, f) in cdf.curve(40) {
+        curve.push_row(vec![x.to_string(), format!("{f:.4}")]);
+    }
+    vec![stats, curve]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistics_match_paper() {
+        let tables = run(Scale::Quick);
+        let csv = tables[0].to_csv();
+        let ours = |stat: &str| -> f64 {
+            csv.lines()
+                .find(|l| l.starts_with(stat))
+                .unwrap()
+                .split(',')
+                .nth(2)
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        assert!((ours("mean") - 24.0).abs() < 1.5);
+        assert!(ours("max") <= 330.0);
+        assert!(ours("fraction <= 100") > 0.98);
+    }
+}

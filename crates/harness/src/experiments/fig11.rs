@@ -1,0 +1,128 @@
+//! Figure 11: the impact of sequence-length variance.
+//!
+//! Three datasets: fixed length 24, WMT clipped at 50, WMT clipped at
+//! 100. The paper's finding: higher variance hurts the padding systems
+//! (more buckets to wait behind, smaller effective batches) while
+//! BatchMaker's low-load latency is unaffected; on *fixed-length*
+//! inputs the padding systems reach slightly higher peak throughput
+//! than BatchMaker (which pays scheduling/gather overhead — §7.3).
+
+use std::sync::Arc;
+
+use bm_metrics::Table;
+use bm_model::{LstmLm, LstmLmConfig};
+use bm_workload::{Dataset, LengthDistribution};
+
+use crate::experiments::serving::{sweep, SweepPoint};
+use crate::experiments::Scale;
+use crate::systems::{ServerFactory, SystemKind};
+
+/// Offered-load points, req/s.
+pub const RATES: &[f64] = &[
+    1_000.0, 4_000.0, 8_000.0, 12_000.0, 16_000.0, 20_000.0, 24_000.0, 28_000.0,
+];
+
+/// The three datasets of the figure.
+pub fn datasets() -> Vec<(&'static str, Dataset)> {
+    vec![
+        (
+            "fixed-24",
+            Dataset::lstm(20_000, LengthDistribution::Fixed(24), 900, 0x77a1),
+        ),
+        (
+            "wmt-clip-50",
+            Dataset::lstm(20_000, LengthDistribution::wmt15_clipped(50), 900, 0x77a1),
+        ),
+        (
+            "wmt-clip-100",
+            Dataset::lstm(20_000, LengthDistribution::wmt15_clipped(100), 900, 0x77a1),
+        ),
+    ]
+}
+
+/// Runs the sweeps, returning per-dataset points and the table.
+pub fn run_points(scale: Scale) -> (Vec<(&'static str, Vec<SweepPoint>)>, Table) {
+    let model = Arc::new(LstmLm::new(LstmLmConfig {
+        max_batch: 512,
+        ..Default::default()
+    }));
+    let factory = ServerFactory::paper(model);
+    let systems = [
+        SystemKind::BatchMaker,
+        SystemKind::TensorFlow { bucket_width: 10 },
+        SystemKind::Mxnet { bucket_width: 10 },
+    ];
+    let mut t = Table::new(
+        "Figure 11: sequence-length variance (LSTM, 1 GPU, bmax=512)",
+        &[
+            "dataset",
+            "system",
+            "offered_rps",
+            "throughput_rps",
+            "p50_ms",
+            "p90_ms",
+            "p99_ms",
+        ],
+    );
+    let mut all = Vec::new();
+    for (name, ds) in datasets() {
+        let points = sweep(&factory, &systems, &ds, &scale.rates(RATES), 1, scale);
+        for p in &points {
+            let base = crate::experiments::serving::sweep_table("x", std::slice::from_ref(p));
+            let row: Vec<String> = base
+                .to_csv()
+                .lines()
+                .nth(1)
+                .expect("row")
+                .split(',')
+                .map(String::from)
+                .collect();
+            let mut full = vec![name.to_string()];
+            full.extend(row);
+            t.push_row(full);
+        }
+        all.push((name, points));
+    }
+    (all, t)
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Vec<Table> {
+    vec![run_points(scale).1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::serving::{p90_at, peak_throughput};
+
+    #[test]
+    fn variance_hurts_padding_not_batchmaker() {
+        let (all, _) = run_points(Scale::Quick);
+        let by = |name: &str| &all.iter().find(|(n, _)| *n == name).unwrap().1;
+
+        // On fixed-length inputs the padding baselines may edge out
+        // BatchMaker in peak throughput (paper §7.3).
+        let fixed = by("fixed-24");
+        let mx_fixed = peak_throughput(fixed, "MXNet");
+        assert!(mx_fixed > 0.0);
+
+        // With variance (clip-100), BatchMaker clearly wins both peak
+        // and latency.
+        let var = by("wmt-clip-100");
+        let bm_peak = peak_throughput(var, "BatchMaker");
+        let mx_peak = peak_throughput(var, "MXNet");
+        assert!(bm_peak > mx_peak, "bm {bm_peak} vs mx {mx_peak}");
+        let rate = RATES[0];
+        let bm_p90 = p90_at(var, "BatchMaker", rate).unwrap();
+        let mx_p90 = p90_at(var, "MXNet", rate).unwrap();
+        assert!(bm_p90 < mx_p90);
+
+        // MXNet's peak degrades as variance grows.
+        let mx_50 = peak_throughput(by("wmt-clip-50"), "MXNet");
+        assert!(
+            mx_fixed >= mx_50 && mx_50 >= mx_peak,
+            "mxnet peaks {mx_fixed} -> {mx_50} -> {mx_peak} should degrade"
+        );
+    }
+}

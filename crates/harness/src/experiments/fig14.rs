@@ -1,0 +1,77 @@
+//! Figure 14: TreeLSTM on the TreeBank-like dataset, maximum batch 64.
+//!
+//! BatchMaker vs TensorFlow Fold and DyNet. Padding cannot batch trees
+//! (§2.3), so the baselines are the dynamic graph-merging systems.
+
+use std::sync::Arc;
+
+use bm_metrics::Table;
+use bm_model::{TreeLstm, TreeLstmConfig};
+use bm_workload::{Dataset, LengthDistribution};
+
+use crate::experiments::serving::{sweep, sweep_table, SweepPoint};
+use crate::experiments::Scale;
+use crate::systems::{ServerFactory, SystemKind};
+
+/// Offered-load points, req/s.
+pub const RATES: &[f64] = &[
+    250.0, 500.0, 750.0, 1_000.0, 1_500.0, 2_000.0, 2_500.0, 3_000.0, 3_500.0, 4_000.0, 5_000.0,
+    6_000.0, 7_000.0,
+];
+
+/// The TreeBank-like parse-tree dataset (10k trees in the paper).
+pub fn dataset() -> Dataset {
+    Dataset::trees(10_000, LengthDistribution::treebank(), 900, 0x7ee5)
+}
+
+/// Runs the sweep.
+pub fn run_points(scale: Scale) -> (Vec<SweepPoint>, Table) {
+    let model = Arc::new(TreeLstm::new(TreeLstmConfig {
+        max_batch: 64,
+        ..Default::default()
+    }));
+    let mut factory = ServerFactory::paper(model);
+    factory.dyn_max_batch = 64;
+    let ds = dataset();
+    let points = sweep(
+        &factory,
+        &[SystemKind::BatchMaker, SystemKind::Fold, SystemKind::Dynet],
+        &ds,
+        &scale.rates(RATES),
+        1,
+        scale,
+    );
+    let table = sweep_table("Figure 14: TreeLSTM on TreeBank-like, bmax=64", &points);
+    (points, table)
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Vec<Table> {
+    vec![run_points(scale).1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::serving::{p90_at, peak_throughput};
+
+    #[test]
+    fn ordering_matches_paper() {
+        let (points, _) = run_points(Scale::Quick);
+        let bm = peak_throughput(&points, "BatchMaker");
+        let dynet = peak_throughput(&points, "DyNet");
+        let fold = peak_throughput(&points, "TF Fold");
+        // Paper: BatchMaker 3.1k > DyNet 2.1k > Fold ~0.8k.
+        assert!(bm > dynet, "bm {bm} vs dynet {dynet}");
+        assert!(dynet > fold, "dynet {dynet} vs fold {fold}");
+        // At moderate load BatchMaker's p90 beats DyNet's
+        // (paper: 6.8 ms vs 9.5 ms at 1k req/s).
+        let r = 1_000.0;
+        if let (Some(b), Some(d)) = (
+            p90_at(&points, "BatchMaker", r),
+            p90_at(&points, "DyNet", r),
+        ) {
+            assert!(b < d, "p90 at {r}: bm {b} vs dynet {d}");
+        }
+    }
+}

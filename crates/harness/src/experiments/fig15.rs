@@ -1,0 +1,108 @@
+//! Figure 15: TreeLSTM on a synthetic dataset of *identical* complete
+//! 16-leaf binary trees, with the hard-coded "Ideal" static-graph
+//! baseline.
+//!
+//! Paper findings: BatchMaker reaches ~70 % of the ideal peak (it pays
+//! scheduling/gather overhead), but the ideal's *latency* is higher
+//! because it runs all 31 cells per batch while BatchMaker and DyNet
+//! batch cells at the same depth together.
+
+use std::sync::Arc;
+
+use bm_metrics::Table;
+use bm_model::{RequestInput, TreeLstm, TreeLstmConfig, TreeShape};
+use bm_workload::Dataset;
+
+use crate::experiments::serving::{sweep, sweep_table, SweepPoint};
+use crate::experiments::Scale;
+use crate::systems::{ServerFactory, SystemKind};
+
+/// Offered-load points, req/s.
+pub const RATES: &[f64] = &[
+    500.0, 1_000.0, 1_500.0, 2_000.0, 2_500.0, 3_000.0, 4_000.0, 5_000.0, 6_000.0, 7_000.0,
+    8_000.0, 10_000.0, 12_000.0, 14_000.0,
+];
+
+/// Runs the sweep.
+pub fn run_points(scale: Scale) -> (Vec<SweepPoint>, Table) {
+    let model = Arc::new(TreeLstm::new(TreeLstmConfig {
+        max_batch: 64,
+        ..Default::default()
+    }));
+    let mut factory = ServerFactory::paper(model);
+    factory.dyn_max_batch = 64;
+    let ds = Dataset::identical_trees(64, 16, 900);
+    let expected = RequestInput::Tree(TreeShape::complete(16, 900));
+    let points = sweep(
+        &factory,
+        &[
+            SystemKind::Ideal { expected },
+            SystemKind::BatchMaker,
+            SystemKind::Fold,
+            SystemKind::Dynet,
+        ],
+        &ds,
+        &scale.rates(RATES),
+        1,
+        scale,
+    );
+    let table = sweep_table(
+        "Figure 15: identical complete 16-leaf trees, bmax=64",
+        &points,
+    );
+    (points, table)
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Vec<Table> {
+    vec![run_points(scale).1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::serving::p90_at;
+
+    #[test]
+    fn ideal_peaks_highest_but_with_higher_latency() {
+        let (points, _) = run_points(Scale::Quick);
+        // Probe capacity directly with a deliberate overload.
+        let model = Arc::new(TreeLstm::new(TreeLstmConfig {
+            max_batch: 64,
+            ..Default::default()
+        }));
+        let factory = ServerFactory::paper(model);
+        let ds = Dataset::identical_trees(64, 16, 900);
+        let expected = RequestInput::Tree(TreeShape::complete(16, 900));
+        let overload = 25_000.0;
+        let cap = |kind: &SystemKind| {
+            let p = crate::experiments::serving::run_point(
+                &factory,
+                kind,
+                &ds,
+                overload,
+                1,
+                Scale::Quick,
+            );
+            p.outcome.throughput_rps()
+        };
+        let ideal = cap(&SystemKind::Ideal { expected });
+        let bm = cap(&SystemKind::BatchMaker);
+        // Paper: BatchMaker reaches a large fraction (~70 %) of the
+        // ideal peak, but not all of it.
+        assert!(ideal > bm, "ideal {ideal} vs bm {bm}");
+        assert!(
+            bm > 0.5 * ideal,
+            "BatchMaker {bm} should be a large fraction of ideal {ideal}"
+        );
+        // Ideal's latency at low load exceeds BatchMaker's (31 serial
+        // cells vs depth-batched execution).
+        let r = RATES[0];
+        let ideal_p90 = p90_at(&points, "Ideal", r).unwrap();
+        let bm_p90 = p90_at(&points, "BatchMaker", r).unwrap();
+        assert!(
+            bm_p90 < ideal_p90,
+            "bm p90 {bm_p90} vs ideal p90 {ideal_p90}"
+        );
+    }
+}

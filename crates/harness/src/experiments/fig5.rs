@@ -1,0 +1,162 @@
+//! Figure 5: the timeline of graph batching vs cellular batching on the
+//! paper's 8-request example.
+//!
+//! Each RNN cell takes exactly one time unit; the batch size is 4.
+//! Requests 1–4 (lengths 2, 3, 3, 5) arrive at time 0; requests 5–8
+//! (lengths 5, 7, 3, 1) arrive while the first batch is running.
+
+use std::sync::Arc;
+
+use bm_baseline::{DynGraphConfig, DynGraphServer};
+use bm_core::SchedulerConfig;
+use bm_device::{CostProfile, GpuCostModel};
+use bm_metrics::Table;
+use bm_model::{LstmLm, LstmLmConfig, Model, RequestInput};
+use bm_sim::{simulate, CellularServer, Server, SimOptions};
+
+use crate::experiments::Scale;
+
+/// One time unit in µs.
+const UNIT: u64 = 1_000;
+
+/// A cost model where every cell execution takes exactly one unit,
+/// independent of batch size — the figure's idealized device.
+fn unit_cost() -> GpuCostModel {
+    GpuCostModel {
+        flops_per_us: 1e15,
+        kernel_floor_us: UNIT as f64,
+        smooth_p: 8.0,
+        launch_gap_us: 0.0,
+        gather_us_per_row: 0.0,
+        transfer_us_per_row: 0.0,
+        completion_poll_us: 0.0,
+        sched_overhead_us: 0.0,
+    }
+}
+
+/// `(length, arrival in units x 10)` for the figure's 8 requests.
+const REQUESTS: &[(usize, u64)] = &[
+    (2, 0),
+    (3, 0),
+    (3, 0),
+    (5, 0),
+    (5, 5),  // req5 arrives at t=0.5
+    (7, 20), // req6 at t=2
+    (3, 25), // req7 at t=2.5
+    (1, 50), // req8 at t=5
+];
+
+fn arrivals() -> Vec<(u64, RequestInput)> {
+    REQUESTS
+        .iter()
+        .map(|&(len, at10)| (at10 * UNIT / 10, RequestInput::Sequence(vec![1; len])))
+        .collect()
+}
+
+/// Runs the experiment.
+pub fn run(_scale: Scale) -> Vec<Table> {
+    let model = Arc::new(LstmLm::new(LstmLmConfig {
+        max_batch: 4,
+        ..Default::default()
+    }));
+    let profile = CostProfile::from_registry(model.registry());
+
+    // Graph batching: merge a batch of 4 graphs, run to the longest.
+    let mut graph = DynGraphServer::new(
+        Arc::clone(&model) as Arc<dyn Model>,
+        DynGraphConfig {
+            max_batch: 4,
+            merge_us_per_node: 0.0,
+            overlap_merge: true,
+            per_level_extra_us: 0.0,
+        },
+        unit_cost(),
+        profile.clone(),
+    );
+    let t_graph = timeline("Figure 5 (a): graph batching timeline", &mut graph);
+
+    // Cellular batching: one task at a time so joins are visible each
+    // step, as in the figure.
+    let mut cellular = CellularServer::new(
+        model,
+        SchedulerConfig {
+            max_tasks_to_submit: 1,
+        },
+        unit_cost(),
+        profile,
+    );
+    let t_cell = timeline("Figure 5 (b): cellular batching timeline", &mut cellular);
+    vec![t_graph, t_cell]
+}
+
+fn timeline(title: &str, server: &mut dyn Server) -> Table {
+    let out = simulate(server, &arrivals(), SimOptions::default());
+    let mut t = Table::new(
+        title,
+        &[
+            "request",
+            "length",
+            "arrival",
+            "exec_start",
+            "completion",
+            "latency",
+        ],
+    );
+    let mut completions = out.completions.clone();
+    completions.sort_by_key(|&(id, ..)| id);
+    let units = |us: u64| format!("{:.1}", us as f64 / UNIT as f64);
+    for &(id, arrival, start, completion) in &completions {
+        t.push_row(vec![
+            format!("req{}", id + 1),
+            REQUESTS[id as usize].0.to_string(),
+            units(arrival),
+            units(start),
+            units(completion),
+            units(completion - arrival),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn completion_of(table: &Table, req: usize) -> f64 {
+        table
+            .to_csv()
+            .lines()
+            .skip(1)
+            .nth(req - 1)
+            .unwrap()
+            .split(',')
+            .nth(4)
+            .unwrap()
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn reproduces_paper_timelines() {
+        let tables = run(Scale::Quick);
+        let (graph, cell) = (&tables[0], &tables[1]);
+
+        // Graph batching (paper): first batch done at t=5, second at 12.
+        assert_eq!(completion_of(graph, 1), 5.0);
+        assert_eq!(completion_of(graph, 4), 5.0);
+        assert_eq!(completion_of(graph, 8), 12.0);
+
+        // Cellular batching (paper): req1 leaves at t=2 and joins are
+        // continuous; every request beats or matches its graph-batching
+        // completion.
+        assert_eq!(completion_of(cell, 1), 2.0);
+        for r in 1..=8 {
+            assert!(
+                completion_of(cell, r) <= completion_of(graph, r),
+                "req{r}: cellular {} vs graph {}",
+                completion_of(cell, r),
+                completion_of(graph, r)
+            );
+        }
+    }
+}

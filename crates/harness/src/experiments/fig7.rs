@@ -1,0 +1,87 @@
+//! Figure 7: LSTM serving on the WMT-15-like dataset, one GPU.
+//!
+//! (a) maximum batch size 512; (b) maximum batch size 64. BatchMaker vs
+//! TensorFlow and MXNet (padding, bucket width 10).
+
+use std::sync::Arc;
+
+use bm_metrics::Table;
+use bm_model::{LstmLm, LstmLmConfig};
+use bm_workload::{Dataset, LengthDistribution};
+
+use crate::experiments::serving::{sweep, sweep_table, SweepPoint};
+use crate::experiments::Scale;
+use crate::systems::{ServerFactory, SystemKind};
+
+/// Offered-load points, req/s.
+pub const RATES: &[f64] = &[
+    1_000.0, 2_000.0, 4_000.0, 6_000.0, 8_000.0, 10_000.0, 12_000.0, 14_000.0, 16_000.0, 18_000.0,
+    20_000.0, 22_000.0,
+];
+
+/// The WMT-15-like LSTM dataset (100k sentences in the paper; the pool
+/// size only affects sampling diversity).
+pub fn dataset() -> Dataset {
+    Dataset::lstm(20_000, LengthDistribution::wmt15(), 900, 0x77a1)
+}
+
+/// The three compared systems.
+pub fn systems() -> Vec<SystemKind> {
+    vec![
+        SystemKind::BatchMaker,
+        SystemKind::TensorFlow { bucket_width: 10 },
+        SystemKind::Mxnet { bucket_width: 10 },
+    ]
+}
+
+/// Runs one sub-figure with the given maximum batch size.
+pub fn run_sub(scale: Scale, max_batch: usize) -> (Vec<SweepPoint>, Table) {
+    let model = Arc::new(LstmLm::new(LstmLmConfig {
+        max_batch,
+        ..Default::default()
+    }));
+    let mut factory = ServerFactory::paper(model);
+    factory.pad_max_batch = max_batch;
+    let ds = dataset();
+    let points = sweep(&factory, &systems(), &ds, &scale.rates(RATES), 1, scale);
+    let table = sweep_table(
+        &format!(
+            "Figure 7{}: LSTM on WMT-15-like, 1 GPU, bmax={max_batch}",
+            if max_batch == 512 { "a" } else { "b" }
+        ),
+        &points,
+    );
+    (points, table)
+}
+
+/// Runs Figure 7a (bmax = 512).
+pub fn run_a(scale: Scale) -> Vec<Table> {
+    vec![run_sub(scale, 512).1]
+}
+
+/// Runs Figure 7b (bmax = 64).
+pub fn run_b(scale: Scale) -> Vec<Table> {
+    vec![run_sub(scale, 64).1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::serving::{p90_at, peak_throughput};
+
+    #[test]
+    fn batchmaker_beats_padding_baselines() {
+        let (points, _) = run_sub(Scale::Quick, 512);
+        let bm_peak = peak_throughput(&points, "BatchMaker");
+        let mx_peak = peak_throughput(&points, "MXNet");
+        assert!(
+            bm_peak > mx_peak,
+            "BatchMaker peak {bm_peak} should beat MXNet {mx_peak}"
+        );
+        // At the lowest common load BatchMaker's p90 is lower.
+        let rate = 1_000.0;
+        let bm = p90_at(&points, "BatchMaker", rate).unwrap();
+        let mx = p90_at(&points, "MXNet", rate).unwrap();
+        assert!(bm < mx, "p90 at {rate}: BatchMaker {bm} vs MXNet {mx}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Figure 8: the bucket-width trade-off for MXNet-style padding.
+//!
+//! Fine buckets (width 1) waste no padding but multiply the number of
+//! round-robin turns a request waits; coarse buckets (width 40) wait
+//! less but pad more. Width 10 is the paper's sweet spot.
+
+use std::sync::Arc;
+
+use bm_metrics::Table;
+use bm_model::LstmLm;
+use bm_workload::{Dataset, LengthDistribution};
+
+use crate::experiments::serving::{sweep, sweep_table, SweepPoint};
+use crate::experiments::Scale;
+use crate::systems::{ServerFactory, SystemKind};
+
+/// The widths swept in the paper.
+pub const WIDTHS: &[usize] = &[1, 5, 10, 20, 40];
+
+/// Offered-load points, req/s.
+pub const RATES: &[f64] = &[
+    1_000.0, 2_000.0, 4_000.0, 6_000.0, 8_000.0, 10_000.0, 12_000.0, 14_000.0, 16_000.0,
+];
+
+/// Runs the sweep, returning points and the rendered table.
+pub fn run_points(scale: Scale) -> (Vec<(usize, Vec<SweepPoint>)>, Table) {
+    let model = Arc::new(LstmLm::new(bm_model::LstmLmConfig {
+        max_batch: 512,
+        ..Default::default()
+    }));
+    let factory = ServerFactory::paper(model);
+    let ds = Dataset::lstm(20_000, LengthDistribution::wmt15(), 900, 0x77a1);
+
+    let mut t = Table::new(
+        "Figure 8: MXNet bucket-width sweep (bmax=512)",
+        &[
+            "bucket_width",
+            "offered_rps",
+            "throughput_rps",
+            "p50_ms",
+            "p90_ms",
+            "p99_ms",
+        ],
+    );
+    let mut all = Vec::new();
+    for &w in WIDTHS {
+        let points = sweep(
+            &factory,
+            &[SystemKind::Mxnet { bucket_width: w }],
+            &ds,
+            &scale.rates(RATES),
+            1,
+            scale,
+        );
+        for p in &points {
+            let inner = sweep_table("x", std::slice::from_ref(p));
+            // Reuse the standard row, substituting the system column
+            // with the width.
+            let csv = inner.to_csv();
+            let row: Vec<String> = csv
+                .lines()
+                .nth(1)
+                .expect("one row")
+                .split(',')
+                .map(|s| s.to_string())
+                .collect();
+            t.push_row(vec![
+                format!("bw {w}"),
+                row[1].clone(),
+                row[2].clone(),
+                row[3].clone(),
+                row[4].clone(),
+                row[5].clone(),
+            ]);
+        }
+        all.push((w, points));
+    }
+    (all, t)
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Vec<Table> {
+    vec![run_points(scale).1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::serving::{p90_at, peak_throughput};
+
+    #[test]
+    fn width_tradeoff_holds() {
+        let (all, _) = run_points(Scale::Quick);
+        let by_width = |w: usize| &all.iter().find(|(x, _)| *x == w).unwrap().1;
+        // Coarse buckets: better latency at the lowest load than width 1
+        // (fewer round-robin turns to wait behind — §7.2).
+        let low = RATES[0];
+        let p90_w1 = p90_at(by_width(1), "MXNet", low);
+        let p90_w10 = p90_at(by_width(10), "MXNet", low).expect("width 10 at low load");
+        let p90_w40 = p90_at(by_width(40), "MXNet", low).expect("width 40 at low load");
+        if let Some(w1) = p90_w1 {
+            assert!(
+                p90_w40 < w1 && p90_w10 < w1,
+                "wider buckets should beat width 1 at low load: w1={w1} w10={p90_w10} w40={p90_w40}"
+            );
+        }
+        // Width 1's per-length buckets leave long, rare lengths running
+        // nearly solo, so within any bounded horizon its measured peak
+        // trails width 10 badly (see EXPERIMENTS.md for the discussion
+        // of the paper's asymptotic width-1 claim).
+        let peaks: Vec<(usize, f64)> = WIDTHS
+            .iter()
+            .map(|&w| (w, peak_throughput(by_width(w), "MXNet")))
+            .collect();
+        let peak_of = |w: usize| peaks.iter().find(|&&(x, _)| x == w).unwrap().1;
+        assert!(
+            peak_of(10) > peak_of(1),
+            "width 10 peak {} should beat width 1 {}",
+            peak_of(10),
+            peak_of(1)
+        );
+        // And width 10 stays close to the best width overall — the
+        // combined latency/throughput sweet spot the paper picks. (At
+        // Full scale width 10 *is* the best; the Quick sweeps are too
+        // short to amortize narrow buckets fully, hence the slack.)
+        let best = peaks.iter().map(|&(_, p)| p).fold(0.0, f64::max);
+        assert!(
+            peak_of(10) >= 0.8 * best,
+            "width 10 peak {} vs best {best} ({peaks:?})",
+            peak_of(10)
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Figure 9: CDFs of queueing time and computation time for LSTM at
+//! ~5k req/s (a moderate load for all systems).
+//!
+//! The paper's finding: BatchMaker's 99-percentile queueing time is
+//! ~1.4 ms (a new request waits at most `MaxTasksToSubmit` in-flight
+//! steps) versus >100 ms for the padding systems (a request waits for
+//! whole bucket batches), and reduced queueing dominates the latency
+//! win.
+
+use std::sync::Arc;
+
+use bm_metrics::Table;
+use bm_model::{LstmLm, LstmLmConfig};
+use bm_workload::{Dataset, LengthDistribution};
+
+use crate::experiments::serving::{arrivals, run_point};
+use crate::experiments::Scale;
+use crate::systems::{ServerFactory, SystemKind};
+
+/// The figure's offered load, req/s.
+pub const RATE: f64 = 5_000.0;
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let model = Arc::new(LstmLm::new(LstmLmConfig {
+        max_batch: 512,
+        ..Default::default()
+    }));
+    let factory = ServerFactory::paper(model);
+    let ds = Dataset::lstm(20_000, LengthDistribution::wmt15(), 900, 0x77a1);
+    let _ = arrivals(&ds, RATE, 10, 0); // Keep the helper exercised in docs.
+
+    let systems = [
+        SystemKind::BatchMaker,
+        SystemKind::TensorFlow { bucket_width: 10 },
+        SystemKind::Mxnet { bucket_width: 10 },
+    ];
+
+    let mut t = Table::new(
+        "Figure 9: queueing vs computation time at 5k req/s (LSTM, WMT-15-like)",
+        &[
+            "system",
+            "queue_p50_ms",
+            "queue_p90_ms",
+            "queue_p99_ms",
+            "comp_p50_ms",
+            "comp_p90_ms",
+            "comp_p99_ms",
+        ],
+    );
+    let mut curves = Table::new(
+        "Figure 9 CDF curves (ms at cumulative fraction)",
+        &["system", "metric", "p10", "p25", "p50", "p75", "p90", "p99"],
+    );
+    for kind in &systems {
+        let point = run_point(&factory, kind, &ds, RATE, 1, scale);
+        assert!(
+            !point.outcome.saturated,
+            "{} saturated at the Figure 9 load",
+            kind.label()
+        );
+        let q = point.outcome.recorder.queueing_cdf();
+        let c = point.outcome.recorder.computation_cdf();
+        t.push_row(vec![
+            kind.label().to_string(),
+            format!("{:.2}", q.quantile(0.5)),
+            format!("{:.2}", q.quantile(0.9)),
+            format!("{:.2}", q.quantile(0.99)),
+            format!("{:.2}", c.quantile(0.5)),
+            format!("{:.2}", c.quantile(0.9)),
+            format!("{:.2}", c.quantile(0.99)),
+        ]);
+        for (name, cdf) in [("queueing", &q), ("computation", &c)] {
+            curves.push_row(vec![
+                kind.label().to_string(),
+                name.to_string(),
+                format!("{:.2}", cdf.quantile(0.10)),
+                format!("{:.2}", cdf.quantile(0.25)),
+                format!("{:.2}", cdf.quantile(0.50)),
+                format!("{:.2}", cdf.quantile(0.75)),
+                format!("{:.2}", cdf.quantile(0.90)),
+                format!("{:.2}", cdf.quantile(0.99)),
+            ]);
+        }
+    }
+    vec![t, curves]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queueing_dominates_the_gap() {
+        let tables = run(Scale::Quick);
+        let csv = tables[0].to_csv();
+        let row = |name: &str| -> Vec<f64> {
+            csv.lines()
+                .find(|l| l.starts_with(name))
+                .unwrap_or_else(|| panic!("row {name}"))
+                .split(',')
+                .skip(1)
+                .map(|v| v.parse().unwrap())
+                .collect()
+        };
+        let bm = row("BatchMaker");
+        let mx = row("MXNet");
+        // p99 queueing: BatchMaker a few ms at most; MXNet far larger
+        // (paper: 1.38 ms vs > 100 ms).
+        assert!(bm[2] < 10.0, "BatchMaker q99 {}", bm[2]);
+        assert!(mx[2] > 5.0 * bm[2], "MXNet q99 {} vs BM {}", mx[2], bm[2]);
+        // Computation time: BatchMaker no worse than MXNet's padded
+        // execution at the median.
+        assert!(bm[3] <= mx[3] * 1.5, "comp p50 {} vs {}", bm[3], mx[3]);
+    }
+}

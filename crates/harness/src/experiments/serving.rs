@@ -1,0 +1,153 @@
+//! Shared load-sweep machinery for the serving experiments.
+
+use bm_metrics::Table;
+use bm_model::RequestInput;
+use bm_sim::{simulate, SimOptions, SimOutcome};
+use bm_workload::{Dataset, PoissonArrivals};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::experiments::Scale;
+use crate::systems::{ServerFactory, SystemKind};
+
+/// Builds an open-loop arrival trace: requests sampled uniformly from
+/// `ds`, Poisson arrivals at `rate` req/s.
+pub fn arrivals(ds: &Dataset, rate: f64, n: usize, seed: u64) -> Vec<(u64, RequestInput)> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xa221);
+    PoissonArrivals::new(rate, seed)
+        .take(n)
+        .map(|t| (t, ds.sample(&mut rng).clone()))
+        .collect()
+}
+
+/// One sweep point's outcome.
+#[derive(Debug)]
+pub struct SweepPoint {
+    /// System label.
+    pub system: &'static str,
+    /// Offered load, req/s.
+    pub offered_rps: f64,
+    /// The simulation outcome.
+    pub outcome: SimOutcome,
+}
+
+impl SweepPoint {
+    fn row(&self) -> Vec<String> {
+        if self.outcome.saturated || self.outcome.recorder.is_empty() {
+            return vec![
+                self.system.to_string(),
+                format!("{:.0}", self.offered_rps),
+                "SATURATED".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ];
+        }
+        let s = self.outcome.recorder.summary();
+        vec![
+            self.system.to_string(),
+            format!("{:.0}", self.offered_rps),
+            format!("{:.0}", s.throughput_rps),
+            format!("{:.1}", s.p50_ms),
+            format!("{:.1}", s.p90_ms),
+            format!("{:.1}", s.p99_ms),
+        ]
+    }
+}
+
+/// Runs a full latency-vs-throughput sweep.
+pub fn sweep(
+    factory: &ServerFactory,
+    systems: &[SystemKind],
+    ds: &Dataset,
+    rates: &[f64],
+    workers: usize,
+    scale: Scale,
+) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for kind in systems {
+        for &rate in rates {
+            points.push(run_point(factory, kind, ds, rate, workers, scale));
+        }
+    }
+    points
+}
+
+/// Runs one (system, rate) point.
+pub fn run_point(
+    factory: &ServerFactory,
+    kind: &SystemKind,
+    ds: &Dataset,
+    rate: f64,
+    workers: usize,
+    scale: Scale,
+) -> SweepPoint {
+    let n = ((rate * scale.duration_s()) as usize).clamp(500, scale.max_requests());
+    let arr = arrivals(ds, rate, n, 0x5eed ^ rate as u64);
+    let span = arr.last().expect("nonempty").0;
+    let mut server = factory.build(kind);
+    let outcome = simulate(
+        server.as_mut(),
+        &arr,
+        SimOptions {
+            workers,
+            // Allow 4x the arrival span to drain; beyond that the system
+            // is saturated at this rate.
+            max_sim_us: span.saturating_mul(4).max(5_000_000),
+            warmup: n / 10,
+            worker_speeds: None,
+        },
+    );
+    SweepPoint {
+        system: kind.label(),
+        offered_rps: rate,
+        outcome,
+    }
+}
+
+/// Formats sweep points as the standard figure table.
+pub fn sweep_table(title: &str, points: &[SweepPoint]) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            "system",
+            "offered_rps",
+            "throughput_rps",
+            "p50_ms",
+            "p90_ms",
+            "p99_ms",
+        ],
+    );
+    for p in points {
+        t.push_row(p.row());
+    }
+    t
+}
+
+/// The peak throughput a system achieved across the sweep.
+///
+/// Overloaded (saturated) points still contribute their *measured*
+/// completion rate — the capacity estimate the paper's open-loop
+/// methodology yields when the offered load exceeds what the system can
+/// serve.
+pub fn peak_throughput(points: &[SweepPoint], system: &str) -> f64 {
+    points
+        .iter()
+        .filter(|p| p.system == system)
+        .map(|p| p.outcome.throughput_rps().min(p.offered_rps))
+        .fold(0.0, f64::max)
+}
+
+/// p90 latency of `system` at the sweep point closest to `rate`.
+pub fn p90_at(points: &[SweepPoint], system: &str, rate: f64) -> Option<f64> {
+    points
+        .iter()
+        .filter(|p| p.system == system && !p.outcome.saturated)
+        .min_by(|a, b| {
+            (a.offered_rps - rate)
+                .abs()
+                .partial_cmp(&(b.offered_rps - rate).abs())
+                .expect("finite")
+        })
+        .map(|p| p.outcome.recorder.summary().p90_ms)
+}

@@ -1,0 +1,48 @@
+//! Result persistence: markdown + CSV under `results/`.
+
+use std::path::{Path, PathBuf};
+
+use bm_metrics::Table;
+
+/// Writes a figure's tables to `results/<name>.md` and one CSV per
+/// table, and echoes the markdown to stdout.
+///
+/// Returns the markdown path.
+///
+/// # Panics
+///
+/// Panics on I/O errors (the harness is a CLI; failing loudly is
+/// correct).
+pub fn write_results(results_dir: &Path, name: &str, tables: &[Table]) -> PathBuf {
+    std::fs::create_dir_all(results_dir).expect("create results dir");
+    let mut md = String::new();
+    for (i, t) in tables.iter().enumerate() {
+        md.push_str(&t.to_markdown());
+        md.push('\n');
+        let csv_path = results_dir.join(format!("{name}_{i}.csv"));
+        std::fs::write(&csv_path, t.to_csv()).expect("write csv");
+    }
+    let md_path = results_dir.join(format!("{name}.md"));
+    std::fs::write(&md_path, &md).expect("write markdown");
+    println!("{md}");
+    md_path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_md_and_csv() {
+        let dir = std::env::temp_dir().join("bm_harness_output_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut t = Table::new("T", &["a"]);
+        t.push_row(vec!["1".into()]);
+        let md = write_results(&dir, "demo", &[t]);
+        assert!(md.exists());
+        assert!(dir.join("demo_0.csv").exists());
+        let content = std::fs::read_to_string(md).unwrap();
+        assert!(content.contains("### T"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

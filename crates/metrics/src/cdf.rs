@@ -1,0 +1,126 @@
+//! An empirical CDF over `f64` samples.
+
+/// An empirical cumulative distribution function.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples, ignoring NaNs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no finite samples remain.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        samples.retain(|v| v.is_finite());
+        assert!(!samples.is_empty(), "empty sample set");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF holds no samples (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The `q`-quantile, `0 <= q <= 1` (nearest-rank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        let n = self.sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.sorted[idx]
+    }
+
+    /// Fraction of samples `<= x`.
+    pub fn fraction_le(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("nonempty")
+    }
+
+    /// `(x, F(x))` plot points, thinned to at most `points` entries.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        let step = (n / points.max(1)).max(1);
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < n {
+            out.push((self.sorted[i], (i + 1) as f64 / n as f64));
+            i += step;
+        }
+        if out.last().map(|&(x, _)| x) != Some(self.max()) {
+            out.push((self.max(), 1.0));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_known_data() {
+        let c = Cdf::new((1..=100).map(|i| i as f64).collect());
+        assert_eq!(c.quantile(0.5), 50.0);
+        assert_eq!(c.quantile(0.99), 99.0);
+        assert_eq!(c.quantile(1.0), 100.0);
+        assert_eq!(c.quantile(0.0), 1.0);
+    }
+
+    #[test]
+    fn fraction_le_bounds() {
+        let c = Cdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.fraction_le(0.0), 0.0);
+        assert_eq!(c.fraction_le(2.0), 0.5);
+        assert_eq!(c.fraction_le(10.0), 1.0);
+    }
+
+    #[test]
+    fn nan_filtered() {
+        let c = Cdf::new(vec![1.0, f64::NAN, 3.0]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.mean(), 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn all_nan_panics() {
+        Cdf::new(vec![f64::NAN]);
+    }
+
+    #[test]
+    fn curve_ends_at_one() {
+        let c = Cdf::new((0..1000).map(|i| i as f64).collect());
+        let curve = c.curve(20);
+        assert!(curve.len() <= 22);
+        assert_eq!(curve.last().unwrap().1, 1.0);
+        for w in curve.windows(2) {
+            assert!(w[0].0 <= w[1].0 && w[0].1 <= w[1].1);
+        }
+    }
+}

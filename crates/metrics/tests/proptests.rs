@@ -1,0 +1,71 @@
+//! Property tests for the metrics crate.
+
+use bm_metrics::{Cdf, LatencyRecorder, RequestTiming};
+use proptest::prelude::*;
+
+fn timings() -> impl Strategy<Value = Vec<RequestTiming>> {
+    proptest::collection::vec(
+        (0u64..1_000_000, 0u64..10_000, 1u64..100_000).prop_map(|(a, q, c)| RequestTiming {
+            arrival_us: a,
+            start_us: a + q,
+            completion_us: a + q + c,
+        }),
+        1..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn quantiles_are_monotone(samples in proptest::collection::vec(0.0f64..1e6, 1..500)) {
+        let cdf = Cdf::new(samples);
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        for w in qs.windows(2) {
+            prop_assert!(cdf.quantile(w[0]) <= cdf.quantile(w[1]));
+        }
+        prop_assert_eq!(cdf.quantile(1.0), cdf.max());
+        prop_assert!(cdf.min() <= cdf.mean() && cdf.mean() <= cdf.max());
+    }
+
+    #[test]
+    fn fraction_le_is_monotone_and_bounded(samples in proptest::collection::vec(0.0f64..1e3, 1..200)) {
+        let cdf = Cdf::new(samples);
+        let mut prev = 0.0;
+        for x in [0.0, 1.0, 10.0, 100.0, 1e3, 1e4] {
+            let f = cdf.fraction_le(x);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f >= prev);
+            prev = f;
+        }
+        prop_assert_eq!(cdf.fraction_le(f64::MAX), 1.0);
+    }
+
+    #[test]
+    fn recorder_decomposition_always_sums(ts in timings()) {
+        let mut r = LatencyRecorder::new();
+        for t in &ts {
+            r.record(*t);
+        }
+        // Queueing + computation == latency for every request, so the
+        // means must sum exactly.
+        let q = r.queueing_cdf().mean();
+        let c = r.computation_cdf().mean();
+        let l = r.latency_cdf().mean();
+        prop_assert!((q + c - l).abs() < 1e-6, "{q} + {c} != {l}");
+        // Summary percentiles are ordered.
+        let s = r.summary();
+        prop_assert!(s.p50_ms <= s.p90_ms && s.p90_ms <= s.p99_ms);
+        prop_assert!(s.count == ts.len());
+        prop_assert!(s.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn trimming_never_grows(ts in timings(), warm in 0usize..50, cool in 0usize..50) {
+        let mut r = LatencyRecorder::new();
+        for t in &ts {
+            r.record(*t);
+        }
+        let trimmed = r.trimmed(warm, cool);
+        prop_assert!(trimmed.len() <= r.len());
+        prop_assert_eq!(trimmed.len(), r.len().saturating_sub(cool).saturating_sub(warm).max(0));
+    }
+}

@@ -1,0 +1,157 @@
+//! A GRU language model — an extension beyond the paper's three
+//! applications.
+//!
+//! Structurally identical to [`crate::LstmLm`] but built on a cell whose
+//! recurrent state has no memory component. It exists to demonstrate
+//! (and test) that nothing in the scheduler, runtime or simulator
+//! assumes LSTM state layout: the cell abstraction of §3.1 is generic.
+
+use bm_cell::{Cell, CellRegistry, CellTypeId, GruCell};
+
+use crate::graph::{CellGraph, TokenSource};
+use crate::{Model, RequestInput};
+
+/// Configuration of a [`GruLm`].
+#[derive(Debug, Clone, Copy)]
+pub struct GruLmConfig {
+    /// Embedding width.
+    pub embed_size: usize,
+    /// Hidden state width.
+    pub hidden_size: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Weight seed.
+    pub seed: u64,
+    /// Desired maximum batch size.
+    pub max_batch: usize,
+    /// Minimum non-head batch size.
+    pub min_batch: usize,
+}
+
+impl Default for GruLmConfig {
+    fn default() -> Self {
+        GruLmConfig {
+            embed_size: 64,
+            hidden_size: 64,
+            vocab: 1000,
+            seed: 0x941,
+            max_batch: 512,
+            min_batch: 1,
+        }
+    }
+}
+
+/// The GRU language model.
+#[derive(Debug)]
+pub struct GruLm {
+    registry: CellRegistry,
+    cell_type: CellTypeId,
+    vocab: usize,
+}
+
+impl GruLm {
+    /// Builds the model, registering its single cell type.
+    pub fn new(cfg: GruLmConfig) -> Self {
+        let mut registry = CellRegistry::new();
+        let cell = Cell::Gru(GruCell::seeded(
+            cfg.embed_size,
+            cfg.hidden_size,
+            cfg.vocab,
+            cfg.seed,
+        ));
+        let cell_type = registry.register("gru", cell, 0, cfg.min_batch, cfg.max_batch);
+        GruLm {
+            registry,
+            cell_type,
+            vocab: cfg.vocab,
+        }
+    }
+
+    /// Builds the model with default (test-sized) configuration.
+    pub fn small() -> Self {
+        Self::new(GruLmConfig::default())
+    }
+
+    /// The model's single cell type.
+    pub fn cell_type(&self) -> CellTypeId {
+        self.cell_type
+    }
+}
+
+impl Model for GruLm {
+    fn registry(&self) -> &CellRegistry {
+        &self.registry
+    }
+
+    fn unfold(&self, input: &RequestInput) -> CellGraph {
+        let RequestInput::Sequence(tokens) = input else {
+            panic!("GruLm expects RequestInput::Sequence");
+        };
+        assert!(!tokens.is_empty(), "empty sequence");
+        let mut g = CellGraph::new();
+        let mut prev = None;
+        for &t in tokens {
+            let deps = prev.map(|p| vec![p]).unwrap_or_default();
+            prev = Some(g.add_node(self.cell_type, deps, TokenSource::Fixed(t)));
+        }
+        g
+    }
+
+    fn validate(&self, input: &RequestInput) -> Result<(), String> {
+        match input {
+            RequestInput::Sequence(tokens) => {
+                if tokens.is_empty() {
+                    return Err("empty sequence".into());
+                }
+                let vocab = self.vocab as u32;
+                if let Some(&bad) = tokens.iter().find(|&&t| t >= vocab) {
+                    return Err(format!("token {bad} out of vocabulary ({vocab})"));
+                }
+                Ok(())
+            }
+            other => Err(format!("GruLm cannot serve {other:?}")),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "gru-lm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unfolds_to_chain() {
+        let m = GruLm::small();
+        let g = m.unfold(&RequestInput::Sequence(vec![1, 2, 3]));
+        g.validate(m.registry()).unwrap();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.critical_path_len(), 3);
+    }
+
+    #[test]
+    fn reference_execution_has_empty_memory_cell() {
+        use crate::reference::execute_graph;
+        let m = GruLm::small();
+        let g = m.unfold(&RequestInput::Sequence(vec![4, 5, 6]));
+        let r = execute_graph(&g, m.registry());
+        assert_eq!(r.executed_count(), 3);
+        let out = r.outputs.last().unwrap().as_ref().unwrap();
+        assert!(out.state.c.is_empty(), "GRU carries no memory cell");
+    }
+
+    #[test]
+    fn validate_behaves_like_lstm_lm() {
+        let m = GruLm::small();
+        assert!(m.validate(&RequestInput::Sequence(vec![])).is_err());
+        assert!(m.validate(&RequestInput::Sequence(vec![1])).is_ok());
+        assert!(m
+            .validate(&RequestInput::Pair {
+                src: vec![1],
+                decode_len: 1
+            })
+            .is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! Weight persistence round trips: the §4.2 startup flow ("BatchMaker
+//! loads each cell's definition and its pre-trained weights from files")
+//! must reproduce the original model bit-for-bit.
+
+use bm_model::{
+    reference, LstmLm, LstmLmConfig, Model, RequestInput, Seq2Seq, Seq2SeqConfig, TreeLstm,
+    TreeLstmConfig, TreeShape,
+};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("bm_model_persistence");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(name)
+}
+
+#[test]
+fn lstm_lm_round_trip() {
+    let cfg = LstmLmConfig::default();
+    let original = LstmLm::new(cfg);
+    let path = tmp("lstm.bmt");
+    original.save(&path).unwrap();
+    let loaded = LstmLm::load(&path, cfg).unwrap();
+
+    // Same cell type identity (weights bit-identical).
+    assert_eq!(
+        original.registry().cell(original.cell_type()).signature(),
+        loaded.registry().cell(loaded.cell_type()).signature(),
+    );
+    // Same inference results.
+    let input = RequestInput::Sequence(vec![3, 5, 8, 13]);
+    let a = reference::execute_graph(&original.unfold(&input), original.registry());
+    let b = reference::execute_graph(&loaded.unfold(&input), loaded.registry());
+    assert_eq!(a, b);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn seq2seq_round_trip_preserves_decoded_tokens() {
+    let cfg = Seq2SeqConfig::default();
+    let original = Seq2Seq::new(cfg);
+    let path = tmp("seq2seq.bmt");
+    original.save(&path).unwrap();
+    let loaded = Seq2Seq::load(&path, cfg).unwrap();
+
+    let input = RequestInput::Pair {
+        src: vec![7, 9, 11],
+        decode_len: 5,
+    };
+    let a = reference::execute_graph(&original.unfold(&input), original.registry());
+    let b = reference::execute_graph(&loaded.unfold(&input), loaded.registry());
+    assert_eq!(a.decoded_tokens(), b.decoded_tokens());
+    assert_eq!(a, b);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn treelstm_round_trip() {
+    let cfg = TreeLstmConfig::default();
+    let original = TreeLstm::new(cfg);
+    let path = tmp("tree.bmt");
+    original.save(&path).unwrap();
+    let loaded = TreeLstm::load(&path, cfg).unwrap();
+
+    let input = RequestInput::Tree(TreeShape::complete(8, 100));
+    let a = reference::execute_graph(&original.unfold(&input), original.registry());
+    let b = reference::execute_graph(&loaded.unfold(&input), loaded.registry());
+    assert_eq!(a, b);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn load_rejects_corrupt_and_missing_weights() {
+    let path = tmp("bad.bmt");
+    std::fs::write(&path, b"not a bundle").unwrap();
+    assert!(LstmLm::load(&path, LstmLmConfig::default()).is_err());
+
+    // A bundle missing required entries is rejected with a clear error.
+    let empty = bm_tensor::io::WeightBundle::new();
+    let path2 = tmp("empty.bmt");
+    empty.save(&path2).unwrap();
+    let err = LstmLm::load(&path2, LstmLmConfig::default()).unwrap_err();
+    assert!(err.contains("missing"), "{err}");
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&path2).ok();
+}
+
+#[test]
+fn loaded_model_serves_through_runtime() {
+    // End-to-end: save, load, serve under the threaded runtime, compare
+    // to the original model's reference execution.
+    use bm_core::{Runtime, SchedulerConfig};
+    use std::sync::Arc;
+
+    let cfg = LstmLmConfig::default();
+    let original = LstmLm::new(cfg);
+    let path = tmp("served.bmt");
+    original.save(&path).unwrap();
+    let loaded = Arc::new(LstmLm::load(&path, cfg).unwrap());
+
+    let rt = Runtime::start(
+        Arc::clone(&loaded) as Arc<dyn Model>,
+        1,
+        SchedulerConfig::default(),
+    );
+    let input = RequestInput::Sequence(vec![1, 2, 3, 4, 5]);
+    let served = rt.submit(&input).wait();
+    let expect = reference::execute_graph(&original.unfold(&input), original.registry());
+    assert_eq!(served.result, expect);
+    rt.shutdown();
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,114 @@
+//! Simulator robustness: determinism, straggler workers, overload
+//! behaviour and wake-up handling.
+
+use std::sync::Arc;
+
+use bm_model::{LstmLm, LstmLmConfig, RequestInput};
+use bm_sim::{simulate, CellularServer, SimOptions};
+use bm_workload::PoissonArrivals;
+
+fn model() -> Arc<LstmLm> {
+    Arc::new(LstmLm::new(LstmLmConfig {
+        max_batch: 512,
+        ..Default::default()
+    }))
+}
+
+fn arrivals(n: usize, rate: f64, seed: u64) -> Vec<(u64, RequestInput)> {
+    PoissonArrivals::new(rate, seed)
+        .take(n)
+        .map(|t| (t, RequestInput::Sequence(vec![1; 12])))
+        .collect()
+}
+
+#[test]
+fn identical_runs_are_bit_identical() {
+    // The whole stack — engine, cost model, driver — is deterministic:
+    // same inputs, same outcome, timestamp for timestamp.
+    let run = || {
+        let mut srv = CellularServer::paper_scale(model());
+        simulate(&mut srv, &arrivals(800, 3_000.0, 7), SimOptions::default())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.completions, b.completions);
+    assert_eq!(a.end_us, b.end_us);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let mut s1 = CellularServer::paper_scale(model());
+    let a = simulate(&mut s1, &arrivals(500, 3_000.0, 1), SimOptions::default());
+    let mut s2 = CellularServer::paper_scale(model());
+    let b = simulate(&mut s2, &arrivals(500, 3_000.0, 2), SimOptions::default());
+    assert_ne!(a.completions, b.completions);
+}
+
+#[test]
+fn straggler_worker_degrades_gracefully() {
+    // Two workers, one at half speed: the system still completes all
+    // requests, with throughput between the 1-worker and 2-worker
+    // nominal configurations.
+    let arr = arrivals(2_000, 20_000.0, 5);
+    let run = |workers: usize, speeds: Option<Vec<f64>>| {
+        let mut srv = CellularServer::paper_scale(model());
+        simulate(
+            &mut srv,
+            &arr,
+            SimOptions {
+                workers,
+                worker_speeds: speeds,
+                max_sim_us: 20_000_000,
+                ..Default::default()
+            },
+        )
+    };
+    let one = run(1, None);
+    let two = run(2, None);
+    let straggler = run(2, Some(vec![1.0, 0.5]));
+    assert_eq!(straggler.unfinished, 0, "straggler run must drain");
+    let (t1, t2, ts) = (
+        one.recorder.summary().p90_ms,
+        two.recorder.summary().p90_ms,
+        straggler.recorder.summary().p90_ms,
+    );
+    // A straggler can be worse than a single fast worker at this load
+    // (splitting the work halves the batch sizes, and half of the tasks
+    // run at half speed), but it must stay within a small factor of the
+    // nominal configurations — the scheduler keeps routing work rather
+    // than wedging on the slow device.
+    assert!(ts >= t2 * 0.8, "straggler p90 {ts} vs 2-worker {t2}");
+    assert!(
+        ts <= 2.5 * t1.max(t2),
+        "straggler p90 {ts} vs nominal {t1}/{t2}"
+    );
+}
+
+#[test]
+fn zero_capacity_overload_is_flagged() {
+    // 100x the sustainable rate with a tight time cap: the run must be
+    // marked saturated and report unfinished requests.
+    let mut srv = CellularServer::paper_scale(model());
+    let out = simulate(
+        &mut srv,
+        &arrivals(50_000, 2_000_000.0, 3),
+        SimOptions {
+            max_sim_us: 200_000,
+            ..Default::default()
+        },
+    );
+    assert!(out.saturated);
+    assert!(out.unfinished > 0);
+}
+
+#[test]
+fn all_completions_have_sane_timestamps() {
+    let mut srv = CellularServer::paper_scale(model());
+    let arr = arrivals(1_000, 5_000.0, 11);
+    let out = simulate(&mut srv, &arr, SimOptions::default());
+    assert_eq!(out.completions.len(), arr.len());
+    for &(id, arrival, start, completion) in &out.completions {
+        assert!(arrival <= start && start <= completion, "request {id}");
+        assert_eq!(arr[id as usize].0, arrival, "arrival stamp preserved");
+    }
+}

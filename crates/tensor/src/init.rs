@@ -1,0 +1,89 @@
+//! Seeded weight initialization.
+//!
+//! Inference serves *pre-trained* weights; for a reproduction the actual
+//! values only need to be deterministic and numerically well-behaved, so
+//! all models initialize with seeded Xavier-uniform weights.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::matrix::Matrix;
+
+/// Weight initialization schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightInit {
+    /// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// All zeros (used for biases).
+    Zeros,
+    /// All ones.
+    Ones,
+}
+
+impl WeightInit {
+    /// Materializes a `(rows, cols)` matrix using this scheme and the RNG.
+    pub fn init(self, rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+        match self {
+            WeightInit::XavierUniform => {
+                let a = (6.0 / (rows + cols) as f32).sqrt();
+                let data = (0..rows * cols).map(|_| rng.gen_range(-a..=a)).collect();
+                Matrix::from_vec(rows, cols, data)
+            }
+            WeightInit::Zeros => Matrix::zeros(rows, cols),
+            WeightInit::Ones => Matrix::filled(rows, cols, 1.0),
+        }
+    }
+}
+
+/// Convenience: a seeded Xavier-uniform matrix.
+pub fn xavier_uniform(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    WeightInit::XavierUniform.init(rows, cols, &mut rng)
+}
+
+/// A zero matrix with the same shape as `m`.
+pub fn zeros_like(m: &Matrix) -> Matrix {
+    Matrix::zeros(m.rows(), m.cols())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_is_deterministic_per_seed() {
+        let a = xavier_uniform(8, 8, 42);
+        let b = xavier_uniform(8, 8, 42);
+        let c = xavier_uniform(8, 8, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let m = xavier_uniform(16, 16, 7);
+        let a = (6.0_f32 / 32.0).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= a));
+        // Not degenerate: some spread exists.
+        let max = m.as_slice().iter().cloned().fold(f32::MIN, f32::max);
+        let min = m.as_slice().iter().cloned().fold(f32::MAX, f32::min);
+        assert!(max > 0.0 && min < 0.0);
+    }
+
+    #[test]
+    fn zeros_and_ones_schemes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let z = WeightInit::Zeros.init(2, 3, &mut rng);
+        let o = WeightInit::Ones.init(2, 3, &mut rng);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        assert!(o.as_slice().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn zeros_like_matches_shape() {
+        let m = xavier_uniform(3, 5, 1);
+        let z = zeros_like(&m);
+        assert_eq!(z.shape(), (3, 5));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,228 @@
+//! A tiny explicit binary codec for saving/loading weight matrices.
+//!
+//! BatchMaker "loads each cell's definition and its pre-trained weights
+//! from files" at startup (§4.2). This module provides that persistence:
+//! a named bundle of matrices written as
+//!
+//! ```text
+//! magic "BMT1" | u32 count | count * ( u32 name_len | name bytes |
+//!                                       u32 rows | u32 cols | f32 data.. )
+//! ```
+//!
+//! All integers are little-endian. The format is versioned via the magic.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::error::TensorError;
+use crate::matrix::Matrix;
+
+const MAGIC: &[u8; 4] = b"BMT1";
+
+/// A named, ordered bundle of matrices (e.g. all weights of a cell).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WeightBundle {
+    entries: BTreeMap<String, Matrix>,
+}
+
+impl WeightBundle {
+    /// Creates an empty bundle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) a matrix under `name`.
+    pub fn insert(&mut self, name: impl Into<String>, m: Matrix) {
+        self.entries.insert(name.into(), m);
+    }
+
+    /// Looks up a matrix by name.
+    pub fn get(&self, name: &str) -> Option<&Matrix> {
+        self.entries.get(name)
+    }
+
+    /// Number of matrices in the bundle.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the bundle is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(name, matrix)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Matrix)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Serializes the bundle to a writer.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), TensorError> {
+        w.write_all(MAGIC)?;
+        w.write_all(&(self.entries.len() as u32).to_le_bytes())?;
+        for (name, m) in &self.entries {
+            w.write_all(&(name.len() as u32).to_le_bytes())?;
+            w.write_all(name.as_bytes())?;
+            w.write_all(&(m.rows() as u32).to_le_bytes())?;
+            w.write_all(&(m.cols() as u32).to_le_bytes())?;
+            for v in m.as_slice() {
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes a bundle from a reader.
+    pub fn read_from(r: &mut impl Read) -> Result<Self, TensorError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(TensorError::Corrupt(format!("bad magic {magic:?}")));
+        }
+        let count = read_u32(r)? as usize;
+        let mut entries = BTreeMap::new();
+        for _ in 0..count {
+            let name_len = read_u32(r)? as usize;
+            if name_len > 1 << 20 {
+                return Err(TensorError::Corrupt(format!("name length {name_len}")));
+            }
+            let mut name_buf = vec![0u8; name_len];
+            r.read_exact(&mut name_buf)?;
+            let name = String::from_utf8(name_buf)
+                .map_err(|e| TensorError::Corrupt(format!("name not utf-8: {e}")))?;
+            let rows = read_u32(r)? as usize;
+            let cols = read_u32(r)? as usize;
+            let n = rows
+                .checked_mul(cols)
+                .ok_or_else(|| TensorError::Corrupt("shape overflow".into()))?;
+            let mut data = Vec::with_capacity(n);
+            let mut buf = [0u8; 4];
+            for _ in 0..n {
+                r.read_exact(&mut buf)?;
+                data.push(f32::from_le_bytes(buf));
+            }
+            entries.insert(name, Matrix::from_vec(rows, cols, data));
+        }
+        Ok(WeightBundle { entries })
+    }
+
+    /// Merges another bundle in, prefixing each of its names with
+    /// `prefix` and a dot (e.g. `encoder.w`). Used to pack several
+    /// cells' weights into one file.
+    pub fn merge_prefixed(&mut self, prefix: &str, other: &WeightBundle) {
+        for (name, m) in other.iter() {
+            self.insert(format!("{prefix}.{name}"), m.clone());
+        }
+    }
+
+    /// Extracts the sub-bundle whose names start with `prefix` and a
+    /// dot, stripping the prefix.
+    pub fn sub_bundle(&self, prefix: &str) -> WeightBundle {
+        let mut out = WeightBundle::new();
+        let pat = format!("{prefix}.");
+        for (name, m) in self.iter() {
+            if let Some(rest) = name.strip_prefix(&pat) {
+                out.insert(rest, m.clone());
+            }
+        }
+        out
+    }
+
+    /// Saves the bundle to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TensorError> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.write_to(&mut f)
+    }
+
+    /// Loads a bundle from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, TensorError> {
+        let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+        Self::read_from(&mut f)
+    }
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, TensorError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::xavier_uniform;
+
+    #[test]
+    fn round_trip_in_memory() {
+        let mut b = WeightBundle::new();
+        b.insert("w", xavier_uniform(4, 8, 1));
+        b.insert("bias", Matrix::zeros(1, 8));
+        let mut buf = Vec::new();
+        b.write_to(&mut buf).unwrap();
+        let b2 = WeightBundle::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let buf = b"XXXX\x00\x00\x00\x00".to_vec();
+        let err = WeightBundle::read_from(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TensorError::Corrupt(_)));
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let mut b = WeightBundle::new();
+        b.insert("w", Matrix::filled(2, 2, 1.5));
+        let mut buf = Vec::new();
+        b.write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(WeightBundle::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn empty_bundle_round_trips() {
+        let b = WeightBundle::new();
+        let mut buf = Vec::new();
+        b.write_to(&mut buf).unwrap();
+        let b2 = WeightBundle::read_from(&mut buf.as_slice()).unwrap();
+        assert!(b2.is_empty());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("bm_tensor_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("weights.bmt");
+        let mut b = WeightBundle::new();
+        b.insert("embed", xavier_uniform(16, 4, 9));
+        b.save(&path).unwrap();
+        let b2 = WeightBundle::load(&path).unwrap();
+        assert_eq!(b, b2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn prefix_merge_and_extract_round_trip() {
+        let mut inner = WeightBundle::new();
+        inner.insert("w", Matrix::filled(2, 2, 1.0));
+        inner.insert("b", Matrix::zeros(1, 2));
+        let mut packed = WeightBundle::new();
+        packed.merge_prefixed("encoder", &inner);
+        packed.merge_prefixed("decoder", &inner);
+        assert_eq!(packed.len(), 4);
+        assert_eq!(packed.sub_bundle("encoder"), inner);
+        assert_eq!(packed.sub_bundle("decoder"), inner);
+        assert!(packed.sub_bundle("nothing").is_empty());
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut b = WeightBundle::new();
+        b.insert("z", Matrix::zeros(1, 1));
+        b.insert("a", Matrix::zeros(1, 1));
+        let names: Vec<_> = b.iter().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(names, vec!["a", "z"]);
+    }
+}

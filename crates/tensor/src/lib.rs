@@ -1,0 +1,39 @@
+//! Dense `f32` tensor math substrate for the BatchMaker reproduction.
+//!
+//! The paper's workloads (LSTM, Seq2Seq, TreeLSTM with hidden size 1024)
+//! only require dense 2-D tensors whose first dimension is the batch
+//! dimension, plus a handful of kernels: matrix multiplication, bias
+//! addition, element-wise activations, row gather/scatter (the "gather"
+//! memory copies of §4.3), concatenation, row-wise argmax/softmax, and
+//! embedding lookup.
+//!
+//! This crate implements exactly those kernels in safe Rust with no
+//! external BLAS, so the whole repository is self-contained. The matrix
+//! multiply is a cache-blocked triple loop — not competitive with cuBLAS,
+//! but fast enough to run every correctness test and the real-time runtime
+//! examples. The serving *experiments* use the calibrated device cost
+//! model in `bm-device` instead of wall-clock CPU math.
+//!
+//! # Examples
+//!
+//! ```
+//! use bm_tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c, a);
+//! ```
+
+mod error;
+mod init;
+pub mod io;
+mod matrix;
+pub mod ops;
+
+pub use error::{ShapeError, TensorError};
+pub use init::{xavier_uniform, zeros_like, WeightInit};
+pub use matrix::Matrix;
+
+/// Numerical tolerance used by tests and by [`Matrix::approx_eq`].
+pub const DEFAULT_TOL: f32 = 1e-4;

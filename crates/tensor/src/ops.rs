@@ -1,0 +1,394 @@
+//! Batched tensor kernels used by RNN cells.
+//!
+//! Every function here operates on `(batch, features)` matrices. These are
+//! the operators a BatchMaker "cell" is composed of: affine transforms,
+//! element-wise activations, row gathers (the §4.3 "gather" memory copy),
+//! concatenation, softmax/argmax (the Seq2Seq output projection) and
+//! embedding lookups.
+
+use crate::error::ShapeError;
+use crate::matrix::Matrix;
+
+/// Computes `x * w + b`, broadcasting the bias row over the batch.
+///
+/// `x` is `(batch, in)`, `w` is `(in, out)`, `b` is `(1, out)`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch; use [`try_affine`] for a fallible variant.
+pub fn affine(x: &Matrix, w: &Matrix, b: &Matrix) -> Matrix {
+    try_affine(x, w, b).expect("affine shape mismatch")
+}
+
+/// Fallible version of [`affine`].
+pub fn try_affine(x: &Matrix, w: &Matrix, b: &Matrix) -> Result<Matrix, ShapeError> {
+    if b.rows() != 1 || b.cols() != w.cols() {
+        return Err(ShapeError {
+            op: "affine/bias",
+            lhs: w.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let mut out = x.try_matmul(w)?;
+    let bias = b.row(0);
+    for r in 0..out.rows() {
+        for (o, &bv) in out.row_mut(r).iter_mut().zip(bias.iter()) {
+            *o += bv;
+        }
+    }
+    Ok(out)
+}
+
+/// Element-wise sigmoid `1 / (1 + e^-x)`.
+pub fn sigmoid(x: &Matrix) -> Matrix {
+    map(x, |v| 1.0 / (1.0 + (-v).exp()))
+}
+
+/// Element-wise hyperbolic tangent.
+pub fn tanh(x: &Matrix) -> Matrix {
+    map(x, f32::tanh)
+}
+
+/// Element-wise rectified linear unit.
+pub fn relu(x: &Matrix) -> Matrix {
+    map(x, |v| v.max(0.0))
+}
+
+/// Applies `f` element-wise, producing a new matrix.
+pub fn map(x: &Matrix, f: impl Fn(f32) -> f32) -> Matrix {
+    let mut out = x.clone();
+    for v in out.as_mut_slice() {
+        *v = f(*v);
+    }
+    out
+}
+
+/// Element-wise addition.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn add(a: &Matrix, b: &Matrix) -> Matrix {
+    zip(a, b, "add", |x, y| x + y)
+}
+
+/// Element-wise (Hadamard) product.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn mul(a: &Matrix, b: &Matrix) -> Matrix {
+    zip(a, b, "mul", |x, y| x * y)
+}
+
+fn zip(a: &Matrix, b: &Matrix, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Matrix {
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "shape mismatch in {op}: {:?} vs {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let mut out = a.clone();
+    for (o, &bv) in out.as_mut_slice().iter_mut().zip(b.as_slice().iter()) {
+        *o = f(*o, bv);
+    }
+    out
+}
+
+/// Concatenates matrices along the feature (column) axis.
+///
+/// All inputs must share the same batch size.
+///
+/// # Panics
+///
+/// Panics if the parts list is empty or batch sizes disagree.
+pub fn concat_cols(parts: &[&Matrix]) -> Matrix {
+    assert!(!parts.is_empty(), "concat_cols of zero matrices");
+    let rows = parts[0].rows();
+    let cols: usize = parts.iter().map(|p| p.cols()).sum();
+    let mut out = Matrix::zeros(rows, cols);
+    for r in 0..rows {
+        let mut off = 0;
+        let out_row = out.row_mut(r);
+        for p in parts {
+            assert_eq!(p.rows(), rows, "concat_cols batch mismatch");
+            out_row[off..off + p.cols()].copy_from_slice(p.row(r));
+            off += p.cols();
+        }
+    }
+    out
+}
+
+/// Stacks matrices along the batch (row) axis.
+///
+/// All inputs must share the same feature width. This is the "gather"
+/// copy performed when cells from different requests are packed into one
+/// contiguous batched input (§4.3).
+///
+/// # Panics
+///
+/// Panics if the parts list is empty or widths disagree.
+pub fn concat_rows(parts: &[&Matrix]) -> Matrix {
+    assert!(!parts.is_empty(), "concat_rows of zero matrices");
+    let cols = parts[0].cols();
+    let rows: usize = parts.iter().map(|p| p.rows()).sum();
+    let mut out = Matrix::zeros(rows, cols);
+    let mut r = 0;
+    for p in parts {
+        assert_eq!(p.cols(), cols, "concat_rows width mismatch");
+        for pr in 0..p.rows() {
+            out.row_mut(r).copy_from_slice(p.row(pr));
+            r += 1;
+        }
+    }
+    out
+}
+
+/// Selects the listed rows into a new matrix (batched gather).
+///
+/// # Panics
+///
+/// Panics if any index is out of bounds.
+pub fn gather_rows(x: &Matrix, indices: &[usize]) -> Matrix {
+    let mut out = Matrix::zeros(indices.len(), x.cols());
+    for (i, &idx) in indices.iter().enumerate() {
+        out.row_mut(i).copy_from_slice(x.row(idx));
+    }
+    out
+}
+
+/// Writes each row of `src` into `dst` at the corresponding index
+/// (batched scatter, the inverse of [`gather_rows`]).
+///
+/// # Panics
+///
+/// Panics if widths differ, `src.rows() != indices.len()`, or an index is
+/// out of bounds.
+pub fn scatter_rows(dst: &mut Matrix, src: &Matrix, indices: &[usize]) {
+    assert_eq!(src.rows(), indices.len(), "scatter_rows index count");
+    assert_eq!(src.cols(), dst.cols(), "scatter_rows width mismatch");
+    for (i, &idx) in indices.iter().enumerate() {
+        dst.row_mut(idx).copy_from_slice(src.row(i));
+    }
+}
+
+/// Splits a matrix into equal column chunks.
+///
+/// Used to slice the fused LSTM gate pre-activations `(batch, 4h)` into
+/// the four `(batch, h)` gates.
+///
+/// # Panics
+///
+/// Panics if `x.cols()` is not divisible by `n`.
+pub fn split_cols(x: &Matrix, n: usize) -> Vec<Matrix> {
+    assert!(
+        n > 0 && x.cols().is_multiple_of(n),
+        "split_cols: {} % {n} != 0",
+        x.cols()
+    );
+    let w = x.cols() / n;
+    let mut parts = vec![Matrix::zeros(x.rows(), w); n];
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        for (k, part) in parts.iter_mut().enumerate() {
+            part.row_mut(r).copy_from_slice(&row[k * w..(k + 1) * w]);
+        }
+    }
+    parts
+}
+
+/// Row-wise softmax.
+pub fn softmax(x: &Matrix) -> Matrix {
+    let mut out = x.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Row-wise argmax: index of the largest element in each row.
+///
+/// Ties resolve to the lowest index, matching the CUDA argmax kernel the
+/// paper implemented for all evaluated systems (§7.4, footnote 3).
+pub fn argmax(x: &Matrix) -> Vec<usize> {
+    (0..x.rows())
+        .map(|r| {
+            let row = x.row(r);
+            let mut best = 0;
+            let mut best_v = f32::NEG_INFINITY;
+            for (i, &v) in row.iter().enumerate() {
+                if v > best_v {
+                    best_v = v;
+                    best = i;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// Embedding lookup: row `ids[i]` of `table` becomes output row `i`.
+///
+/// # Panics
+///
+/// Panics if any id is out of the vocabulary.
+pub fn embedding(table: &Matrix, ids: &[usize]) -> Matrix {
+    for &id in ids {
+        assert!(
+            id < table.rows(),
+            "embedding id {id} >= vocab {}",
+            table.rows()
+        );
+    }
+    gather_rows(table, ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[&[f32]]) -> Matrix {
+        Matrix::from_rows(rows)
+    }
+
+    #[test]
+    fn affine_broadcasts_bias() {
+        let x = m(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let w = Matrix::eye(2);
+        let b = m(&[&[10.0, 20.0]]);
+        let y = affine(&x, &w, &b);
+        assert_eq!(y, m(&[&[11.0, 22.0], &[13.0, 24.0]]));
+    }
+
+    #[test]
+    fn try_affine_rejects_bad_bias() {
+        let x = Matrix::zeros(1, 2);
+        let w = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(1, 2);
+        assert!(try_affine(&x, &w, &b).is_err());
+    }
+
+    #[test]
+    fn sigmoid_range_and_midpoint() {
+        let x = m(&[&[0.0, 100.0, -100.0]]);
+        let y = sigmoid(&x);
+        assert!((y.get(0, 0) - 0.5).abs() < 1e-6);
+        assert!(y.get(0, 1) > 0.999);
+        assert!(y.get(0, 2) < 0.001);
+    }
+
+    #[test]
+    fn tanh_is_odd() {
+        let x = m(&[&[0.5, -0.5]]);
+        let y = tanh(&x);
+        assert!((y.get(0, 0) + y.get(0, 1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let y = relu(&m(&[&[-1.0, 0.0, 2.0]]));
+        assert_eq!(y, m(&[&[0.0, 0.0, 2.0]]));
+    }
+
+    #[test]
+    fn add_and_mul_elementwise() {
+        let a = m(&[&[1.0, 2.0]]);
+        let b = m(&[&[3.0, 4.0]]);
+        assert_eq!(add(&a, &b), m(&[&[4.0, 6.0]]));
+        assert_eq!(mul(&a, &b), m(&[&[3.0, 8.0]]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn add_shape_mismatch_panics() {
+        let _ = add(&Matrix::zeros(1, 2), &Matrix::zeros(2, 1));
+    }
+
+    #[test]
+    fn concat_cols_layout() {
+        let a = m(&[&[1.0], &[2.0]]);
+        let b = m(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let c = concat_cols(&[&a, &b]);
+        assert_eq!(c, m(&[&[1.0, 3.0, 4.0], &[2.0, 5.0, 6.0]]));
+    }
+
+    #[test]
+    fn concat_rows_layout() {
+        let a = m(&[&[1.0, 2.0]]);
+        let b = m(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let c = concat_rows(&[&a, &b]);
+        assert_eq!(c.shape(), (3, 2));
+        assert_eq!(c.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn gather_scatter_round_trip() {
+        let x = m(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let g = gather_rows(&x, &[2, 0]);
+        assert_eq!(g, m(&[&[3.0, 3.0], &[1.0, 1.0]]));
+        let mut dst = Matrix::zeros(3, 2);
+        scatter_rows(&mut dst, &g, &[2, 0]);
+        assert_eq!(dst.row(0), &[1.0, 1.0]);
+        assert_eq!(dst.row(2), &[3.0, 3.0]);
+        assert_eq!(dst.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn split_cols_inverts_concat() {
+        let a = m(&[&[1.0, 2.0], &[5.0, 6.0]]);
+        let b = m(&[&[3.0, 4.0], &[7.0, 8.0]]);
+        let c = concat_cols(&[&a, &b]);
+        let parts = split_cols(&c, 2);
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = m(&[&[1.0, 2.0, 3.0], &[0.0, 0.0, 0.0]]);
+        let y = softmax(&x);
+        for r in 0..2 {
+            let s: f32 = y.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        // Uniform logits give uniform probabilities.
+        assert!((y.get(1, 0) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let x = m(&[&[1.0, 2.0, 3.0]]);
+        let shifted = map(&x, |v| v + 1000.0);
+        assert!(softmax(&x).approx_eq(&softmax(&shifted), 1e-5));
+    }
+
+    #[test]
+    fn argmax_ties_go_low() {
+        let x = m(&[&[1.0, 3.0, 3.0], &[5.0, 2.0, 1.0]]);
+        assert_eq!(argmax(&x), vec![1, 0]);
+    }
+
+    #[test]
+    fn embedding_selects_rows() {
+        let table = m(&[&[0.0, 0.0], &[1.0, 1.0], &[2.0, 2.0]]);
+        let e = embedding(&table, &[2, 2, 0]);
+        assert_eq!(e, m(&[&[2.0, 2.0], &[2.0, 2.0], &[0.0, 0.0]]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn embedding_oov_panics() {
+        let table = Matrix::zeros(3, 2);
+        let _ = embedding(&table, &[3]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the tensor substrate.
+
+use bm_tensor::{ops, Matrix};
+use proptest::prelude::*;
+
+/// Strategy producing an arbitrary matrix with shape in `[1, max]^2` and
+/// small finite values.
+fn matrix(max: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max, 1..=max).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+/// A pair of matrices with compatible inner dimensions for matmul.
+fn matmul_pair(max: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1..=max, 1..=max, 1..=max).prop_flat_map(|(m, k, n)| {
+        let a = proptest::collection::vec(-4.0f32..4.0, m * k)
+            .prop_map(move |d| Matrix::from_vec(m, k, d));
+        let b = proptest::collection::vec(-4.0f32..4.0, k * n)
+            .prop_map(move |d| Matrix::from_vec(k, n, d));
+        (a, b)
+    })
+}
+
+proptest! {
+    #[test]
+    fn matmul_identity_left_and_right((a, _) in matmul_pair(8)) {
+        let il = Matrix::eye(a.rows());
+        let ir = Matrix::eye(a.cols());
+        prop_assert!(il.matmul(&a).approx_eq(&a, 1e-4));
+        prop_assert!(a.matmul(&ir).approx_eq(&a, 1e-4));
+    }
+
+    #[test]
+    fn matmul_matches_naive((a, b) in matmul_pair(8)) {
+        let fast = a.matmul(&b);
+        let mut naive = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0f64;
+                for k in 0..a.cols() {
+                    s += a.get(i, k) as f64 * b.get(k, j) as f64;
+                }
+                naive.set(i, j, s as f32);
+            }
+        }
+        prop_assert!(fast.approx_eq(&naive, 1e-3));
+    }
+
+    #[test]
+    fn transpose_involution(a in matrix(10)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transpose_distributes_over_matmul((a, b) in matmul_pair(6)) {
+        // (AB)^T == B^T A^T
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn add_commutes(a in matrix(8), seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let b = Matrix::from_vec(
+            a.rows(), a.cols(),
+            (0..a.len()).map(|_| rng.gen_range(-10.0..10.0)).collect(),
+        );
+        prop_assert!(ops::add(&a, &b).approx_eq(&ops::add(&b, &a), 1e-6));
+    }
+
+    #[test]
+    fn gather_scatter_is_identity_on_permutations(a in matrix(8)) {
+        // A permutation gather followed by the inverse scatter restores `a`.
+        let n = a.rows();
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.reverse();
+        let g = ops::gather_rows(&a, &perm);
+        let mut restored = Matrix::zeros(n, a.cols());
+        ops::scatter_rows(&mut restored, &g, &perm);
+        prop_assert_eq!(restored, a);
+    }
+
+    #[test]
+    fn split_concat_round_trip(a in matrix(6), n in 1usize..4) {
+        // Widen `a` so its width is divisible by n.
+        let wide = ops::concat_cols(&vec![&a; n]);
+        let parts = ops::split_cols(&wide, n);
+        let refs: Vec<&Matrix> = parts.iter().collect();
+        prop_assert_eq!(ops::concat_cols(&refs), wide);
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(a in matrix(8)) {
+        let s = ops::softmax(&a);
+        for r in 0..s.rows() {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn argmax_agrees_with_softmax_argmax(a in matrix(8)) {
+        prop_assert_eq!(ops::argmax(&a), ops::argmax(&ops::softmax(&a)));
+    }
+
+    #[test]
+    fn sigmoid_bounded_and_monotone(a in matrix(8)) {
+        let s = ops::sigmoid(&a);
+        prop_assert!(s.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Monotonicity: sigmoid(x + 1) >= sigmoid(x).
+        let shifted = ops::sigmoid(&ops::map(&a, |v| v + 1.0));
+        for (x, y) in s.as_slice().iter().zip(shifted.as_slice()) {
+            prop_assert!(y >= x);
+        }
+    }
+
+    #[test]
+    fn bundle_round_trip(a in matrix(8), b in matrix(8)) {
+        let mut bundle = bm_tensor::io::WeightBundle::new();
+        bundle.insert("a", a);
+        bundle.insert("b", b);
+        let mut buf = Vec::new();
+        bundle.write_to(&mut buf).unwrap();
+        let back = bm_tensor::io::WeightBundle::read_from(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(bundle, back);
+    }
+}

@@ -1,0 +1,101 @@
+//! Open-loop Poisson arrival process (§7.1).
+//!
+//! "We sample a request from the dataset and issue it to the system with
+//! Poisson inter-arrival times. We adjust the average inter-arrival time
+//! to test the system's performance under varying load."
+//!
+//! Times are expressed in microseconds of virtual (or wall) time, the
+//! time unit used throughout the simulation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::dist;
+
+/// An iterator over Poisson arrival timestamps in microseconds.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    rng: StdRng,
+    rate_per_sec: f64,
+    next_us: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates a process with the given average rate (requests/second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not strictly positive and finite.
+    pub fn new(rate_per_sec: f64, seed: u64) -> Self {
+        assert!(
+            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            "rate must be positive"
+        );
+        PoissonArrivals {
+            rng: StdRng::seed_from_u64(seed),
+            rate_per_sec,
+            next_us: 0.0,
+        }
+    }
+
+    /// The configured arrival rate in requests/second.
+    pub fn rate(&self) -> f64 {
+        self.rate_per_sec
+    }
+}
+
+impl Iterator for PoissonArrivals {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        let gap_s = dist::exponential(&mut self.rng, self.rate_per_sec);
+        self.next_us += gap_s * 1e6;
+        Some(self.next_us.round() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_times_are_nondecreasing() {
+        let arr: Vec<u64> = PoissonArrivals::new(1000.0, 1).take(1000).collect();
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn empirical_rate_matches() {
+        let n = 100_000;
+        let arr: Vec<u64> = PoissonArrivals::new(5000.0, 2).take(n).collect();
+        let span_s = *arr.last().unwrap() as f64 / 1e6;
+        let rate = n as f64 / span_s;
+        assert!((rate - 5000.0).abs() / 5000.0 < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = PoissonArrivals::new(100.0, 3).take(50).collect();
+        let b: Vec<u64> = PoissonArrivals::new(100.0, 3).take(50).collect();
+        let c: Vec<u64> = PoissonArrivals::new(100.0, 4).take(50).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn inter_arrival_cv_is_poisson_like() {
+        // Coefficient of variation of exponential gaps is 1.
+        let arr: Vec<u64> = PoissonArrivals::new(10_000.0, 5).take(50_000).collect();
+        let gaps: Vec<f64> = arr.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.05, "cv {cv}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_panics() {
+        let _ = PoissonArrivals::new(0.0, 0);
+    }
+}

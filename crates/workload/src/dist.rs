@@ -1,0 +1,123 @@
+//! From-scratch random samplers.
+//!
+//! Implemented here rather than pulling `rand_distr`: the reproduction
+//! needs exactly three samplers (uniform, exponential, log-normal), each
+//! a few lines, and keeping the dependency set minimal is a stated goal
+//! (DESIGN.md §6). All samplers take `&mut impl Rng` so callers control
+//! seeding.
+
+use rand::Rng;
+
+/// Samples `Exp(rate)` via inverse CDF: `-ln(U) / rate`.
+///
+/// # Panics
+///
+/// Panics if `rate` is not strictly positive and finite.
+pub fn exponential(rng: &mut impl Rng, rate: f64) -> f64 {
+    assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+    // Uniform in (0, 1]: avoids ln(0).
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -u.ln() / rate
+}
+
+/// Samples a standard normal via the Box–Muller transform.
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples `LogNormal(mu, sigma)`: `exp(mu + sigma * Z)`.
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative or not finite.
+pub fn log_normal(rng: &mut impl Rng, mu: f64, sigma: f64) -> f64 {
+    assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be >= 0");
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Fits `(mu, sigma)` of a log-normal from a target mean and a target
+/// p99 quantile.
+///
+/// Solves `exp(mu + sigma^2 / 2) = mean` and
+/// `exp(mu + z99 * sigma) = p99` with `z99 = 2.3263`, taking the smaller
+/// sigma root (the one giving a unimodal, sub-exponential body).
+///
+/// # Panics
+///
+/// Panics if the system has no real solution (p99 too close to the mean).
+pub fn fit_log_normal(mean: f64, p99: f64) -> (f64, f64) {
+    const Z99: f64 = 2.326_347_9;
+    let a = mean.ln();
+    let b = p99.ln();
+    // mu = a - sigma^2/2 ; substitute into mu + Z99 sigma = b:
+    //   sigma^2/2 - Z99 sigma + (b - a) = 0.
+    let disc = Z99 * Z99 - 2.0 * (b - a);
+    assert!(disc >= 0.0, "no log-normal matches mean {mean}, p99 {p99}");
+    let sigma = Z99 - disc.sqrt();
+    let mu = a - sigma * sigma / 2.0;
+    (mu, sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xd157)
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut r = rng();
+        let n = 200_000;
+        let rate = 2.5;
+        let mean: f64 = (0..n).map(|_| exponential(&mut r, rate)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut r = rng();
+        assert!((0..10_000).all(|_| exponential(&mut r, 0.1) > 0.0));
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn fit_log_normal_recovers_targets() {
+        let (mu, sigma) = fit_log_normal(24.0, 100.0);
+        let mean = (mu + sigma * sigma / 2.0).exp();
+        let p99 = (mu + 2.326_347_9 * sigma).exp();
+        assert!((mean - 24.0).abs() < 1e-6, "mean {mean}");
+        assert!((p99 - 100.0).abs() < 1e-4, "p99 {p99}");
+    }
+
+    #[test]
+    fn log_normal_empirical_mean() {
+        let (mu, sigma) = fit_log_normal(24.0, 100.0);
+        let mut r = rng();
+        let n = 400_000;
+        let mean: f64 = (0..n).map(|_| log_normal(&mut r, mu, sigma)).sum::<f64>() / n as f64;
+        assert!((mean - 24.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_rate_panics() {
+        let mut r = rng();
+        let _ = exponential(&mut r, 0.0);
+    }
+}

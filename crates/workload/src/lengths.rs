@@ -1,0 +1,209 @@
+//! Sequence-length distributions (paper Figure 10 and §7.3).
+//!
+//! The WMT-15 Europarl sample has mean length 24, maximum 330 and 99 %
+//! of sentences shorter than 100. Figure 11 additionally evaluates an
+//! artificial fixed-length dataset (length 24) and WMT variants clipped
+//! at 50 and 100.
+
+use rand::Rng;
+
+use crate::dist;
+
+/// A distribution over sequence lengths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LengthDistribution {
+    /// Every sequence has exactly this length (Figure 11 top).
+    Fixed(usize),
+    /// Log-normal with the given parameters, rounded and clamped to
+    /// `[1, max]`.
+    LogNormalClipped {
+        /// Location parameter of the underlying normal.
+        mu: f64,
+        /// Scale parameter of the underlying normal.
+        sigma: f64,
+        /// Inclusive maximum length.
+        max: usize,
+    },
+}
+
+impl LengthDistribution {
+    /// The WMT-15-like distribution: mean 24, p99 ≈ 100, clipped at 330.
+    pub fn wmt15() -> Self {
+        let (mu, sigma) = dist::fit_log_normal(24.0, 100.0);
+        LengthDistribution::LogNormalClipped {
+            mu,
+            sigma,
+            max: 330,
+        }
+    }
+
+    /// The WMT-15-like distribution clipped at `max` (Figure 11 middle
+    /// and bottom use 50 and 100).
+    pub fn wmt15_clipped(max: usize) -> Self {
+        let (mu, sigma) = dist::fit_log_normal(24.0, 100.0);
+        LengthDistribution::LogNormalClipped { mu, sigma, max }
+    }
+
+    /// A TreeBank-like sentence-length distribution: mean ≈ 20, clipped
+    /// at 64 (TreeBank parse trees are short sentences).
+    pub fn treebank() -> Self {
+        let (mu, sigma) = dist::fit_log_normal(20.0, 50.0);
+        LengthDistribution::LogNormalClipped { mu, sigma, max: 64 }
+    }
+
+    /// Samples one length.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        match *self {
+            LengthDistribution::Fixed(n) => n,
+            LengthDistribution::LogNormalClipped { mu, sigma, max } => {
+                let v = dist::log_normal(rng, mu, sigma).round() as i64;
+                v.clamp(1, max as i64) as usize
+            }
+        }
+    }
+
+    /// The maximum length this distribution can produce.
+    pub fn max_len(&self) -> usize {
+        match *self {
+            LengthDistribution::Fixed(n) => n,
+            LengthDistribution::LogNormalClipped { max, .. } => max,
+        }
+    }
+}
+
+/// An empirical CDF over `usize` samples; Figure 10 plots one of these.
+#[derive(Debug, Clone)]
+pub struct EmpiricalCdf {
+    sorted: Vec<usize>,
+}
+
+impl EmpiricalCdf {
+    /// Builds a CDF from samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn new(mut samples: Vec<usize>) -> Self {
+        assert!(!samples.is_empty(), "empty sample set");
+        samples.sort_unstable();
+        EmpiricalCdf { sorted: samples }
+    }
+
+    /// Fraction of samples `<= x`.
+    pub fn fraction_le(&self, x: usize) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`0 <= q <= 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> usize {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        let n = self.sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.sorted[idx]
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<usize>() as f64 / self.sorted.len() as f64
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> usize {
+        *self.sorted.last().expect("nonempty")
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> usize {
+        self.sorted[0]
+    }
+
+    /// `(x, F(x))` points suitable for plotting, thinned to at most
+    /// `points` entries.
+    pub fn curve(&self, points: usize) -> Vec<(usize, f64)> {
+        let n = self.sorted.len();
+        let step = (n / points.max(1)).max(1);
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < n {
+            out.push((self.sorted[i], (i + 1) as f64 / n as f64));
+            i += step;
+        }
+        if out.last().map(|&(x, _)| x) != Some(self.max()) {
+            out.push((self.max(), 1.0));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn samples(d: LengthDistribution, n: usize) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(42);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn wmt15_matches_paper_statistics() {
+        // "The maximum sentence length is 330 and the average length is
+        // 24 … about 99 percent of sequences have length less than 100."
+        let cdf = EmpiricalCdf::new(samples(LengthDistribution::wmt15(), 100_000));
+        assert!((cdf.mean() - 24.0).abs() < 1.0, "mean {}", cdf.mean());
+        assert!(cdf.max() <= 330);
+        assert!(
+            cdf.fraction_le(100) > 0.985,
+            "p(<=100) {}",
+            cdf.fraction_le(100)
+        );
+        assert!(cdf.min() >= 1);
+    }
+
+    #[test]
+    fn clipped_variants_respect_max() {
+        for max in [50, 100] {
+            let cdf = EmpiricalCdf::new(samples(LengthDistribution::wmt15_clipped(max), 20_000));
+            assert!(cdf.max() <= max);
+        }
+    }
+
+    #[test]
+    fn fixed_is_degenerate() {
+        let cdf = EmpiricalCdf::new(samples(LengthDistribution::Fixed(24), 100));
+        assert_eq!(cdf.min(), 24);
+        assert_eq!(cdf.max(), 24);
+    }
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let cdf = EmpiricalCdf::new(samples(LengthDistribution::wmt15(), 10_000));
+        assert!(cdf.quantile(0.5) <= cdf.quantile(0.9));
+        assert!(cdf.quantile(0.9) <= cdf.quantile(0.99));
+        assert_eq!(cdf.quantile(1.0), cdf.max());
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let cdf = EmpiricalCdf::new(samples(LengthDistribution::wmt15(), 5_000));
+        let curve = cdf.curve(50);
+        for w in curve.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1 + 1e-12);
+        }
+        assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let a = samples(LengthDistribution::wmt15(), 100);
+        let b = samples(LengthDistribution::wmt15(), 100);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests for the workload generators.
+
+use bm_model::RequestInput;
+use bm_workload::{Dataset, LengthDistribution, PoissonArrivals};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn lengths_respect_bounds(max in 1usize..400, seed in any::<u64>()) {
+        let d = LengthDistribution::wmt15_clipped(max);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let len = d.sample(&mut rng);
+            prop_assert!(len >= 1 && len <= max);
+        }
+        prop_assert_eq!(d.max_len(), max);
+    }
+
+    #[test]
+    fn arrivals_nondecreasing_for_any_rate(rate in 1.0f64..100_000.0, seed in any::<u64>()) {
+        let arr: Vec<u64> = PoissonArrivals::new(rate, seed).take(100).collect();
+        for w in arr.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn tree_datasets_are_structurally_valid(
+        n in 1usize..50,
+        seed in any::<u64>(),
+        leaves in 1usize..40,
+    ) {
+        let ds = Dataset::trees(n, LengthDistribution::Fixed(leaves), 100, seed);
+        prop_assert_eq!(ds.len(), n);
+        for item in ds.items() {
+            let RequestInput::Tree(t) = item else {
+                prop_assert!(false, "wrong variant");
+                unreachable!()
+            };
+            prop_assert_eq!(t.leaf_count(), leaves);
+            prop_assert_eq!(t.node_count(), 2 * leaves - 1);
+            prop_assert!(t.height() <= leaves);
+            prop_assert!(t.max_token() < 100);
+        }
+    }
+
+    #[test]
+    fn seq2seq_pairs_always_valid(n in 1usize..50, seed in any::<u64>()) {
+        let ds = Dataset::seq2seq(n, LengthDistribution::wmt15_clipped(50), 100, seed);
+        for item in ds.items() {
+            let RequestInput::Pair { src, decode_len } = item else {
+                prop_assert!(false, "wrong variant");
+                unreachable!()
+            };
+            prop_assert!(!src.is_empty());
+            prop_assert!(*decode_len >= 1);
+            prop_assert!(src.iter().all(|&t| (2..100).contains(&t)));
+        }
+    }
+
+    #[test]
+    fn datasets_deterministic_in_seed(seed in any::<u64>()) {
+        let a = Dataset::lstm(20, LengthDistribution::wmt15(), 100, seed);
+        let b = Dataset::lstm(20, LengthDistribution::wmt15(), 100, seed);
+        prop_assert_eq!(a.items(), b.items());
+    }
+}

@@ -1,0 +1,78 @@
+//! Smoke tests: every experiment of the harness runs at Quick scale and
+//! produces non-empty tables. This is what `repro all --quick` executes.
+
+use bm_harness::experiments::{
+    fig10, fig11, fig13, fig14, fig15, fig3, fig5, fig7, fig8, fig9, headline, Scale,
+};
+use bm_metrics::Table;
+
+fn assert_tables(name: &str, tables: &[Table]) {
+    assert!(!tables.is_empty(), "{name}: no tables");
+    for t in tables {
+        assert!(t.row_count() > 0, "{name}: empty table {}", t.title());
+        // Markdown and CSV render without panicking and agree on rows.
+        let md_rows = t.to_markdown().lines().count() - 3; // title + header + separator
+        let csv_rows = t.to_csv().lines().count() - 1;
+        assert_eq!(md_rows, csv_rows, "{name}: render mismatch");
+    }
+}
+
+#[test]
+fn fig3_smoke() {
+    assert_tables("fig3", &fig3::run(Scale::Quick));
+}
+
+#[test]
+fn fig5_smoke() {
+    let tables = fig5::run(Scale::Quick);
+    assert_tables("fig5", &tables);
+    // Both timelines list all 8 requests.
+    assert_eq!(tables[0].row_count(), 8);
+    assert_eq!(tables[1].row_count(), 8);
+}
+
+#[test]
+fn fig7_smoke() {
+    assert_tables("fig7a", &fig7::run_a(Scale::Quick));
+    assert_tables("fig7b", &fig7::run_b(Scale::Quick));
+}
+
+#[test]
+fn fig8_smoke() {
+    assert_tables("fig8", &fig8::run(Scale::Quick));
+}
+
+#[test]
+fn fig9_smoke() {
+    assert_tables("fig9", &fig9::run(Scale::Quick));
+}
+
+#[test]
+fn fig10_smoke() {
+    assert_tables("fig10", &fig10::run(Scale::Quick));
+}
+
+#[test]
+fn fig11_smoke() {
+    assert_tables("fig11", &fig11::run(Scale::Quick));
+}
+
+#[test]
+fn fig13_smoke() {
+    assert_tables("fig13", &fig13::run(Scale::Quick));
+}
+
+#[test]
+fn fig14_smoke() {
+    assert_tables("fig14", &fig14::run(Scale::Quick));
+}
+
+#[test]
+fn fig15_smoke() {
+    assert_tables("fig15", &fig15::run(Scale::Quick));
+}
+
+#[test]
+fn headline_smoke() {
+    assert_tables("headline", &headline::run(Scale::Quick));
+}

@@ -1,0 +1,178 @@
+//! Property-based invariants of the cellular-batching scheduler, driven
+//! with randomized workloads across all three models.
+//!
+//! For any arrival pattern the scheduler must:
+//! - execute every node of every request exactly once (no drops, no
+//!   duplicates);
+//! - never batch nodes of different cell types into one task;
+//! - never exceed the cell type's maximum batch size;
+//! - respect dependencies (a node only runs after its dependencies);
+//! - pin subgraphs: concurrent in-flight tasks of one subgraph stay on
+//!   one worker;
+//! - complete every request (no livelock) with monotone timestamps.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use bm_core::{CellularEngine, RequestId, SchedulerConfig, WorkerId};
+use bm_model::{LstmLm, Model, RequestInput, Seq2Seq, TreeLstm, TreeShape};
+use proptest::prelude::*;
+
+/// A random tree shape with up to `depth` levels.
+fn tree_strategy(depth: u32) -> impl Strategy<Value = TreeShape> {
+    let leaf = (0u32..100).prop_map(TreeShape::leaf);
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        (inner.clone(), inner).prop_map(|(l, r)| TreeShape::internal(l, r))
+    })
+}
+
+#[derive(Debug, Clone)]
+enum Workload {
+    Lstm(Vec<Vec<u32>>),
+    Seq2Seq(Vec<(Vec<u32>, usize)>),
+    Tree(Vec<TreeShape>),
+}
+
+fn workload_strategy() -> impl Strategy<Value = Workload> {
+    prop_oneof![
+        proptest::collection::vec(proptest::collection::vec(0u32..100, 1..12), 1..12)
+            .prop_map(Workload::Lstm),
+        proptest::collection::vec(
+            (proptest::collection::vec(2u32..100, 1..8), 1usize..8),
+            1..10
+        )
+        .prop_map(Workload::Seq2Seq),
+        proptest::collection::vec(tree_strategy(4), 1..10).prop_map(Workload::Tree),
+    ]
+}
+
+fn build(workload: &Workload) -> (Arc<dyn Model>, Vec<RequestInput>) {
+    match workload {
+        Workload::Lstm(seqs) => (
+            Arc::new(LstmLm::small()),
+            seqs.iter()
+                .map(|s| RequestInput::Sequence(s.clone()))
+                .collect(),
+        ),
+        Workload::Seq2Seq(pairs) => (
+            Arc::new(Seq2Seq::small()),
+            pairs
+                .iter()
+                .map(|(src, d)| RequestInput::Pair {
+                    src: src.clone(),
+                    decode_len: *d,
+                })
+                .collect(),
+        ),
+        Workload::Tree(trees) => (
+            Arc::new(TreeLstm::small()),
+            trees
+                .iter()
+                .map(|t| RequestInput::Tree(t.clone()))
+                .collect(),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scheduler_invariants_hold(
+        workload in workload_strategy(),
+        workers in 1usize..4,
+        max_tasks in 1usize..6,
+        arrival_spread in 0u64..50,
+    ) {
+        let (model, inputs) = build(&workload);
+        let registry = Arc::new(model.registry().clone());
+        let mut engine = CellularEngine::new(
+            Arc::clone(&registry),
+            SchedulerConfig { max_tasks_to_submit: max_tasks },
+        );
+
+        // Admit requests at staggered times.
+        let mut expected_nodes: HashMap<u64, usize> = HashMap::new();
+        for (i, input) in inputs.iter().enumerate() {
+            let graph = model.unfold(input);
+            expected_nodes.insert(i as u64, graph.len());
+            engine.on_arrival(RequestId(i as u64), graph, i as u64 * arrival_spread);
+        }
+
+        // Drive to completion round-robin over workers, one task at a
+        // time per worker (serial virtual time).
+        let mut executed: HashSet<(u64, u32)> = HashSet::new();
+        let mut completed: HashMap<u64, (u64, usize)> = HashMap::new();
+        let mut now = 1000;
+        let mut stalled = 0;
+        // Per-subgraph pinning check: subgraph -> (worker, open tasks).
+        let mut sg_pins: HashMap<bm_core::SubgraphId, u32> = HashMap::new();
+        while engine.active_requests() > 0 {
+            let mut progressed = false;
+            for w in 0..workers {
+                let tasks = engine.dispatch(WorkerId(w as u32));
+                for t in &tasks {
+                    // One cell type per task, within max batch.
+                    let meta = registry.meta(t.cell_type);
+                    prop_assert!(t.batch_size() <= meta.max_batch);
+                    prop_assert!(!t.entries.is_empty());
+                    for sg in &t.subgraphs {
+                        // A subgraph with in-flight tasks must stay on
+                        // one worker.
+                        if let Some(prev) = sg_pins.get(sg) {
+                            prop_assert_eq!(*prev, t.worker.0, "subgraph moved while pinned");
+                        }
+                        sg_pins.insert(*sg, t.worker.0);
+                    }
+                    for e in &t.entries {
+                        // Exactly-once execution.
+                        prop_assert!(
+                            executed.insert((e.request.0, e.node.0)),
+                            "node executed twice"
+                        );
+                        // Dependencies executed first (same worker FIFO
+                        // or completed earlier).
+                        for d in &e.deps {
+                            prop_assert!(
+                                executed.contains(&(e.request.0, d.0)),
+                                "dependency not yet executed"
+                            );
+                        }
+                    }
+                }
+                // Complete the tasks in order.
+                for t in tasks {
+                    now += 1;
+                    engine.on_task_started(t.id, now);
+                    let tokens = vec![None; t.entries.len()];
+                    for c in engine.on_task_completed(t.id, &tokens, now) {
+                        prop_assert!(c.start_us <= c.completion_us);
+                        prop_assert!(c.arrival_us <= c.start_us);
+                        completed.insert(c.id.0, (c.completion_us, c.executed_nodes));
+                    }
+                    // Task closed; its subgraphs may unpin. Conservatively
+                    // clear and let future tasks re-pin.
+                    for sg in &t.subgraphs {
+                        sg_pins.remove(sg);
+                    }
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                stalled += 1;
+                prop_assert!(stalled < 3, "scheduler wedged with work remaining");
+            } else {
+                stalled = 0;
+            }
+        }
+
+        // Every request completed, with every node executed exactly once.
+        prop_assert_eq!(completed.len(), inputs.len());
+        for (req, n) in &expected_nodes {
+            let (_, executed_nodes) = completed[req];
+            prop_assert_eq!(executed_nodes, *n, "request {} node count", req);
+        }
+        let total: usize = expected_nodes.values().sum();
+        prop_assert_eq!(executed.len(), total);
+    }
+}
