@@ -115,11 +115,13 @@ impl PaddingServer {
 
     /// Execution time of one padded batch, µs.
     ///
-    /// Sequences pad to the longest request in the batch (bounded above
-    /// by the bucket bound, since a bucket only admits a `width`-sized
-    /// length range). Padding to the batch max rather than the bucket
-    /// bound matches the paper's fixed-length measurement, where the
-    /// baselines reach the zero-padding theoretical maximum (§7.3).
+    /// Sequences pad to the *bucket bound*: bucketing materializes one
+    /// static unrolled graph per bucket (§2.3), so every batch admitted
+    /// to a bucket executes the bucket's full step count no matter how
+    /// short its members are. This is the compute waste that makes wide
+    /// buckets lose the Figure 8 trade-off. Fixed-length workloads whose
+    /// length is a bucket bound (e.g. length 60 with width 10) still pad
+    /// nothing and reach the zero-padding theoretical maximum (§7.3).
     fn batch_duration_us(&self, padded: usize, batch: usize, dec_pad: usize) -> f64 {
         match self.cfg.kind {
             PadKind::Lstm { cell } => {
@@ -183,13 +185,14 @@ impl Server for PaddingServer {
             self.rr = b;
             let take = self.buckets[b].len().min(self.cfg.max_batch);
             let requests: Vec<Pending> = self.buckets[b].drain(..take).collect();
-            // Pad to the batch's longest source and decode lengths.
-            let padded = requests
-                .iter()
-                .map(|r| r.src_len)
-                .max()
-                .expect("nonempty batch");
-            let dec_pad = requests.iter().map(|r| r.dec_len).max().unwrap_or(0);
+            // Pad to the bucket's bound: the bucket's pre-compiled
+            // unrolled graph runs its full step count regardless of the
+            // batch's actual lengths.
+            let padded = self.cfg.padded_len(b);
+            let dec_pad = match self.cfg.kind {
+                PadKind::Lstm { .. } => 0,
+                PadKind::Seq2Seq { .. } => padded,
+            };
             let duration = self.batch_duration_us(padded, requests.len(), dec_pad);
             let id = self.next_item;
             self.next_item += 1;

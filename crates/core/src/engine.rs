@@ -29,14 +29,39 @@ pub struct SchedulerConfig {
     /// "The maximum number of tasks that can be submitted to a worker"
     /// per `Schedule` invocation (Algorithm 1; default 5).
     pub max_tasks_to_submit: usize,
+    /// Whether the engine accumulates completion records for
+    /// [`CellularEngine::drain_completions`]. Drivers that consume the
+    /// return value of [`CellularEngine::on_task_completed`] directly
+    /// must leave this off (the default) — otherwise the undrained
+    /// records grow without bound.
+    pub retain_completions: bool,
 }
 
 impl Default for SchedulerConfig {
     fn default() -> Self {
         SchedulerConfig {
             max_tasks_to_submit: 5,
+            retain_completions: false,
         }
     }
+}
+
+/// The result of [`CellularEngine::cancel_request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The request is not active: it never arrived, already completed,
+    /// or was already cancelled and retired.
+    Unknown,
+    /// Unsubmitted nodes were cancelled, but tasks containing the
+    /// request's nodes are still in flight. The request resolves (with
+    /// [`CompletedRequest::cancelled`] set) from a later
+    /// [`CellularEngine::on_task_completed`] once they drain — in-flight
+    /// work is never revoked, matching the paper's task model where a
+    /// submitted kernel sequence runs to completion.
+    Draining,
+    /// The request had no in-flight work; it was retired immediately and
+    /// this is its (cancelled) completion record.
+    Finished(CompletedRequest),
 }
 
 /// Per-request bookkeeping held by the request processor.
@@ -65,6 +90,9 @@ struct RequestState {
     remaining: usize,
     /// Nodes executed so far.
     executed: usize,
+    /// Whether [`CellularEngine::cancel_request`] was called; the
+    /// completion record carries this flag.
+    cancel_requested: bool,
 }
 
 /// Per-subgraph scheduler state.
@@ -131,10 +159,13 @@ pub struct SchedulerStats {
     pub gathered_rows: u64,
     /// Subgraph migrations across workers.
     pub transfers: u64,
-    /// Nodes cancelled by `<eos>` early termination.
+    /// Nodes cancelled by `<eos>` early termination or
+    /// [`CellularEngine::cancel_request`].
     pub cancelled_nodes: u64,
-    /// Requests completed.
+    /// Requests completed normally.
     pub requests_completed: u64,
+    /// Requests resolved as cancelled.
+    pub requests_cancelled: u64,
 }
 
 impl SchedulerStats {
@@ -273,6 +304,7 @@ impl CellularEngine {
             subgraph_ids: subgraph_ids.clone(),
             remaining: n,
             executed: 0,
+            cancel_requested: false,
             graph,
         };
         self.requests.insert(id, req);
@@ -435,9 +467,11 @@ impl CellularEngine {
                 });
             }
             self.queues[ct.index()].ready_nodes -= nodes.len();
-            // Pin (line 20-21) and count migrations.
+            // Pin (line 20-21) and count migration cost: every row of a
+            // subgraph resuming on a different worker must move its
+            // recurrent state there (§4.3).
             if sg.last_worker.is_some() && sg.last_worker != Some(worker) {
-                transfer_rows += 1;
+                transfer_rows += nodes.len();
             }
             sg.pinned = Some(worker);
             sg.last_worker = Some(worker);
@@ -616,14 +650,93 @@ impl CellularEngine {
                     completion_us: now_us,
                     executed_nodes: req.executed,
                     total_nodes: req.graph.len(),
+                    cancelled: req.cancel_requested,
                 };
                 completed_requests.push(done);
-                self.stats.requests_completed += 1;
+                if done.cancelled {
+                    self.stats.requests_cancelled += 1;
+                } else {
+                    self.stats.requests_completed += 1;
+                }
                 self.retire(*req_id);
             }
         }
-        self.completions.extend(completed_requests.iter().copied());
+        if self.cfg.retain_completions {
+            self.completions.extend(completed_requests.iter().copied());
+        }
         completed_requests
+    }
+
+    /// Cancels a request (§overload handling): every node not yet
+    /// submitted to a worker is cancelled and removed from the
+    /// scheduling queues; in-flight tasks are left to drain.
+    ///
+    /// If no task of the request is in flight the request retires
+    /// immediately and its (cancelled) completion record is returned;
+    /// otherwise the record is produced by the
+    /// [`CellularEngine::on_task_completed`] call that drains the last
+    /// in-flight task. Either way the driver observes exactly one
+    /// completion record per cancelled request, with
+    /// [`CompletedRequest::cancelled`] set.
+    pub fn cancel_request(&mut self, id: RequestId, now_us: u64) -> CancelOutcome {
+        if !self.requests.contains_key(&id) {
+            return CancelOutcome::Unknown;
+        }
+
+        // Cancel every node that has not been handed to a worker.
+        let newly_cancelled: Vec<usize> = {
+            let req = self.requests.get_mut(&id).expect("live request");
+            req.cancel_requested = true;
+            let mut cancelled = Vec::new();
+            for i in 0..req.graph.len() {
+                if !req.submitted[i] && !req.cancelled[i] {
+                    req.cancelled[i] = true;
+                    req.remaining -= 1;
+                    self.stats.cancelled_nodes += 1;
+                    cancelled.push(i);
+                }
+            }
+            cancelled
+        };
+
+        // Remove the cancelled nodes from their subgraphs' ready queues,
+        // keeping per-type ready counters consistent.
+        for i in newly_cancelled {
+            let req = &self.requests[&id];
+            let sg_id = req.subgraph_ids[req.node_subgraph[i]];
+            let sg = self.subgraphs.get_mut(&sg_id).expect("live subgraph");
+            let before = sg.ready.len();
+            sg.ready.retain(|&x| x != i as u32);
+            let removed = before - sg.ready.len();
+            if removed > 0 && sg.in_queue {
+                self.queues[sg.cell_type.index()].ready_nodes -= removed;
+            }
+        }
+        for ct in 0..self.queues.len() {
+            self.compact_queue(CellTypeId(ct as u32));
+        }
+
+        let req = &self.requests[&id];
+        if req.remaining > 0 {
+            // Submitted-but-uncompleted nodes remain: resolve when the
+            // in-flight tasks drain.
+            return CancelOutcome::Draining;
+        }
+        let done = CompletedRequest {
+            id,
+            arrival_us: req.arrival_us,
+            start_us: req.start_us.unwrap_or(now_us),
+            completion_us: now_us,
+            executed_nodes: req.executed,
+            total_nodes: req.graph.len(),
+            cancelled: true,
+        };
+        self.stats.requests_cancelled += 1;
+        self.retire(id);
+        if self.cfg.retain_completions {
+            self.completions.push(done);
+        }
+        CancelOutcome::Finished(done)
     }
 
     /// Queues every dependency-free node of a just-released subgraph.

@@ -23,8 +23,10 @@ pub mod partition;
 mod runtime;
 mod task;
 
-pub use engine::{CellularEngine, SchedulerConfig, SchedulerStats};
+pub use engine::{CancelOutcome, CellularEngine, SchedulerConfig, SchedulerStats};
 pub use ids::{RequestId, SubgraphId, TaskId, WorkerId};
 pub use partition::{partition, Partition};
-pub use runtime::{ResponseHandle, Runtime, ServedResult, ServedTiming};
+pub use runtime::{
+    ResponseHandle, Runtime, RuntimeOptions, ServedOutcome, ServedResult, ServedTiming,
+};
 pub use task::{CompletedRequest, Task, TaskEntry};

@@ -3,32 +3,48 @@
 //! threads.
 //!
 //! - The **manager thread** owns the [`CellularEngine`]: it admits
-//!   arriving requests, dispatches batched tasks to idle workers and
-//!   processes completion notifications.
+//!   arriving requests, dispatches batched tasks to idle workers,
+//!   processes completion notifications and expires requests whose
+//!   deadline passes before they finish.
 //! - Each **worker thread** owns one task queue. It pops a task,
 //!   gathers the batched inputs from the shared state store, executes
 //!   the cell once at the batch size, scatters outputs back and pushes a
 //!   completion record — the CPU analogue of the paper's GPU worker with
 //!   its in-progress queue and signaling kernel.
 //!
+//! ## Overload behaviour
+//!
+//! Under overload the runtime degrades explicitly instead of letting
+//! queues grow without bound:
+//!
+//! - **Admission control** ([`RuntimeOptions::max_active_requests`],
+//!   [`RuntimeOptions::manager_queue_cap`]) resolves excess submissions
+//!   to [`ServedOutcome::Rejected`] without disturbing admitted work.
+//! - **Deadlines** ([`RuntimeOptions::default_deadline_us`] or
+//!   per-request via [`Runtime::try_submit_with_deadline`]) cancel
+//!   requests that cannot meet their SLA: unsubmitted cells are dropped
+//!   through [`CellularEngine::cancel_request`], in-flight tasks drain,
+//!   and the handle resolves to [`ServedOutcome::Expired`].
+//!
 //! The runtime exists to prove the scheduler end-to-end: its results are
 //! compared bit-for-bit against the unbatched reference executor
 //! (`bm_model::reference`), while the latency/throughput experiments use
 //! the discrete-event simulator over the same engine.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
 
 use bm_cell::{CellOutput, CellRegistry, InvocationInput};
 use bm_device::CpuTimer;
 use bm_model::{reference::GraphResult, CellGraph, Model, RequestInput, TokenSource};
 
-use crate::engine::{CellularEngine, SchedulerConfig};
+use crate::engine::{CancelOutcome, CellularEngine, SchedulerConfig};
 use crate::ids::{RequestId, TaskId, WorkerId};
 use crate::task::{CompletedRequest, Task};
 
@@ -43,7 +59,7 @@ pub struct ServedTiming {
     pub completion_us: u64,
 }
 
-/// The outcome of one served request.
+/// The payload of a successfully served request.
 #[derive(Debug, Clone)]
 pub struct ServedResult {
     /// Per-node outputs (`None` for `<eos>`-cancelled nodes).
@@ -52,26 +68,89 @@ pub struct ServedResult {
     pub timing: ServedTiming,
 }
 
-/// A handle to a submitted request; resolves to its result.
-#[derive(Debug)]
-pub struct ResponseHandle {
-    rx: Receiver<ServedResult>,
+/// How a submitted request resolved.
+#[derive(Debug, Clone)]
+pub enum ServedOutcome {
+    /// The request ran to completion; outputs are bit-identical to the
+    /// unbatched reference executor.
+    Completed(ServedResult),
+    /// The deadline passed before completion: unsubmitted cells were
+    /// cancelled, in-flight work drained and partial outputs were
+    /// discarded. The timing records when the request was admitted and
+    /// when it was declared expired.
+    Expired(ServedTiming),
+    /// Admission control refused the request — the active-request cap
+    /// was reached or the manager queue was full. No work was done.
+    Rejected,
+    /// The runtime shut down before resolving the request.
+    ShutDown,
 }
 
-impl ResponseHandle {
-    /// Blocks until the request completes.
+impl ServedOutcome {
+    /// Unwraps the completed result.
     ///
     /// # Panics
     ///
-    /// Panics if the runtime shut down before serving the request.
-    pub fn wait(self) -> ServedResult {
-        self.rx.recv().expect("runtime dropped before completion")
+    /// Panics if the request did not complete.
+    pub fn completed(self) -> ServedResult {
+        match self {
+            ServedOutcome::Completed(r) => r,
+            other => panic!("request did not complete: {other:?}"),
+        }
+    }
+
+    /// Whether the request completed normally.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, ServedOutcome::Completed(_))
+    }
+
+    /// The request timing, when one was measured (completed or expired).
+    pub fn timing(&self) -> Option<ServedTiming> {
+        match self {
+            ServedOutcome::Completed(r) => Some(r.timing),
+            ServedOutcome::Expired(t) => Some(*t),
+            ServedOutcome::Rejected | ServedOutcome::ShutDown => None,
+        }
+    }
+}
+
+/// A handle to a submitted request; resolves to its outcome.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    rx: Receiver<ServedOutcome>,
+}
+
+impl ResponseHandle {
+    /// Blocks until the request resolves. Never panics: a runtime that
+    /// shut down before serving the request yields
+    /// [`ServedOutcome::ShutDown`].
+    pub fn wait(self) -> ServedOutcome {
+        self.rx.recv().unwrap_or(ServedOutcome::ShutDown)
     }
 
     /// Non-blocking poll.
-    pub fn try_wait(&self) -> Option<ServedResult> {
+    pub fn try_wait(&self) -> Option<ServedOutcome> {
         self.rx.try_recv().ok()
     }
+}
+
+/// Runtime construction knobs beyond the scheduler itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RuntimeOptions {
+    /// Scheduler tunables (Algorithm 1).
+    pub scheduler: SchedulerConfig,
+    /// Cap on concurrently admitted (unresolved) requests; submissions
+    /// beyond it resolve to [`ServedOutcome::Rejected`]. `None` admits
+    /// everything.
+    pub max_active_requests: Option<usize>,
+    /// Relative deadline applied to every submission that does not carry
+    /// its own, µs from arrival. `None` means no default deadline.
+    pub default_deadline_us: Option<u64>,
+    /// Bound on the manager's message queue. When full, new submissions
+    /// resolve to [`ServedOutcome::Rejected`]; workers reporting
+    /// completions block briefly instead (backpressure, never dropped).
+    /// `None` leaves the queue unbounded.
+    pub manager_queue_cap: Option<usize>,
 }
 
 enum ManagerMsg {
@@ -79,7 +158,8 @@ enum ManagerMsg {
         id: RequestId,
         graph: CellGraph,
         arrival_us: u64,
-        respond: Sender<ServedResult>,
+        deadline_us: Option<u64>,
+        respond: Sender<ServedOutcome>,
     },
     TaskDone {
         task: TaskId,
@@ -101,26 +181,53 @@ pub struct Runtime {
     model: Arc<dyn Model>,
     timer: CpuTimer,
     next_request: AtomicU64,
+    /// Requests admitted and not yet resolved; shared with the manager.
+    active: Arc<AtomicUsize>,
+    opts: RuntimeOptions,
 }
 
 impl Runtime {
     /// Starts a runtime with `num_workers` worker threads serving
-    /// `model`.
+    /// `model`, with no admission cap and no default deadline.
     ///
     /// # Panics
     ///
     /// Panics if `num_workers` is zero.
     pub fn start(model: Arc<dyn Model>, num_workers: usize, cfg: SchedulerConfig) -> Self {
+        Runtime::start_with(
+            model,
+            num_workers,
+            RuntimeOptions {
+                scheduler: cfg,
+                ..RuntimeOptions::default()
+            },
+        )
+    }
+
+    /// Starts a runtime with full overload-handling options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_workers` is zero.
+    pub fn start_with(model: Arc<dyn Model>, num_workers: usize, opts: RuntimeOptions) -> Self {
         assert!(num_workers > 0, "need at least one worker");
         let registry: Arc<CellRegistry> = Arc::new(model.registry().clone());
         let store: StateStore = Arc::new(Mutex::new(HashMap::new()));
         let timer = CpuTimer::new();
+        let active = Arc::new(AtomicUsize::new(0));
 
-        let (mgr_tx, mgr_rx) = unbounded::<ManagerMsg>();
+        let (mgr_tx, mgr_rx) = match opts.manager_queue_cap {
+            Some(cap) => bounded::<ManagerMsg>(cap.max(1)),
+            None => unbounded::<ManagerMsg>(),
+        };
         let mut worker_txs = Vec::new();
         let mut workers = Vec::new();
         for w in 0..num_workers {
-            let (tx, rx) = unbounded::<Task>();
+            // The manager only dispatches to workers whose queue has
+            // drained, and one dispatch hands over at most
+            // `max_tasks_to_submit` tasks — so this bound is never hit
+            // and the manager never blocks on a worker.
+            let (tx, rx) = bounded::<Task>(opts.scheduler.max_tasks_to_submit.max(1));
             worker_txs.push(tx);
             workers.push(spawn_worker(
                 WorkerId(w as u32),
@@ -132,7 +239,16 @@ impl Runtime {
             ));
         }
 
-        let manager = spawn_manager(mgr_rx, worker_txs, registry, store, cfg, num_workers);
+        let manager = spawn_manager(ManagerArgs {
+            rx: mgr_rx,
+            worker_txs,
+            registry,
+            store,
+            cfg: opts.scheduler,
+            num_workers,
+            timer: timer.clone(),
+            active: Arc::clone(&active),
+        });
 
         Runtime {
             manager_tx: mgr_tx,
@@ -141,10 +257,12 @@ impl Runtime {
             model,
             timer,
             next_request: AtomicU64::new(0),
+            active,
+            opts,
         }
     }
 
-    /// Submits a request; returns a handle resolving to its result.
+    /// Submits a request; returns a handle resolving to its outcome.
     ///
     /// # Panics
     ///
@@ -155,23 +273,75 @@ impl Runtime {
             .unwrap_or_else(|e| panic!("invalid request: {e}"))
     }
 
-    /// Submits a request after validating it, rejecting malformed inputs
-    /// (wrong variant, empty sequence, out-of-vocabulary tokens) without
-    /// disturbing in-flight work.
+    /// Submits a request with the runtime's default deadline (if any).
+    ///
+    /// Returns `Err` only for malformed inputs (wrong variant, empty
+    /// sequence, out-of-vocabulary tokens). Overload is not an error:
+    /// a request refused by admission control still gets a handle — it
+    /// resolves to [`ServedOutcome::Rejected`].
     pub fn try_submit(&self, input: &RequestInput) -> Result<ResponseHandle, String> {
+        self.try_submit_with_deadline(input, self.opts.default_deadline_us)
+    }
+
+    /// Submits a request with an explicit relative deadline (µs from
+    /// arrival; `None` disables the deadline for this request even if
+    /// the runtime has a default).
+    pub fn try_submit_with_deadline(
+        &self,
+        input: &RequestInput,
+        deadline_us: Option<u64>,
+    ) -> Result<ResponseHandle, String> {
         self.model.validate(input)?;
         let graph = self.model.unfold(input);
         let id = RequestId(self.next_request.fetch_add(1, Ordering::Relaxed));
         let (tx, rx) = unbounded();
-        self.manager_tx
-            .send(ManagerMsg::Arrive {
-                id,
-                graph,
-                arrival_us: self.timer.now_us(),
-                respond: tx,
-            })
-            .expect("manager alive");
-        Ok(ResponseHandle { rx })
+        let handle = ResponseHandle { rx };
+
+        // Admission: reserve a slot under the cap or reject outright.
+        if let Some(cap) = self.opts.max_active_requests {
+            let admitted = self
+                .active
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                    if n < cap {
+                        Some(n + 1)
+                    } else {
+                        None
+                    }
+                })
+                .is_ok();
+            if !admitted {
+                let _ = tx.send(ServedOutcome::Rejected);
+                return Ok(handle);
+            }
+        } else {
+            self.active.fetch_add(1, Ordering::AcqRel);
+        }
+
+        let arrival_us = self.timer.now_us();
+        let msg = ManagerMsg::Arrive {
+            id,
+            graph,
+            arrival_us,
+            deadline_us: deadline_us.map(|d| arrival_us.saturating_add(d)),
+            respond: tx,
+        };
+        match self.manager_tx.try_send(msg) {
+            Ok(()) => {}
+            Err(TrySendError::Full(msg)) | Err(TrySendError::Disconnected(msg)) => {
+                // Queue full (overload) or manager gone (shutdown race):
+                // release the slot and resolve the handle accordingly.
+                self.active.fetch_sub(1, Ordering::AcqRel);
+                if let ManagerMsg::Arrive { respond, .. } = msg {
+                    let _ = respond.send(ServedOutcome::Rejected);
+                }
+            }
+        }
+        Ok(handle)
+    }
+
+    /// Requests admitted and not yet resolved.
+    pub fn active_requests(&self) -> usize {
+        self.active.load(Ordering::Acquire)
     }
 
     /// Microseconds since the runtime started.
@@ -186,6 +356,8 @@ impl Runtime {
     }
 
     fn shutdown_inner(&mut self) {
+        // `send` (not `try_send`): on a bounded queue the shutdown
+        // message must wait for a slot rather than be dropped.
         let _ = self.manager_tx.send(ManagerMsg::Shutdown);
         if let Some(m) = self.manager.take() {
             let _ = m.join();
@@ -202,53 +374,113 @@ impl Drop for Runtime {
     }
 }
 
-fn spawn_manager(
+struct ManagerArgs {
     rx: Receiver<ManagerMsg>,
     worker_txs: Vec<Sender<Task>>,
     registry: Arc<CellRegistry>,
     store: StateStore,
     cfg: SchedulerConfig,
     num_workers: usize,
-) -> JoinHandle<()> {
+    timer: CpuTimer,
+    active: Arc<AtomicUsize>,
+}
+
+fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
+    let ManagerArgs {
+        rx,
+        worker_txs,
+        registry,
+        store,
+        cfg,
+        num_workers,
+        timer,
+        active,
+    } = args;
     std::thread::Builder::new()
         .name("bm-manager".into())
         .spawn(move || {
             let mut engine = CellularEngine::new(Arc::clone(&registry), cfg);
-            let mut responders: HashMap<RequestId, (Sender<ServedResult>, usize)> = HashMap::new();
+            let mut responders: HashMap<RequestId, (Sender<ServedOutcome>, usize)> = HashMap::new();
+            // Min-heap of (absolute deadline µs, request). Entries for
+            // already-resolved requests are skipped when popped.
+            let mut deadlines: BinaryHeap<std::cmp::Reverse<(u64, RequestId)>> = BinaryHeap::new();
             let mut inflight_per_worker = vec![0usize; num_workers];
             let mut shutting_down = false;
 
             loop {
-                let Ok(msg) = rx.recv() else { break };
+                // Wait for the next message, but never past the nearest
+                // pending deadline.
+                let msg = match deadlines.peek() {
+                    Some(&std::cmp::Reverse((d, _))) => {
+                        let now = timer.now_us();
+                        if d <= now {
+                            None
+                        } else {
+                            match rx.recv_timeout(Duration::from_micros(d - now)) {
+                                Ok(m) => Some(m),
+                                Err(RecvTimeoutError::Timeout) => None,
+                                Err(RecvTimeoutError::Disconnected) => break,
+                            }
+                        }
+                    }
+                    None => match rx.recv() {
+                        Ok(m) => Some(m),
+                        Err(_) => break,
+                    },
+                };
+
                 match msg {
-                    ManagerMsg::Arrive {
+                    Some(ManagerMsg::Arrive {
                         id,
                         graph,
                         arrival_us,
+                        deadline_us,
                         respond,
-                    } => {
+                    }) => {
                         let n = graph.len();
                         responders.insert(id, (respond, n));
                         engine.on_arrival(id, graph, arrival_us);
+                        if let Some(d) = deadline_us {
+                            deadlines.push(std::cmp::Reverse((d, id)));
+                        }
                     }
-                    ManagerMsg::TaskDone {
+                    Some(ManagerMsg::TaskDone {
                         task,
                         worker,
                         started_us,
                         finished_us,
                         tokens,
-                    } => {
+                    }) => {
                         inflight_per_worker[worker.index()] -= 1;
                         engine.on_task_started(task, started_us);
                         let done = engine.on_task_completed(task, &tokens, finished_us);
                         for c in done {
-                            fulfil(&mut responders, &store, c);
+                            resolve(&mut responders, &store, &active, c);
                         }
                     }
-                    ManagerMsg::Shutdown => {
+                    Some(ManagerMsg::Shutdown) => {
                         shutting_down = true;
                     }
+                    None => {}
                 }
+
+                // Expire overdue requests: cancel unsubmitted work now;
+                // requests with in-flight tasks resolve (as cancelled)
+                // when those drain through TaskDone.
+                let now = timer.now_us();
+                while let Some(&std::cmp::Reverse((d, id))) = deadlines.peek() {
+                    if d > now {
+                        break;
+                    }
+                    deadlines.pop();
+                    if !responders.contains_key(&id) {
+                        continue; // already resolved
+                    }
+                    if let CancelOutcome::Finished(done) = engine.cancel_request(id, now) {
+                        resolve(&mut responders, &store, &active, done);
+                    }
+                }
+
                 // Dispatch to idle workers (the paper dispatches when a
                 // worker's queue drains; MaxTasksToSubmit amortizes the
                 // notification round-trip).
@@ -265,18 +497,29 @@ fn spawn_manager(
                     break;
                 }
             }
-            // Dropping the worker senders makes workers exit.
+            // Dropping the worker senders makes workers exit; dropping
+            // the responders resolves outstanding handles to ShutDown.
         })
         .expect("spawn manager")
 }
 
-fn fulfil(
-    responders: &mut HashMap<RequestId, (Sender<ServedResult>, usize)>,
+/// Resolves one completion record: removes the responder, reclaims the
+/// request's state-store rows and sends the outcome (Completed, or
+/// Expired for a cancelled record).
+fn resolve(
+    responders: &mut HashMap<RequestId, (Sender<ServedOutcome>, usize)>,
     store: &StateStore,
+    active: &AtomicUsize,
     done: CompletedRequest,
 ) {
     let Some((tx, n_nodes)) = responders.remove(&done.id) else {
         return;
+    };
+    active.fetch_sub(1, Ordering::AcqRel);
+    let timing = ServedTiming {
+        arrival_us: done.arrival_us,
+        start_us: done.start_us,
+        completion_us: done.completion_us,
     };
     let mut outputs = Vec::with_capacity(n_nodes);
     {
@@ -285,15 +528,16 @@ fn fulfil(
             outputs.push(s.remove(&(done.id, i as u32)));
         }
     }
-    let result = GraphResult { outputs };
-    let _ = tx.send(ServedResult {
-        result,
-        timing: ServedTiming {
-            arrival_us: done.arrival_us,
-            start_us: done.start_us,
-            completion_us: done.completion_us,
-        },
-    });
+    let outcome = if done.cancelled {
+        // Partial outputs were reclaimed above and discarded.
+        ServedOutcome::Expired(timing)
+    } else {
+        ServedOutcome::Completed(ServedResult {
+            result: GraphResult { outputs },
+            timing,
+        })
+    };
+    let _ = tx.send(outcome);
 }
 
 fn spawn_worker(
@@ -311,6 +555,8 @@ fn spawn_worker(
                 let started_us = timer.now_us();
                 let tokens = execute_task(&task, &registry, &store);
                 let finished_us = timer.now_us();
+                // Blocking send: completions are backpressure, never
+                // dropped — the manager always drains its queue.
                 if mgr_tx
                     .send(ManagerMsg::TaskDone {
                         task: task.id,

@@ -61,7 +61,8 @@ pub struct CompletedRequest {
     pub id: RequestId,
     /// Arrival timestamp, µs.
     pub arrival_us: u64,
-    /// First execution start, µs.
+    /// First execution start, µs; for a request cancelled before any
+    /// cell ran, the cancellation timestamp.
     pub start_us: u64,
     /// Completion timestamp, µs.
     pub completion_us: u64,
@@ -69,6 +70,11 @@ pub struct CompletedRequest {
     pub executed_nodes: usize,
     /// Total nodes in the unfolded graph.
     pub total_nodes: usize,
+    /// Whether the request resolved via
+    /// [`crate::CellularEngine::cancel_request`] rather than running to
+    /// completion. Cancelled records carry timings for accounting but no
+    /// usable outputs.
+    pub cancelled: bool,
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use bm_core::{CellularEngine, RequestId, SchedulerConfig, Task, WorkerId};
+use bm_core::{CancelOutcome, CellularEngine, RequestId, SchedulerConfig, Task, WorkerId};
 use bm_model::{LstmLm, Model, RequestInput, Seq2Seq, TreeLstm, TreeShape};
 
 fn engine_for(model: &dyn Model, max_tasks: usize) -> CellularEngine {
@@ -11,6 +11,7 @@ fn engine_for(model: &dyn Model, max_tasks: usize) -> CellularEngine {
         Arc::new(model.registry().clone()),
         SchedulerConfig {
             max_tasks_to_submit: max_tasks,
+            ..SchedulerConfig::default()
         },
     )
 }
@@ -268,7 +269,7 @@ fn subgraph_pinning_excludes_other_workers() {
     complete(&mut eng, &t0b[0], 2);
     let t1b = eng.dispatch(WorkerId(1));
     assert_eq!(t1b.len(), 1);
-    assert_eq!(t1b[0].transfer_rows, 1, "migration pays a transfer");
+    assert_eq!(t1b[0].transfer_rows, 1, "migration pays a transfer per row");
 }
 
 #[test]
@@ -506,4 +507,178 @@ fn scheduler_stats_account_for_everything() {
     assert!(s.gather_fraction() < 0.5);
     assert_eq!(s.transfers, 0);
     assert_eq!(s.cancelled_nodes, 0);
+}
+
+#[test]
+fn cancel_before_start_retires_immediately() {
+    let m = LstmLm::small();
+    let mut eng = engine_for(&m, 5);
+    eng.on_arrival(
+        RequestId(0),
+        m.unfold(&RequestInput::Sequence(vec![1; 4])),
+        0,
+    );
+    let out = eng.cancel_request(RequestId(0), 7);
+    let CancelOutcome::Finished(c) = out else {
+        panic!("expected immediate retire, got {out:?}");
+    };
+    assert!(c.cancelled);
+    assert_eq!(c.executed_nodes, 0);
+    assert_eq!(c.arrival_us, 0);
+    assert_eq!(c.start_us, 7, "never started: cancellation stamps start");
+    assert_eq!(c.completion_us, 7);
+    assert_eq!(eng.active_requests(), 0);
+    assert!(!eng.has_ready_work());
+    // Cancelling a retired request is a no-op.
+    assert_eq!(eng.cancel_request(RequestId(0), 8), CancelOutcome::Unknown);
+    let s = eng.stats();
+    assert_eq!(s.requests_cancelled, 1);
+    assert_eq!(s.requests_completed, 0);
+    assert_eq!(s.cancelled_nodes, 4);
+}
+
+#[test]
+fn cancel_in_flight_drains_then_resolves_once() {
+    let m = LstmLm::small();
+    let mut eng = engine_for(&m, 1);
+    eng.on_arrival(
+        RequestId(0),
+        m.unfold(&RequestInput::Sequence(vec![1; 4])),
+        0,
+    );
+    let t = eng.dispatch(WorkerId(0));
+    assert_eq!(t.len(), 1);
+    // Step 0 in flight, step 1 ready: cancelling drops the ready tail
+    // but leaves the in-flight task alone.
+    assert!(eng.has_ready_work());
+    assert_eq!(eng.cancel_request(RequestId(0), 5), CancelOutcome::Draining);
+    assert!(!eng.has_ready_work(), "unsubmitted nodes leave the queues");
+    assert!(eng.dispatch(WorkerId(0)).is_empty());
+    // Draining the in-flight task produces the single cancelled record.
+    let done = complete(&mut eng, &t[0], 9);
+    assert_eq!(done.len(), 1);
+    assert!(done[0].cancelled);
+    assert_eq!(done[0].executed_nodes, 1);
+    assert_eq!(done[0].completion_us, 9);
+    assert_eq!(eng.active_requests(), 0);
+    assert_eq!(eng.inflight_tasks(), 0);
+}
+
+#[test]
+fn cancel_retires_subgraphs_that_never_queued() {
+    // Seq2Seq: the decoder subgraph still has unmet external deps when
+    // the encoder is cancelled mid-flight; retirement must clean it up
+    // even though it never entered a scheduling queue.
+    let m = Seq2Seq::small();
+    let mut eng = engine_for(&m, 1);
+    eng.on_arrival(
+        RequestId(0),
+        m.unfold(&RequestInput::Pair {
+            src: vec![2, 3],
+            decode_len: 3,
+        }),
+        0,
+    );
+    let enc = eng.dispatch(WorkerId(0));
+    assert_eq!(enc[0].cell_type, m.encoder_type());
+    assert_eq!(eng.cancel_request(RequestId(0), 4), CancelOutcome::Draining);
+    let done = complete(&mut eng, &enc[0], 8);
+    assert_eq!(done.len(), 1);
+    assert!(done[0].cancelled);
+    assert_eq!(done[0].executed_nodes, 1);
+    assert_eq!(eng.active_requests(), 0);
+    assert!(!eng.has_ready_work());
+}
+
+#[test]
+fn cancel_coexists_with_eos_termination() {
+    use bm_model::Seq2SeqConfig;
+    let m = Seq2Seq::new(Seq2SeqConfig {
+        eos_terminates: true,
+        ..Default::default()
+    });
+    let mut eng = engine_for(&m, 1);
+    eng.on_arrival(
+        RequestId(0),
+        m.unfold(&RequestInput::Pair {
+            src: vec![2],
+            decode_len: 6,
+        }),
+        0,
+    );
+    let enc = eng.dispatch(WorkerId(0));
+    complete(&mut eng, &enc[0], 1);
+    let dec = eng.dispatch(WorkerId(0));
+    // Cancel while the decode step that will emit <eos> is in flight:
+    // the request cancel already dropped the downstream steps, so the
+    // <eos> cancellation path finds nothing left and the request still
+    // resolves exactly once.
+    assert_eq!(eng.cancel_request(RequestId(0), 2), CancelOutcome::Draining);
+    eng.on_task_started(dec[0].id, 3);
+    let done = eng.on_task_completed(dec[0].id, &[Some(bm_model::EOS_TOKEN)], 3);
+    assert_eq!(done.len(), 1);
+    assert!(done[0].cancelled);
+    assert_eq!(eng.active_requests(), 0);
+    let s = eng.stats();
+    assert_eq!(s.requests_cancelled, 1);
+    assert_eq!(s.requests_completed, 0);
+}
+
+#[test]
+fn completion_records_not_retained_by_default() {
+    // Drivers consume `on_task_completed`'s return value directly; the
+    // engine must not grow a second, never-drained copy of every record.
+    let m = LstmLm::small();
+    let mut eng = engine_for(&m, 5);
+    for i in 0..20u64 {
+        eng.on_arrival(
+            RequestId(i),
+            m.unfold(&RequestInput::Sequence(vec![1; 3])),
+            i,
+        );
+    }
+    let mut now = 0;
+    let mut returned = 0;
+    while eng.active_requests() > 0 {
+        for t in eng.dispatch(WorkerId(0)) {
+            now += 1;
+            returned += complete(&mut eng, &t, now).len();
+        }
+    }
+    assert_eq!(returned, 20);
+    assert!(
+        eng.drain_completions().is_empty(),
+        "completion records leaked"
+    );
+}
+
+#[test]
+fn completion_records_retained_on_request() {
+    let m = LstmLm::small();
+    let mut eng = CellularEngine::new(
+        Arc::new(m.registry().clone()),
+        SchedulerConfig {
+            retain_completions: true,
+            ..SchedulerConfig::default()
+        },
+    );
+    for i in 0..10u64 {
+        eng.on_arrival(
+            RequestId(i),
+            m.unfold(&RequestInput::Sequence(vec![1; 2])),
+            i,
+        );
+    }
+    let mut now = 0;
+    while eng.active_requests() > 0 {
+        for t in eng.dispatch(WorkerId(0)) {
+            now += 1;
+            complete(&mut eng, &t, now);
+        }
+    }
+    assert_eq!(eng.drain_completions().len(), 10);
+    assert!(
+        eng.drain_completions().is_empty(),
+        "drain empties the buffer"
+    );
 }

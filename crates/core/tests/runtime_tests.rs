@@ -14,7 +14,7 @@ fn check_against_reference(model: Arc<dyn Model>, inputs: &[RequestInput], worke
     let rt = Runtime::start(Arc::clone(&model), workers, SchedulerConfig::default());
     let handles: Vec<_> = inputs.iter().map(|i| rt.submit(i)).collect();
     for (input, h) in inputs.iter().zip(handles) {
-        let served = h.wait();
+        let served = h.wait().completed();
         let expect = reference::execute_graph(&model.unfold(input), model.registry());
         assert_eq!(
             served.result, expect,
@@ -87,7 +87,7 @@ fn eos_terminated_decode_stops_early() {
         src: vec![2, 3],
         decode_len: 40,
     };
-    let served = rt.submit(&input).wait();
+    let served = rt.submit(&input).wait().completed();
     // The reference executor applies the same eos semantics; decoded
     // prefixes must agree.
     let expect = reference::execute_graph(&model.unfold(&input), model.registry());
@@ -117,7 +117,7 @@ fn throughput_sanity_many_concurrent_requests() {
     let handles: Vec<_> = ds.items().iter().map(|i| rt.submit(i)).collect();
     let mut latencies = Vec::new();
     for (input, h) in ds.items().iter().zip(handles) {
-        let served = h.wait();
+        let served = h.wait().completed();
         let expect = reference::execute_graph(&model.unfold(input), model.registry());
         assert_eq!(served.result, expect);
         latencies.push(served.timing.completion_us - served.timing.arrival_us);
@@ -135,11 +135,187 @@ fn handles_resolve_even_when_submitted_after_idle() {
         SchedulerConfig::default(),
     );
     // First burst.
-    let a = rt.submit(&RequestInput::Sequence(vec![1, 2, 3])).wait();
+    let a = rt
+        .submit(&RequestInput::Sequence(vec![1, 2, 3]))
+        .wait()
+        .completed();
     // Let the system go idle, then submit again.
     std::thread::sleep(std::time::Duration::from_millis(5));
-    let b = rt.submit(&RequestInput::Sequence(vec![4, 5])).wait();
+    let b = rt
+        .submit(&RequestInput::Sequence(vec![4, 5]))
+        .wait()
+        .completed();
     assert_eq!(a.result.executed_count(), 3);
     assert_eq!(b.result.executed_count(), 2);
+    rt.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Overload behaviour: deadlines, admission control, cancellation.
+// ---------------------------------------------------------------------------
+
+use bm_core::{RuntimeOptions, ServedOutcome};
+
+/// A zero-length deadline expires in the manager iteration that admits
+/// the request — before any dispatch — so the outcome is deterministic:
+/// interleaved no-deadline requests complete (bit-identical to the
+/// reference), zero-deadline ones expire, and nothing panics or hangs.
+#[test]
+fn zero_deadline_requests_expire_while_others_complete() {
+    let model = Arc::new(LstmLm::small());
+    let rt = Runtime::start(
+        Arc::clone(&model) as Arc<dyn Model>,
+        1,
+        SchedulerConfig::default(),
+    );
+    let inputs: Vec<RequestInput> = (0..90)
+        .map(|i| RequestInput::Sequence((0..(3 + i % 10)).map(|t| (t % 50) as u32).collect()))
+        .collect();
+    let handles: Vec<_> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, input)| {
+            let deadline = if i % 3 == 0 { Some(0) } else { None };
+            rt.try_submit_with_deadline(input, deadline)
+                .expect("valid input")
+        })
+        .collect();
+    let mut expired = 0;
+    for (i, (input, h)) in inputs.iter().zip(handles).enumerate() {
+        match h.wait() {
+            ServedOutcome::Completed(served) => {
+                assert_ne!(i % 3, 0, "zero-deadline request {i} completed");
+                let expect = reference::execute_graph(&model.unfold(input), model.registry());
+                assert_eq!(served.result, expect, "admitted request {i} diverged");
+            }
+            ServedOutcome::Expired(t) => {
+                assert_eq!(i % 3, 0, "no-deadline request {i} expired");
+                assert!(t.arrival_us <= t.completion_us);
+                expired += 1;
+            }
+            other => panic!("unexpected outcome for request {i}: {other:?}"),
+        }
+    }
+    assert_eq!(expired, 30);
+    assert_eq!(rt.active_requests(), 0, "every slot reclaimed");
+    rt.shutdown();
+}
+
+/// A flood with a short real deadline on one worker: the tail of the
+/// queue cannot meet it, so requests expire — yet every handle resolves
+/// (no panic, no hang) and whatever did complete matches the reference.
+#[test]
+fn deadline_flood_sheds_tail_without_hanging() {
+    let model = Arc::new(LstmLm::small());
+    let rt = Runtime::start_with(
+        Arc::clone(&model) as Arc<dyn Model>,
+        1,
+        RuntimeOptions {
+            default_deadline_us: Some(1_000),
+            ..RuntimeOptions::default()
+        },
+    );
+    let ds = Dataset::lstm(600, LengthDistribution::Fixed(20), 900, 17);
+    let handles: Vec<_> = ds.items().iter().map(|i| rt.submit(i)).collect();
+    let (mut completed, mut expired) = (0usize, 0usize);
+    for (input, h) in ds.items().iter().zip(handles) {
+        match h.wait() {
+            ServedOutcome::Completed(served) => {
+                let expect = reference::execute_graph(&model.unfold(input), model.registry());
+                assert_eq!(served.result, expect, "admitted request diverged");
+                completed += 1;
+            }
+            ServedOutcome::Expired(t) => {
+                assert!(t.arrival_us <= t.completion_us);
+                expired += 1;
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+    assert_eq!(completed + expired, 600);
+    assert!(
+        expired > 0,
+        "600 x 20-step requests cannot all finish within 1 ms each on one worker"
+    );
+    assert_eq!(rt.active_requests(), 0);
+    rt.shutdown();
+}
+
+/// With a small active-request cap, a burst resolves some submissions to
+/// `Rejected` without doing any work, while admitted ones still complete
+/// correctly.
+#[test]
+fn admission_cap_rejects_excess_submissions() {
+    let model = Arc::new(LstmLm::small());
+    let rt = Runtime::start_with(
+        Arc::clone(&model) as Arc<dyn Model>,
+        1,
+        RuntimeOptions {
+            max_active_requests: Some(4),
+            ..RuntimeOptions::default()
+        },
+    );
+    let ds = Dataset::lstm(200, LengthDistribution::Fixed(40), 900, 23);
+    let handles: Vec<_> = ds
+        .items()
+        .iter()
+        .map(|i| rt.try_submit(i).expect("valid input"))
+        .collect();
+    let (mut completed, mut rejected) = (0usize, 0usize);
+    for (input, h) in ds.items().iter().zip(handles) {
+        match h.wait() {
+            ServedOutcome::Completed(served) => {
+                let expect = reference::execute_graph(&model.unfold(input), model.registry());
+                assert_eq!(served.result, expect, "admitted request diverged");
+                completed += 1;
+            }
+            ServedOutcome::Rejected => rejected += 1,
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+    assert_eq!(completed + rejected, 200);
+    assert!(completed >= 4, "the first burst fits under the cap");
+    assert!(
+        rejected > 0,
+        "a 200-deep burst of 40-step requests must overflow a cap of 4"
+    );
+    assert_eq!(rt.active_requests(), 0);
+    rt.shutdown();
+}
+
+/// A bounded manager queue must never deadlock: worker completions use
+/// blocking sends the manager always drains, and submissions that find
+/// the queue full resolve to `Rejected` instead of blocking the caller.
+#[test]
+fn bounded_manager_queue_never_deadlocks() {
+    let model = Arc::new(LstmLm::small());
+    let rt = Runtime::start_with(
+        Arc::clone(&model) as Arc<dyn Model>,
+        2,
+        RuntimeOptions {
+            manager_queue_cap: Some(2),
+            ..RuntimeOptions::default()
+        },
+    );
+    let ds = Dataset::lstm(80, LengthDistribution::Fixed(10), 900, 31);
+    let handles: Vec<_> = ds
+        .items()
+        .iter()
+        .map(|i| rt.try_submit(i).expect("valid input"))
+        .collect();
+    let mut resolved = 0usize;
+    for (input, h) in ds.items().iter().zip(handles) {
+        match h.wait() {
+            ServedOutcome::Completed(served) => {
+                let expect = reference::execute_graph(&model.unfold(input), model.registry());
+                assert_eq!(served.result, expect, "admitted request diverged");
+                resolved += 1;
+            }
+            ServedOutcome::Rejected => resolved += 1,
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+    assert_eq!(resolved, 80);
+    assert_eq!(rt.active_requests(), 0);
     rt.shutdown();
 }

@@ -6,21 +6,21 @@
 //! ```
 //!
 //! Experiments: fig3 fig5 fig7a fig7b fig8 fig9 fig10 fig11 fig13 fig14
-//! fig15 headline ablation. Results land in `results/` as markdown + CSV and are
-//! echoed to stdout.
+//! fig15 headline ablation sla. Results land in `results/` as markdown + CSV
+//! and are echoed to stdout.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use bm_harness::experiments::{
-    ablation, fig10, fig11, fig13, fig14, fig15, fig3, fig5, fig7, fig8, fig9, headline, Scale,
+    ablation, fig10, fig11, fig13, fig14, fig15, fig3, fig5, fig7, fig8, fig9, headline, sla, Scale,
 };
 use bm_harness::write_results;
 use bm_metrics::Table;
 
 const EXPERIMENTS: &[&str] = &[
     "fig3", "fig5", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11", "fig13", "fig14", "fig15",
-    "headline", "ablation",
+    "headline", "ablation", "sla",
 ];
 
 fn run_one(name: &str, scale: Scale) -> Option<Vec<Table>> {
@@ -38,6 +38,7 @@ fn run_one(name: &str, scale: Scale) -> Option<Vec<Table>> {
         "fig15" => fig15::run(scale),
         "headline" => headline::run(scale),
         "ablation" => ablation::run(scale),
+        "sla" => sla::run(scale),
         _ => return None,
     };
     Some(tables)

@@ -55,6 +55,7 @@ pub fn max_tasks_ablation(scale: Scale) -> Table {
         let mut factory = ServerFactory::paper(model);
         factory.scheduler = SchedulerConfig {
             max_tasks_to_submit: mt,
+            ..SchedulerConfig::default()
         };
         let p = run_point(&factory, &SystemKind::BatchMaker, &ds, 8_000.0, 1, scale);
         let s = p.outcome.recorder.summary();

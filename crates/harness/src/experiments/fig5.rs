@@ -81,6 +81,7 @@ pub fn run(_scale: Scale) -> Vec<Table> {
         model,
         SchedulerConfig {
             max_tasks_to_submit: 1,
+            ..SchedulerConfig::default()
         },
         unit_cost(),
         profile,

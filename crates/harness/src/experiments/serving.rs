@@ -95,7 +95,7 @@ pub fn run_point(
             // is saturated at this rate.
             max_sim_us: span.saturating_mul(4).max(5_000_000),
             warmup: n / 10,
-            worker_speeds: None,
+            ..SimOptions::default()
         },
     );
     SweepPoint {

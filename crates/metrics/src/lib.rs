@@ -11,10 +11,12 @@
 
 mod cdf;
 mod recorder;
+mod sla;
 mod table;
 
 pub use cdf::Cdf;
 pub use recorder::{LatencyRecorder, RequestTiming, Summary};
+pub use sla::SlaSummary;
 pub use table::{fmt1, Table};
 
 /// Converts microseconds to milliseconds.

@@ -66,6 +66,6 @@ proptest! {
         }
         let trimmed = r.trimmed(warm, cool);
         prop_assert!(trimmed.len() <= r.len());
-        prop_assert_eq!(trimmed.len(), r.len().saturating_sub(cool).saturating_sub(warm).max(0));
+        prop_assert_eq!(trimmed.len(), r.len().saturating_sub(cool).saturating_sub(warm));
     }
 }

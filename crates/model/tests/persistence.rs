@@ -103,7 +103,7 @@ fn loaded_model_serves_through_runtime() {
         SchedulerConfig::default(),
     );
     let input = RequestInput::Sequence(vec![1, 2, 3, 4, 5]);
-    let served = rt.submit(&input).wait();
+    let served = rt.submit(&input).wait().completed();
     let expect = reference::execute_graph(&original.unfold(&input), original.registry());
     assert_eq!(served.result, expect);
     rt.shutdown();

@@ -106,8 +106,12 @@ impl Server for CellularServer {
         let tokens = vec![None; batch];
         let done = self.engine.on_task_completed(TaskId(item), &tokens, now_us);
         for c in done {
-            self.completions
-                .push((c.id.0, c.arrival_us, c.start_us, c.completion_us));
+            // Cancelled requests resolve through the driver's expiry
+            // accounting, not as completions.
+            if !c.cancelled {
+                self.completions
+                    .push((c.id.0, c.arrival_us, c.start_us, c.completion_us));
+            }
         }
     }
 
@@ -117,6 +121,13 @@ impl Server for CellularServer {
 
     fn pending_requests(&self) -> usize {
         self.engine.active_requests()
+    }
+
+    fn cancel(&mut self, id: u64, now_us: u64) -> bool {
+        !matches!(
+            self.engine.cancel_request(RequestId(id), now_us),
+            bm_core::CancelOutcome::Unknown
+        )
     }
 }
 

@@ -21,6 +21,15 @@ pub struct SimOptions {
     /// factor. Useful for stall/imbalance injection experiments.
     /// `None` means all workers run at nominal speed.
     pub worker_speeds: Option<Vec<f64>>,
+    /// Relative deadline applied to every request, µs from arrival. A
+    /// request not completed by its deadline is cancelled on the server
+    /// (see [`Server::cancel`]) and counted in [`SimOutcome::expired`]
+    /// instead of the recorder. `None` disables deadlines.
+    pub deadline_us: Option<u64>,
+    /// Admission cap: arrivals while this many requests are already in
+    /// the system are dropped before reaching the server and counted in
+    /// [`SimOutcome::rejected`]. `None` admits everything.
+    pub max_active: Option<usize>,
 }
 
 impl Default for SimOptions {
@@ -30,6 +39,8 @@ impl Default for SimOptions {
             max_sim_us: 600_000_000, // 10 virtual minutes.
             warmup: 0,
             worker_speeds: None,
+            deadline_us: None,
+            max_active: None,
         }
     }
 }
@@ -49,6 +60,10 @@ pub struct SimOutcome {
     /// Whether the run hit the virtual-time cap before completing all
     /// arrivals — the saturation signal for load sweeps.
     pub saturated: bool,
+    /// Requests whose deadline passed before completion.
+    pub expired: usize,
+    /// Requests dropped by the admission cap before reaching the server.
+    pub rejected: usize,
 }
 
 impl SimOutcome {
@@ -64,8 +79,23 @@ impl SimOutcome {
 #[derive(Debug)]
 enum Event {
     Arrival(usize),
-    WorkDone { worker: usize, item: u64 },
+    WorkDone {
+        worker: usize,
+        item: u64,
+    },
     Wake,
+    /// Deadline check for one request (index into `arrivals`).
+    Expire(usize),
+}
+
+/// Per-request lifecycle tracked by the driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReqStatus {
+    NotArrived,
+    Admitted,
+    Completed,
+    Expired,
+    Rejected,
 }
 
 /// Runs one open-loop simulation: `arrivals` are `(time_us, input)`
@@ -92,6 +122,9 @@ pub fn simulate(
     let mut queued = vec![0usize; opts.workers];
     let mut recorder = LatencyRecorder::new();
     let mut completions = Vec::new();
+    let mut status = vec![ReqStatus::NotArrived; arrivals.len()];
+    let mut expired = 0usize;
+    let mut rejected = 0usize;
     let mut now = 0;
     let mut saturated = false;
     let mut next_wake: Option<u64> = None;
@@ -112,6 +145,15 @@ pub fn simulate(
             match ev {
                 Event::Arrival(idx) => {
                     let (at, input) = &arrivals[idx];
+                    if opts
+                        .max_active
+                        .is_some_and(|cap| server.pending_requests() >= cap)
+                    {
+                        status[idx] = ReqStatus::Rejected;
+                        rejected += 1;
+                        continue;
+                    }
+                    status[idx] = ReqStatus::Admitted;
                     server.on_arrival(
                         SimRequest {
                             id: idx as u64,
@@ -120,6 +162,9 @@ pub fn simulate(
                         },
                         now,
                     );
+                    if let Some(d) = opts.deadline_us {
+                        events.push(at.saturating_add(d), Event::Expire(idx));
+                    }
                 }
                 Event::WorkDone { worker, item } => {
                     queued[worker] -= 1;
@@ -127,6 +172,17 @@ pub fn simulate(
                 }
                 Event::Wake => {
                     next_wake = None;
+                }
+                Event::Expire(idx) => {
+                    if status[idx] == ReqStatus::Admitted {
+                        status[idx] = ReqStatus::Expired;
+                        expired += 1;
+                        // Best-effort shed: a server without cancel
+                        // support keeps the work but the request is
+                        // still accounted as expired (its eventual
+                        // completion is discarded below).
+                        let _ = server.cancel(idx as u64, now);
+                    }
                 }
             }
         }
@@ -163,7 +219,16 @@ pub fn simulate(
             }
         }
         for c in server.drain_completions() {
-            let (_id, arrival, start, completion) = c;
+            let (id, arrival, start, completion) = c;
+            let idx = id as usize;
+            if status.get(idx) == Some(&ReqStatus::Expired) {
+                // A server that could not shed the request finished it
+                // after its deadline: useless work, not goodput.
+                continue;
+            }
+            if let Some(s) = status.get_mut(idx) {
+                *s = ReqStatus::Completed;
+            }
             recorder.record(RequestTiming {
                 arrival_us: arrival,
                 start_us: start,
@@ -180,6 +245,8 @@ pub fn simulate(
         end_us: now,
         unfinished,
         saturated: saturated || unfinished > 0,
+        expired,
+        rejected,
     }
 }
 

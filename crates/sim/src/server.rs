@@ -58,4 +58,16 @@ pub trait Server {
         let _ = now_us;
         None
     }
+
+    /// Cancels an admitted request (deadline expiry): unscheduled work
+    /// for it should be dropped; in-flight device work may drain.
+    /// Returns `true` if the server shed the request — it will then no
+    /// longer emit a completion tuple for it. Servers without
+    /// load-shedding support return `false` (the default); the driver
+    /// still accounts the request as expired but its work runs to
+    /// completion and occupies the device.
+    fn cancel(&mut self, id: u64, now_us: u64) -> bool {
+        let _ = (id, now_us);
+        false
+    }
 }

@@ -43,7 +43,7 @@ fn main() {
     let handles: Vec<_> = sentences.iter().map(|s| runtime.submit(s)).collect();
 
     for (input, handle) in sentences.iter().zip(handles) {
-        let served = handle.wait();
+        let served = handle.wait().completed();
         let expect = reference::execute_graph(&model.unfold(input), model.registry());
         assert_eq!(served.result, expect, "batched result must match reference");
 

@@ -49,7 +49,7 @@ fn main() {
 
     let handles: Vec<_> = inputs.iter().map(|i| runtime.submit(i)).collect();
     for (input, handle) in inputs.iter().zip(handles) {
-        let served = handle.wait();
+        let served = handle.wait().completed();
         let expect = reference::execute_graph(&model.unfold(input), model.registry());
         assert_eq!(served.result, expect, "tree result must match reference");
         let RequestInput::Tree(shape) = input else {

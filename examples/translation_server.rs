@@ -45,7 +45,7 @@ fn main() {
 
     let mut total_latency_us = 0u64;
     for (input, handle) in handles {
-        let served = handle.wait();
+        let served = handle.wait().completed();
         let RequestInput::Pair { src, decode_len } = &input else {
             unreachable!("seq2seq dataset yields pairs");
         };

@@ -15,7 +15,7 @@ fn serve_and_verify(model: Arc<dyn Model>, inputs: &[RequestInput], workers: usi
     let handles: Vec<_> = inputs.iter().map(|i| rt.submit(i)).collect();
     let mut latencies = Vec::new();
     for (input, h) in inputs.iter().zip(handles) {
-        let served = h.wait();
+        let served = h.wait().completed();
         let expect = reference::execute_graph(&model.unfold(input), model.registry());
         assert_eq!(served.result, expect, "diverged on {input:?}");
         latencies.push(served.timing.completion_us - served.timing.arrival_us);
@@ -52,9 +52,9 @@ fn mixed_interleaved_submissions() {
     let short = RequestInput::Sequence(vec![2; 2]);
     let h_long = rt.submit(&long);
     let h_shorts: Vec<_> = (0..8).map(|_| rt.submit(&short)).collect();
-    let long_done = h_long.wait().timing.completion_us;
+    let long_done = h_long.wait().completed().timing.completion_us;
     for h in h_shorts {
-        let t = h.wait().timing;
+        let t = h.wait().completed().timing;
         assert!(
             t.completion_us < long_done,
             "short request finished at {} after the long one at {long_done}",
@@ -74,7 +74,7 @@ fn repeated_identical_requests_are_deterministic() {
         .map(|_| rt.submit(&input))
         .collect::<Vec<_>>()
         .into_iter()
-        .map(|h| h.wait().result)
+        .map(|h| h.wait().completed().result)
         .collect();
     for r in &results[1..] {
         assert_eq!(
@@ -126,6 +126,6 @@ fn malformed_requests_rejected_gracefully() {
         .is_err());
     // The runtime is unharmed: a valid request still serves.
     let ok = rt.try_submit(&RequestInput::Sequence(vec![1, 2])).unwrap();
-    assert_eq!(ok.wait().result.executed_count(), 2);
+    assert_eq!(ok.wait().completed().result.executed_count(), 2);
     rt.shutdown();
 }

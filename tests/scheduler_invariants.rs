@@ -88,7 +88,7 @@ proptest! {
         let registry = Arc::new(model.registry().clone());
         let mut engine = CellularEngine::new(
             Arc::clone(&registry),
-            SchedulerConfig { max_tasks_to_submit: max_tasks },
+            SchedulerConfig { max_tasks_to_submit: max_tasks, ..SchedulerConfig::default() },
         );
 
         // Admit requests at staggered times.
@@ -174,5 +174,134 @@ proptest! {
         }
         let total: usize = expected_nodes.values().sum();
         prop_assert_eq!(executed.len(), total);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cancellation invariants: under arbitrary cancel timing each
+    /// request resolves exactly once (a normal completion or one
+    /// cancelled record), no node of a cancelled request is dispatched
+    /// after the cancel, and the engine always drains.
+    #[test]
+    fn cancellation_resolves_each_request_exactly_once(
+        workload in workload_strategy(),
+        workers in 1usize..4,
+        max_tasks in 1usize..6,
+        cancels in proptest::collection::vec((0usize..12, 0u64..30), 1..8),
+    ) {
+        let (model, inputs) = build(&workload);
+        let registry = Arc::new(model.registry().clone());
+        let mut engine = CellularEngine::new(
+            Arc::clone(&registry),
+            SchedulerConfig { max_tasks_to_submit: max_tasks, ..SchedulerConfig::default() },
+        );
+
+        let mut expected_nodes: HashMap<u64, usize> = HashMap::new();
+        for (i, input) in inputs.iter().enumerate() {
+            let graph = model.unfold(input);
+            expected_nodes.insert(i as u64, graph.len());
+            engine.on_arrival(RequestId(i as u64), graph, i as u64);
+        }
+        // (round, request) cancel schedule, normalized to valid ids.
+        let cancels: Vec<(u64, u64)> = cancels
+            .iter()
+            .map(|&(req, round)| (round, (req % inputs.len()) as u64))
+            .collect();
+
+        let mut cancel_requested: HashSet<u64> = HashSet::new();
+        // request -> cancelled flag of its single completion record.
+        let mut resolved: HashMap<u64, bool> = HashMap::new();
+        let mut now = 1000u64;
+        let mut round = 0u64;
+        let mut stalled = 0;
+        while engine.active_requests() > 0 {
+            // Dispatch first so this round's cancels land while tasks
+            // are in flight, exercising the Draining path.
+            let mut inflight = Vec::new();
+            for w in 0..workers {
+                for t in engine.dispatch(WorkerId(w as u32)) {
+                    for e in &t.entries {
+                        prop_assert!(
+                            !cancel_requested.contains(&e.request.0),
+                            "dispatched a node of cancelled request {}", e.request.0
+                        );
+                    }
+                    inflight.push(t);
+                }
+            }
+
+            for &(at, req) in &cancels {
+                if at != round {
+                    continue;
+                }
+                match engine.cancel_request(RequestId(req), now) {
+                    bm_core::CancelOutcome::Finished(c) => {
+                        prop_assert!(c.cancelled);
+                        prop_assert!(
+                            resolved.insert(req, true).is_none(),
+                            "request {} resolved twice", req
+                        );
+                    }
+                    bm_core::CancelOutcome::Draining => {
+                        prop_assert!(!resolved.contains_key(&req), "draining after resolution");
+                    }
+                    bm_core::CancelOutcome::Unknown => {
+                        prop_assert!(
+                            resolved.contains_key(&req),
+                            "unknown id {} that never resolved", req
+                        );
+                    }
+                }
+                if !resolved.contains_key(&req) {
+                    cancel_requested.insert(req);
+                }
+            }
+            round += 1;
+
+            let progressed = !inflight.is_empty();
+            for t in inflight {
+                now += 1;
+                engine.on_task_started(t.id, now);
+                let tokens = vec![None; t.entries.len()];
+                for c in engine.on_task_completed(t.id, &tokens, now) {
+                    prop_assert_eq!(
+                        c.cancelled,
+                        cancel_requested.contains(&c.id.0),
+                        "cancelled flag mismatch for request {}", c.id.0
+                    );
+                    if !c.cancelled {
+                        prop_assert_eq!(c.executed_nodes, expected_nodes[&c.id.0]);
+                    }
+                    prop_assert!(
+                        resolved.insert(c.id.0, c.cancelled).is_none(),
+                        "request {} resolved twice", c.id.0
+                    );
+                }
+            }
+            if !progressed {
+                stalled += 1;
+                prop_assert!(stalled < 3, "engine wedged with work remaining");
+            } else {
+                stalled = 0;
+            }
+        }
+
+        // Fully drained, every request resolved exactly once, and the
+        // stats ledger agrees with the records.
+        prop_assert_eq!(resolved.len(), inputs.len());
+        for w in 0..workers {
+            prop_assert!(engine.dispatch(WorkerId(w as u32)).is_empty());
+        }
+        let stats = engine.stats();
+        prop_assert_eq!(
+            stats.requests_completed + stats.requests_cancelled,
+            inputs.len() as u64
+        );
+        prop_assert_eq!(
+            stats.requests_cancelled,
+            resolved.values().filter(|&&c| c).count() as u64
+        );
     }
 }

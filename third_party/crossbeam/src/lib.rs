@@ -1,0 +1,376 @@
+//! Offline stand-in for `crossbeam`, providing the `channel` module the
+//! workspace uses: multi-producer single-consumer channels, bounded and
+//! unbounded, built on `Mutex` + `Condvar`.
+//!
+//! The semantics mirror `crossbeam-channel` for the subset exercised
+//! here: cloneable senders, blocking `send`/`recv`, non-blocking
+//! `try_send`/`try_recv`, `recv_timeout`, and disconnect detection in
+//! both directions. Throughput is far below the real crate's lock-free
+//! queues, but the serving runtime batches aggressively enough that the
+//! channel is never the bottleneck in tests.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// The receiver has been dropped.
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("TrySendError::Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("TrySendError::Disconnected(..)"),
+            }
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone
+    /// and the queue is empty.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message currently queued.
+        Empty,
+        /// All senders dropped and the queue is empty.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline elapsed with no message.
+        Timeout,
+        /// All senders dropped and the queue is empty.
+        Disconnected,
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receiver_alive: bool,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        /// Capacity for bounded channels; `None` is unbounded.
+        cap: Option<usize>,
+        /// Signalled when a message is pushed or the last sender drops.
+        not_empty: Condvar,
+        /// Signalled when a message is popped or the receiver drops.
+        not_full: Condvar,
+    }
+
+    /// The sending half; cloneable.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Creates a bounded channel holding at most `cap` messages.
+    /// Zero-capacity rendezvous channels are not supported; `cap` must
+    /// be positive.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "bounded channel capacity must be positive");
+        with_capacity(Some(cap))
+    }
+
+    fn with_capacity<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receiver_alive: true,
+            }),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is enqueued (or the receiver drops).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.chan.state.lock().expect("channel lock");
+            loop {
+                if !st.receiver_alive {
+                    return Err(SendError(value));
+                }
+                match self.chan.cap {
+                    Some(cap) if st.queue.len() >= cap => {
+                        st = self.chan.not_full.wait(st).expect("channel lock");
+                    }
+                    _ => break,
+                }
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Enqueues without blocking; fails if full or disconnected.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.chan.state.lock().expect("channel lock");
+            if !st.receiver_alive {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.chan.cap {
+                if st.queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.chan.state.lock().expect("channel lock").queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().expect("channel lock").senders += 1;
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().expect("channel lock");
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.chan.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives (or all senders drop).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.chan.state.lock().expect("channel lock");
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.chan.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.chan.not_empty.wait(st).expect("channel lock");
+            }
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.chan.state.lock().expect("channel lock");
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.chan.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, res) = self
+                    .chan
+                    .not_empty
+                    .wait_timeout(st, deadline - now)
+                    .expect("channel lock");
+                st = guard;
+                if res.timed_out() && st.queue.is_empty() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.chan.state.lock().expect("channel lock");
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.chan.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.chan.state.lock().expect("channel lock").queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().expect("channel lock");
+            st.receiver_alive = false;
+            drop(st);
+            self.chan.not_full.notify_all();
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn unbounded_round_trip() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn recv_fails_after_all_senders_drop() {
+            let (tx, rx) = unbounded::<u32>();
+            let tx2 = tx.clone();
+            drop(tx);
+            tx2.send(9).unwrap();
+            drop(tx2);
+            assert_eq!(rx.recv(), Ok(9));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_fails_after_receiver_drops() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert_eq!(tx.send(5), Err(SendError(5)));
+        }
+
+        #[test]
+        fn bounded_try_send_reports_full() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_capacity_frees() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let h = std::thread::spawn(move || tx.send(2));
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            h.join().unwrap().unwrap();
+        }
+
+        #[test]
+        fn recv_timeout_times_out_and_then_delivers() {
+            let (tx, rx) = unbounded();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(7u32).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+        }
+
+        #[test]
+        fn cross_thread_mpsc() {
+            let (tx, rx) = unbounded();
+            let handles: Vec<_> = (0..4u64)
+                .map(|i| {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || {
+                        for j in 0..100u64 {
+                            tx.send(i * 1000 + j).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            drop(tx);
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(got.len(), 400);
+        }
+    }
+}

@@ -1,0 +1,594 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! reimplements the subset of proptest the workspace's property tests
+//! use: the [`strategy::Strategy`] trait with `prop_map`,
+//! `prop_flat_map`, `prop_recursive` and `boxed`; range and tuple
+//! strategies; [`collection::vec`]; [`arbitrary::any`]; the `proptest!`,
+//! `prop_assert!`, `prop_assert_eq!` and `prop_oneof!` macros; and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from upstream: generation is seeded deterministically per
+//! test (derived from the test name), there is **no shrinking** — a
+//! failing case reports the case index and seed instead of a minimized
+//! input — and the default case count honours `PROPTEST_CASES` with a
+//! smaller fallback (64) suited to CI without persisted regressions.
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+pub mod test_runner {
+    /// Configuration for one `proptest!` test.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed property within one generated case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministic per-test, per-case RNG seed.
+    pub fn case_seed(test_name: &str, case: u32) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        test_name.hash(&mut h);
+        h.finish() ^ ((case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+}
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+    use std::sync::Arc;
+
+    /// A generator of random values of one type.
+    ///
+    /// Unlike upstream proptest there is no shrinking: a strategy is
+    /// just a pure function of the RNG.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f`
+        /// builds from it.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Recursive strategies: `self` generates leaves, `recurse`
+        /// wraps an inner strategy into one generating one more level.
+        /// `_desired_size` and `_expected_branch_size` are accepted for
+        /// signature compatibility and ignored.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> Recursive<Self::Value>
+        where
+            Self: Sized + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+        {
+            Recursive {
+                base: self.boxed(),
+                recurse: Arc::new(move |inner| recurse(inner).boxed()),
+                depth,
+            }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut StdRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut StdRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, cheaply cloneable strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_recursive`].
+    pub struct Recursive<T> {
+        base: BoxedStrategy<T>,
+        recurse: Arc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+        depth: u32,
+    }
+
+    impl<T> Clone for Recursive<T> {
+        fn clone(&self) -> Self {
+            Recursive {
+                base: self.base.clone(),
+                recurse: Arc::clone(&self.recurse),
+                depth: self.depth,
+            }
+        }
+    }
+
+    impl<T: 'static> Strategy for Recursive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            // Pick a nesting level in [0, depth], biased toward shallow
+            // structures like upstream's probabilistic descent.
+            let mut levels = 0;
+            while levels < self.depth && rng.gen_bool(0.5) {
+                levels += 1;
+            }
+            let mut s = self.base.clone();
+            for _ in 0..levels {
+                s = (self.recurse)(s);
+            }
+            s.generate(rng)
+        }
+    }
+
+    /// Uniform choice between strategies of one value type (the
+    /// `prop_oneof!` backing type).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification for [`vec`]: a fixed size or a range.
+    pub trait IntoSizeRange {
+        fn pick_len(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn pick_len(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn pick_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn pick_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Generates `Vec`s of values from `element`, with length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy, R: IntoSizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: IntoSizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.pick_len(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.gen::<u64>() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Full-range strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// The usual imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::collection;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Asserts within a `proptest!` body; failure aborts the case with a
+/// message instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion within a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} ({:?} vs {:?})", format!($($fmt)+), l, r),
+            ));
+        }
+    }};
+}
+
+/// Uniform choice among strategies generating the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of test functions whose
+/// parameters are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            config = <$crate::test_runner::ProptestConfig as ::std::default::Default>::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let seed = $crate::test_runner::case_seed(stringify!($name), case);
+                    let mut rng = <$crate::__rand::rngs::StdRng
+                        as $crate::__rand::SeedableRng>::seed_from_u64(seed);
+                    $(let $pat =
+                        $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome = (move || -> ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{} (seed {:#x}): {}",
+                            stringify!($name),
+                            case,
+                            config.cases,
+                            seed,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u32..10, 5usize..9), c in 0.0f64..1.0) {
+            prop_assert!(a < 10);
+            prop_assert!((5..9).contains(&b));
+            prop_assert!((0.0..1.0).contains(&c));
+        }
+
+        #[test]
+        fn vec_lengths(v in collection::vec(0u8..4, 2..6), w in collection::vec(0u8..4, 3)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert_eq!(w.len(), 3);
+        }
+
+        #[test]
+        fn oneof_and_map(x in prop_oneof![
+            (0u32..5).prop_map(|v| v as u64),
+            any::<u64>().prop_map(|v| v | 1 << 32),
+        ]) {
+            prop_assert!(!(5..(1u64 << 32)).contains(&x));
+        }
+
+        #[test]
+        fn flat_map_dependent((n, v) in (1usize..6).prop_flat_map(|n| {
+            (Just(n), collection::vec(0u8..255, n))
+        })) {
+            prop_assert_eq!(v.len(), n);
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Tree {
+        Leaf(#[allow(dead_code)] u32),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(l, r) => 1 + depth(l).max(depth(r)),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn recursive_respects_depth(t in (0u32..10).prop_map(Tree::Leaf).prop_recursive(
+            3, 8, 2,
+            |inner| (inner.clone(), inner)
+                .prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r))),
+        )) {
+            prop_assert!(depth(&t) <= 3);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a = crate::test_runner::case_seed("t", 3);
+        let b = crate::test_runner::case_seed("t", 3);
+        assert_eq!(a, b);
+        assert_ne!(a, crate::test_runner::case_seed("t", 4));
+    }
+}
