@@ -350,10 +350,7 @@ mod tests {
         // request pays for the batch max and the measured capacity
         // drops.
         let arr = arrivals(8000, &[3, 12, 24, 37, 55], 60_000.0);
-        let opts = SimOptions {
-            max_sim_us: 3_000_000,
-            ..Default::default()
-        };
+        let opts = SimOptions::new().max_sim_us(3_000_000);
         let mut narrow = lstm_server(10);
         let out_n = simulate(&mut narrow, &arr, opts.clone());
         let mut wide = lstm_server(40);

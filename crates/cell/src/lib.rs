@@ -1,7 +1,7 @@
 //! RNN cell IR, cell types and the batched cell executor.
 //!
 //! The central abstraction of the paper is the **cell**: "a (sub-)dataflow
-//! graph [used] as a basic computation unit for expressing the recurrent
+//! graph \[used\] as a basic computation unit for expressing the recurrent
 //! structure of an RNN" (§3.1). Cells of the same *type* — identical
 //! subgraph, shared weights, identically-shaped inputs — can be batched
 //! together whenever there is no data dependency between them.

@@ -18,13 +18,23 @@ use std::sync::Arc;
 
 use bm_cell::{CellRegistry, CellTypeId};
 use bm_model::{CellGraph, NodeId};
+use bm_trace::{BatchReason, EventKind, TraceEvent, TraceSink};
 
 use crate::ids::{RequestId, SubgraphId, TaskId, WorkerId};
 use crate::partition::{partition, Partition};
 use crate::task::{CompletedRequest, Task, TaskEntry};
 
 /// Tunables of the scheduler.
+///
+/// Construct with the builder:
+///
+/// ```
+/// use bm_core::SchedulerConfig;
+/// let cfg = SchedulerConfig::new().max_tasks_to_submit(3);
+/// assert_eq!(cfg.max_tasks_to_submit, 3);
+/// ```
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct SchedulerConfig {
     /// "The maximum number of tasks that can be submitted to a worker"
     /// per `Schedule` invocation (Algorithm 1; default 5).
@@ -43,6 +53,27 @@ impl Default for SchedulerConfig {
             max_tasks_to_submit: 5,
             retain_completions: false,
         }
+    }
+}
+
+impl SchedulerConfig {
+    /// The default configuration (start of the builder chain).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the per-`Schedule` task cap (Algorithm 1's
+    /// `MaxTasksToSubmit`; default 5).
+    pub fn max_tasks_to_submit(mut self, n: usize) -> Self {
+        self.max_tasks_to_submit = n;
+        self
+    }
+
+    /// Sets whether completion records accumulate for
+    /// [`CellularEngine::drain_completions`] (default off).
+    pub fn retain_completions(mut self, retain: bool) -> Self {
+        self.retain_completions = retain;
+        self
     }
 }
 
@@ -130,6 +161,7 @@ struct TypeQueue {
 #[derive(Debug)]
 struct InflightTask {
     cell_type: CellTypeId,
+    worker: WorkerId,
     entries: Vec<(RequestId, NodeId)>,
     subgraphs: Vec<SubgraphId>,
 }
@@ -138,6 +170,7 @@ impl InflightTask {
     fn from_task(t: &Task) -> Self {
         InflightTask {
             cell_type: t.cell_type,
+            worker: t.worker,
             entries: t.entries.iter().map(|e| (e.request, e.node)).collect(),
             subgraphs: t.subgraphs.clone(),
         }
@@ -204,6 +237,12 @@ pub struct CellularEngine {
     /// Completed requests not yet drained by the driver.
     completions: Vec<CompletedRequest>,
     stats: SchedulerStats,
+    /// Structured event sink ([`bm_trace`]); defaults to the no-op sink,
+    /// whose `enabled() == false` keeps instrumentation off hot paths.
+    trace: Arc<dyn TraceSink>,
+    /// The latest driver-supplied timestamp, used to stamp events from
+    /// methods that take no clock (dispatch).
+    clock_us: u64,
 }
 
 impl CellularEngine {
@@ -222,7 +261,31 @@ impl CellularEngine {
             next_task: 0,
             completions: Vec::new(),
             stats: SchedulerStats::default(),
+            trace: bm_trace::noop(),
+            clock_us: 0,
         }
+    }
+
+    /// Attaches a trace sink; every subsequent scheduling decision and
+    /// request-lifecycle transition is recorded into it.
+    pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.trace = sink;
+    }
+
+    /// Advances the engine's event clock without any other effect.
+    ///
+    /// [`CellularEngine::dispatch`] takes no timestamp (Algorithm 1 is
+    /// time-free), so batch-formation events are stamped with the
+    /// latest time the driver reported. Drivers whose dispatch point can
+    /// be later than the last arrival/completion (e.g. a timer wake-up)
+    /// call this first so traces carry accurate times.
+    pub fn advance_clock(&mut self, now_us: u64) {
+        self.clock_us = self.clock_us.max(now_us);
+    }
+
+    #[inline]
+    fn emit(&self, ts_us: u64, kind: EventKind) {
+        self.trace.record(TraceEvent { ts_us, kind });
     }
 
     /// Cumulative scheduling statistics.
@@ -247,6 +310,7 @@ impl CellularEngine {
             !self.requests.contains_key(&id),
             "duplicate request id {id}"
         );
+        self.advance_clock(now_us);
         graph
             .validate(&self.registry)
             .unwrap_or_else(|e| panic!("invalid graph for {id}: {e}"));
@@ -292,6 +356,7 @@ impl CellularEngine {
             self.subgraphs.insert(sg_id, state);
         }
 
+        let num_subgraphs = part.len() as u32;
         let req = RequestState {
             arrival_us: now_us,
             start_us: None,
@@ -309,6 +374,17 @@ impl CellularEngine {
         };
         self.requests.insert(id, req);
 
+        if self.trace.enabled() {
+            self.emit(
+                now_us,
+                EventKind::RequestArrived {
+                    request: id.0,
+                    nodes: n as u32,
+                    subgraphs: num_subgraphs,
+                },
+            );
+        }
+
         // Enqueue released subgraphs with ready nodes.
         for sg_id in subgraph_ids {
             self.maybe_enqueue(sg_id);
@@ -319,9 +395,21 @@ impl CellularEngine {
         let sg = self.subgraphs.get_mut(&sg_id).expect("live subgraph");
         if !sg.in_queue && sg.external_unmet == 0 && !sg.ready.is_empty() {
             sg.in_queue = true;
-            let q = &mut self.queues[sg.cell_type.index()];
+            let (request, cell_type, count) = (sg.request, sg.cell_type, sg.ready.len());
+            let q = &mut self.queues[cell_type.index()];
             q.subgraphs.push_back(sg_id);
-            q.ready_nodes += sg.ready.len();
+            q.ready_nodes += count;
+            if self.trace.enabled() {
+                self.emit(
+                    self.clock_us,
+                    EventKind::NodesEnqueued {
+                        request: request.0,
+                        subgraph: sg_id.0,
+                        cell_type: cell_type.0,
+                        count: count as u32,
+                    },
+                );
+            }
         }
     }
 
@@ -351,14 +439,15 @@ impl CellularEngine {
     /// Returns an empty vector when nothing is schedulable (either no
     /// ready nodes, or all ready subgraphs are pinned to other workers).
     pub fn dispatch(&mut self, worker: WorkerId) -> Vec<Task> {
-        let Some(ct) = self.pick_cell_type() else {
+        let Some((ct, reason)) = self.pick_cell_type() else {
             return Vec::new();
         };
-        self.batch(ct, worker)
+        self.batch(ct, worker, reason)
     }
 
-    /// Algorithm 1 cell-type selection (lines 5–10).
-    fn pick_cell_type(&self) -> Option<CellTypeId> {
+    /// Algorithm 1 cell-type selection (lines 5–10), with the *reason*
+    /// the winning type qualified — the trace's batch-formation label.
+    fn pick_cell_type(&self) -> Option<(CellTypeId, BatchReason)> {
         let candidates = |f: &dyn Fn(&TypeQueue, &bm_cell::CellMeta) -> bool| -> Vec<CellTypeId> {
             self.registry
                 .iter()
@@ -367,22 +456,26 @@ impl CellularEngine {
                 .collect()
         };
         // (a) types whose ready nodes meet the maximum batch size;
+        let mut reason = BatchReason::Saturation;
         let mut s = candidates(&|q, m| q.ready_nodes >= m.max_batch);
         // (b) types with ready nodes and no running tasks;
         if s.is_empty() {
+            reason = BatchReason::Starvation;
             s = candidates(&|q, _| q.running_tasks == 0 && q.ready_nodes > 0);
         }
         // (c) any type with ready nodes.
         if s.is_empty() {
+            reason = BatchReason::Priority;
             s = candidates(&|q, _| q.ready_nodes > 0);
         }
         // Highest priority wins ties (line 10).
         s.into_iter()
             .max_by_key(|id| self.registry.meta(*id).priority)
+            .map(|id| (id, reason))
     }
 
     /// Algorithm 1 `Batch(ct, worker)` (lines 12–23).
-    fn batch(&mut self, ct: CellTypeId, worker: WorkerId) -> Vec<Task> {
+    fn batch(&mut self, ct: CellTypeId, worker: WorkerId, reason: BatchReason) -> Vec<Task> {
         let meta = self.registry.meta(ct);
         let (min_batch, max_batch) = (meta.min_batch, meta.max_batch);
         let mut tasks = Vec::new();
@@ -393,7 +486,7 @@ impl CellularEngine {
             }
             let size: usize = picks.iter().map(|(_, nodes)| nodes.len()).sum();
             if size >= min_batch || tasks.is_empty() {
-                tasks.push(self.submit(ct, worker, picks));
+                tasks.push(self.submit(ct, worker, picks, reason));
             } else {
                 break;
             }
@@ -441,6 +534,7 @@ impl CellularEngine {
         ct: CellTypeId,
         worker: WorkerId,
         picks: Vec<(SubgraphId, Vec<u32>)>,
+        reason: BatchReason,
     ) -> Task {
         let id = TaskId(self.next_task);
         self.next_task += 1;
@@ -448,6 +542,12 @@ impl CellularEngine {
         let mut entries: Vec<TaskEntry> = Vec::new();
         let mut subgraph_list: Vec<SubgraphId> = Vec::new();
         let mut transfer_rows = 0usize;
+        let tracing = self.trace.enabled();
+        // Deferred trace payloads (emitted after the mutable borrows
+        // below end): pins, migrations, intra-subgraph enqueues.
+        let mut pins: Vec<(SubgraphId, RequestId)> = Vec::new();
+        let mut migrations: Vec<(SubgraphId, RequestId, WorkerId, u32)> = Vec::new();
+        let mut enqueues: Vec<(SubgraphId, RequestId, u32)> = Vec::new();
 
         for (sg_id, nodes) in &picks {
             let sg = self.subgraphs.get_mut(sg_id).expect("live subgraph");
@@ -470,8 +570,16 @@ impl CellularEngine {
             // Pin (line 20-21) and count migration cost: every row of a
             // subgraph resuming on a different worker must move its
             // recurrent state there (§4.3).
-            if sg.last_worker.is_some() && sg.last_worker != Some(worker) {
-                transfer_rows += nodes.len();
+            if let Some(prev) = sg.last_worker {
+                if prev != worker {
+                    transfer_rows += nodes.len();
+                    if tracing {
+                        migrations.push((*sg_id, req_id, prev, nodes.len() as u32));
+                    }
+                }
+            }
+            if tracing && sg.pinned.is_none() {
+                pins.push((*sg_id, req_id));
             }
             sg.pinned = Some(worker);
             sg.last_worker = Some(worker);
@@ -493,6 +601,9 @@ impl CellularEngine {
                         }
                     }
                 }
+            }
+            if tracing && !newly_ready.is_empty() {
+                enqueues.push((*sg_id, req_id, newly_ready.len() as u32));
             }
             let sg = self.subgraphs.get_mut(sg_id).expect("live subgraph");
             for n in newly_ready {
@@ -528,6 +639,61 @@ impl CellularEngine {
             gather_rows,
             transfer_rows,
         };
+        if tracing {
+            let mut requests: Vec<u64> = Vec::new();
+            for e in &task.entries {
+                if !requests.contains(&e.request.0) {
+                    requests.push(e.request.0);
+                }
+            }
+            let ts = self.clock_us;
+            self.emit(
+                ts,
+                EventKind::BatchFormed {
+                    task: id.0,
+                    worker: worker.0,
+                    cell_type: ct.0,
+                    batch: task.entries.len() as u32,
+                    reason,
+                    gather_rows: gather_rows as u32,
+                    transfer_rows: transfer_rows as u32,
+                    requests,
+                },
+            );
+            for (sg, req) in pins {
+                self.emit(
+                    ts,
+                    EventKind::SubgraphPinned {
+                        subgraph: sg.0,
+                        request: req.0,
+                        worker: worker.0,
+                    },
+                );
+            }
+            for (sg, req, from, rows) in migrations {
+                self.emit(
+                    ts,
+                    EventKind::SubgraphMigrated {
+                        subgraph: sg.0,
+                        request: req.0,
+                        from: from.0,
+                        to: worker.0,
+                        rows,
+                    },
+                );
+            }
+            for (sg, req, count) in enqueues {
+                self.emit(
+                    ts,
+                    EventKind::NodesEnqueued {
+                        request: req.0,
+                        subgraph: sg.0,
+                        cell_type: ct.0,
+                        count,
+                    },
+                );
+            }
+        }
         self.inflight.insert(id, InflightTask::from_task(&task));
         task
     }
@@ -550,13 +716,24 @@ impl CellularEngine {
     /// Notes that a task began executing; stamps the start time of any
     /// request whose first cell this is.
     pub fn on_task_started(&mut self, task: TaskId, now_us: u64) {
+        self.advance_clock(now_us);
         let Some(t) = self.inflight.get(&task) else {
             return;
         };
+        let (task_id, worker) = (task.0, t.worker.0);
         for (req_id, _) in &t.entries {
             if let Some(req) = self.requests.get_mut(req_id) {
                 req.start_us.get_or_insert(now_us);
             }
+        }
+        if self.trace.enabled() {
+            self.emit(
+                now_us,
+                EventKind::TaskStarted {
+                    task: task_id,
+                    worker,
+                },
+            );
         }
     }
 
@@ -579,6 +756,7 @@ impl CellularEngine {
         emitted_tokens: &[Option<u32>],
         now_us: u64,
     ) -> Vec<CompletedRequest> {
+        self.advance_clock(now_us);
         let t = self.inflight.remove(&task).expect("unknown task id");
         assert_eq!(
             emitted_tokens.len(),
@@ -586,6 +764,15 @@ impl CellularEngine {
             "token vector must match task entries"
         );
         self.queues[t.cell_type.index()].running_tasks -= 1;
+        if self.trace.enabled() {
+            self.emit(
+                now_us,
+                EventKind::TaskCompleted {
+                    task: task.0,
+                    worker: t.worker.0,
+                },
+            );
+        }
 
         // Unpin subgraphs whose in-flight count drains.
         for sg_id in &t.subgraphs {
@@ -658,6 +845,17 @@ impl CellularEngine {
                 } else {
                     self.stats.requests_completed += 1;
                 }
+                if self.trace.enabled() {
+                    self.emit(
+                        now_us,
+                        EventKind::RequestCompleted {
+                            request: req_id.0,
+                            executed: done.executed_nodes as u32,
+                            total: done.total_nodes as u32,
+                            cancelled: done.cancelled,
+                        },
+                    );
+                }
                 self.retire(*req_id);
             }
         }
@@ -679,6 +877,7 @@ impl CellularEngine {
     /// completion record per cancelled request, with
     /// [`CompletedRequest::cancelled`] set.
     pub fn cancel_request(&mut self, id: RequestId, now_us: u64) -> CancelOutcome {
+        self.advance_clock(now_us);
         if !self.requests.contains_key(&id) {
             return CancelOutcome::Unknown;
         }
@@ -699,6 +898,8 @@ impl CellularEngine {
             cancelled
         };
 
+        let dropped = newly_cancelled.len() as u32;
+
         // Remove the cancelled nodes from their subgraphs' ready queues,
         // keeping per-type ready counters consistent.
         for i in newly_cancelled {
@@ -717,11 +918,23 @@ impl CellularEngine {
         }
 
         let req = &self.requests[&id];
-        if req.remaining > 0 {
+        let draining = req.remaining > 0;
+        if self.trace.enabled() {
+            self.emit(
+                now_us,
+                EventKind::CancelRequested {
+                    request: id.0,
+                    dropped_nodes: dropped,
+                    draining,
+                },
+            );
+        }
+        if draining {
             // Submitted-but-uncompleted nodes remain: resolve when the
             // in-flight tasks drain.
             return CancelOutcome::Draining;
         }
+        let req = &self.requests[&id];
         let done = CompletedRequest {
             id,
             arrival_us: req.arrival_us,
@@ -732,6 +945,17 @@ impl CellularEngine {
             cancelled: true,
         };
         self.stats.requests_cancelled += 1;
+        if self.trace.enabled() {
+            self.emit(
+                now_us,
+                EventKind::RequestCompleted {
+                    request: id.0,
+                    executed: done.executed_nodes as u32,
+                    total: done.total_nodes as u32,
+                    cancelled: true,
+                },
+            );
+        }
         self.retire(id);
         if self.cfg.retain_completions {
             self.completions.push(done);

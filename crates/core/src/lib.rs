@@ -2,8 +2,8 @@
 //!
 //! This crate implements BatchMaker's manager (§4, Figure 6):
 //!
-//! - [`partition`] — splitting each request's cell graph into same-type
-//!   subgraphs (§4.3/§4.4);
+//! - [`mod@partition`] — splitting each request's cell graph into
+//!   same-type subgraphs (§4.3/§4.4);
 //! - [`CellularEngine`] — the request processor + scheduler as a pure
 //!   state machine, implementing Algorithm 1 exactly: cell-type
 //!   selection by (saturation, starvation, priority), batched task
@@ -27,6 +27,6 @@ pub use engine::{CancelOutcome, CellularEngine, SchedulerConfig, SchedulerStats}
 pub use ids::{RequestId, SubgraphId, TaskId, WorkerId};
 pub use partition::{partition, Partition};
 pub use runtime::{
-    ResponseHandle, Runtime, RuntimeOptions, ServedOutcome, ServedResult, ServedTiming,
+    ResponseHandle, Runtime, RuntimeOptions, ServedOutcome, ServedResult, ServedTiming, SubmitError,
 };
 pub use task::{CompletedRequest, Task, TaskEntry};

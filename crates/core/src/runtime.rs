@@ -17,14 +17,22 @@
 //! Under overload the runtime degrades explicitly instead of letting
 //! queues grow without bound:
 //!
-//! - **Admission control** ([`RuntimeOptions::max_active_requests`],
-//!   [`RuntimeOptions::manager_queue_cap`]) resolves excess submissions
-//!   to [`ServedOutcome::Rejected`] without disturbing admitted work.
-//! - **Deadlines** ([`RuntimeOptions::default_deadline_us`] or
-//!   per-request via [`Runtime::try_submit_with_deadline`]) cancel
-//!   requests that cannot meet their SLA: unsubmitted cells are dropped
-//!   through [`CellularEngine::cancel_request`], in-flight tasks drain,
-//!   and the handle resolves to [`ServedOutcome::Expired`].
+//! - **Admission control** ([`RuntimeOptions::max_active`],
+//!   [`RuntimeOptions::queue_cap`]) refuses excess submissions with a
+//!   typed [`SubmitError`] without disturbing admitted work.
+//! - **Deadlines** ([`RuntimeOptions::deadline_us`] or per-request via
+//!   [`Runtime::try_submit_with_deadline`]) cancel requests that cannot
+//!   meet their SLA: unsubmitted cells are dropped through
+//!   [`CellularEngine::cancel_request`], in-flight tasks drain, and the
+//!   handle resolves to [`ServedOutcome::Expired`].
+//!
+//! ## Observability
+//!
+//! Passing a [`TraceSink`] via [`RuntimeOptions::trace`] captures the
+//! full request lifecycle — arrival, admission rejections, batch
+//! formation (with the Algorithm 1 branch that chose the cell type),
+//! per-worker task execution, pinning/migration, expiry and completion —
+//! as structured [`bm_trace`] events, exportable to Chrome trace JSON.
 //!
 //! The runtime exists to prove the scheduler end-to-end: its results are
 //! compared bit-for-bit against the unbatched reference executor
@@ -43,10 +51,45 @@ use parking_lot::Mutex;
 use bm_cell::{CellOutput, CellRegistry, InvocationInput};
 use bm_device::CpuTimer;
 use bm_model::{reference::GraphResult, CellGraph, Model, RequestInput, TokenSource};
+use bm_trace::{EventKind, RejectReason, TraceEvent, TraceSink};
 
 use crate::engine::{CancelOutcome, CellularEngine, SchedulerConfig};
 use crate::ids::{RequestId, TaskId, WorkerId};
 use crate::task::{CompletedRequest, Task};
+
+/// Why a submission was refused.
+///
+/// Validation failures and overload refusals are both surfaced here so
+/// callers can match on the cause; the enum is `#[non_exhaustive]`
+/// because future policies (e.g. per-tenant quotas) may add variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SubmitError {
+    /// The input failed model validation (wrong variant, empty
+    /// sequence, out-of-vocabulary tokens). No work was done.
+    Invalid(String),
+    /// The manager's bounded message queue ([`RuntimeOptions::queue_cap`])
+    /// was full. No work was done.
+    QueueFull,
+    /// The concurrent-request cap ([`RuntimeOptions::max_active`]) was
+    /// reached. No work was done.
+    AtCapacity,
+    /// The runtime is shutting down and no longer accepts requests.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Invalid(msg) => write!(f, "invalid request: {msg}"),
+            SubmitError::QueueFull => write!(f, "manager queue full"),
+            SubmitError::AtCapacity => write!(f, "active-request cap reached"),
+            SubmitError::ShuttingDown => write!(f, "runtime shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
 
 /// Timing measured for one served request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,8 +111,10 @@ pub struct ServedResult {
     pub timing: ServedTiming,
 }
 
-/// How a submitted request resolved.
+/// How an *admitted* request resolved. (Refused submissions never get a
+/// handle — they fail fast with a [`SubmitError`].)
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub enum ServedOutcome {
     /// The request ran to completion; outputs are bit-identical to the
     /// unbatched reference executor.
@@ -79,9 +124,6 @@ pub enum ServedOutcome {
     /// discarded. The timing records when the request was admitted and
     /// when it was declared expired.
     Expired(ServedTiming),
-    /// Admission control refused the request — the active-request cap
-    /// was reached or the manager queue was full. No work was done.
-    Rejected,
     /// The runtime shut down before resolving the request.
     ShutDown,
 }
@@ -109,7 +151,7 @@ impl ServedOutcome {
         match self {
             ServedOutcome::Completed(r) => Some(r.timing),
             ServedOutcome::Expired(t) => Some(*t),
-            ServedOutcome::Rejected | ServedOutcome::ShutDown => None,
+            _ => None,
         }
     }
 }
@@ -134,23 +176,104 @@ impl ResponseHandle {
     }
 }
 
-/// Runtime construction knobs beyond the scheduler itself.
-#[derive(Debug, Clone, Copy, Default)]
+/// Runtime construction knobs: worker count, scheduler tunables,
+/// overload handling and tracing.
+///
+/// Built fluently (`#[non_exhaustive]` forbids literal construction so
+/// new knobs can be added compatibly):
+///
+/// ```
+/// use bm_core::{RuntimeOptions, SchedulerConfig};
+///
+/// let opts = RuntimeOptions::new()
+///     .workers(4)
+///     .scheduler(SchedulerConfig::new().max_tasks_to_submit(2))
+///     .max_active(64)
+///     .deadline_us(50_000)
+///     .queue_cap(256);
+/// assert_eq!(opts.workers, 4);
+/// assert_eq!(opts.max_active, Some(64));
+/// ```
+#[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct RuntimeOptions {
+    /// Worker threads executing batched tasks. Must be ≥ 1.
+    pub workers: usize,
     /// Scheduler tunables (Algorithm 1).
     pub scheduler: SchedulerConfig,
     /// Cap on concurrently admitted (unresolved) requests; submissions
-    /// beyond it resolve to [`ServedOutcome::Rejected`]. `None` admits
+    /// beyond it fail with [`SubmitError::AtCapacity`]. `None` admits
     /// everything.
-    pub max_active_requests: Option<usize>,
+    pub max_active: Option<usize>,
     /// Relative deadline applied to every submission that does not carry
     /// its own, µs from arrival. `None` means no default deadline.
-    pub default_deadline_us: Option<u64>,
+    pub deadline_us: Option<u64>,
     /// Bound on the manager's message queue. When full, new submissions
-    /// resolve to [`ServedOutcome::Rejected`]; workers reporting
+    /// fail with [`SubmitError::QueueFull`]; workers reporting
     /// completions block briefly instead (backpressure, never dropped).
     /// `None` leaves the queue unbounded.
-    pub manager_queue_cap: Option<usize>,
+    pub queue_cap: Option<usize>,
+    /// Destination for scheduler trace events. The default no-op sink
+    /// reports itself disabled, so instrumentation costs one branch per
+    /// site.
+    pub trace: Arc<dyn TraceSink>,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        RuntimeOptions {
+            workers: 1,
+            scheduler: SchedulerConfig::default(),
+            max_active: None,
+            deadline_us: None,
+            queue_cap: None,
+            trace: bm_trace::noop(),
+        }
+    }
+}
+
+impl RuntimeOptions {
+    /// Default options: one worker, default scheduler, no admission cap,
+    /// no deadline, unbounded queue, tracing off.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Sets the scheduler tunables.
+    pub fn scheduler(mut self, cfg: SchedulerConfig) -> Self {
+        self.scheduler = cfg;
+        self
+    }
+
+    /// Caps concurrently admitted requests.
+    pub fn max_active(mut self, cap: usize) -> Self {
+        self.max_active = Some(cap);
+        self
+    }
+
+    /// Sets the default relative deadline, µs from arrival.
+    pub fn deadline_us(mut self, d: u64) -> Self {
+        self.deadline_us = Some(d);
+        self
+    }
+
+    /// Bounds the manager's message queue.
+    pub fn queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = Some(cap);
+        self
+    }
+
+    /// Routes scheduler trace events to `sink`.
+    pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = sink;
+        self
+    }
 }
 
 enum ManagerMsg {
@@ -187,36 +310,21 @@ pub struct Runtime {
 }
 
 impl Runtime {
-    /// Starts a runtime with `num_workers` worker threads serving
-    /// `model`, with no admission cap and no default deadline.
+    /// Starts a runtime serving `model` with the given options (worker
+    /// count included — see [`RuntimeOptions::workers`]).
     ///
     /// # Panics
     ///
-    /// Panics if `num_workers` is zero.
-    pub fn start(model: Arc<dyn Model>, num_workers: usize, cfg: SchedulerConfig) -> Self {
-        Runtime::start_with(
-            model,
-            num_workers,
-            RuntimeOptions {
-                scheduler: cfg,
-                ..RuntimeOptions::default()
-            },
-        )
-    }
-
-    /// Starts a runtime with full overload-handling options.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `num_workers` is zero.
-    pub fn start_with(model: Arc<dyn Model>, num_workers: usize, opts: RuntimeOptions) -> Self {
+    /// Panics if `opts.workers` is zero.
+    pub fn start(model: Arc<dyn Model>, opts: RuntimeOptions) -> Self {
+        let num_workers = opts.workers;
         assert!(num_workers > 0, "need at least one worker");
         let registry: Arc<CellRegistry> = Arc::new(model.registry().clone());
         let store: StateStore = Arc::new(Mutex::new(HashMap::new()));
         let timer = CpuTimer::new();
         let active = Arc::new(AtomicUsize::new(0));
 
-        let (mgr_tx, mgr_rx) = match opts.manager_queue_cap {
+        let (mgr_tx, mgr_rx) = match opts.queue_cap {
             Some(cap) => bounded::<ManagerMsg>(cap.max(1)),
             None => unbounded::<ManagerMsg>(),
         };
@@ -248,6 +356,7 @@ impl Runtime {
             num_workers,
             timer: timer.clone(),
             active: Arc::clone(&active),
+            trace: Arc::clone(&opts.trace),
         });
 
         Runtime {
@@ -262,25 +371,34 @@ impl Runtime {
         }
     }
 
+    /// Starts a runtime with an explicit worker count.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Runtime::start(model, opts.workers(num_workers))`"
+    )]
+    pub fn start_with(model: Arc<dyn Model>, num_workers: usize, opts: RuntimeOptions) -> Self {
+        Runtime::start(model, opts.workers(num_workers))
+    }
+
     /// Submits a request; returns a handle resolving to its outcome.
     ///
     /// # Panics
     ///
-    /// Panics if the input fails model validation; use
-    /// [`Runtime::try_submit`] for graceful rejection.
+    /// Panics on any [`SubmitError`] (invalid input or overload
+    /// refusal); use [`Runtime::try_submit`] to handle those.
     pub fn submit(&self, input: &RequestInput) -> ResponseHandle {
         self.try_submit(input)
-            .unwrap_or_else(|e| panic!("invalid request: {e}"))
+            .unwrap_or_else(|e| panic!("submit failed: {e}"))
     }
 
     /// Submits a request with the runtime's default deadline (if any).
     ///
-    /// Returns `Err` only for malformed inputs (wrong variant, empty
-    /// sequence, out-of-vocabulary tokens). Overload is not an error:
-    /// a request refused by admission control still gets a handle — it
-    /// resolves to [`ServedOutcome::Rejected`].
-    pub fn try_submit(&self, input: &RequestInput) -> Result<ResponseHandle, String> {
-        self.try_submit_with_deadline(input, self.opts.default_deadline_us)
+    /// Fails fast with a typed [`SubmitError`] — invalid input,
+    /// admission-control refusal ([`SubmitError::AtCapacity`],
+    /// [`SubmitError::QueueFull`]) or shutdown. A returned handle means
+    /// the request was admitted; it resolves to a [`ServedOutcome`].
+    pub fn try_submit(&self, input: &RequestInput) -> Result<ResponseHandle, SubmitError> {
+        self.try_submit_with_deadline(input, self.opts.deadline_us)
     }
 
     /// Submits a request with an explicit relative deadline (µs from
@@ -290,15 +408,15 @@ impl Runtime {
         &self,
         input: &RequestInput,
         deadline_us: Option<u64>,
-    ) -> Result<ResponseHandle, String> {
-        self.model.validate(input)?;
+    ) -> Result<ResponseHandle, SubmitError> {
+        self.model.validate(input).map_err(SubmitError::Invalid)?;
         let graph = self.model.unfold(input);
         let id = RequestId(self.next_request.fetch_add(1, Ordering::Relaxed));
         let (tx, rx) = unbounded();
         let handle = ResponseHandle { rx };
 
-        // Admission: reserve a slot under the cap or reject outright.
-        if let Some(cap) = self.opts.max_active_requests {
+        // Admission: reserve a slot under the cap or refuse outright.
+        if let Some(cap) = self.opts.max_active {
             let admitted = self
                 .active
                 .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
@@ -310,8 +428,8 @@ impl Runtime {
                 })
                 .is_ok();
             if !admitted {
-                let _ = tx.send(ServedOutcome::Rejected);
-                return Ok(handle);
+                self.trace_rejection(id, RejectReason::AtCapacity);
+                return Err(SubmitError::AtCapacity);
             }
         } else {
             self.active.fetch_add(1, Ordering::AcqRel);
@@ -326,17 +444,31 @@ impl Runtime {
             respond: tx,
         };
         match self.manager_tx.try_send(msg) {
-            Ok(()) => {}
-            Err(TrySendError::Full(msg)) | Err(TrySendError::Disconnected(msg)) => {
-                // Queue full (overload) or manager gone (shutdown race):
-                // release the slot and resolve the handle accordingly.
+            Ok(()) => Ok(handle),
+            Err(TrySendError::Full(_)) => {
+                // Queue full (overload): release the reserved slot.
                 self.active.fetch_sub(1, Ordering::AcqRel);
-                if let ManagerMsg::Arrive { respond, .. } = msg {
-                    let _ = respond.send(ServedOutcome::Rejected);
-                }
+                self.trace_rejection(id, RejectReason::QueueFull);
+                Err(SubmitError::QueueFull)
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                // Manager gone (shutdown race).
+                self.active.fetch_sub(1, Ordering::AcqRel);
+                Err(SubmitError::ShuttingDown)
             }
         }
-        Ok(handle)
+    }
+
+    fn trace_rejection(&self, id: RequestId, reason: RejectReason) {
+        if self.opts.trace.enabled() {
+            self.opts.trace.record(TraceEvent {
+                ts_us: self.timer.now_us(),
+                kind: EventKind::RequestRejected {
+                    request: id.0,
+                    reason,
+                },
+            });
+        }
     }
 
     /// Requests admitted and not yet resolved.
@@ -383,6 +515,7 @@ struct ManagerArgs {
     num_workers: usize,
     timer: CpuTimer,
     active: Arc<AtomicUsize>,
+    trace: Arc<dyn TraceSink>,
 }
 
 fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
@@ -395,11 +528,13 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
         num_workers,
         timer,
         active,
+        trace,
     } = args;
     std::thread::Builder::new()
         .name("bm-manager".into())
         .spawn(move || {
             let mut engine = CellularEngine::new(Arc::clone(&registry), cfg);
+            engine.set_trace_sink(Arc::clone(&trace));
             let mut responders: HashMap<RequestId, (Sender<ServedOutcome>, usize)> = HashMap::new();
             // Min-heap of (absolute deadline µs, request). Entries for
             // already-resolved requests are skipped when popped.
@@ -476,6 +611,12 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
                     if !responders.contains_key(&id) {
                         continue; // already resolved
                     }
+                    if trace.enabled() {
+                        trace.record(TraceEvent {
+                            ts_us: now,
+                            kind: EventKind::RequestExpired { request: id.0 },
+                        });
+                    }
                     if let CancelOutcome::Finished(done) = engine.cancel_request(id, now) {
                         resolve(&mut responders, &store, &active, done);
                     }
@@ -484,6 +625,7 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
                 // Dispatch to idle workers (the paper dispatches when a
                 // worker's queue drains; MaxTasksToSubmit amortizes the
                 // notification round-trip).
+                engine.advance_clock(now);
                 for (w, tx) in worker_txs.iter().enumerate() {
                     if inflight_per_worker[w] > 0 {
                         continue;

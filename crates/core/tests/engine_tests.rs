@@ -9,10 +9,7 @@ use bm_model::{LstmLm, Model, RequestInput, Seq2Seq, TreeLstm, TreeShape};
 fn engine_for(model: &dyn Model, max_tasks: usize) -> CellularEngine {
     CellularEngine::new(
         Arc::new(model.registry().clone()),
-        SchedulerConfig {
-            max_tasks_to_submit: max_tasks,
-            ..SchedulerConfig::default()
-        },
+        SchedulerConfig::new().max_tasks_to_submit(max_tasks),
     )
 }
 
@@ -657,10 +654,7 @@ fn completion_records_retained_on_request() {
     let m = LstmLm::small();
     let mut eng = CellularEngine::new(
         Arc::new(m.registry().clone()),
-        SchedulerConfig {
-            retain_completions: true,
-            ..SchedulerConfig::default()
-        },
+        SchedulerConfig::new().retain_completions(true),
     );
     for i in 0..10u64 {
         eng.on_arrival(

@@ -4,14 +4,14 @@
 
 use std::sync::Arc;
 
-use bm_core::{Runtime, SchedulerConfig};
+use bm_core::{Runtime, RuntimeOptions};
 use bm_model::{reference, LstmLm, Model, RequestInput, Seq2Seq, Seq2SeqConfig, TreeLstm};
 use bm_workload::{Dataset, LengthDistribution};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn check_against_reference(model: Arc<dyn Model>, inputs: &[RequestInput], workers: usize) {
-    let rt = Runtime::start(Arc::clone(&model), workers, SchedulerConfig::default());
+    let rt = Runtime::start(Arc::clone(&model), RuntimeOptions::new().workers(workers));
     let handles: Vec<_> = inputs.iter().map(|i| rt.submit(i)).collect();
     for (input, h) in inputs.iter().zip(handles) {
         let served = h.wait().completed();
@@ -80,8 +80,7 @@ fn eos_terminated_decode_stops_early() {
     }));
     let rt = Runtime::start(
         Arc::clone(&model) as Arc<dyn Model>,
-        1,
-        SchedulerConfig::default(),
+        RuntimeOptions::new().workers(1),
     );
     let input = RequestInput::Pair {
         src: vec![2, 3],
@@ -110,8 +109,7 @@ fn throughput_sanity_many_concurrent_requests() {
     let model = Arc::new(LstmLm::small());
     let rt = Runtime::start(
         Arc::clone(&model) as Arc<dyn Model>,
-        2,
-        SchedulerConfig::default(),
+        RuntimeOptions::new().workers(2),
     );
     let ds = Dataset::lstm(200, LengthDistribution::Fixed(6), 900, 5);
     let handles: Vec<_> = ds.items().iter().map(|i| rt.submit(i)).collect();
@@ -131,8 +129,7 @@ fn handles_resolve_even_when_submitted_after_idle() {
     let model = Arc::new(LstmLm::small());
     let rt = Runtime::start(
         Arc::clone(&model) as Arc<dyn Model>,
-        1,
-        SchedulerConfig::default(),
+        RuntimeOptions::new().workers(1),
     );
     // First burst.
     let a = rt
@@ -154,7 +151,7 @@ fn handles_resolve_even_when_submitted_after_idle() {
 // Overload behaviour: deadlines, admission control, cancellation.
 // ---------------------------------------------------------------------------
 
-use bm_core::{RuntimeOptions, ServedOutcome};
+use bm_core::{ServedOutcome, SubmitError};
 
 /// A zero-length deadline expires in the manager iteration that admits
 /// the request — before any dispatch — so the outcome is deterministic:
@@ -165,8 +162,7 @@ fn zero_deadline_requests_expire_while_others_complete() {
     let model = Arc::new(LstmLm::small());
     let rt = Runtime::start(
         Arc::clone(&model) as Arc<dyn Model>,
-        1,
-        SchedulerConfig::default(),
+        RuntimeOptions::new().workers(1),
     );
     let inputs: Vec<RequestInput> = (0..90)
         .map(|i| RequestInput::Sequence((0..(3 + i % 10)).map(|t| (t % 50) as u32).collect()))
@@ -207,13 +203,9 @@ fn zero_deadline_requests_expire_while_others_complete() {
 #[test]
 fn deadline_flood_sheds_tail_without_hanging() {
     let model = Arc::new(LstmLm::small());
-    let rt = Runtime::start_with(
+    let rt = Runtime::start(
         Arc::clone(&model) as Arc<dyn Model>,
-        1,
-        RuntimeOptions {
-            default_deadline_us: Some(1_000),
-            ..RuntimeOptions::default()
-        },
+        RuntimeOptions::new().workers(1).deadline_us(1_000),
     );
     let ds = Dataset::lstm(600, LengthDistribution::Fixed(20), 900, 17);
     let handles: Vec<_> = ds.items().iter().map(|i| rt.submit(i)).collect();
@@ -241,36 +233,29 @@ fn deadline_flood_sheds_tail_without_hanging() {
     rt.shutdown();
 }
 
-/// With a small active-request cap, a burst resolves some submissions to
-/// `Rejected` without doing any work, while admitted ones still complete
-/// correctly.
+/// With a small active-request cap, a burst fails some submissions fast
+/// with [`SubmitError::AtCapacity`] (no work done, no handle), while
+/// admitted ones still complete correctly.
 #[test]
 fn admission_cap_rejects_excess_submissions() {
     let model = Arc::new(LstmLm::small());
-    let rt = Runtime::start_with(
+    let rt = Runtime::start(
         Arc::clone(&model) as Arc<dyn Model>,
-        1,
-        RuntimeOptions {
-            max_active_requests: Some(4),
-            ..RuntimeOptions::default()
-        },
+        RuntimeOptions::new().workers(1).max_active(4),
     );
     let ds = Dataset::lstm(200, LengthDistribution::Fixed(40), 900, 23);
-    let handles: Vec<_> = ds
-        .items()
-        .iter()
-        .map(|i| rt.try_submit(i).expect("valid input"))
-        .collect();
+    let submissions: Vec<_> = ds.items().iter().map(|i| rt.try_submit(i)).collect();
     let (mut completed, mut rejected) = (0usize, 0usize);
-    for (input, h) in ds.items().iter().zip(handles) {
-        match h.wait() {
-            ServedOutcome::Completed(served) => {
+    for (input, sub) in ds.items().iter().zip(submissions) {
+        match sub {
+            Ok(h) => {
+                let served = h.wait().completed();
                 let expect = reference::execute_graph(&model.unfold(input), model.registry());
                 assert_eq!(served.result, expect, "admitted request diverged");
                 completed += 1;
             }
-            ServedOutcome::Rejected => rejected += 1,
-            other => panic!("unexpected outcome: {other:?}"),
+            Err(SubmitError::AtCapacity) => rejected += 1,
+            Err(other) => panic!("unexpected submit error: {other}"),
         }
     }
     assert_eq!(completed + rejected, 200);
@@ -285,37 +270,128 @@ fn admission_cap_rejects_excess_submissions() {
 
 /// A bounded manager queue must never deadlock: worker completions use
 /// blocking sends the manager always drains, and submissions that find
-/// the queue full resolve to `Rejected` instead of blocking the caller.
+/// the queue full fail fast with [`SubmitError::QueueFull`] instead of
+/// blocking the caller.
 #[test]
 fn bounded_manager_queue_never_deadlocks() {
     let model = Arc::new(LstmLm::small());
-    let rt = Runtime::start_with(
+    let rt = Runtime::start(
         Arc::clone(&model) as Arc<dyn Model>,
-        2,
-        RuntimeOptions {
-            manager_queue_cap: Some(2),
-            ..RuntimeOptions::default()
-        },
+        RuntimeOptions::new().workers(2).queue_cap(2),
     );
     let ds = Dataset::lstm(80, LengthDistribution::Fixed(10), 900, 31);
-    let handles: Vec<_> = ds
-        .items()
-        .iter()
-        .map(|i| rt.try_submit(i).expect("valid input"))
-        .collect();
+    let submissions: Vec<_> = ds.items().iter().map(|i| rt.try_submit(i)).collect();
     let mut resolved = 0usize;
-    for (input, h) in ds.items().iter().zip(handles) {
-        match h.wait() {
-            ServedOutcome::Completed(served) => {
-                let expect = reference::execute_graph(&model.unfold(input), model.registry());
-                assert_eq!(served.result, expect, "admitted request diverged");
-                resolved += 1;
-            }
-            ServedOutcome::Rejected => resolved += 1,
-            other => panic!("unexpected outcome: {other:?}"),
+    for (input, sub) in ds.items().iter().zip(submissions) {
+        match sub {
+            Ok(h) => match h.wait() {
+                ServedOutcome::Completed(served) => {
+                    let expect = reference::execute_graph(&model.unfold(input), model.registry());
+                    assert_eq!(served.result, expect, "admitted request diverged");
+                    resolved += 1;
+                }
+                other => panic!("unexpected outcome: {other:?}"),
+            },
+            Err(SubmitError::QueueFull) => resolved += 1,
+            Err(other) => panic!("unexpected submit error: {other}"),
         }
     }
     assert_eq!(resolved, 80);
     assert_eq!(rt.active_requests(), 0);
     rt.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Tracing: every completed request's timeline is causally ordered.
+// ---------------------------------------------------------------------------
+
+use bm_metrics::reconstruct_timelines;
+use bm_trace::RingBufferSink;
+
+/// Serving through a traced runtime yields, for every completed request,
+/// a timeline whose arrival, first dispatch and completion appear in
+/// that order — and the deprecated `start_with` shim still works.
+#[test]
+fn traced_run_yields_ordered_timelines() {
+    let model = Arc::new(LstmLm::small());
+    let sink = Arc::new(RingBufferSink::new(200_000));
+    #[allow(deprecated)]
+    let rt = Runtime::start_with(
+        Arc::clone(&model) as Arc<dyn Model>,
+        2,
+        RuntimeOptions::new().trace(sink.clone()),
+    );
+    let ds = Dataset::lstm(40, LengthDistribution::Fixed(8), 900, 41);
+    let handles: Vec<_> = ds.items().iter().map(|i| rt.submit(i)).collect();
+    for h in handles {
+        h.wait().completed();
+    }
+    rt.shutdown();
+
+    let events = sink.events();
+    assert_eq!(sink.dropped(), 0, "capture buffer must not overflow");
+    let timelines = reconstruct_timelines(&events);
+    let completed: Vec<_> = timelines
+        .iter()
+        .filter(|t| t.entries.iter().any(|e| e.label == "request_completed"))
+        .collect();
+    assert_eq!(completed.len(), 40, "one timeline per completed request");
+    for t in &completed {
+        let arrival = t.arrival_us().expect("arrival traced");
+        let dispatch = t.first_dispatch_us().expect("dispatch traced");
+        let end = t.end_us().expect("completion traced");
+        assert!(
+            arrival <= dispatch && dispatch <= end,
+            "request {}: arrival {arrival} -> dispatch {dispatch} -> complete {end} out of order",
+            t.request
+        );
+        // Entries are in causal trace order with monotonic timestamps.
+        for w in t.entries.windows(2) {
+            assert!(
+                w[0].ts_us <= w[1].ts_us,
+                "request {}: ts regressed",
+                t.request
+            );
+        }
+    }
+}
+
+#[test]
+fn builders_preserve_defaults() {
+    // `new()` is the documented start of the chain and must match
+    // `Default` field for field, so adding a knob never shifts behavior
+    // of existing builder chains.
+    let opts = RuntimeOptions::new();
+    let defaults = RuntimeOptions::default();
+    assert_eq!(opts.workers, defaults.workers);
+    assert_eq!(opts.workers, 1);
+    assert_eq!(opts.max_active, defaults.max_active);
+    assert_eq!(opts.max_active, None);
+    assert_eq!(opts.deadline_us, None);
+    assert_eq!(opts.queue_cap, None);
+    assert!(!opts.trace.enabled(), "default sink must be the no-op");
+
+    let cfg = bm_core::SchedulerConfig::new();
+    let cfg_defaults = bm_core::SchedulerConfig::default();
+    assert_eq!(cfg.max_tasks_to_submit, cfg_defaults.max_tasks_to_submit);
+    assert_eq!(cfg.max_tasks_to_submit, 5);
+    assert!(!cfg.retain_completions);
+}
+
+#[test]
+fn builders_set_only_the_named_field() {
+    let opts = RuntimeOptions::new()
+        .workers(3)
+        .max_active(64)
+        .deadline_us(50_000)
+        .queue_cap(256)
+        .scheduler(bm_core::SchedulerConfig::new().max_tasks_to_submit(2));
+    assert_eq!(opts.workers, 3);
+    assert_eq!(opts.max_active, Some(64));
+    assert_eq!(opts.deadline_us, Some(50_000));
+    assert_eq!(opts.queue_cap, Some(256));
+    assert_eq!(opts.scheduler.max_tasks_to_submit, 2);
+    // Untouched knobs keep their defaults through the chain.
+    assert!(!opts.scheduler.retain_completions);
+    assert!(!opts.trace.enabled());
 }

@@ -1,29 +1,31 @@
 //! The reproduction CLI: regenerates every figure of the paper.
 //!
 //! ```text
-//! repro <experiment>... [--quick] [--out DIR]
+//! repro <experiment>... [--quick|--smoke] [--out DIR]
 //! repro all [--quick]
 //! ```
 //!
 //! Experiments: fig3 fig5 fig7a fig7b fig8 fig9 fig10 fig11 fig13 fig14
-//! fig15 headline ablation sla. Results land in `results/` as markdown + CSV
-//! and are echoed to stdout.
+//! fig15 headline ablation sla trace. Results land in `results/` as
+//! markdown + CSV and are echoed to stdout; `trace` additionally writes
+//! Chrome trace JSON (Perfetto-loadable) and per-request timelines.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use bm_harness::experiments::{
-    ablation, fig10, fig11, fig13, fig14, fig15, fig3, fig5, fig7, fig8, fig9, headline, sla, Scale,
+    ablation, fig10, fig11, fig13, fig14, fig15, fig3, fig5, fig7, fig8, fig9, headline, sla,
+    trace, Scale,
 };
 use bm_harness::write_results;
 use bm_metrics::Table;
 
 const EXPERIMENTS: &[&str] = &[
     "fig3", "fig5", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11", "fig13", "fig14", "fig15",
-    "headline", "ablation", "sla",
+    "headline", "ablation", "sla", "trace",
 ];
 
-fn run_one(name: &str, scale: Scale) -> Option<Vec<Table>> {
+fn run_one(name: &str, scale: Scale, out_dir: &Path) -> Option<Vec<Table>> {
     let tables = match name {
         "fig3" => fig3::run(scale),
         "fig5" => fig5::run(scale),
@@ -39,6 +41,7 @@ fn run_one(name: &str, scale: Scale) -> Option<Vec<Table>> {
         "headline" => headline::run(scale),
         "ablation" => ablation::run(scale),
         "sla" => sla::run(scale),
+        "trace" => trace::run(scale, out_dir),
         _ => return None,
     };
     Some(tables)
@@ -52,7 +55,7 @@ fn main() -> ExitCode {
     let mut iter = args.into_iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
-            "--quick" => scale = Scale::Quick,
+            "--quick" | "--smoke" => scale = Scale::Quick,
             "--out" => match iter.next() {
                 Some(d) => out_dir = PathBuf::from(d),
                 None => {
@@ -65,7 +68,7 @@ fn main() -> ExitCode {
         }
     }
     if selected.is_empty() {
-        eprintln!("usage: repro <experiment>... [--quick] [--out DIR]");
+        eprintln!("usage: repro <experiment>... [--quick|--smoke] [--out DIR]");
         eprintln!("experiments: {} all", EXPERIMENTS.join(" "));
         return ExitCode::FAILURE;
     }
@@ -73,7 +76,7 @@ fn main() -> ExitCode {
     for name in &selected {
         eprintln!("== running {name} ({scale:?}) ==");
         let start = std::time::Instant::now();
-        match run_one(name, scale) {
+        match run_one(name, scale, &out_dir) {
             Some(tables) => {
                 write_results(&out_dir, name, &tables);
                 eprintln!("== {name} done in {:.1?} ==\n", start.elapsed());

@@ -53,10 +53,7 @@ pub fn max_tasks_ablation(scale: Scale) -> Table {
             ..Default::default()
         }));
         let mut factory = ServerFactory::paper(model);
-        factory.scheduler = SchedulerConfig {
-            max_tasks_to_submit: mt,
-            ..SchedulerConfig::default()
-        };
+        factory.scheduler = SchedulerConfig::new().max_tasks_to_submit(mt);
         let p = run_point(&factory, &SystemKind::BatchMaker, &ds, 8_000.0, 1, scale);
         let s = p.outcome.recorder.summary();
         let q99 = p.outcome.recorder.queueing_cdf().quantile(0.99);

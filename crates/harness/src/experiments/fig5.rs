@@ -79,10 +79,7 @@ pub fn run(_scale: Scale) -> Vec<Table> {
     // step, as in the figure.
     let mut cellular = CellularServer::new(
         model,
-        SchedulerConfig {
-            max_tasks_to_submit: 1,
-            ..SchedulerConfig::default()
-        },
+        SchedulerConfig::new().max_tasks_to_submit(1),
         unit_cost(),
         profile,
     );

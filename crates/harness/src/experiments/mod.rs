@@ -14,6 +14,7 @@ pub mod fig9;
 pub mod headline;
 pub mod serving;
 pub mod sla;
+pub mod trace;
 
 /// Experiment size: `Quick` for tests and benches, `Full` for the real
 /// reproduction run.

@@ -89,14 +89,12 @@ pub fn run_point(
     let outcome = simulate(
         server.as_mut(),
         &arr,
-        SimOptions {
-            workers,
+        SimOptions::new()
+            .workers(workers)
             // Allow 4x the arrival span to drain; beyond that the system
             // is saturated at this rate.
-            max_sim_us: span.saturating_mul(4).max(5_000_000),
-            warmup: n / 10,
-            ..SimOptions::default()
-        },
+            .max_sim_us(span.saturating_mul(4).max(5_000_000))
+            .warmup(n / 10),
     );
     SweepPoint {
         system: kind.label(),

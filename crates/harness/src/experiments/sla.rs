@@ -65,13 +65,11 @@ pub fn run_points(scale: Scale) -> Vec<SlaPoint> {
         let out = simulate(
             server.as_mut(),
             &arr,
-            SimOptions {
-                workers: 1,
-                max_sim_us: span.saturating_mul(4).max(5_000_000),
-                deadline_us: Some(SLA_US),
-                max_active: Some(MAX_ACTIVE),
-                ..SimOptions::default()
-            },
+            SimOptions::new()
+                .workers(1)
+                .max_sim_us(span.saturating_mul(4).max(5_000_000))
+                .deadline_us(SLA_US)
+                .max_active(MAX_ACTIVE),
         );
         let summary = SlaSummary::new(
             n,

@@ -13,11 +13,13 @@ mod cdf;
 mod recorder;
 mod sla;
 mod table;
+pub mod timeline;
 
 pub use cdf::Cdf;
 pub use recorder::{LatencyRecorder, RequestTiming, Summary};
 pub use sla::SlaSummary;
 pub use table::{fmt1, Table};
+pub use timeline::{reconstruct_timelines, render_timelines, RequestTimeline, TimelineEntry};
 
 /// Converts microseconds to milliseconds.
 pub fn us_to_ms(us: u64) -> f64 {

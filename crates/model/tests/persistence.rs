@@ -88,7 +88,7 @@ fn load_rejects_corrupt_and_missing_weights() {
 fn loaded_model_serves_through_runtime() {
     // End-to-end: save, load, serve under the threaded runtime, compare
     // to the original model's reference execution.
-    use bm_core::{Runtime, SchedulerConfig};
+    use bm_core::{Runtime, RuntimeOptions};
     use std::sync::Arc;
 
     let cfg = LstmLmConfig::default();
@@ -99,8 +99,7 @@ fn loaded_model_serves_through_runtime() {
 
     let rt = Runtime::start(
         Arc::clone(&loaded) as Arc<dyn Model>,
-        1,
-        SchedulerConfig::default(),
+        RuntimeOptions::new().workers(1),
     );
     let input = RequestInput::Sequence(vec![1, 2, 3, 4, 5]);
     let served = rt.submit(&input).wait().completed();

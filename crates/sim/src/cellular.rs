@@ -67,6 +67,15 @@ impl CellularServer {
             profile,
         )
     }
+
+    /// Routes the engine's scheduler trace events (batch formation,
+    /// pinning, migration, task lifecycle) to `sink`, stamped in virtual
+    /// time. Pair with `SimOptions::trace` to also capture driver-level
+    /// rejections and expiries.
+    pub fn with_trace(mut self, sink: Arc<dyn bm_trace::TraceSink>) -> Self {
+        self.engine.set_trace_sink(sink);
+        self
+    }
 }
 
 impl Server for CellularServer {
@@ -76,7 +85,9 @@ impl Server for CellularServer {
     }
 
     fn next_work(&mut self, worker: usize, now_us: u64) -> Vec<WorkItem> {
-        let _ = now_us;
+        // Batch-formation trace events are stamped with the engine's
+        // internal clock; keep it in step with virtual time.
+        self.engine.advance_clock(now_us);
         let tasks = self.engine.dispatch(WorkerId(worker as u32));
         tasks
             .into_iter()

@@ -1,13 +1,30 @@
 //! The open-loop simulation driver.
 
+use std::sync::Arc;
+
 use bm_metrics::{LatencyRecorder, RequestTiming};
 use bm_model::RequestInput;
+use bm_trace::{EventKind, RejectReason, TraceEvent, TraceSink};
 
 use crate::event::EventQueue;
 use crate::server::{Server, SimRequest};
 
 /// Options controlling one simulation run.
+///
+/// Built fluently (`#[non_exhaustive]` forbids literal construction so
+/// new knobs can be added compatibly); field names match
+/// `bm_core::RuntimeOptions` where the concepts coincide
+/// (`deadline_us`, `max_active`, `workers`, `trace`):
+///
+/// ```
+/// use bm_sim::SimOptions;
+///
+/// let opts = SimOptions::new().workers(4).deadline_us(50_000).warmup(100);
+/// assert_eq!(opts.workers, 4);
+/// assert_eq!(opts.deadline_us, Some(50_000));
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SimOptions {
     /// Number of simulated GPU workers.
     pub workers: usize,
@@ -30,6 +47,11 @@ pub struct SimOptions {
     /// the system are dropped before reaching the server and counted in
     /// [`SimOutcome::rejected`]. `None` admits everything.
     pub max_active: Option<usize>,
+    /// Destination for driver-level trace events (admission rejections,
+    /// expiries), stamped in virtual time. Engine-level events need the
+    /// sink installed on the server too (e.g.
+    /// [`crate::CellularServer::with_trace`]).
+    pub trace: Arc<dyn TraceSink>,
 }
 
 impl Default for SimOptions {
@@ -41,7 +63,58 @@ impl Default for SimOptions {
             worker_speeds: None,
             deadline_us: None,
             max_active: None,
+            trace: bm_trace::noop(),
         }
+    }
+}
+
+impl SimOptions {
+    /// Default options: one nominal-speed worker, 10 virtual minutes, no
+    /// warm-up trim, no deadline, no admission cap, tracing off.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of simulated workers.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Sets the virtual-time cap, µs.
+    pub fn max_sim_us(mut self, t: u64) -> Self {
+        self.max_sim_us = t;
+        self
+    }
+
+    /// Excludes the first `n` completions from the recorder.
+    pub fn warmup(mut self, n: usize) -> Self {
+        self.warmup = n;
+        self
+    }
+
+    /// Sets per-worker speed factors.
+    pub fn worker_speeds(mut self, speeds: Vec<f64>) -> Self {
+        self.worker_speeds = Some(speeds);
+        self
+    }
+
+    /// Applies a relative deadline to every request, µs from arrival.
+    pub fn deadline_us(mut self, d: u64) -> Self {
+        self.deadline_us = Some(d);
+        self
+    }
+
+    /// Caps concurrently admitted requests.
+    pub fn max_active(mut self, cap: usize) -> Self {
+        self.max_active = Some(cap);
+        self
+    }
+
+    /// Routes driver-level trace events to `sink`.
+    pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = sink;
+        self
     }
 }
 
@@ -151,6 +224,15 @@ pub fn simulate(
                     {
                         status[idx] = ReqStatus::Rejected;
                         rejected += 1;
+                        if opts.trace.enabled() {
+                            opts.trace.record(TraceEvent {
+                                ts_us: now,
+                                kind: EventKind::RequestRejected {
+                                    request: idx as u64,
+                                    reason: RejectReason::AtCapacity,
+                                },
+                            });
+                        }
                         continue;
                     }
                     status[idx] = ReqStatus::Admitted;
@@ -177,6 +259,14 @@ pub fn simulate(
                     if status[idx] == ReqStatus::Admitted {
                         status[idx] = ReqStatus::Expired;
                         expired += 1;
+                        if opts.trace.enabled() {
+                            opts.trace.record(TraceEvent {
+                                ts_us: now,
+                                kind: EventKind::RequestExpired {
+                                    request: idx as u64,
+                                },
+                            });
+                        }
                         // Best-effort shed: a server without cancel
                         // support keeps the work but the request is
                         // still accounted as expired (its eventual

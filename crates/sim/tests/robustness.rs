@@ -52,16 +52,11 @@ fn straggler_worker_degrades_gracefully() {
     let arr = arrivals(2_000, 20_000.0, 5);
     let run = |workers: usize, speeds: Option<Vec<f64>>| {
         let mut srv = CellularServer::paper_scale(model());
-        simulate(
-            &mut srv,
-            &arr,
-            SimOptions {
-                workers,
-                worker_speeds: speeds,
-                max_sim_us: 20_000_000,
-                ..Default::default()
-            },
-        )
+        simulate(&mut srv, &arr, {
+            let mut o = SimOptions::new().workers(workers).max_sim_us(20_000_000);
+            o.worker_speeds = speeds;
+            o
+        })
     };
     let one = run(1, None);
     let two = run(2, None);
@@ -92,10 +87,7 @@ fn zero_capacity_overload_is_flagged() {
     let out = simulate(
         &mut srv,
         &arrivals(50_000, 2_000_000.0, 3),
-        SimOptions {
-            max_sim_us: 200_000,
-            ..Default::default()
-        },
+        SimOptions::new().max_sim_us(200_000),
     );
     assert!(out.saturated);
     assert!(out.unfinished > 0);
@@ -111,4 +103,27 @@ fn all_completions_have_sane_timestamps() {
         assert!(arrival <= start && start <= completion, "request {id}");
         assert_eq!(arr[id as usize].0, arrival, "arrival stamp preserved");
     }
+}
+
+#[test]
+fn sim_options_builder_preserves_defaults() {
+    let opts = SimOptions::new();
+    let defaults = SimOptions::default();
+    assert_eq!(opts.workers, defaults.workers);
+    assert_eq!(opts.max_sim_us, defaults.max_sim_us);
+    assert_eq!(opts.warmup, defaults.warmup);
+    assert_eq!(opts.deadline_us, None);
+    assert_eq!(opts.max_active, None);
+    assert!(opts.worker_speeds.is_none());
+    assert!(!opts.trace.enabled(), "default sink must be the no-op");
+
+    let opts = SimOptions::new()
+        .workers(4)
+        .max_sim_us(1_000)
+        .warmup(10)
+        .deadline_us(99)
+        .max_active(7);
+    assert_eq!((opts.workers, opts.max_sim_us, opts.warmup), (4, 1_000, 10));
+    assert_eq!(opts.deadline_us, Some(99));
+    assert_eq!(opts.max_active, Some(7));
 }

@@ -1,0 +1,232 @@
+//! Trace sinks: where instrumented code sends events.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::event::{EventKind, TraceEvent, KIND_NAMES, NUM_EVENT_KINDS};
+
+/// A destination for trace events.
+///
+/// Instrumented hot paths guard event construction behind
+/// [`TraceSink::enabled`]:
+///
+/// ```ignore
+/// if sink.enabled() {
+///     sink.record(TraceEvent { ts_us, kind: EventKind::TaskStarted { .. } });
+/// }
+/// ```
+///
+/// so a disabled sink costs one predictable branch per site and no
+/// allocation.
+pub trait TraceSink: std::fmt::Debug + Send + Sync {
+    /// Whether callers should construct and record events at all.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event. Must be cheap and non-blocking; sinks that
+    /// buffer must bound their memory.
+    fn record(&self, event: TraceEvent);
+}
+
+/// The default sink: drops everything, reports itself disabled.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _event: TraceEvent) {}
+}
+
+/// A shared no-op sink — the default for every options struct.
+pub fn noop() -> Arc<dyn TraceSink> {
+    Arc::new(NoopSink)
+}
+
+/// Counts events per kind with relaxed atomics — cheap enough to leave
+/// on in production for always-on counters.
+#[derive(Debug, Default)]
+pub struct CounterSink {
+    counts: [AtomicU64; NUM_EVENT_KINDS],
+}
+
+impl CounterSink {
+    /// A fresh zeroed counter sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The count recorded for one event kind (by [`EventKind::index`]).
+    pub fn count(&self, kind_index: usize) -> u64 {
+        self.counts[kind_index].load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of `(kind name, count)` pairs, all kinds.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        KIND_NAMES
+            .iter()
+            .zip(&self.counts)
+            .map(|(n, c)| (*n, c.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+}
+
+impl TraceSink for CounterSink {
+    fn record(&self, event: TraceEvent) {
+        self.counts[event.kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[derive(Debug)]
+struct RingInner {
+    buf: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+/// A bounded in-memory capture buffer: keeps the most recent `capacity`
+/// events, dropping the oldest (and counting drops) when full.
+#[derive(Debug)]
+pub struct RingBufferSink {
+    capacity: usize,
+    inner: Mutex<RingInner>,
+}
+
+impl RingBufferSink {
+    /// A buffer holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingBufferSink {
+            capacity,
+            inner: Mutex::new(RingInner {
+                buf: VecDeque::with_capacity(capacity.min(4096)),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events dropped because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Copies out the buffered events, oldest first, without draining.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.lock().buf.iter().cloned().collect()
+    }
+
+    /// Drains the buffered events, oldest first, resetting the buffer
+    /// (the drop counter is preserved).
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut g = self.inner.lock();
+        g.buf.drain(..).collect()
+    }
+
+    /// Records a pre-built event kind at `ts_us` — convenience for
+    /// drivers that already hold an `Arc<RingBufferSink>`.
+    pub fn push(&self, ts_us: u64, kind: EventKind) {
+        self.record(TraceEvent { ts_us, kind });
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn record(&self, event: TraceEvent) {
+        let mut g = self.inner.lock();
+        if g.buf.len() == self.capacity {
+            g.buf.pop_front();
+            g.dropped += 1;
+        }
+        g.buf.push_back(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, RejectReason};
+
+    fn ev(ts: u64) -> TraceEvent {
+        TraceEvent {
+            ts_us: ts,
+            kind: EventKind::RequestExpired { request: ts },
+        }
+    }
+
+    #[test]
+    fn noop_is_disabled() {
+        let s = NoopSink;
+        assert!(!s.enabled());
+        s.record(ev(1)); // must not panic
+    }
+
+    #[test]
+    fn counter_sink_counts_per_kind() {
+        let s = CounterSink::new();
+        s.record(ev(1));
+        s.record(ev(2));
+        s.record(TraceEvent {
+            ts_us: 3,
+            kind: EventKind::RequestRejected {
+                request: 0,
+                reason: RejectReason::QueueFull,
+            },
+        });
+        assert_eq!(s.total(), 3);
+        let snap = s.snapshot();
+        assert_eq!(
+            snap.iter()
+                .find(|(n, _)| *n == "request_expired")
+                .unwrap()
+                .1,
+            2
+        );
+        assert_eq!(
+            snap.iter()
+                .find(|(n, _)| *n == "request_rejected")
+                .unwrap()
+                .1,
+            1
+        );
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest_beyond_capacity() {
+        let s = RingBufferSink::new(3);
+        for t in 0..5 {
+            s.record(ev(t));
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.dropped(), 2);
+        let ts: Vec<u64> = s.events().iter().map(|e| e.ts_us).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+        let drained = s.drain();
+        assert_eq!(drained.len(), 3);
+        assert!(s.is_empty());
+        assert_eq!(s.dropped(), 2, "drop counter survives drain");
+    }
+}

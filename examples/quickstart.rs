@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use bm_core::{Runtime, SchedulerConfig};
+use bm_core::{Runtime, RuntimeOptions};
 use bm_model::{reference, LstmLm, LstmLmConfig, Model, RequestInput};
 
 fn main() {
@@ -25,8 +25,7 @@ fn main() {
     // Two workers stand in for two GPUs.
     let runtime = Runtime::start(
         Arc::clone(&model) as Arc<dyn Model>,
-        2,
-        SchedulerConfig::default(),
+        RuntimeOptions::new().workers(2),
     );
 
     // "system research is", "kids love dogs", ... as token ids.

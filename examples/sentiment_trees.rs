@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use bm_core::{Runtime, SchedulerConfig};
+use bm_core::{Runtime, RuntimeOptions};
 use bm_model::{reference, Model, RequestInput, TreeLstm, TreeLstmConfig, TreeShape};
 use bm_workload::{Dataset, LengthDistribution};
 use rand::rngs::StdRng;
@@ -36,8 +36,7 @@ fn main() {
     }));
     let runtime = Runtime::start(
         Arc::clone(&model) as Arc<dyn Model>,
-        1,
-        SchedulerConfig::default(),
+        RuntimeOptions::new().workers(1),
     );
 
     // A mix of random parse trees plus the paper's complete 16-leaf

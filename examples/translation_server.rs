@@ -11,7 +11,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use bm_core::{Runtime, SchedulerConfig};
+use bm_core::{Runtime, RuntimeOptions};
 use bm_model::{Model, RequestInput, Seq2Seq, Seq2SeqConfig};
 use bm_workload::{Dataset, LengthDistribution};
 use rand::rngs::StdRng;
@@ -26,8 +26,7 @@ fn main() {
     }));
     let runtime = Runtime::start(
         Arc::clone(&model) as Arc<dyn Model>,
-        2,
-        SchedulerConfig::default(),
+        RuntimeOptions::new().workers(2),
     );
 
     // Sample "German" sentences of varying length and issue them with

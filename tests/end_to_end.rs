@@ -4,14 +4,14 @@
 
 use std::sync::Arc;
 
-use bm_core::{Runtime, SchedulerConfig};
+use bm_core::{Runtime, RuntimeOptions, SubmitError};
 use bm_model::{reference, LstmLm, Model, RequestInput, Seq2Seq, TreeLstm};
 use bm_workload::{Dataset, LengthDistribution};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn serve_and_verify(model: Arc<dyn Model>, inputs: &[RequestInput], workers: usize) -> Vec<u64> {
-    let rt = Runtime::start(Arc::clone(&model), workers, SchedulerConfig::default());
+    let rt = Runtime::start(Arc::clone(&model), RuntimeOptions::new().workers(workers));
     let handles: Vec<_> = inputs.iter().map(|i| rt.submit(i)).collect();
     let mut latencies = Vec::new();
     for (input, h) in inputs.iter().zip(handles) {
@@ -47,7 +47,7 @@ fn mixed_interleaved_submissions() {
     // Interleave short and long requests: the short ones must not be
     // stuck behind the long ones (continuous leave, §3.2).
     let model: Arc<dyn Model> = Arc::new(LstmLm::small());
-    let rt = Runtime::start(Arc::clone(&model), 1, SchedulerConfig::default());
+    let rt = Runtime::start(Arc::clone(&model), RuntimeOptions::new().workers(1));
     let long = RequestInput::Sequence(vec![1; 120]);
     let short = RequestInput::Sequence(vec![2; 2]);
     let h_long = rt.submit(&long);
@@ -69,7 +69,7 @@ fn repeated_identical_requests_are_deterministic() {
     let model: Arc<dyn Model> = Arc::new(TreeLstm::small());
     let ds = Dataset::trees(5, LengthDistribution::Fixed(7), 900, 9);
     let input = ds.items()[0].clone();
-    let rt = Runtime::start(Arc::clone(&model), 2, SchedulerConfig::default());
+    let rt = Runtime::start(Arc::clone(&model), RuntimeOptions::new().workers(2));
     let results: Vec<_> = (0..6)
         .map(|_| rt.submit(&input))
         .collect::<Vec<_>>()
@@ -112,18 +112,24 @@ fn gru_model_end_to_end() {
 #[test]
 fn malformed_requests_rejected_gracefully() {
     let model: Arc<dyn Model> = Arc::new(LstmLm::small());
-    let rt = Runtime::start(Arc::clone(&model), 1, SchedulerConfig::default());
-    // Empty sequence, out-of-vocabulary token, wrong variant.
-    assert!(rt.try_submit(&RequestInput::Sequence(vec![])).is_err());
-    assert!(rt
-        .try_submit(&RequestInput::Sequence(vec![u32::MAX]))
-        .is_err());
-    assert!(rt
-        .try_submit(&RequestInput::Pair {
+    let rt = Runtime::start(Arc::clone(&model), RuntimeOptions::new().workers(1));
+    // Empty sequence, out-of-vocabulary token, wrong variant — all
+    // surface as the typed `SubmitError::Invalid`.
+    assert!(matches!(
+        rt.try_submit(&RequestInput::Sequence(vec![])),
+        Err(SubmitError::Invalid(_))
+    ));
+    assert!(matches!(
+        rt.try_submit(&RequestInput::Sequence(vec![u32::MAX])),
+        Err(SubmitError::Invalid(_))
+    ));
+    assert!(matches!(
+        rt.try_submit(&RequestInput::Pair {
             src: vec![1],
             decode_len: 1
-        })
-        .is_err());
+        }),
+        Err(SubmitError::Invalid(_))
+    ));
     // The runtime is unharmed: a valid request still serves.
     let ok = rt.try_submit(&RequestInput::Sequence(vec![1, 2])).unwrap();
     assert_eq!(ok.wait().completed().result.executed_count(), 2);

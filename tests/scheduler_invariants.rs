@@ -88,7 +88,7 @@ proptest! {
         let registry = Arc::new(model.registry().clone());
         let mut engine = CellularEngine::new(
             Arc::clone(&registry),
-            SchedulerConfig { max_tasks_to_submit: max_tasks, ..SchedulerConfig::default() },
+            SchedulerConfig::new().max_tasks_to_submit(max_tasks),
         );
 
         // Admit requests at staggered times.
@@ -195,7 +195,7 @@ proptest! {
         let registry = Arc::new(model.registry().clone());
         let mut engine = CellularEngine::new(
             Arc::clone(&registry),
-            SchedulerConfig { max_tasks_to_submit: max_tasks, ..SchedulerConfig::default() },
+            SchedulerConfig::new().max_tasks_to_submit(max_tasks),
         );
 
         let mut expected_nodes: HashMap<u64, usize> = HashMap::new();
