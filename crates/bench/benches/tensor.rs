@@ -2,6 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
+use bm_cell::{Cell, InvocationInput, LstmCell, Scratch};
 use bm_tensor::{ops, xavier_uniform, Matrix};
 
 fn bench_matmul(c: &mut Criterion) {
@@ -64,10 +65,77 @@ fn bench_elementwise(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_packed_vs_serial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    // The headline kernel shape: batched LSTM step at batch 64,
+    // hidden 512 — (64, 1024) x (1024, 2048).
+    let a = xavier_uniform(64, 1024, 11);
+    let b = xavier_uniform(1024, 2048, 12);
+    let bias = Matrix::zeros(1, 2048);
+    g.throughput(Throughput::Elements((2usize * 64 * 1024 * 2048) as u64));
+    g.bench_function("packed_b64_h512", |bench| {
+        bench.iter(|| std::hint::black_box(a.matmul(&b)));
+    });
+    g.bench_function("serial_reference_b64_h512", |bench| {
+        bench.iter(|| std::hint::black_box(a.matmul_serial(&b)));
+    });
+    g.bench_function("fused_affine_b64_h512", |bench| {
+        let mut out = Matrix::zeros(64, 2048);
+        bench.iter(|| {
+            ops::affine_into(&a, &b, &bias, &mut out);
+            std::hint::black_box(&out);
+        });
+    });
+    g.finish();
+}
+
+fn bench_inplace_activations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inplace");
+    let x = xavier_uniform(256, 1024, 13);
+    g.throughput(Throughput::Elements(x.len() as u64));
+    g.bench_function("sigmoid_inplace_256x1024", |bench| {
+        let mut y = x.clone();
+        bench.iter(|| {
+            ops::sigmoid_inplace(&mut y);
+            std::hint::black_box(&y);
+        });
+    });
+    g.bench_function("tanh_inplace_256x1024", |bench| {
+        let mut y = x.clone();
+        bench.iter(|| {
+            ops::tanh_inplace(&mut y);
+            std::hint::black_box(&y);
+        });
+    });
+    g.finish();
+}
+
+fn bench_lstm_cell_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lstm_cell");
+    // Figure-3 scale cell step: batch 64, embed 512, hidden 512.
+    let cell = Cell::Lstm(LstmCell::seeded(512, 512, 1024, 21));
+    let state = {
+        let out = cell.execute_batch(&[InvocationInput::token_only(1)]);
+        out.into_iter().next().unwrap().state
+    };
+    let invs: Vec<InvocationInput<'_>> = (0..64)
+        .map(|i| InvocationInput::chain(i as u32 % 1024, &state))
+        .collect();
+    g.throughput(Throughput::Elements(cell.flops(64)));
+    g.bench_function("step_b64_h512", |bench| {
+        let mut scratch = Scratch::new();
+        bench.iter(|| std::hint::black_box(cell.execute_batch_in(&invs, &mut scratch)));
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_matmul,
     bench_gather_scatter,
-    bench_elementwise
+    bench_elementwise,
+    bench_packed_vs_serial,
+    bench_inplace_activations,
+    bench_lstm_cell_step
 );
 criterion_main!(benches);

@@ -17,7 +17,7 @@
 //! ```
 
 use bm_tensor::io::WeightBundle;
-use bm_tensor::{ops, xavier_uniform, Matrix};
+use bm_tensor::{ops, xavier_uniform, Matrix, Scratch};
 
 use crate::persist::{expect, expect_shape};
 use crate::state::{CellOutput, CellState, InvocationInput};
@@ -88,35 +88,73 @@ impl GruCell {
 
     /// Runs one batched step; see [`crate::Cell::execute_batch`].
     pub fn execute_batch(&self, inputs: &[InvocationInput<'_>]) -> Vec<CellOutput> {
+        self.execute_batch_in(inputs, &mut Scratch::new())
+    }
+
+    /// Scratch-arena variant of [`GruCell::execute_batch`]: gathers
+    /// straight into a scratch `[x, h]` buffer, runs fused affines with
+    /// in-place activations, and rewrites the buffer's right half to
+    /// `r * h` for the candidate gate instead of concatenating afresh —
+    /// bitwise identical to the unfused chain.
+    pub fn execute_batch_in(
+        &self,
+        inputs: &[InvocationInput<'_>],
+        s: &mut Scratch,
+    ) -> Vec<CellOutput> {
         let batch = inputs.len();
-        let ids: Vec<usize> = inputs
-            .iter()
-            .map(|inv| inv.token.expect("gru invocation requires a token") as usize)
-            .collect();
-        let x = ops::embedding(&self.embed, &ids);
-        let mut h = Matrix::zeros(batch, self.hidden_size);
+        let e = self.embed_size;
+        let hsz = self.hidden_size;
+        let mut xh = s.take(batch, e + hsz);
+        let mut h = s.take(batch, hsz);
         for (r, inv) in inputs.iter().enumerate() {
+            let id = inv.token.expect("gru invocation requires a token") as usize;
+            assert!(
+                id < self.embed.rows(),
+                "embedding id {id} >= vocab {}",
+                self.embed.rows()
+            );
+            let xh_row = xh.row_mut(r);
+            xh_row[..e].copy_from_slice(self.embed.row(id));
             match inv.states.len() {
                 0 => {}
-                1 => h.row_mut(r).copy_from_slice(&inv.states[0].h),
+                1 => {
+                    xh_row[e..].copy_from_slice(&inv.states[0].h);
+                    h.row_mut(r).copy_from_slice(&inv.states[0].h);
+                }
                 n => panic!("gru invocation with {n} states"),
             }
         }
-        let xh = ops::concat_cols(&[&x, &h]);
-        let r = ops::sigmoid(&ops::affine(&xh, &self.wr, &self.br));
-        let z = ops::sigmoid(&ops::affine(&xh, &self.wz, &self.bz));
-        let xrh = ops::concat_cols(&[&x, &ops::mul(&r, &h)]);
-        let n = ops::tanh(&ops::affine(&xrh, &self.wn, &self.bn));
-        let one_minus_z = ops::map(&z, |v| 1.0 - v);
-        let h_new = ops::add(&ops::mul(&one_minus_z, &n), &ops::mul(&z, &h));
-        (0..batch)
+        let mut r_gate = s.take(batch, hsz);
+        ops::affine_into(&xh, &self.wr, &self.br, &mut r_gate);
+        ops::sigmoid_inplace(&mut r_gate);
+        let mut z_gate = s.take(batch, hsz);
+        ops::affine_into(&xh, &self.wz, &self.bz, &mut z_gate);
+        ops::sigmoid_inplace(&mut z_gate);
+        // Turn [x, h] into [x, r * h] in place for the candidate gate.
+        for row in 0..batch {
+            let xh_row = xh.row_mut(row);
+            let rr = r_gate.row(row);
+            for j in 0..hsz {
+                xh_row[e + j] = rr[j] * h.row(row)[j];
+            }
+        }
+        let mut n_gate = s.take(batch, hsz);
+        ops::affine_into(&xh, &self.wn, &self.bn, &mut n_gate);
+        ops::tanh_inplace(&mut n_gate);
+        let mut h_new = s.take(batch, hsz);
+        ops::gru_combine(&z_gate, &n_gate, &h, &mut h_new);
+        let outs = (0..batch)
             .map(|row| {
                 CellOutput::state_only(CellState {
                     h: h_new.row(row).to_vec(),
                     c: Vec::new(),
                 })
             })
-            .collect()
+            .collect();
+        for m in [xh, h, r_gate, z_gate, n_gate, h_new] {
+            s.put(m);
+        }
+        outs
     }
 
     /// Exports the cell's weights (§4.2 persistence).

@@ -41,6 +41,8 @@ pub use signature::{CellSignature, CellTypeId};
 pub use state::{CellOutput, CellState, InvocationInput};
 pub use tree::{TreeInternalCell, TreeLeafCell};
 
+pub use bm_tensor::Scratch;
+
 use bm_tensor::Matrix;
 
 /// A type-erased RNN cell.
@@ -118,14 +120,32 @@ impl Cell {
     /// Panics if `inputs` is empty or any invocation does not match the
     /// cell's arity (wrong number of states, missing token).
     pub fn execute_batch(&self, inputs: &[InvocationInput<'_>]) -> Vec<CellOutput> {
+        self.execute_batch_in(inputs, &mut Scratch::new())
+    }
+
+    /// Scratch-arena variant of [`Cell::execute_batch`] used by runtime
+    /// workers: batch intermediates are recycled through `scratch`
+    /// instead of allocated per step, so steady-state serving does no
+    /// per-step heap traffic. Results are bitwise identical to
+    /// [`Cell::execute_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or any invocation does not match the
+    /// cell's arity (wrong number of states, missing token).
+    pub fn execute_batch_in(
+        &self,
+        inputs: &[InvocationInput<'_>],
+        scratch: &mut Scratch,
+    ) -> Vec<CellOutput> {
         assert!(!inputs.is_empty(), "execute_batch on empty batch");
         match self {
-            Cell::Lstm(c) => c.execute_batch(inputs),
-            Cell::Gru(c) => c.execute_batch(inputs),
-            Cell::Encoder(c) => c.execute_batch(inputs),
-            Cell::Decoder(c) => c.execute_batch(inputs),
-            Cell::TreeLeaf(c) => c.execute_batch(inputs),
-            Cell::TreeInternal(c) => c.execute_batch(inputs),
+            Cell::Lstm(c) => c.execute_batch_in(inputs, scratch),
+            Cell::Gru(c) => c.execute_batch_in(inputs, scratch),
+            Cell::Encoder(c) => c.execute_batch_in(inputs, scratch),
+            Cell::Decoder(c) => c.execute_batch_in(inputs, scratch),
+            Cell::TreeLeaf(c) => c.execute_batch_in(inputs, scratch),
+            Cell::TreeInternal(c) => c.execute_batch_in(inputs, scratch),
         }
     }
 

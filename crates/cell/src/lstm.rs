@@ -16,7 +16,7 @@
 //! hidden width.
 
 use bm_tensor::io::WeightBundle;
-use bm_tensor::{ops, xavier_uniform, Matrix};
+use bm_tensor::{ops, xavier_uniform, Matrix, Scratch};
 
 use crate::persist::{expect, expect_shape};
 use crate::state::{CellOutput, CellState, InvocationInput};
@@ -43,55 +43,63 @@ impl LstmCore {
         }
     }
 
-    /// One batched LSTM step.
+    /// One batched LSTM step over a pre-gathered `[x, h]` input.
     ///
-    /// `x` is `(batch, input)`, `h`/`c` are `(batch, hidden)`.
-    /// Returns `(h', c')`.
-    pub fn step(&self, x: &Matrix, h: &Matrix, c: &Matrix) -> (Matrix, Matrix) {
-        debug_assert_eq!(x.cols(), self.input_size);
-        debug_assert_eq!(h.cols(), self.hidden_size);
-        let xh = ops::concat_cols(&[x, h]);
-        let z = ops::affine(&xh, &self.w, &self.b);
-        let gates = ops::split_cols(&z, 4);
-        let i = ops::sigmoid(&gates[0]);
-        let f = ops::sigmoid(&gates[1]);
-        let g = ops::tanh(&gates[2]);
-        let o = ops::sigmoid(&gates[3]);
-        let c_new = ops::add(&ops::mul(&f, c), &ops::mul(&i, &g));
-        let h_new = ops::mul(&o, &ops::tanh(&c_new));
+    /// `xh` is `(batch, input + hidden)`, `c_prev` is `(batch, hidden)`.
+    /// Returns `(h', c')` backed by buffers from `s`. One fused affine
+    /// into a scratch gate buffer plus one fused gate kernel — zero
+    /// intermediate allocations in steady state, bitwise identical to the
+    /// unfused concat/affine/split/activation/mul/add chain.
+    pub fn step_in(&self, xh: &Matrix, c_prev: &Matrix, s: &mut Scratch) -> (Matrix, Matrix) {
+        debug_assert_eq!(xh.cols(), self.input_size + self.hidden_size);
+        debug_assert_eq!(c_prev.cols(), self.hidden_size);
+        let batch = xh.rows();
+        let mut z = s.take(batch, 4 * self.hidden_size);
+        ops::affine_into(xh, &self.w, &self.b, &mut z);
+        let mut h_new = s.take(batch, self.hidden_size);
+        let mut c_new = s.take(batch, self.hidden_size);
+        ops::lstm_gates(&z, c_prev, &mut h_new, &mut c_new);
+        s.put(z);
         (h_new, c_new)
     }
 }
 
-/// Gathers batched `(x, h, c)` matrices for chain-style invocations,
-/// embedding tokens via `embed` and substituting zero state where an
-/// invocation has no predecessor.
-pub(crate) fn gather_chain_inputs(
+/// Gathers the batched `[x, h]` input and previous cell state for
+/// chain-style invocations directly into scratch buffers: tokens embed
+/// into the left `input_size` columns, predecessor states copy into the
+/// right `hidden_size` columns (and `c`), and chain starts keep the
+/// implicit zero state `Scratch::take` guarantees.
+pub(crate) fn gather_chain_xh(
     embed: &Matrix,
+    input_size: usize,
     hidden_size: usize,
     inputs: &[InvocationInput<'_>],
-) -> (Matrix, Matrix, Matrix) {
+    s: &mut Scratch,
+) -> (Matrix, Matrix) {
     let batch = inputs.len();
-    let ids: Vec<usize> = inputs
-        .iter()
-        .map(|inv| inv.token.expect("chain cell invocation requires a token") as usize)
-        .collect();
-    let x = ops::embedding(embed, &ids);
-    let mut h = Matrix::zeros(batch, hidden_size);
-    let mut c = Matrix::zeros(batch, hidden_size);
+    let mut xh = s.take(batch, input_size + hidden_size);
+    let mut c = s.take(batch, hidden_size);
     for (r, inv) in inputs.iter().enumerate() {
+        let id = inv.token.expect("chain cell invocation requires a token") as usize;
+        assert!(
+            id < embed.rows(),
+            "embedding id {id} >= vocab {}",
+            embed.rows()
+        );
+        let xh_row = xh.row_mut(r);
+        xh_row[..input_size].copy_from_slice(embed.row(id));
         match inv.states.len() {
             0 => {} // Chain start: implicit zero state.
             1 => {
-                let s = inv.states[0];
-                assert_eq!(s.width(), hidden_size, "state width mismatch");
-                h.row_mut(r).copy_from_slice(&s.h);
-                c.row_mut(r).copy_from_slice(&s.c);
+                let st = inv.states[0];
+                assert_eq!(st.width(), hidden_size, "state width mismatch");
+                xh_row[input_size..].copy_from_slice(&st.h);
+                c.row_mut(r).copy_from_slice(&st.c);
             }
             n => panic!("chain cell invocation with {n} states"),
         }
     }
-    (x, h, c)
+    (xh, c)
 }
 
 /// Scatters batched `(h, c)` rows back into per-invocation outputs.
@@ -156,9 +164,29 @@ impl LstmCell {
 
     /// Runs one batched step; see [`crate::Cell::execute_batch`].
     pub fn execute_batch(&self, inputs: &[InvocationInput<'_>]) -> Vec<CellOutput> {
-        let (x, h, c) = gather_chain_inputs(&self.embed, self.hidden_size(), inputs);
-        let (h2, c2) = self.core.step(&x, &h, &c);
-        scatter_states(&h2, &c2)
+        self.execute_batch_in(inputs, &mut Scratch::new())
+    }
+
+    /// Scratch-arena variant of [`LstmCell::execute_batch`]: every batch
+    /// intermediate is taken from (and returned to) `s`.
+    pub fn execute_batch_in(
+        &self,
+        inputs: &[InvocationInput<'_>],
+        s: &mut Scratch,
+    ) -> Vec<CellOutput> {
+        let (xh, c) = gather_chain_xh(
+            &self.embed,
+            self.core.input_size,
+            self.core.hidden_size,
+            inputs,
+            s,
+        );
+        let (h2, c2) = self.core.step_in(&xh, &c, s);
+        let outs = scatter_states(&h2, &c2);
+        for m in [xh, c, h2, c2] {
+            s.put(m);
+        }
+        outs
     }
 
     /// Exports the cell's weights (§4.2 persistence).

@@ -10,9 +10,9 @@
 //! over encoders, §4.3).
 
 use bm_tensor::io::WeightBundle;
-use bm_tensor::{ops, xavier_uniform, Matrix};
+use bm_tensor::{ops, xavier_uniform, Matrix, Scratch};
 
-use crate::lstm::{gather_chain_inputs, scatter_states, LstmCore};
+use crate::lstm::{gather_chain_xh, scatter_states, LstmCore};
 use crate::persist::{expect, expect_shape};
 use crate::state::{CellOutput, InvocationInput};
 
@@ -63,9 +63,28 @@ impl EncoderCell {
 
     /// Runs one batched step; see [`crate::Cell::execute_batch`].
     pub fn execute_batch(&self, inputs: &[InvocationInput<'_>]) -> Vec<CellOutput> {
-        let (x, h, c) = gather_chain_inputs(&self.embed, self.hidden_size(), inputs);
-        let (h2, c2) = self.core.step(&x, &h, &c);
-        scatter_states(&h2, &c2)
+        self.execute_batch_in(inputs, &mut Scratch::new())
+    }
+
+    /// Scratch-arena variant of [`EncoderCell::execute_batch`].
+    pub fn execute_batch_in(
+        &self,
+        inputs: &[InvocationInput<'_>],
+        s: &mut Scratch,
+    ) -> Vec<CellOutput> {
+        let (xh, c) = gather_chain_xh(
+            &self.embed,
+            self.core.input_size,
+            self.core.hidden_size,
+            inputs,
+            s,
+        );
+        let (h2, c2) = self.core.step_in(&xh, &c, s);
+        let outs = scatter_states(&h2, &c2);
+        for m in [xh, c, h2, c2] {
+            s.put(m);
+        }
+        outs
     }
 
     /// Exports the cell's weights (§4.2 persistence).
@@ -163,13 +182,32 @@ impl DecoderCell {
 
     /// Runs one batched step; see [`crate::Cell::execute_batch`].
     pub fn execute_batch(&self, inputs: &[InvocationInput<'_>]) -> Vec<CellOutput> {
-        let (x, h, c) = gather_chain_inputs(&self.embed, self.hidden_size(), inputs);
-        let (h2, c2) = self.core.step(&x, &h, &c);
-        let logits = ops::affine(&h2, &self.proj_w, &self.proj_b);
+        self.execute_batch_in(inputs, &mut Scratch::new())
+    }
+
+    /// Scratch-arena variant of [`DecoderCell::execute_batch`].
+    pub fn execute_batch_in(
+        &self,
+        inputs: &[InvocationInput<'_>],
+        s: &mut Scratch,
+    ) -> Vec<CellOutput> {
+        let (xh, c) = gather_chain_xh(
+            &self.embed,
+            self.core.input_size,
+            self.core.hidden_size,
+            inputs,
+            s,
+        );
+        let (h2, c2) = self.core.step_in(&xh, &c, s);
+        let mut logits = s.take(inputs.len(), self.vocab_size());
+        ops::affine_into(&h2, &self.proj_w, &self.proj_b, &mut logits);
         let words = ops::argmax(&logits);
         let mut outs = scatter_states(&h2, &c2);
         for (out, w) in outs.iter_mut().zip(words) {
             out.token = Some(w as u32);
+        }
+        for m in [xh, c, h2, c2, logits] {
+            s.put(m);
         }
         outs
     }

@@ -10,7 +10,7 @@
 //! dataset "contains only binary tree samples").
 
 use bm_tensor::io::WeightBundle;
-use bm_tensor::{ops, xavier_uniform, Matrix};
+use bm_tensor::{ops, xavier_uniform, Matrix, Scratch};
 
 use crate::persist::{expect, expect_shape};
 use crate::state::{CellOutput, CellState, InvocationInput};
@@ -88,6 +88,15 @@ impl TreeLeafCell {
 
     /// Runs one batched step; see [`crate::Cell::execute_batch`].
     pub fn execute_batch(&self, inputs: &[InvocationInput<'_>]) -> Vec<CellOutput> {
+        self.execute_batch_in(inputs, &mut Scratch::new())
+    }
+
+    /// Scratch-arena variant of [`TreeLeafCell::execute_batch`].
+    pub fn execute_batch_in(
+        &self,
+        inputs: &[InvocationInput<'_>],
+        s: &mut Scratch,
+    ) -> Vec<CellOutput> {
         let ids: Vec<usize> = inputs
             .iter()
             .map(|inv| {
@@ -95,20 +104,34 @@ impl TreeLeafCell {
                 inv.token.expect("leaf invocation requires a token") as usize
             })
             .collect();
-        let x = ops::embedding(&self.embed, &ids);
-        let i = ops::sigmoid(&ops::affine(&x, &self.wi, &self.bi));
-        let o = ops::sigmoid(&ops::affine(&x, &self.wo, &self.bo));
-        let u = ops::tanh(&ops::affine(&x, &self.wu, &self.bu));
-        let c = ops::mul(&i, &u);
-        let h = ops::mul(&o, &ops::tanh(&c));
-        (0..inputs.len())
+        let batch = inputs.len();
+        let hsz = self.hidden_size;
+        let mut x = s.take(batch, self.embed_size);
+        ops::embedding_into(&self.embed, &ids, &mut x);
+        let mut i = s.take(batch, hsz);
+        ops::affine_into(&x, &self.wi, &self.bi, &mut i);
+        ops::sigmoid_inplace(&mut i);
+        let mut o = s.take(batch, hsz);
+        ops::affine_into(&x, &self.wo, &self.bo, &mut o);
+        ops::sigmoid_inplace(&mut o);
+        let mut u = s.take(batch, hsz);
+        ops::affine_into(&x, &self.wu, &self.bu, &mut u);
+        ops::tanh_inplace(&mut u);
+        let mut h = s.take(batch, hsz);
+        let mut c = s.take(batch, hsz);
+        ops::tree_leaf_combine(&i, &o, &u, &mut h, &mut c);
+        let outs = (0..batch)
             .map(|r| {
                 CellOutput::state_only(CellState {
                     h: h.row(r).to_vec(),
                     c: c.row(r).to_vec(),
                 })
             })
-            .collect()
+            .collect();
+        for m in [x, i, o, u, h, c] {
+            s.put(m);
+        }
+        outs
     }
 
     /// Exports the cell's weights (§4.2 persistence).
@@ -221,42 +244,64 @@ impl TreeInternalCell {
 
     /// Runs one batched step; see [`crate::Cell::execute_batch`].
     pub fn execute_batch(&self, inputs: &[InvocationInput<'_>]) -> Vec<CellOutput> {
+        self.execute_batch_in(inputs, &mut Scratch::new())
+    }
+
+    /// Scratch-arena variant of [`TreeInternalCell::execute_batch`]:
+    /// gathers child states straight into a scratch `[h_left, h_right]`
+    /// buffer and fuses the gate combine.
+    pub fn execute_batch_in(
+        &self,
+        inputs: &[InvocationInput<'_>],
+        s: &mut Scratch,
+    ) -> Vec<CellOutput> {
         let batch = inputs.len();
-        let h = self.hidden_size;
-        let mut hl = Matrix::zeros(batch, h);
-        let mut hr = Matrix::zeros(batch, h);
-        let mut cl = Matrix::zeros(batch, h);
-        let mut cr = Matrix::zeros(batch, h);
+        let hsz = self.hidden_size;
+        let mut hs = s.take(batch, 2 * hsz);
+        let mut cl = s.take(batch, hsz);
+        let mut cr = s.take(batch, hsz);
         for (r, inv) in inputs.iter().enumerate() {
             assert_eq!(
                 inv.states.len(),
                 2,
                 "internal cell requires exactly two child states"
             );
-            hl.row_mut(r).copy_from_slice(&inv.states[0].h);
+            let hs_row = hs.row_mut(r);
+            hs_row[..hsz].copy_from_slice(&inv.states[0].h);
+            hs_row[hsz..].copy_from_slice(&inv.states[1].h);
             cl.row_mut(r).copy_from_slice(&inv.states[0].c);
-            hr.row_mut(r).copy_from_slice(&inv.states[1].h);
             cr.row_mut(r).copy_from_slice(&inv.states[1].c);
         }
-        let hs = ops::concat_cols(&[&hl, &hr]);
-        let i = ops::sigmoid(&ops::affine(&hs, &self.wi, &self.bi));
-        let fl = ops::sigmoid(&ops::affine(&hs, &self.wfl, &self.bfl));
-        let fr = ops::sigmoid(&ops::affine(&hs, &self.wfr, &self.bfr));
-        let o = ops::sigmoid(&ops::affine(&hs, &self.wo, &self.bo));
-        let u = ops::tanh(&ops::affine(&hs, &self.wu, &self.bu));
-        let c = ops::add(
-            &ops::mul(&i, &u),
-            &ops::add(&ops::mul(&fl, &cl), &ops::mul(&fr, &cr)),
-        );
-        let h_out = ops::mul(&o, &ops::tanh(&c));
-        (0..batch)
+        let mut i = s.take(batch, hsz);
+        ops::affine_into(&hs, &self.wi, &self.bi, &mut i);
+        ops::sigmoid_inplace(&mut i);
+        let mut fl = s.take(batch, hsz);
+        ops::affine_into(&hs, &self.wfl, &self.bfl, &mut fl);
+        ops::sigmoid_inplace(&mut fl);
+        let mut fr = s.take(batch, hsz);
+        ops::affine_into(&hs, &self.wfr, &self.bfr, &mut fr);
+        ops::sigmoid_inplace(&mut fr);
+        let mut o = s.take(batch, hsz);
+        ops::affine_into(&hs, &self.wo, &self.bo, &mut o);
+        ops::sigmoid_inplace(&mut o);
+        let mut u = s.take(batch, hsz);
+        ops::affine_into(&hs, &self.wu, &self.bu, &mut u);
+        ops::tanh_inplace(&mut u);
+        let mut h_out = s.take(batch, hsz);
+        let mut c = s.take(batch, hsz);
+        ops::tree_internal_combine(&i, &fl, &fr, &o, &u, &cl, &cr, &mut h_out, &mut c);
+        let outs = (0..batch)
             .map(|r| {
                 CellOutput::state_only(CellState {
                     h: h_out.row(r).to_vec(),
                     c: c.row(r).to_vec(),
                 })
             })
-            .collect()
+            .collect();
+        for m in [hs, cl, cr, i, fl, fr, o, u, h_out, c] {
+            s.put(m);
+        }
+        outs
     }
 
     /// Exports the cell's weights (§4.2 persistence).

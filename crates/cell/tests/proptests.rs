@@ -107,6 +107,37 @@ proptest! {
     }
 
     #[test]
+    fn scratch_reuse_is_transparent(
+        tokens in proptest::collection::vec(0u32..VOCAB as u32, 1..10),
+        picks in proptest::collection::vec(0usize..8, 10),
+        cell_idx in 0usize..6,
+    ) {
+        // A worker reuses one Scratch arena across many steps; recycled
+        // buffers must never leak state between steps or change a bit.
+        let cell = &cells()[cell_idx];
+        let pool = state_pool(cell);
+        let invs: Vec<InvocationInput<'_>> = tokens
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| invocation(cell, t, &pool, picks[i % picks.len()]))
+            .collect();
+        let fresh: Vec<_> = invs
+            .iter()
+            .map(|inv| cell.execute_batch(std::slice::from_ref(inv)))
+            .collect();
+        let mut scratch = bm_cell::Scratch::new();
+        for _ in 0..2 {
+            let reused: Vec<_> = invs
+                .iter()
+                .map(|inv| cell.execute_batch_in(std::slice::from_ref(inv), &mut scratch))
+                .collect();
+            prop_assert_eq!(&fresh, &reused);
+        }
+        let batched = cell.execute_batch_in(&invs, &mut scratch);
+        prop_assert_eq!(cell.execute_batch(&invs), batched);
+    }
+
+    #[test]
     fn outputs_are_finite(
         tokens in proptest::collection::vec(0u32..VOCAB as u32, 1..8),
         cell_idx in 0usize..6,

@@ -163,7 +163,7 @@ struct InflightTask {
     cell_type: CellTypeId,
     worker: WorkerId,
     entries: Vec<(RequestId, NodeId)>,
-    subgraphs: Vec<SubgraphId>,
+    subgraphs: Arc<[SubgraphId]>,
 }
 
 impl InflightTask {
@@ -172,7 +172,7 @@ impl InflightTask {
             cell_type: t.cell_type,
             worker: t.worker,
             entries: t.entries.iter().map(|e| (e.request, e.node)).collect(),
-            subgraphs: t.subgraphs.clone(),
+            subgraphs: Arc::clone(&t.subgraphs),
         }
     }
 }
@@ -231,7 +231,9 @@ pub struct CellularEngine {
     inflight: HashMap<TaskId, InflightTask>,
     /// Last batch composition per (worker, cell type), for gather
     /// accounting: identical composition ⇒ no gather copies (§4.3).
-    last_composition: HashMap<(WorkerId, CellTypeId), Vec<SubgraphId>>,
+    /// Values share the `Arc` carried by the submitted [`Task`], so a
+    /// repeated composition costs a comparison, never an allocation.
+    last_composition: HashMap<(WorkerId, CellTypeId), Arc<[SubgraphId]>>,
     next_subgraph: u64,
     next_task: u64,
     /// Completed requests not yet drained by the driver.
@@ -321,7 +323,7 @@ impl CellularEngine {
         let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); n];
         for (nid, node) in graph.iter() {
             unmet[nid.index()] = node.deps.len() as u32;
-            for d in &node.deps {
+            for d in node.deps.iter() {
                 dependents[d.index()].push(nid.0);
             }
         }
@@ -617,13 +619,18 @@ impl CellularEngine {
         self.compact_queue(ct);
 
         // Gather accounting: identical composition to the previous task
-        // of this (worker, cell type) ⇒ no gather copies.
+        // of this (worker, cell type) ⇒ no gather copies. On a repeat
+        // the cached entry is left untouched (no insert, no clone).
         let key = (worker, ct);
+        let subgraph_list: Arc<[SubgraphId]> = subgraph_list.into();
         let gather_rows = match self.last_composition.get(&key) {
-            Some(prev) if *prev == subgraph_list => 0,
-            _ => entries.len(),
+            Some(prev) if prev[..] == subgraph_list[..] => 0,
+            _ => {
+                self.last_composition
+                    .insert(key, Arc::clone(&subgraph_list));
+                entries.len()
+            }
         };
-        self.last_composition.insert(key, subgraph_list.clone());
 
         self.queues[ct.index()].running_tasks += 1;
         self.stats.tasks_submitted += 1;
@@ -775,7 +782,7 @@ impl CellularEngine {
         }
 
         // Unpin subgraphs whose in-flight count drains.
-        for sg_id in &t.subgraphs {
+        for sg_id in t.subgraphs.iter() {
             let sg = self.subgraphs.get_mut(sg_id).expect("live subgraph");
             sg.inflight -= 1;
             if sg.inflight == 0 {
@@ -799,8 +806,11 @@ impl CellularEngine {
                     (Some(e), Some(t)) if e == t
                 );
                 let mut released = Vec::new();
-                let dependents = req.dependents[ni].clone();
-                for dep_idx in dependents {
+                // Detach the dependent list instead of cloning it; the
+                // loop body never touches `dependents[ni]`, and the list
+                // is restored right after.
+                let dependents = std::mem::take(&mut req.dependents[ni]);
+                for &dep_idx in &dependents {
                     let di = dep_idx as usize;
                     if req.cancelled[di] || req.node_subgraph[di] == req.node_subgraph[ni] {
                         continue;
@@ -814,6 +824,7 @@ impl CellularEngine {
                         released.push(sg_local);
                     }
                 }
+                req.dependents[ni] = dependents;
                 (eos_hit, released)
             };
 

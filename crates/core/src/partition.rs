@@ -57,7 +57,7 @@ pub fn partition(graph: &CellGraph) -> Partition {
         root
     }
     for (id, node) in graph.iter() {
-        for d in &node.deps {
+        for d in node.deps.iter() {
             if graph.node(*d).cell_type == node.cell_type {
                 let a = find(&mut parent, id.index());
                 let b = find(&mut parent, d.index());
@@ -84,7 +84,7 @@ pub fn partition(graph: &CellGraph) -> Partition {
     let mut external_deps = vec![0usize; members.len()];
     for (id, node) in graph.iter() {
         let sg = node_subgraph[id.index()];
-        for d in &node.deps {
+        for d in node.deps.iter() {
             if node_subgraph[d.index()] != sg {
                 external_deps[sg] += 1;
             }

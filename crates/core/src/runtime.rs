@@ -48,7 +48,7 @@ use std::time::Duration;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
 
-use bm_cell::{CellOutput, CellRegistry, InvocationInput};
+use bm_cell::{CellOutput, CellRegistry, InvocationInput, Scratch};
 use bm_device::CpuTimer;
 use bm_model::{reference::GraphResult, CellGraph, Model, RequestInput, TokenSource};
 use bm_trace::{EventKind, RejectReason, TraceEvent, TraceSink};
@@ -693,9 +693,13 @@ fn spawn_worker(
     std::thread::Builder::new()
         .name(format!("bm-worker-{}", id.0))
         .spawn(move || {
+            // One scratch arena per worker thread: batch intermediates
+            // are recycled across tasks, so steady-state execution does
+            // no per-step heap allocation.
+            let mut scratch = Scratch::new();
             while let Ok(task) = rx.recv() {
                 let started_us = timer.now_us();
-                let tokens = execute_task(&task, &registry, &store);
+                let tokens = execute_task(&task, &registry, &store, &mut scratch);
                 let finished_us = timer.now_us();
                 // Blocking send: completions are backpressure, never
                 // dropped — the manager always drains its queue.
@@ -721,7 +725,12 @@ fn spawn_worker(
 /// Performs the "gather" (§4.3): reads each entry's predecessor states
 /// and token from the store, builds the contiguous batch, runs the cell
 /// once, and scatters outputs back. Returns the emitted tokens.
-fn execute_task(task: &Task, registry: &Arc<CellRegistry>, store: &StateStore) -> Vec<Option<u32>> {
+fn execute_task(
+    task: &Task,
+    registry: &Arc<CellRegistry>,
+    store: &StateStore,
+    scratch: &mut Scratch,
+) -> Vec<Option<u32>> {
     let cell = registry.cell(task.cell_type);
     // Gather: snapshot dependency outputs under the lock. Tasks on one
     // worker execute in submission order, so every dependency's output
@@ -762,7 +771,7 @@ fn execute_task(task: &Task, registry: &Arc<CellRegistry>, store: &StateStore) -
             states: states.iter().map(|o| &o.state).collect(),
         })
         .collect();
-    let outputs = cell.execute_batch(&invocations);
+    let outputs = cell.execute_batch_in(&invocations, scratch);
     let tokens: Vec<Option<u32>> = outputs.iter().map(|o| o.token).collect();
     // Scatter: write results back.
     let mut s = store.lock();

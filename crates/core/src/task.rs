@@ -1,5 +1,7 @@
 //! Batched tasks and completion records.
 
+use std::sync::Arc;
+
 use bm_cell::CellTypeId;
 use bm_model::{NodeId, TokenSource};
 
@@ -18,8 +20,9 @@ pub struct TaskEntry {
     /// The node being invoked.
     pub node: NodeId,
     /// The node's state dependencies (within the same request), in cell
-    /// order.
-    pub deps: Vec<NodeId>,
+    /// order. Shared with the request's graph node (a refcount bump per
+    /// entry, not a per-task copy).
+    pub deps: Arc<[NodeId]>,
     /// Where the node's token comes from.
     pub token: TokenSource,
 }
@@ -36,8 +39,9 @@ pub struct Task {
     pub cell_type: CellTypeId,
     /// The batched invocations.
     pub entries: Vec<TaskEntry>,
-    /// Distinct subgraphs contributing entries.
-    pub subgraphs: Vec<SubgraphId>,
+    /// Distinct subgraphs contributing entries. Shared with the engine's
+    /// composition cache, so cloning a task never copies the list.
+    pub subgraphs: Arc<[SubgraphId]>,
     /// State rows that must be gathered into contiguous memory because
     /// the batch composition differs from this worker's previous task of
     /// the same cell type (§4.3).
@@ -86,7 +90,7 @@ mod tests {
         let entry = |r: u64, n: u32| TaskEntry {
             request: RequestId(r),
             node: NodeId(n),
-            deps: vec![],
+            deps: Vec::new().into(),
             token: TokenSource::Fixed(0),
         };
         let t = Task {
@@ -94,7 +98,7 @@ mod tests {
             worker: WorkerId(0),
             cell_type: CellTypeId(0),
             entries: vec![entry(0, 0), entry(1, 0)],
-            subgraphs: vec![SubgraphId(0), SubgraphId(1)],
+            subgraphs: vec![SubgraphId(0), SubgraphId(1)].into(),
             gather_rows: 2,
             transfer_rows: 0,
         };

@@ -6,23 +6,25 @@
 //! ```
 //!
 //! Experiments: fig3 fig5 fig7a fig7b fig8 fig9 fig10 fig11 fig13 fig14
-//! fig15 headline ablation sla trace. Results land in `results/` as
-//! markdown + CSV and are echoed to stdout; `trace` additionally writes
-//! Chrome trace JSON (Perfetto-loadable) and per-request timelines.
+//! fig15 headline ablation sla trace bench. Results land in `results/`
+//! as markdown + CSV and are echoed to stdout; `trace` additionally
+//! writes Chrome trace JSON (Perfetto-loadable) and per-request
+//! timelines, and `bench` writes machine-readable `BENCH_kernels.json`
+//! kernel timings for benchmark regression checks.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use bm_harness::experiments::{
-    ablation, fig10, fig11, fig13, fig14, fig15, fig3, fig5, fig7, fig8, fig9, headline, sla,
-    trace, Scale,
+    ablation, bench, fig10, fig11, fig13, fig14, fig15, fig3, fig5, fig7, fig8, fig9, headline,
+    sla, trace, Scale,
 };
 use bm_harness::write_results;
 use bm_metrics::Table;
 
 const EXPERIMENTS: &[&str] = &[
     "fig3", "fig5", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11", "fig13", "fig14", "fig15",
-    "headline", "ablation", "sla", "trace",
+    "headline", "ablation", "sla", "trace", "bench",
 ];
 
 fn run_one(name: &str, scale: Scale, out_dir: &Path) -> Option<Vec<Table>> {
@@ -42,6 +44,7 @@ fn run_one(name: &str, scale: Scale, out_dir: &Path) -> Option<Vec<Table>> {
         "ablation" => ablation::run(scale),
         "sla" => sla::run(scale),
         "trace" => trace::run(scale, out_dir),
+        "bench" => bench::run(scale, out_dir),
         _ => return None,
     };
     Some(tables)

@@ -1,6 +1,7 @@
 //! One module per reproduced figure.
 
 pub mod ablation;
+pub mod bench;
 pub mod fig10;
 pub mod fig11;
 pub mod fig13;

@@ -13,6 +13,7 @@
 //! decoder).
 
 use std::fmt;
+use std::sync::Arc;
 
 use bm_cell::{CellRegistry, CellTypeId};
 
@@ -51,7 +52,10 @@ pub struct GraphNode {
     /// The cell type this node invokes.
     pub cell_type: CellTypeId,
     /// State dependencies, in the order the cell consumes them.
-    pub deps: Vec<NodeId>,
+    ///
+    /// Shared (`Arc`) so schedulers can hand the list to task entries
+    /// with a refcount bump instead of cloning it per batched task.
+    pub deps: Arc<[NodeId]>,
     /// Token input specification.
     pub token: TokenSource,
     /// If set, a runtime token equal to this value terminates the request
@@ -98,7 +102,7 @@ impl CellGraph {
         }
         self.nodes.push(GraphNode {
             cell_type,
-            deps,
+            deps: deps.into(),
             token,
             eos: None,
         });
@@ -146,7 +150,7 @@ impl CellGraph {
     pub fn sinks(&self) -> Vec<NodeId> {
         let mut has_dependent = vec![false; self.nodes.len()];
         for n in &self.nodes {
-            for d in &n.deps {
+            for d in n.deps.iter() {
                 has_dependent[d.index()] = true;
             }
         }
@@ -170,7 +174,7 @@ impl CellGraph {
                 return Err(format!("node n{i}: unknown cell type {}", n.cell_type));
             }
             let cell = registry.cell(n.cell_type);
-            for d in &n.deps {
+            for d in n.deps.iter() {
                 if d.index() >= i {
                     return Err(format!("node n{i}: dependency {d} not before it"));
                 }

@@ -1,0 +1,399 @@
+//! Packed, cache-blocked GEMM with a bitwise-stable accumulation order.
+//!
+//! Weight matrices are immutable per cell type (§4.2: a cell type is
+//! *defined* by its weights), so the right-hand side of every hot matmul
+//! can be packed once into cache-friendly column panels and reused for
+//! the lifetime of the cell. Packing is cached transparently on
+//! [`crate::Matrix`]; this module holds the packed representation and the
+//! micro-kernels.
+//!
+//! # Bitwise stability
+//!
+//! Every output element is the ascending-`k` fold
+//! `acc = (..((0 + a[i][0]*b[0][j]) + a[i][1]*b[1][j])..)` computed with
+//! separate f32 multiplies and adds (Rust never contracts to FMA), with
+//! an optional bias added exactly once after the fold. That is the same
+//! expression tree as the naive serial reference
+//! ([`crate::Matrix::matmul_serial`]), so packed, blocked and
+//! pool-parallel execution all produce bit-identical results — the
+//! blocking changes *which* elements are computed together, never the
+//! per-element fold order. There is deliberately no k-splitting (partial
+//! sums would change the fold shape).
+
+use crate::pool::ComputePool;
+
+/// Panel width (output columns per packed panel / micro-kernel).
+///
+/// With `MR = 4` row blocking the kernel keeps `MR` accumulator arrays of
+/// `NR` lanes each — 8 SSE2 registers of accumulators plus the panel row
+/// — which fits the baseline x86-64 register budget without spills.
+pub const NR: usize = 8;
+
+/// Row-block height of the micro-kernel.
+pub const MR: usize = 4;
+
+/// A weight matrix repacked into `NR`-wide, k-major column panels.
+///
+/// Panel `p` covers output columns `p*NR .. min((p+1)*NR, n)` and stores
+/// `k * NR` floats (`panel[kk*NR + jj] = b[kk][p*NR + jj]`), zero-padded
+/// on ragged right edges. Padded lanes are computed but never written
+/// back, so the padding can't leak into results.
+#[derive(Debug, Clone)]
+pub struct PackedWeights {
+    k: usize,
+    n: usize,
+    panels: Vec<f32>,
+}
+
+impl PackedWeights {
+    /// Packs a row-major `(k, n)` matrix into column panels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != k * n`.
+    pub fn pack(k: usize, n: usize, b: &[f32]) -> Self {
+        assert_eq!(b.len(), k * n, "pack: data does not match shape");
+        let npanels = n.div_ceil(NR);
+        let mut panels = vec![0.0f32; npanels * k * NR];
+        for p in 0..npanels {
+            let j0 = p * NR;
+            let w = NR.min(n - j0);
+            let panel = &mut panels[p * k * NR..(p + 1) * k * NR];
+            for kk in 0..k {
+                let brow = &b[kk * n + j0..kk * n + j0 + w];
+                panel[kk * NR..kk * NR + w].copy_from_slice(brow);
+            }
+        }
+        PackedWeights { k, n, panels }
+    }
+
+    /// Inner dimension (rows of the original weight matrix).
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output dimension (columns of the original weight matrix).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+/// `*mut f32` that may cross threads; used to hand each pool chunk its
+/// own disjoint output rows. All unsafety stays inside [`gemm_into`].
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Accessor so closures capture the (Sync) wrapper, not the raw
+    /// pointer field.
+    #[inline]
+    fn get(&self) -> *mut f32 {
+        self.0
+    }
+}
+
+/// Computes `out = a * packed (+ bias)` where `a` is row-major `(m, k)`.
+///
+/// `bias`, when present, must have length `n` and is added once per
+/// output element after the full-k fold (the fused `affine`).
+///
+/// With a pool of more than one thread and enough rows, output rows are
+/// chunked in `MR` multiples across the pool; chunks write disjoint
+/// slices, so results are bitwise identical regardless of pool size.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with `m`/`k`/`packed`.
+pub fn gemm_into(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    packed: &PackedWeights,
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+    pool: Option<&ComputePool>,
+) {
+    let n = packed.n;
+    assert_eq!(a.len(), m * k, "gemm: lhs length mismatch");
+    assert_eq!(packed.k, k, "gemm: inner dimension mismatch");
+    assert_eq!(out.len(), m * n, "gemm: output length mismatch");
+    if let Some(b) = bias {
+        assert_eq!(b.len(), n, "gemm: bias length mismatch");
+    }
+    let threads = pool.map_or(1, ComputePool::threads);
+    if threads > 1 && m > MR {
+        let pool = pool.expect("threads > 1 implies a pool");
+        let blocks = m.div_ceil(MR);
+        let rows_per = blocks.div_ceil(threads.min(blocks)) * MR;
+        let chunks = m.div_ceil(rows_per);
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        pool.run(chunks, &|c| {
+            let r0 = c * rows_per;
+            let r1 = (r0 + rows_per).min(m);
+            // SAFETY: chunks cover disjoint row ranges of `out`, and the
+            // pool blocks until every chunk completes.
+            let out_chunk =
+                unsafe { std::slice::from_raw_parts_mut(out_ptr.get().add(r0 * n), (r1 - r0) * n) };
+            gemm_block(a, k, packed, bias, out_chunk, r0);
+        });
+    } else {
+        gemm_block(a, k, packed, bias, out, 0);
+    }
+}
+
+/// Computes output rows `row0 ..` of the product into `out_chunk`
+/// (`out_chunk.len() / n` rows), dispatching to the widest vector ISA
+/// the host supports.
+///
+/// The AVX2 clone is the *same* element-wise mul/add fold recompiled
+/// with 256-bit lanes; IEEE-754 multiplies and adds are value-identical
+/// at any vector width and Rust never contracts them to FMA, so every
+/// path produces bit-identical output (the proptests in
+/// `tests/proptests.rs` pin this down).
+fn gemm_block(
+    a: &[f32],
+    k: usize,
+    packed: &PackedWeights,
+    bias: Option<&[f32]>,
+    out_chunk: &mut [f32],
+    row0: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the feature check above guarantees AVX2 is available.
+        unsafe { gemm_block_avx2(a, k, packed, bias, out_chunk, row0) };
+        return;
+    }
+    gemm_block_impl(a, k, packed, bias, out_chunk, row0);
+}
+
+/// [`gemm_block_impl`] recompiled for AVX2 so the `[f32; NR]`
+/// accumulator arrays lower to single 256-bit registers instead of
+/// SSE2 pairs (~2x the arithmetic throughput on the hot panel loop).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gemm_block_avx2(
+    a: &[f32],
+    k: usize,
+    packed: &PackedWeights,
+    bias: Option<&[f32]>,
+    out_chunk: &mut [f32],
+    row0: usize,
+) {
+    gemm_block_impl(a, k, packed, bias, out_chunk, row0);
+}
+
+/// Portable body of the block loop; `#[inline(always)]` so each ISA
+/// wrapper specialises the kernels under its own target features.
+#[inline(always)]
+fn gemm_block_impl(
+    a: &[f32],
+    k: usize,
+    packed: &PackedWeights,
+    bias: Option<&[f32]>,
+    out_chunk: &mut [f32],
+    row0: usize,
+) {
+    let n = packed.n;
+    if n == 0 {
+        return;
+    }
+    let rows = out_chunk.len() / n;
+    let npanels = n.div_ceil(NR);
+    let mut i0 = 0;
+    while i0 < rows {
+        let mr = MR.min(rows - i0);
+        for p in 0..npanels {
+            let j0 = p * NR;
+            let w = NR.min(n - j0);
+            let panel = &packed.panels[p * k * NR..(p + 1) * k * NR];
+            if mr == MR {
+                kernel_4xnr(a, k, panel, bias, out_chunk, row0, i0, n, j0, w);
+            } else {
+                for ii in 0..mr {
+                    kernel_1xnr(a, k, panel, bias, out_chunk, row0, i0 + ii, n, j0, w);
+                }
+            }
+        }
+        i0 += mr;
+    }
+}
+
+/// MR=4 micro-kernel: four rows against one panel, 4×NR accumulators
+/// held in registers across the whole k loop. `#[inline(always)]` so
+/// the body is specialised under each caller's target features.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn kernel_4xnr(
+    a: &[f32],
+    k: usize,
+    panel: &[f32],
+    bias: Option<&[f32]>,
+    out_chunk: &mut [f32],
+    row0: usize,
+    i0: usize,
+    n: usize,
+    j0: usize,
+    w: usize,
+) {
+    let a0 = &a[(row0 + i0) * k..(row0 + i0 + 1) * k];
+    let a1 = &a[(row0 + i0 + 1) * k..(row0 + i0 + 2) * k];
+    let a2 = &a[(row0 + i0 + 2) * k..(row0 + i0 + 3) * k];
+    let a3 = &a[(row0 + i0 + 3) * k..(row0 + i0 + 4) * k];
+    let mut acc0 = [0.0f32; NR];
+    let mut acc1 = [0.0f32; NR];
+    let mut acc2 = [0.0f32; NR];
+    let mut acc3 = [0.0f32; NR];
+    for kk in 0..k {
+        let bp: &[f32; NR] = panel[kk * NR..(kk + 1) * NR].try_into().unwrap();
+        let (v0, v1, v2, v3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+        for jj in 0..NR {
+            acc0[jj] += v0 * bp[jj];
+        }
+        for jj in 0..NR {
+            acc1[jj] += v1 * bp[jj];
+        }
+        for jj in 0..NR {
+            acc2[jj] += v2 * bp[jj];
+        }
+        for jj in 0..NR {
+            acc3[jj] += v3 * bp[jj];
+        }
+    }
+    for (ii, acc) in [acc0, acc1, acc2, acc3].iter().enumerate() {
+        let o0 = (i0 + ii) * n + j0;
+        let orow = &mut out_chunk[o0..o0 + w];
+        match bias {
+            Some(b) => {
+                for jj in 0..w {
+                    orow[jj] = acc[jj] + b[j0 + jj];
+                }
+            }
+            None => orow.copy_from_slice(&acc[..w]),
+        }
+    }
+}
+
+/// Single-row tail kernel (rows beyond the last full MR block).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn kernel_1xnr(
+    a: &[f32],
+    k: usize,
+    panel: &[f32],
+    bias: Option<&[f32]>,
+    out_chunk: &mut [f32],
+    row0: usize,
+    i: usize,
+    n: usize,
+    j0: usize,
+    w: usize,
+) {
+    let a_row = &a[(row0 + i) * k..(row0 + i + 1) * k];
+    let mut acc = [0.0f32; NR];
+    for kk in 0..k {
+        let bp: &[f32; NR] = panel[kk * NR..(kk + 1) * NR].try_into().unwrap();
+        let v = a_row[kk];
+        for jj in 0..NR {
+            acc[jj] += v * bp[jj];
+        }
+    }
+    let o0 = i * n + j0;
+    let orow = &mut out_chunk[o0..o0 + w];
+    match bias {
+        Some(b) => {
+            for jj in 0..w {
+                orow[jj] = acc[jj] + b[j0 + jj];
+            }
+        }
+        None => orow.copy_from_slice(&acc[..w]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[f32], m: usize, k: usize, b: &[f32], n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a[i * k + kk];
+                for j in 0..n {
+                    out[i * n + j] += av * b[kk * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn seq(len: usize, scale: f32) -> Vec<f32> {
+        (0..len).map(|i| ((i % 23) as f32 - 11.0) * scale).collect()
+    }
+
+    #[test]
+    fn packed_matches_naive_on_awkward_shapes() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (1, 7, 8),
+            (3, 5, 9),
+            (4, 8, 8),
+            (5, 16, 17),
+            (13, 31, 3),
+            (64, 33, 40),
+        ] {
+            let a = seq(m * k, 0.25);
+            let b = seq(k * n, 0.5);
+            let packed = PackedWeights::pack(k, n, &b);
+            let mut out = vec![0.0f32; m * n];
+            gemm_into(&a, m, k, &packed, None, &mut out, None);
+            assert_eq!(out, naive(&a, m, k, &b, n), "shape ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn bias_is_added_once_after_the_fold() {
+        let (m, k, n) = (6, 10, 11);
+        let a = seq(m * k, 0.1);
+        let b = seq(k * n, 0.3);
+        let bias = seq(n, 2.0);
+        let packed = PackedWeights::pack(k, n, &b);
+        let mut out = vec![0.0f32; m * n];
+        gemm_into(&a, m, k, &packed, Some(&bias), &mut out, None);
+        let mut want = naive(&a, m, k, &b, n);
+        for i in 0..m {
+            for j in 0..n {
+                want[i * n + j] += bias[j];
+            }
+        }
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn pool_chunking_is_bitwise_identical() {
+        let (m, k, n) = (37, 24, 19);
+        let a = seq(m * k, 0.2);
+        let b = seq(k * n, 0.4);
+        let packed = PackedWeights::pack(k, n, &b);
+        let mut serial = vec![0.0f32; m * n];
+        gemm_into(&a, m, k, &packed, None, &mut serial, None);
+        let pool = ComputePool::new(4);
+        for _ in 0..8 {
+            let mut par = vec![0.0f32; m * n];
+            gemm_into(&a, m, k, &packed, None, &mut par, Some(&pool));
+            assert_eq!(par, serial);
+        }
+    }
+
+    #[test]
+    fn zero_k_with_bias_writes_bias() {
+        let packed = PackedWeights::pack(0, 3, &[]);
+        let bias = [1.0, 2.0, 3.0];
+        let mut out = vec![9.0f32; 6];
+        gemm_into(&[], 2, 0, &packed, Some(&bias), &mut out, None);
+        assert_eq!(out, vec![1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+}

@@ -7,12 +7,16 @@
 //! memory copies of §4.3), concatenation, row-wise argmax/softmax, and
 //! embedding lookup.
 //!
-//! This crate implements exactly those kernels in safe Rust with no
-//! external BLAS, so the whole repository is self-contained. The matrix
-//! multiply is a cache-blocked triple loop — not competitive with cuBLAS,
-//! but fast enough to run every correctness test and the real-time runtime
-//! examples. The serving *experiments* use the calibrated device cost
-//! model in `bm-device` instead of wall-clock CPU math.
+//! This crate implements exactly those kernels in Rust with no external
+//! BLAS, so the whole repository is self-contained. The matrix multiply
+//! packs the (immutable, per-cell-type) weight operand into cache-blocked
+//! panels once and runs a register-accumulating micro-kernel over them
+//! ([`gemm`]), optionally chunked across a persistent [`ComputePool`];
+//! results are bitwise identical to the serial reference fold in every
+//! configuration. A [`Scratch`] arena lets steady-state serving recycle
+//! batch buffers instead of allocating per step. The serving
+//! *experiments* use the calibrated device cost model in `bm-device`
+//! instead of wall-clock CPU math.
 //!
 //! # Examples
 //!
@@ -26,14 +30,20 @@
 //! ```
 
 mod error;
+pub mod gemm;
 mod init;
 pub mod io;
 mod matrix;
 pub mod ops;
+pub mod pool;
+mod scratch;
 
 pub use error::{ShapeError, TensorError};
+pub use gemm::PackedWeights;
 pub use init::{xavier_uniform, zeros_like, WeightInit};
 pub use matrix::Matrix;
+pub use pool::ComputePool;
+pub use scratch::Scratch;
 
 /// Numerical tolerance used by tests and by [`Matrix::approx_eq`].
 pub const DEFAULT_TOL: f32 = 1e-4;

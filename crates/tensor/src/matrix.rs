@@ -4,18 +4,58 @@
 //! mirroring the paper's convention that "the first dimension of each of
 //! its input tensors should be the batch dimension" (§4.2).
 
+use std::sync::{Arc, OnceLock};
+
 use crate::error::ShapeError;
+use crate::gemm::{self, PackedWeights};
+use crate::pool::ComputePool;
 
 /// A dense row-major `f32` matrix.
 ///
 /// `Matrix` is the only tensor type the reproduction needs: every cell
 /// input/output is a `(batch, features)` matrix and weights are
 /// `(in_features, out_features)` matrices.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// When a matrix is used as the right-hand side of a matmul, its packed
+/// panel representation ([`PackedWeights`]) is computed once and cached —
+/// weight matrices are immutable per cell type (§4.2), so in steady-state
+/// serving every hot matmul reuses the cached packing. Any mutable access
+/// invalidates the cache.
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+    /// Lazily-built packed representation; shape/data identity only —
+    /// excluded from `PartialEq`/`Debug`, shared by `Clone`.
+    packed: OnceLock<Arc<PackedWeights>>,
+}
+
+impl Clone for Matrix {
+    fn clone(&self) -> Self {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.clone(),
+            // The clone has identical data, so it can share the packing.
+            packed: self.packed.clone(),
+        }
+    }
+}
+
+impl PartialEq for Matrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.data == other.data
+    }
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Matrix")
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .field("data", &self.data)
+            .finish()
+    }
 }
 
 impl Matrix {
@@ -25,6 +65,7 @@ impl Matrix {
             rows,
             cols,
             data: vec![0.0; rows * cols],
+            packed: OnceLock::new(),
         }
     }
 
@@ -34,6 +75,7 @@ impl Matrix {
             rows,
             cols,
             data: vec![value; rows * cols],
+            packed: OnceLock::new(),
         }
     }
 
@@ -60,7 +102,12 @@ impl Matrix {
             rows,
             cols
         );
-        Matrix { rows, cols, data }
+        Matrix {
+            rows,
+            cols,
+            data,
+            packed: OnceLock::new(),
+        }
     }
 
     /// Creates a matrix from a slice of equal-length rows.
@@ -80,6 +127,7 @@ impl Matrix {
             rows: r,
             cols: c,
             data,
+            packed: OnceLock::new(),
         }
     }
 
@@ -120,8 +168,11 @@ impl Matrix {
     }
 
     /// Mutable access to the underlying row-major data.
+    ///
+    /// Invalidates any cached packed representation.
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        self.packed = OnceLock::new();
         &mut self.data
     }
 
@@ -138,12 +189,15 @@ impl Matrix {
 
     /// A single row as a mutable slice.
     ///
+    /// Invalidates any cached packed representation.
+    ///
     /// # Panics
     ///
     /// Panics if `r >= self.rows()`.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
         assert!(r < self.rows, "row {} out of bounds ({})", r, self.rows);
+        self.packed = OnceLock::new();
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -160,19 +214,30 @@ impl Matrix {
 
     /// Sets the element at `(r, c)`.
     ///
+    /// Invalidates any cached packed representation.
+    ///
     /// # Panics
     ///
     /// Panics if out of bounds.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
         assert!(r < self.rows && c < self.cols);
+        self.packed = OnceLock::new();
         self.data[r * self.cols + c] = v;
+    }
+
+    /// The packed panel representation of this matrix as a matmul
+    /// right-hand side, built on first use and cached until the matrix
+    /// is mutated.
+    pub fn packed(&self) -> &Arc<PackedWeights> {
+        self.packed
+            .get_or_init(|| Arc::new(PackedWeights::pack(self.rows, self.cols, &self.data)))
     }
 
     /// Matrix multiplication `self * rhs`.
     ///
-    /// Uses a cache-blocked i-k-j loop ordering, which vectorizes well and
-    /// is adequate for test/runtime workloads (hidden size 1024).
+    /// Runs the packed, cache-blocked GEMM ([`crate::gemm`]); `rhs`'s
+    /// packing is cached across calls (see [`Matrix::packed`]).
     ///
     /// # Panics
     ///
@@ -186,12 +251,12 @@ impl Matrix {
     ///
     /// Returns a [`ShapeError`] if the inner dimensions disagree.
     ///
-    /// Large products are parallelized across output rows with scoped
-    /// threads; batching therefore saturates the available cores exactly
-    /// as the paper's Figure 3 (top) CPU curve demonstrates — small
-    /// batches cannot use all cores, large ones can. Results are
-    /// bitwise-identical to the serial path (each output row is an
-    /// independent computation).
+    /// Large products are row-chunked across the persistent global
+    /// [`ComputePool`]; batching therefore saturates the available cores
+    /// exactly as the paper's Figure 3 (top) CPU curve demonstrates —
+    /// small batches cannot use all cores, large ones can. Results are
+    /// bitwise-identical to the serial reference path in every
+    /// configuration (see [`crate::gemm`] for the argument).
     pub fn try_matmul(&self, rhs: &Matrix) -> Result<Matrix, ShapeError> {
         if self.cols != rhs.rows {
             return Err(ShapeError {
@@ -201,41 +266,37 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        let n = rhs.cols;
-        let flops = 2 * self.rows * self.cols * n;
-        // Spawning scoped threads costs tens of µs; only parallelize
-        // work that dwarfs it.
-        const PAR_THRESHOLD_FLOPS: usize = 16_000_000;
-        let cores = std::thread::available_parallelism()
-            .map(|c| c.get())
-            .unwrap_or(1);
-        let threads = cores.min(self.rows).min(16);
-        if threads > 1 && flops >= PAR_THRESHOLD_FLOPS {
-            let rows_per = self.rows.div_ceil(threads);
-            std::thread::scope(|scope| {
-                for (chunk_idx, out_chunk) in out.data.chunks_mut(rows_per * n).enumerate() {
-                    let row0 = chunk_idx * rows_per;
-                    let a = &self.data;
-                    let b = &rhs.data;
-                    scope.spawn(move || {
-                        matmul_rows(a, self.cols, b, n, out_chunk, row0);
-                    });
-                }
-            });
-        } else {
-            matmul_rows(&self.data, self.cols, &rhs.data, n, &mut out.data, 0);
-        }
+        gemm::gemm_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            rhs.packed(),
+            None,
+            &mut out.data,
+            auto_pool(self.rows, self.cols, rhs.cols),
+        );
         Ok(out)
     }
 
-    /// Serial matrix multiplication, bypassing the parallel path.
+    /// Serial reference matrix multiplication: the naive i-k-j ascending
+    /// fold every optimized path must match bitwise.
     ///
-    /// Exposed for benchmarking the parallel speedup; results are
-    /// identical to [`Matrix::matmul`].
+    /// Exposed for benchmarking and for the bitwise-identity proptests;
+    /// results are identical to [`Matrix::matmul`].
     pub fn matmul_serial(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.rows, "matmul shape mismatch");
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        matmul_rows(&self.data, self.cols, &rhs.data, rhs.cols, &mut out.data, 0);
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (kk, &av) in a_row.iter().enumerate() {
+                let b_row = &rhs.data[kk * n..(kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
         out
     }
 
@@ -268,32 +329,19 @@ impl Matrix {
     }
 }
 
-/// Computes output rows `row0..row0 + out_chunk.len() / n` of `a * b`
-/// into `out_chunk`, with a k-blocked i-k-j loop to keep a stripe of `b`
-/// in cache.
-fn matmul_rows(a: &[f32], a_cols: usize, b: &[f32], n: usize, out_chunk: &mut [f32], row0: usize) {
-    const KB: usize = 64;
-    let rows = out_chunk.len() / n.max(1);
-    for r in 0..rows {
-        let i = row0 + r;
-        let a_row = &a[i * a_cols..(i + 1) * a_cols];
-        let out_row = &mut out_chunk[r * n..(r + 1) * n];
-        let mut k0 = 0;
-        while k0 < a_cols {
-            let k1 = (k0 + KB).min(a_cols);
-            for (k, &av) in a_row[k0..k1].iter().enumerate() {
-                let k_abs = k0 + k;
-                if av == 0.0 {
-                    continue;
-                }
-                let b_row = &b[k_abs * n..(k_abs + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += av * bv;
-                }
-            }
-            k0 = k1;
-        }
+/// Picks the pool for a product of the given shape: `None` (run on the
+/// caller) unless the work dwarfs the pool handoff cost and the global
+/// pool actually has extra threads.
+pub(crate) fn auto_pool(m: usize, k: usize, n: usize) -> Option<&'static ComputePool> {
+    // Pool handoff costs a channel send per worker (~1 µs), far below the
+    // tens of µs the old per-call thread spawns cost, so the threshold
+    // can sit much lower than before.
+    const PAR_THRESHOLD_FLOPS: usize = 4_000_000;
+    if 2 * m * k * n < PAR_THRESHOLD_FLOPS || m <= gemm::MR {
+        return None;
     }
+    let pool = ComputePool::global();
+    (pool.threads() > 1).then_some(pool)
 }
 
 #[cfg(test)]

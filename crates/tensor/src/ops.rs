@@ -7,7 +7,15 @@
 //! embedding lookups.
 
 use crate::error::ShapeError;
+use crate::gemm;
 use crate::matrix::Matrix;
+
+/// The scalar sigmoid `1 / (1 + e^-v)` shared by every sigmoid path
+/// (allocating, in-place and fused), so all of them agree bitwise.
+#[inline]
+fn sigmoid_s(v: f32) -> f32 {
+    1.0 / (1.0 + (-v).exp())
+}
 
 /// Computes `x * w + b`, broadcasting the bias row over the batch.
 ///
@@ -21,6 +29,11 @@ pub fn affine(x: &Matrix, w: &Matrix, b: &Matrix) -> Matrix {
 }
 
 /// Fallible version of [`affine`].
+///
+/// Fused: the bias is added inside the GEMM write-back, once per output
+/// element after the full-k fold — the same expression tree as matmul
+/// followed by a bias pass, so results are bitwise identical to the
+/// unfused composition.
 pub fn try_affine(x: &Matrix, w: &Matrix, b: &Matrix) -> Result<Matrix, ShapeError> {
     if b.rows() != 1 || b.cols() != w.cols() {
         return Err(ShapeError {
@@ -29,19 +42,50 @@ pub fn try_affine(x: &Matrix, w: &Matrix, b: &Matrix) -> Result<Matrix, ShapeErr
             rhs: b.shape(),
         });
     }
-    let mut out = x.try_matmul(w)?;
-    let bias = b.row(0);
-    for r in 0..out.rows() {
-        for (o, &bv) in out.row_mut(r).iter_mut().zip(bias.iter()) {
-            *o += bv;
-        }
+    if x.cols() != w.rows() {
+        return Err(ShapeError {
+            op: "matmul",
+            lhs: x.shape(),
+            rhs: w.shape(),
+        });
     }
+    let mut out = Matrix::zeros(x.rows(), w.cols());
+    affine_into(x, w, b, &mut out);
     Ok(out)
+}
+
+/// Fused affine into an existing `(batch, out)` matrix, allocating
+/// nothing. `out`'s prior contents are overwritten.
+///
+/// # Panics
+///
+/// Panics on any shape mismatch.
+pub fn affine_into(x: &Matrix, w: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(x.cols(), w.rows(), "affine_into inner dimension");
+    assert!(
+        b.rows() == 1 && b.cols() == w.cols(),
+        "affine_into bias shape"
+    );
+    assert_eq!(
+        out.shape(),
+        (x.rows(), w.cols()),
+        "affine_into output shape"
+    );
+    let (m, k) = x.shape();
+    gemm::gemm_into(
+        x.as_slice(),
+        m,
+        k,
+        w.packed(),
+        Some(b.row(0)),
+        out.as_mut_slice(),
+        crate::matrix::auto_pool(m, k, w.cols()),
+    );
 }
 
 /// Element-wise sigmoid `1 / (1 + e^-x)`.
 pub fn sigmoid(x: &Matrix) -> Matrix {
-    map(x, |v| 1.0 / (1.0 + (-v).exp()))
+    map(x, sigmoid_s)
 }
 
 /// Element-wise hyperbolic tangent.
@@ -55,12 +99,35 @@ pub fn relu(x: &Matrix) -> Matrix {
 }
 
 /// Applies `f` element-wise, producing a new matrix.
+///
+/// Single-pass: the output is built directly from the input, rather than
+/// cloning and overwriting.
 pub fn map(x: &Matrix, f: impl Fn(f32) -> f32) -> Matrix {
-    let mut out = x.clone();
-    for v in out.as_mut_slice() {
+    let mut data = Vec::with_capacity(x.len());
+    data.extend(x.as_slice().iter().map(|&v| f(v)));
+    Matrix::from_vec(x.rows(), x.cols(), data)
+}
+
+/// Applies `f` element-wise in place.
+pub fn map_inplace(x: &mut Matrix, f: impl Fn(f32) -> f32) {
+    for v in x.as_mut_slice() {
         *v = f(*v);
     }
-    out
+}
+
+/// In-place sigmoid; bitwise identical to [`sigmoid`].
+pub fn sigmoid_inplace(x: &mut Matrix) {
+    map_inplace(x, sigmoid_s);
+}
+
+/// In-place hyperbolic tangent; bitwise identical to [`tanh`].
+pub fn tanh_inplace(x: &mut Matrix) {
+    map_inplace(x, f32::tanh);
+}
+
+/// In-place rectified linear unit; bitwise identical to [`relu`].
+pub fn relu_inplace(x: &mut Matrix) {
+    map_inplace(x, |v| v.max(0.0));
 }
 
 /// Element-wise addition.
@@ -89,11 +156,14 @@ fn zip(a: &Matrix, b: &Matrix, op: &'static str, f: impl Fn(f32, f32) -> f32) ->
         a.shape(),
         b.shape()
     );
-    let mut out = a.clone();
-    for (o, &bv) in out.as_mut_slice().iter_mut().zip(b.as_slice().iter()) {
-        *o = f(*o, bv);
-    }
-    out
+    let mut data = Vec::with_capacity(a.len());
+    data.extend(
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice().iter())
+            .map(|(&x, &y)| f(x, y)),
+    );
+    Matrix::from_vec(a.rows(), a.cols(), data)
 }
 
 /// Concatenates matrices along the feature (column) axis.
@@ -152,10 +222,25 @@ pub fn concat_rows(parts: &[&Matrix]) -> Matrix {
 /// Panics if any index is out of bounds.
 pub fn gather_rows(x: &Matrix, indices: &[usize]) -> Matrix {
     let mut out = Matrix::zeros(indices.len(), x.cols());
+    gather_rows_into(x, indices, &mut out);
+    out
+}
+
+/// [`gather_rows`] into an existing `(indices.len(), x.cols())` matrix,
+/// allocating nothing (the scratch-arena gather of §4.3).
+///
+/// # Panics
+///
+/// Panics if shapes disagree or any index is out of bounds.
+pub fn gather_rows_into(x: &Matrix, indices: &[usize], out: &mut Matrix) {
+    assert_eq!(
+        out.shape(),
+        (indices.len(), x.cols()),
+        "gather_rows_into output shape"
+    );
     for (i, &idx) in indices.iter().enumerate() {
         out.row_mut(i).copy_from_slice(x.row(idx));
     }
-    out
 }
 
 /// Writes each row of `src` into `dst` at the corresponding index
@@ -200,20 +285,22 @@ pub fn split_cols(x: &Matrix, n: usize) -> Vec<Matrix> {
 
 /// Row-wise softmax.
 pub fn softmax(x: &Matrix) -> Matrix {
-    let mut out = x.clone();
-    for r in 0..out.rows() {
-        let row = out.row_mut(r);
+    let mut data = Vec::with_capacity(x.len());
+    for r in 0..x.rows() {
+        let row = x.row(r);
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let base = data.len();
         let mut sum = 0.0;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
+        for &v in row {
+            let e = (v - max).exp();
+            sum += e;
+            data.push(e);
         }
-        for v in row.iter_mut() {
+        for v in &mut data[base..] {
             *v /= sum;
         }
     }
-    out
+    Matrix::from_vec(x.rows(), x.cols(), data)
 }
 
 /// Row-wise argmax: index of the largest element in each row.
@@ -243,6 +330,17 @@ pub fn argmax(x: &Matrix) -> Vec<usize> {
 ///
 /// Panics if any id is out of the vocabulary.
 pub fn embedding(table: &Matrix, ids: &[usize]) -> Matrix {
+    let mut out = Matrix::zeros(ids.len(), table.cols());
+    embedding_into(table, ids, &mut out);
+    out
+}
+
+/// [`embedding`] into an existing `(ids.len(), table.cols())` matrix.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or any id is out of the vocabulary.
+pub fn embedding_into(table: &Matrix, ids: &[usize], out: &mut Matrix) {
     for &id in ids {
         assert!(
             id < table.rows(),
@@ -250,7 +348,143 @@ pub fn embedding(table: &Matrix, ids: &[usize]) -> Matrix {
             table.rows()
         );
     }
-    gather_rows(table, ids)
+    gather_rows_into(table, ids, out);
+}
+
+/// Fused LSTM gate kernel: from pre-activations `z = [i|f|g|o]`
+/// (`(batch, 4h)`) and the previous cell state `c_prev` (`(batch, h)`),
+/// computes the new cell and hidden states into `c_out`/`h_out` in one
+/// pass with zero allocations.
+///
+/// Per element this evaluates exactly the composed-op expression trees
+/// `c' = (sigmoid(f) * c_prev) + (sigmoid(i) * tanh(g))` and
+/// `h' = sigmoid(o) * tanh(c')`, so results are bitwise identical to the
+/// unfused `split_cols`/`sigmoid`/`tanh`/`mul`/`add` chain it replaces.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn lstm_gates(z: &Matrix, c_prev: &Matrix, h_out: &mut Matrix, c_out: &mut Matrix) {
+    let (batch, h) = c_prev.shape();
+    assert_eq!(z.shape(), (batch, 4 * h), "lstm_gates pre-activation shape");
+    assert_eq!(h_out.shape(), (batch, h), "lstm_gates h_out shape");
+    assert_eq!(c_out.shape(), (batch, h), "lstm_gates c_out shape");
+    let hs = h_out.as_mut_slice();
+    let cs = c_out.as_mut_slice();
+    for r in 0..batch {
+        let zr = z.row(r);
+        let cp = c_prev.row(r);
+        let hr = &mut hs[r * h..(r + 1) * h];
+        let cr = &mut cs[r * h..(r + 1) * h];
+        for j in 0..h {
+            let i_g = sigmoid_s(zr[j]);
+            let f_g = sigmoid_s(zr[h + j]);
+            let g_g = zr[2 * h + j].tanh();
+            let o_g = sigmoid_s(zr[3 * h + j]);
+            let c_new = (f_g * cp[j]) + (i_g * g_g);
+            cr[j] = c_new;
+            hr[j] = o_g * c_new.tanh();
+        }
+    }
+}
+
+/// Fused GRU combine: `h' = ((1 - z) * n) + (z * h_prev)` element-wise
+/// into `h_out`; bitwise identical to the unfused `map`/`mul`/`add`
+/// chain.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn gru_combine(z: &Matrix, n: &Matrix, h_prev: &Matrix, h_out: &mut Matrix) {
+    let shape = h_prev.shape();
+    assert_eq!(z.shape(), shape, "gru_combine z shape");
+    assert_eq!(n.shape(), shape, "gru_combine n shape");
+    assert_eq!(h_out.shape(), shape, "gru_combine h_out shape");
+    let out = h_out.as_mut_slice();
+    for (((o, &zv), &nv), &hv) in out
+        .iter_mut()
+        .zip(z.as_slice())
+        .zip(n.as_slice())
+        .zip(h_prev.as_slice())
+    {
+        *o = ((1.0 - zv) * nv) + (zv * hv);
+    }
+}
+
+/// Fused TreeLSTM leaf combine: `c = i * u`, `h = o * tanh(c)`; bitwise
+/// identical to the unfused `mul`/`tanh` chain.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn tree_leaf_combine(
+    i: &Matrix,
+    o: &Matrix,
+    u: &Matrix,
+    h_out: &mut Matrix,
+    c_out: &mut Matrix,
+) {
+    let shape = i.shape();
+    assert_eq!(o.shape(), shape, "tree_leaf_combine o shape");
+    assert_eq!(u.shape(), shape, "tree_leaf_combine u shape");
+    assert_eq!(h_out.shape(), shape, "tree_leaf_combine h_out shape");
+    assert_eq!(c_out.shape(), shape, "tree_leaf_combine c_out shape");
+    let hs = h_out.as_mut_slice();
+    let cs = c_out.as_mut_slice();
+    for ((((hv, cv), &iv), &ov), &uv) in hs
+        .iter_mut()
+        .zip(cs.iter_mut())
+        .zip(i.as_slice())
+        .zip(o.as_slice())
+        .zip(u.as_slice())
+    {
+        let c = iv * uv;
+        *cv = c;
+        *hv = ov * c.tanh();
+    }
+}
+
+/// Fused TreeLSTM internal combine:
+/// `c = (i * u) + ((fl * cl) + (fr * cr))`, `h = o * tanh(c)`; bitwise
+/// identical to the unfused `mul`/`add`/`tanh` chain.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+#[allow(clippy::too_many_arguments)]
+pub fn tree_internal_combine(
+    i: &Matrix,
+    fl: &Matrix,
+    fr: &Matrix,
+    o: &Matrix,
+    u: &Matrix,
+    cl: &Matrix,
+    cr: &Matrix,
+    h_out: &mut Matrix,
+    c_out: &mut Matrix,
+) {
+    let shape = i.shape();
+    for (m, what) in [
+        (fl, "fl"),
+        (fr, "fr"),
+        (o, "o"),
+        (u, "u"),
+        (cl, "cl"),
+        (cr, "cr"),
+    ] {
+        assert_eq!(m.shape(), shape, "tree_internal_combine {what} shape");
+    }
+    assert_eq!(h_out.shape(), shape, "tree_internal_combine h_out shape");
+    assert_eq!(c_out.shape(), shape, "tree_internal_combine c_out shape");
+    let hs = h_out.as_mut_slice();
+    let cs = c_out.as_mut_slice();
+    for idx in 0..hs.len() {
+        let c = (i.as_slice()[idx] * u.as_slice()[idx])
+            + ((fl.as_slice()[idx] * cl.as_slice()[idx])
+                + (fr.as_slice()[idx] * cr.as_slice()[idx]));
+        cs[idx] = c;
+        hs[idx] = o.as_slice()[idx] * c.tanh();
+    }
 }
 
 #[cfg(test)]
@@ -390,5 +624,96 @@ mod tests {
     fn embedding_oov_panics() {
         let table = Matrix::zeros(3, 2);
         let _ = embedding(&table, &[3]);
+    }
+
+    #[test]
+    fn inplace_activations_match_allocating() {
+        let x = m(&[&[-2.0, -0.5, 0.0, 0.5, 2.0], &[1.0, -1.0, 3.0, -3.0, 0.1]]);
+        let mut s = x.clone();
+        sigmoid_inplace(&mut s);
+        assert_eq!(s, sigmoid(&x));
+        let mut t = x.clone();
+        tanh_inplace(&mut t);
+        assert_eq!(t, tanh(&x));
+        let mut r = x.clone();
+        relu_inplace(&mut r);
+        assert_eq!(r, relu(&x));
+    }
+
+    #[test]
+    fn affine_into_matches_affine() {
+        let x = m(&[&[1.0, -2.0, 0.5], &[0.25, 3.0, -1.5]]);
+        let w = m(&[&[1.0, 2.0], &[-0.5, 0.75], &[2.0, -1.0]]);
+        let b = m(&[&[0.125, -0.25]]);
+        let mut out = Matrix::zeros(2, 2);
+        affine_into(&x, &w, &b, &mut out);
+        assert_eq!(out, affine(&x, &w, &b));
+    }
+
+    #[test]
+    fn lstm_gates_matches_composed_ops() {
+        let z = m(&[&[0.3, -0.7, 1.2, 0.1, -0.4, 0.9, 2.0, -1.1]]);
+        let c_prev = m(&[&[0.5, -0.25]]);
+        let gates = split_cols(&z, 4);
+        let (i, f, g, o) = (
+            sigmoid(&gates[0]),
+            sigmoid(&gates[1]),
+            tanh(&gates[2]),
+            sigmoid(&gates[3]),
+        );
+        let c_want = add(&mul(&f, &c_prev), &mul(&i, &g));
+        let h_want = mul(&o, &tanh(&c_want));
+        let mut h = Matrix::zeros(1, 2);
+        let mut c = Matrix::zeros(1, 2);
+        lstm_gates(&z, &c_prev, &mut h, &mut c);
+        assert_eq!(c, c_want);
+        assert_eq!(h, h_want);
+    }
+
+    #[test]
+    fn gru_combine_matches_composed_ops() {
+        let z = m(&[&[0.2, 0.8, 0.5]]);
+        let n = m(&[&[1.0, -1.0, 0.25]]);
+        let h_prev = m(&[&[0.5, 0.5, -2.0]]);
+        let one_minus_z = map(&z, |v| 1.0 - v);
+        let want = add(&mul(&one_minus_z, &n), &mul(&z, &h_prev));
+        let mut h = Matrix::zeros(1, 3);
+        gru_combine(&z, &n, &h_prev, &mut h);
+        assert_eq!(h, want);
+    }
+
+    #[test]
+    fn tree_combines_match_composed_ops() {
+        let i = m(&[&[0.2, 0.9]]);
+        let o = m(&[&[0.6, 0.3]]);
+        let u = m(&[&[-0.5, 1.5]]);
+        let c_want = mul(&i, &u);
+        let h_want = mul(&o, &tanh(&c_want));
+        let mut h = Matrix::zeros(1, 2);
+        let mut c = Matrix::zeros(1, 2);
+        tree_leaf_combine(&i, &o, &u, &mut h, &mut c);
+        assert_eq!(c, c_want);
+        assert_eq!(h, h_want);
+
+        let fl = m(&[&[0.7, 0.1]]);
+        let fr = m(&[&[0.4, 0.8]]);
+        let cl = m(&[&[1.0, -0.5]]);
+        let cr = m(&[&[-0.25, 2.0]]);
+        let c_want = add(&mul(&i, &u), &add(&mul(&fl, &cl), &mul(&fr, &cr)));
+        let h_want = mul(&o, &tanh(&c_want));
+        tree_internal_combine(&i, &fl, &fr, &o, &u, &cl, &cr, &mut h, &mut c);
+        assert_eq!(c, c_want);
+        assert_eq!(h, h_want);
+    }
+
+    #[test]
+    fn gather_and_embedding_into_match_allocating() {
+        let x = m(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let mut out = Matrix::zeros(2, 2);
+        gather_rows_into(&x, &[2, 0], &mut out);
+        assert_eq!(out, gather_rows(&x, &[2, 0]));
+        let mut e = Matrix::zeros(2, 2);
+        embedding_into(&x, &[1, 1], &mut e);
+        assert_eq!(e, embedding(&x, &[1, 1]));
     }
 }

@@ -1,6 +1,11 @@
 //! Property-based tests for the tensor substrate.
+//!
+//! The bitwise-identity properties here are the contract the packed GEMM,
+//! fused affine and in-place activations must uphold: every optimized
+//! path produces exactly the bits of the serial reference fold
+//! ([`Matrix::matmul_serial`]), not just approximately-equal values.
 
-use bm_tensor::{ops, Matrix};
+use bm_tensor::{ops, ComputePool, Matrix};
 use proptest::prelude::*;
 
 /// Strategy producing an arbitrary matrix with shape in `[1, max]^2` and
@@ -15,6 +20,33 @@ fn matrix(max: usize) -> impl Strategy<Value = Matrix> {
 /// A pair of matrices with compatible inner dimensions for matmul.
 fn matmul_pair(max: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
     (1..=max, 1..=max, 1..=max).prop_flat_map(|(m, k, n)| {
+        let a = proptest::collection::vec(-4.0f32..4.0, m * k)
+            .prop_map(move |d| Matrix::from_vec(m, k, d));
+        let b = proptest::collection::vec(-4.0f32..4.0, k * n)
+            .prop_map(move |d| Matrix::from_vec(k, n, d));
+        (a, b)
+    })
+}
+
+/// Like [`matmul_pair`] but with dimensions that deliberately straddle
+/// the GEMM block sizes (`MR = 4`, `NR = 8`): rows = 1, exact multiples,
+/// one-off-a-multiple, and ragged tails all get generated.
+fn blocky_matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    fn dim() -> impl Strategy<Value = usize> {
+        prop_oneof![
+            Just(1usize),
+            Just(3),
+            Just(4),
+            Just(5),
+            Just(7),
+            Just(8),
+            Just(9),
+            Just(16),
+            Just(17),
+            1usize..=33,
+        ]
+    }
+    (dim(), dim(), dim()).prop_flat_map(|(m, k, n)| {
         let a = proptest::collection::vec(-4.0f32..4.0, m * k)
             .prop_map(move |d| Matrix::from_vec(m, k, d));
         let b = proptest::collection::vec(-4.0f32..4.0, k * n)
@@ -117,6 +149,74 @@ proptest! {
         for (x, y) in s.as_slice().iter().zip(shifted.as_slice()) {
             prop_assert!(y >= x);
         }
+    }
+
+    #[test]
+    fn packed_gemm_is_bitwise_identical_to_serial_reference((a, b) in blocky_matmul_pair()) {
+        // `matmul` runs the packed/blocked kernels; `matmul_serial` is
+        // the naive i-k-j reference fold. `==` on Matrix is exact.
+        prop_assert_eq!(a.matmul(&b), a.matmul_serial(&b));
+    }
+
+    #[test]
+    fn fused_affine_is_bitwise_identical_to_matmul_plus_bias((a, b) in blocky_matmul_pair(), bias_seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(bias_seed);
+        let bias = Matrix::from_vec(
+            1, b.cols(),
+            (0..b.cols()).map(|_| rng.gen_range(-2.0..2.0)).collect(),
+        );
+        let fused = ops::affine(&a, &b, &bias);
+        let mut unfused = a.matmul_serial(&b);
+        for r in 0..unfused.rows() {
+            for (o, &bv) in unfused.row_mut(r).iter_mut().zip(bias.row(0)) {
+                *o += bv;
+            }
+        }
+        prop_assert_eq!(fused, unfused);
+    }
+
+    #[test]
+    fn pool_size_does_not_change_a_single_bit((a, b) in blocky_matmul_pair()) {
+        // Chunked execution under any pool size must equal the 1-thread
+        // (purely serial) pool exactly, run-to-run and thread-to-thread.
+        let packed = bm_tensor::PackedWeights::pack(b.rows(), b.cols(), b.as_slice());
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let serial_pool = ComputePool::new(1);
+        let mut reference = vec![0.0f32; m * n];
+        bm_tensor::gemm::gemm_into(a.as_slice(), m, k, &packed, None, &mut reference, Some(&serial_pool));
+        let pool = ComputePool::new(3);
+        for _ in 0..3 {
+            let mut out = vec![0.0f32; m * n];
+            bm_tensor::gemm::gemm_into(a.as_slice(), m, k, &packed, None, &mut out, Some(&pool));
+            prop_assert_eq!(&out, &reference);
+        }
+    }
+
+    #[test]
+    fn inplace_activations_are_bitwise_identical(a in matrix(8)) {
+        let mut s = a.clone();
+        ops::sigmoid_inplace(&mut s);
+        prop_assert_eq!(s, ops::sigmoid(&a));
+        let mut t = a.clone();
+        ops::tanh_inplace(&mut t);
+        prop_assert_eq!(t, ops::tanh(&a));
+        let mut r = a.clone();
+        ops::relu_inplace(&mut r);
+        prop_assert_eq!(r, ops::relu(&a));
+    }
+
+    #[test]
+    fn packing_cache_survives_clone_and_invalidates_on_write((a, b) in matmul_pair(8)) {
+        // Warm the cache, clone, then mutate the clone: the clone must
+        // recompute its packing, the original must keep the old result.
+        let before = a.matmul(&b);
+        let mut b2 = b.clone();
+        let flipped = -b2.get(0, 0);
+        b2.set(0, 0, flipped);
+        let changed = a.matmul(&b2);
+        prop_assert_eq!(a.matmul(&b), before);
+        prop_assert_eq!(changed, a.matmul_serial(&b2));
     }
 
     #[test]

@@ -116,7 +116,7 @@ proptest! {
                     let meta = registry.meta(t.cell_type);
                     prop_assert!(t.batch_size() <= meta.max_batch);
                     prop_assert!(!t.entries.is_empty());
-                    for sg in &t.subgraphs {
+                    for sg in t.subgraphs.iter() {
                         // A subgraph with in-flight tasks must stay on
                         // one worker.
                         if let Some(prev) = sg_pins.get(sg) {
@@ -132,7 +132,7 @@ proptest! {
                         );
                         // Dependencies executed first (same worker FIFO
                         // or completed earlier).
-                        for d in &e.deps {
+                        for d in e.deps.iter() {
                             prop_assert!(
                                 executed.contains(&(e.request.0, d.0)),
                                 "dependency not yet executed"
@@ -152,7 +152,7 @@ proptest! {
                     }
                     // Task closed; its subgraphs may unpin. Conservatively
                     // clear and let future tasks re-pin.
-                    for sg in &t.subgraphs {
+                    for sg in t.subgraphs.iter() {
                         sg_pins.remove(sg);
                     }
                     progressed = true;
