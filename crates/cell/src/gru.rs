@@ -20,7 +20,7 @@ use bm_tensor::io::WeightBundle;
 use bm_tensor::{ops, xavier_uniform, Matrix, Scratch};
 
 use crate::persist::{expect, expect_shape};
-use crate::state::{CellOutput, CellState, InvocationInput};
+use crate::state::{collect_outputs, CellOutput, InvocationInput, RowInvocation};
 
 /// A GRU cell with its own embedding table.
 #[derive(Debug, Clone)]
@@ -101,13 +101,23 @@ impl GruCell {
         inputs: &[InvocationInput<'_>],
         s: &mut Scratch,
     ) -> Vec<CellOutput> {
+        collect_outputs(inputs, |rows, emit| self.execute_rows_in(rows, s, emit))
+    }
+
+    /// Row-level executor; see [`crate::Cell::execute_rows_in`]. The
+    /// emitted `c` slice is always empty — a GRU state has no memory
+    /// cell.
+    pub fn execute_rows_in<F>(&self, inputs: &[RowInvocation<'_>], s: &mut Scratch, mut emit: F)
+    where
+        F: FnMut(usize, &[f32], &[f32], Option<u32>),
+    {
         let batch = inputs.len();
         let e = self.embed_size;
         let hsz = self.hidden_size;
         let mut xh = s.take(batch, e + hsz);
         let mut h = s.take(batch, hsz);
         for (r, inv) in inputs.iter().enumerate() {
-            let id = inv.token.expect("gru invocation requires a token") as usize;
+            let id = inv.token().expect("gru invocation requires a token") as usize;
             assert!(
                 id < self.embed.rows(),
                 "embedding id {id} >= vocab {}",
@@ -115,13 +125,13 @@ impl GruCell {
             );
             let xh_row = xh.row_mut(r);
             xh_row[..e].copy_from_slice(self.embed.row(id));
-            match inv.states.len() {
-                0 => {}
-                1 => {
-                    xh_row[e..].copy_from_slice(&inv.states[0].h);
-                    h.row_mut(r).copy_from_slice(&inv.states[0].h);
+            match inv.states() {
+                [] => {}
+                [st] => {
+                    xh_row[e..].copy_from_slice(st.h);
+                    h.row_mut(r).copy_from_slice(st.h);
                 }
-                n => panic!("gru invocation with {n} states"),
+                more => panic!("gru invocation with {} states", more.len()),
             }
         }
         let mut r_gate = s.take(batch, hsz);
@@ -143,18 +153,12 @@ impl GruCell {
         ops::tanh_inplace(&mut n_gate);
         let mut h_new = s.take(batch, hsz);
         ops::gru_combine(&z_gate, &n_gate, &h, &mut h_new);
-        let outs = (0..batch)
-            .map(|row| {
-                CellOutput::state_only(CellState {
-                    h: h_new.row(row).to_vec(),
-                    c: Vec::new(),
-                })
-            })
-            .collect();
+        for row in 0..batch {
+            emit(row, h_new.row(row), &[], None);
+        }
         for m in [xh, h, r_gate, z_gate, n_gate, h_new] {
             s.put(m);
         }
-        outs
     }
 
     /// Exports the cell's weights (§4.2 persistence).
@@ -204,6 +208,7 @@ impl GruCell {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::state::CellState;
 
     fn cell() -> GruCell {
         GruCell::seeded(4, 5, 12, 77)

@@ -38,7 +38,7 @@ pub use lstm::LstmCell;
 pub use registry::{CellMeta, CellRegistry};
 pub use seq2seq::{DecoderCell, EncoderCell};
 pub use signature::{CellSignature, CellTypeId};
-pub use state::{CellOutput, CellState, InvocationInput};
+pub use state::{CellOutput, CellState, InvocationInput, RowInvocation, StateRef};
 pub use tree::{TreeInternalCell, TreeLeafCell};
 
 pub use bm_tensor::Scratch;
@@ -109,6 +109,16 @@ impl Cell {
         matches!(self, Cell::Decoder(_))
     }
 
+    /// Width of the memory-cell (`c`) row this cell produces: 0 for
+    /// cells whose state has no memory component (GRU), the hidden
+    /// width otherwise. Used by the runtime to size state-arena slots.
+    pub fn memory_width(&self) -> usize {
+        match self {
+            Cell::Gru(_) => 0,
+            _ => self.hidden_size(),
+        }
+    }
+
     /// Executes the cell once over a batch of invocations.
     ///
     /// The executor gathers per-invocation rows into contiguous matrices,
@@ -146,6 +156,36 @@ impl Cell {
             Cell::Decoder(c) => c.execute_batch_in(inputs, scratch),
             Cell::TreeLeaf(c) => c.execute_batch_in(inputs, scratch),
             Cell::TreeInternal(c) => c.execute_batch_in(inputs, scratch),
+        }
+    }
+
+    /// Zero-copy executor used by the runtime's state-arena data plane.
+    ///
+    /// Gathers borrowed state rows ([`RowInvocation`]) straight into the
+    /// batch matrices, runs the cell once, and hands each result row to
+    /// `emit(row_index, h, c, token)` while it still lives in scratch —
+    /// the caller scatters rows wherever they belong (e.g. arena slots)
+    /// with no intermediate [`CellOutput`] allocation. Rows are emitted
+    /// in batch order; `c` is empty for cells without a memory cell and
+    /// `token` is `Some` only for token-emitting cells. Numerically
+    /// bit-identical to [`Cell::execute_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or any invocation does not match the
+    /// cell's arity (wrong number of states, missing token).
+    pub fn execute_rows_in<F>(&self, inputs: &[RowInvocation<'_>], scratch: &mut Scratch, emit: F)
+    where
+        F: FnMut(usize, &[f32], &[f32], Option<u32>),
+    {
+        assert!(!inputs.is_empty(), "execute_batch on empty batch");
+        match self {
+            Cell::Lstm(c) => c.execute_rows_in(inputs, scratch, emit),
+            Cell::Gru(c) => c.execute_rows_in(inputs, scratch, emit),
+            Cell::Encoder(c) => c.execute_rows_in(inputs, scratch, emit),
+            Cell::Decoder(c) => c.execute_rows_in(inputs, scratch, emit),
+            Cell::TreeLeaf(c) => c.execute_rows_in(inputs, scratch, emit),
+            Cell::TreeInternal(c) => c.execute_rows_in(inputs, scratch, emit),
         }
     }
 

@@ -19,7 +19,7 @@ use bm_tensor::io::WeightBundle;
 use bm_tensor::{ops, xavier_uniform, Matrix, Scratch};
 
 use crate::persist::{expect, expect_shape};
-use crate::state::{CellOutput, CellState, InvocationInput};
+use crate::state::{collect_outputs, CellOutput, InvocationInput, RowInvocation};
 
 /// The weight set and math of one LSTM step, shared by every cell kind
 /// that embeds an LSTM (plain, encoder, decoder).
@@ -73,14 +73,14 @@ pub(crate) fn gather_chain_xh(
     embed: &Matrix,
     input_size: usize,
     hidden_size: usize,
-    inputs: &[InvocationInput<'_>],
+    inputs: &[RowInvocation<'_>],
     s: &mut Scratch,
 ) -> (Matrix, Matrix) {
     let batch = inputs.len();
     let mut xh = s.take(batch, input_size + hidden_size);
     let mut c = s.take(batch, hidden_size);
     for (r, inv) in inputs.iter().enumerate() {
-        let id = inv.token.expect("chain cell invocation requires a token") as usize;
+        let id = inv.token().expect("chain cell invocation requires a token") as usize;
         assert!(
             id < embed.rows(),
             "embedding id {id} >= vocab {}",
@@ -88,30 +88,28 @@ pub(crate) fn gather_chain_xh(
         );
         let xh_row = xh.row_mut(r);
         xh_row[..input_size].copy_from_slice(embed.row(id));
-        match inv.states.len() {
-            0 => {} // Chain start: implicit zero state.
-            1 => {
-                let st = inv.states[0];
-                assert_eq!(st.width(), hidden_size, "state width mismatch");
-                xh_row[input_size..].copy_from_slice(&st.h);
-                c.row_mut(r).copy_from_slice(&st.c);
+        match inv.states() {
+            [] => {} // Chain start: implicit zero state.
+            [st] => {
+                assert_eq!(st.h.len(), hidden_size, "state width mismatch");
+                xh_row[input_size..].copy_from_slice(st.h);
+                c.row_mut(r).copy_from_slice(st.c);
             }
-            n => panic!("chain cell invocation with {n} states"),
+            more => panic!("chain cell invocation with {} states", more.len()),
         }
     }
     (xh, c)
 }
 
-/// Scatters batched `(h, c)` rows back into per-invocation outputs.
-pub(crate) fn scatter_states(h: &Matrix, c: &Matrix) -> Vec<CellOutput> {
-    (0..h.rows())
-        .map(|r| {
-            CellOutput::state_only(CellState {
-                h: h.row(r).to_vec(),
-                c: c.row(r).to_vec(),
-            })
-        })
-        .collect()
+/// Emits batched `(h, c)` rows to the caller in batch order.
+pub(crate) fn emit_states<F: FnMut(usize, &[f32], &[f32], Option<u32>)>(
+    h: &Matrix,
+    c: &Matrix,
+    emit: &mut F,
+) {
+    for r in 0..h.rows() {
+        emit(r, h.row(r), c.row(r), None);
+    }
 }
 
 /// A plain LSTM cell with its own embedding table.
@@ -174,6 +172,17 @@ impl LstmCell {
         inputs: &[InvocationInput<'_>],
         s: &mut Scratch,
     ) -> Vec<CellOutput> {
+        collect_outputs(inputs, |rows, emit| self.execute_rows_in(rows, s, emit))
+    }
+
+    /// Row-level executor: gathers borrowed state rows, runs one batched
+    /// step and emits `(row, h, c, token)` per invocation instead of
+    /// materializing owned [`CellOutput`]s; see
+    /// [`crate::Cell::execute_rows_in`].
+    pub fn execute_rows_in<F>(&self, inputs: &[RowInvocation<'_>], s: &mut Scratch, mut emit: F)
+    where
+        F: FnMut(usize, &[f32], &[f32], Option<u32>),
+    {
         let (xh, c) = gather_chain_xh(
             &self.embed,
             self.core.input_size,
@@ -182,11 +191,10 @@ impl LstmCell {
             s,
         );
         let (h2, c2) = self.core.step_in(&xh, &c, s);
-        let outs = scatter_states(&h2, &c2);
+        emit_states(&h2, &c2, &mut emit);
         for m in [xh, c, h2, c2] {
             s.put(m);
         }
-        outs
     }
 
     /// Exports the cell's weights (§4.2 persistence).
@@ -222,6 +230,7 @@ impl LstmCell {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::state::CellState;
 
     fn cell() -> LstmCell {
         LstmCell::seeded(4, 6, 20, 42)

@@ -12,9 +12,9 @@
 use bm_tensor::io::WeightBundle;
 use bm_tensor::{ops, xavier_uniform, Matrix, Scratch};
 
-use crate::lstm::{gather_chain_xh, scatter_states, LstmCore};
+use crate::lstm::{emit_states, gather_chain_xh, LstmCore};
 use crate::persist::{expect, expect_shape};
-use crate::state::{CellOutput, InvocationInput};
+use crate::state::{collect_outputs, CellOutput, InvocationInput, RowInvocation};
 
 /// A Seq2Seq encoder step: embedding lookup followed by an LSTM step.
 #[derive(Debug, Clone)]
@@ -72,6 +72,14 @@ impl EncoderCell {
         inputs: &[InvocationInput<'_>],
         s: &mut Scratch,
     ) -> Vec<CellOutput> {
+        collect_outputs(inputs, |rows, emit| self.execute_rows_in(rows, s, emit))
+    }
+
+    /// Row-level executor; see [`crate::Cell::execute_rows_in`].
+    pub fn execute_rows_in<F>(&self, inputs: &[RowInvocation<'_>], s: &mut Scratch, mut emit: F)
+    where
+        F: FnMut(usize, &[f32], &[f32], Option<u32>),
+    {
         let (xh, c) = gather_chain_xh(
             &self.embed,
             self.core.input_size,
@@ -80,11 +88,10 @@ impl EncoderCell {
             s,
         );
         let (h2, c2) = self.core.step_in(&xh, &c, s);
-        let outs = scatter_states(&h2, &c2);
+        emit_states(&h2, &c2, &mut emit);
         for m in [xh, c, h2, c2] {
             s.put(m);
         }
-        outs
     }
 
     /// Exports the cell's weights (§4.2 persistence).
@@ -191,6 +198,15 @@ impl DecoderCell {
         inputs: &[InvocationInput<'_>],
         s: &mut Scratch,
     ) -> Vec<CellOutput> {
+        collect_outputs(inputs, |rows, emit| self.execute_rows_in(rows, s, emit))
+    }
+
+    /// Row-level executor; see [`crate::Cell::execute_rows_in`]. Each
+    /// emitted row carries the argmax-projected output word as its token.
+    pub fn execute_rows_in<F>(&self, inputs: &[RowInvocation<'_>], s: &mut Scratch, mut emit: F)
+    where
+        F: FnMut(usize, &[f32], &[f32], Option<u32>),
+    {
         let (xh, c) = gather_chain_xh(
             &self.embed,
             self.core.input_size,
@@ -202,14 +218,12 @@ impl DecoderCell {
         let mut logits = s.take(inputs.len(), self.vocab_size());
         ops::affine_into(&h2, &self.proj_w, &self.proj_b, &mut logits);
         let words = ops::argmax(&logits);
-        let mut outs = scatter_states(&h2, &c2);
-        for (out, w) in outs.iter_mut().zip(words) {
-            out.token = Some(w as u32);
+        for (r, w) in words.into_iter().enumerate() {
+            emit(r, h2.row(r), c2.row(r), Some(w as u32));
         }
         for m in [xh, c, h2, c2, logits] {
             s.put(m);
         }
-        outs
     }
 
     /// Exports the cell's weights (§4.2 persistence).

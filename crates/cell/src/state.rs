@@ -74,6 +74,146 @@ impl<'a> InvocationInput<'a> {
     }
 }
 
+/// A borrowed view of one predecessor state: raw rows living in someone
+/// else's storage (a state-arena slot, an owned [`CellState`], a batch
+/// matrix).
+///
+/// `c` is empty for cells without a memory component (GRU).
+#[derive(Debug, Clone, Copy)]
+pub struct StateRef<'a> {
+    /// Hidden state row.
+    pub h: &'a [f32],
+    /// Memory cell row (empty for cells without a memory cell).
+    pub c: &'a [f32],
+}
+
+impl<'a> StateRef<'a> {
+    /// Borrows an owned [`CellState`].
+    pub fn of(state: &'a CellState) -> Self {
+        StateRef {
+            h: &state.h,
+            c: &state.c,
+        }
+    }
+}
+
+const EMPTY_STATE: StateRef<'static> = StateRef { h: &[], c: &[] };
+
+/// One invocation's inputs within a batched task, as borrowed rows.
+///
+/// The zero-copy counterpart of [`InvocationInput`]: predecessor states
+/// are raw row slices stored inline (no per-invocation `Vec`), so the
+/// runtime can point invocations straight at state-arena rows when
+/// gathering a batch.
+#[derive(Debug, Clone, Copy)]
+pub struct RowInvocation<'a> {
+    token: Option<u32>,
+    states: [StateRef<'a>; 2],
+    n_states: u8,
+}
+
+impl<'a> RowInvocation<'a> {
+    /// An invocation with only a token (tree leaf, or chain start with an
+    /// implicit zero state).
+    pub fn token_only(token: u32) -> Self {
+        RowInvocation {
+            token: Some(token),
+            states: [EMPTY_STATE; 2],
+            n_states: 0,
+        }
+    }
+
+    /// A chain-cell invocation: one token plus the predecessor state.
+    pub fn chain(token: u32, prev: StateRef<'a>) -> Self {
+        RowInvocation {
+            token: Some(token),
+            states: [prev, EMPTY_STATE],
+            n_states: 1,
+        }
+    }
+
+    /// A tree-internal invocation combining two child states.
+    pub fn tree(left: StateRef<'a>, right: StateRef<'a>) -> Self {
+        RowInvocation {
+            token: None,
+            states: [left, right],
+            n_states: 2,
+        }
+    }
+
+    /// An invocation from an arbitrary token and state list, as resolved
+    /// by the runtime from a task entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than two states are supplied.
+    pub fn new(token: Option<u32>, states_in: &[StateRef<'a>]) -> Self {
+        assert!(
+            states_in.len() <= 2,
+            "invocation with {} states",
+            states_in.len()
+        );
+        let mut states = [EMPTY_STATE; 2];
+        states[..states_in.len()].copy_from_slice(states_in);
+        RowInvocation {
+            token,
+            states,
+            n_states: states_in.len() as u8,
+        }
+    }
+
+    /// Input token id, if the cell consumes one.
+    pub fn token(&self) -> Option<u32> {
+        self.token
+    }
+
+    /// Predecessor states, in cell-defined order.
+    pub fn states(&self) -> &[StateRef<'a>] {
+        &self.states[..self.n_states as usize]
+    }
+}
+
+impl<'a> From<&InvocationInput<'a>> for RowInvocation<'a> {
+    fn from(inv: &InvocationInput<'a>) -> Self {
+        assert!(
+            inv.states.len() <= 2,
+            "invocation with {} states",
+            inv.states.len()
+        );
+        let mut states = [EMPTY_STATE; 2];
+        for (slot, st) in states.iter_mut().zip(&inv.states) {
+            *slot = StateRef::of(st);
+        }
+        RowInvocation {
+            token: inv.token,
+            states,
+            n_states: inv.states.len() as u8,
+        }
+    }
+}
+
+/// Runs a row-emitting executor over owned-state invocations and
+/// collects its rows into [`CellOutput`]s — the compatibility bridge
+/// that keeps `execute_batch` bit-identical to the zero-copy path.
+pub(crate) fn collect_outputs(
+    inputs: &[InvocationInput<'_>],
+    run: impl FnOnce(&[RowInvocation<'_>], &mut dyn FnMut(usize, &[f32], &[f32], Option<u32>)),
+) -> Vec<CellOutput> {
+    let rows: Vec<RowInvocation<'_>> = inputs.iter().map(RowInvocation::from).collect();
+    let mut outs: Vec<CellOutput> = Vec::with_capacity(inputs.len());
+    run(&rows, &mut |row, h, c, token| {
+        debug_assert_eq!(row, outs.len(), "cells emit rows in batch order");
+        outs.push(CellOutput {
+            state: CellState {
+                h: h.to_vec(),
+                c: c.to_vec(),
+            },
+            token,
+        });
+    });
+    outs
+}
+
 /// One invocation's outputs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellOutput {
@@ -116,5 +256,26 @@ mod tests {
         let tr = InvocationInput::tree(&s, &s2);
         assert_eq!(tr.token, None);
         assert_eq!(tr.states.len(), 2);
+    }
+
+    #[test]
+    fn row_invocation_mirrors_owned_constructors() {
+        let s = CellState::zeros(3);
+        let chain = RowInvocation::chain(5, StateRef::of(&s));
+        assert_eq!(chain.token(), Some(5));
+        assert_eq!(chain.states().len(), 1);
+        assert_eq!(chain.states()[0].h.len(), 3);
+
+        let only = RowInvocation::token_only(1);
+        assert!(only.states().is_empty());
+
+        let tree = RowInvocation::tree(StateRef::of(&s), StateRef::of(&s));
+        assert_eq!(tree.token(), None);
+        assert_eq!(tree.states().len(), 2);
+
+        let owned = InvocationInput::chain(5, &s);
+        let converted = RowInvocation::from(&owned);
+        assert_eq!(converted.token(), Some(5));
+        assert_eq!(converted.states().len(), 1);
     }
 }

@@ -12,8 +12,9 @@
 use bm_tensor::io::WeightBundle;
 use bm_tensor::{ops, xavier_uniform, Matrix, Scratch};
 
+use crate::lstm::emit_states;
 use crate::persist::{expect, expect_shape};
-use crate::state::{CellOutput, CellState, InvocationInput};
+use crate::state::{collect_outputs, CellOutput, InvocationInput, RowInvocation};
 
 /// TreeLSTM leaf cell: token embedding to initial `(h, c)`.
 ///
@@ -97,11 +98,19 @@ impl TreeLeafCell {
         inputs: &[InvocationInput<'_>],
         s: &mut Scratch,
     ) -> Vec<CellOutput> {
+        collect_outputs(inputs, |rows, emit| self.execute_rows_in(rows, s, emit))
+    }
+
+    /// Row-level executor; see [`crate::Cell::execute_rows_in`].
+    pub fn execute_rows_in<F>(&self, inputs: &[RowInvocation<'_>], s: &mut Scratch, mut emit: F)
+    where
+        F: FnMut(usize, &[f32], &[f32], Option<u32>),
+    {
         let ids: Vec<usize> = inputs
             .iter()
             .map(|inv| {
-                assert!(inv.states.is_empty(), "leaf cell takes no state inputs");
-                inv.token.expect("leaf invocation requires a token") as usize
+                assert!(inv.states().is_empty(), "leaf cell takes no state inputs");
+                inv.token().expect("leaf invocation requires a token") as usize
             })
             .collect();
         let batch = inputs.len();
@@ -120,18 +129,10 @@ impl TreeLeafCell {
         let mut h = s.take(batch, hsz);
         let mut c = s.take(batch, hsz);
         ops::tree_leaf_combine(&i, &o, &u, &mut h, &mut c);
-        let outs = (0..batch)
-            .map(|r| {
-                CellOutput::state_only(CellState {
-                    h: h.row(r).to_vec(),
-                    c: c.row(r).to_vec(),
-                })
-            })
-            .collect();
+        emit_states(&h, &c, &mut emit);
         for m in [x, i, o, u, h, c] {
             s.put(m);
         }
-        outs
     }
 
     /// Exports the cell's weights (§4.2 persistence).
@@ -255,22 +256,32 @@ impl TreeInternalCell {
         inputs: &[InvocationInput<'_>],
         s: &mut Scratch,
     ) -> Vec<CellOutput> {
+        collect_outputs(inputs, |rows, emit| self.execute_rows_in(rows, s, emit))
+    }
+
+    /// Row-level executor; see [`crate::Cell::execute_rows_in`].
+    pub fn execute_rows_in<F>(&self, inputs: &[RowInvocation<'_>], s: &mut Scratch, mut emit: F)
+    where
+        F: FnMut(usize, &[f32], &[f32], Option<u32>),
+    {
         let batch = inputs.len();
         let hsz = self.hidden_size;
         let mut hs = s.take(batch, 2 * hsz);
         let mut cl = s.take(batch, hsz);
         let mut cr = s.take(batch, hsz);
         for (r, inv) in inputs.iter().enumerate() {
-            assert_eq!(
-                inv.states.len(),
-                2,
-                "internal cell requires exactly two child states"
-            );
+            let [left, right] = match inv.states() {
+                [l, r] => [l, r],
+                more => panic!(
+                    "internal cell requires exactly two child states, got {}",
+                    more.len()
+                ),
+            };
             let hs_row = hs.row_mut(r);
-            hs_row[..hsz].copy_from_slice(&inv.states[0].h);
-            hs_row[hsz..].copy_from_slice(&inv.states[1].h);
-            cl.row_mut(r).copy_from_slice(&inv.states[0].c);
-            cr.row_mut(r).copy_from_slice(&inv.states[1].c);
+            hs_row[..hsz].copy_from_slice(left.h);
+            hs_row[hsz..].copy_from_slice(right.h);
+            cl.row_mut(r).copy_from_slice(left.c);
+            cr.row_mut(r).copy_from_slice(right.c);
         }
         let mut i = s.take(batch, hsz);
         ops::affine_into(&hs, &self.wi, &self.bi, &mut i);
@@ -290,18 +301,10 @@ impl TreeInternalCell {
         let mut h_out = s.take(batch, hsz);
         let mut c = s.take(batch, hsz);
         ops::tree_internal_combine(&i, &fl, &fr, &o, &u, &cl, &cr, &mut h_out, &mut c);
-        let outs = (0..batch)
-            .map(|r| {
-                CellOutput::state_only(CellState {
-                    h: h_out.row(r).to_vec(),
-                    c: c.row(r).to_vec(),
-                })
-            })
-            .collect();
+        emit_states(&h_out, &c, &mut emit);
         for m in [hs, cl, cr, i, fl, fr, o, u, h_out, c] {
             s.put(m);
         }
-        outs
     }
 
     /// Exports the cell's weights (§4.2 persistence).
@@ -354,6 +357,7 @@ impl TreeInternalCell {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::state::CellState;
 
     #[test]
     fn leaf_produces_state() {

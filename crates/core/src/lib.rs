@@ -21,6 +21,7 @@ mod engine;
 mod ids;
 pub mod partition;
 mod runtime;
+mod state_plane;
 mod task;
 
 pub use engine::{CancelOutcome, CellularEngine, SchedulerConfig, SchedulerStats};
@@ -29,4 +30,5 @@ pub use partition::{partition, Partition};
 pub use runtime::{
     ResponseHandle, Runtime, RuntimeOptions, ServedOutcome, ServedResult, ServedTiming, SubmitError,
 };
+pub use state_plane::SlotBlock;
 pub use task::{CompletedRequest, Task, TaskEntry};

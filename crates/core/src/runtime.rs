@@ -3,14 +3,32 @@
 //! threads.
 //!
 //! - The **manager thread** owns the [`CellularEngine`]: it admits
-//!   arriving requests, dispatches batched tasks to idle workers,
+//!   arriving requests, keeps each worker's FIFO queue filled to a
+//!   depth-`k` in-flight window ([`RuntimeOptions::pipeline_depth`]),
 //!   processes completion notifications and expires requests whose
-//!   deadline passes before they finish.
+//!   deadline passes before they finish. All pending completions are
+//!   drained before each dispatch pass, so one completion never costs
+//!   one dispatch round-trip.
 //! - Each **worker thread** owns one task queue. It pops a task,
-//!   gathers the batched inputs from the shared state store, executes
-//!   the cell once at the batch size, scatters outputs back and pushes a
-//!   completion record — the CPU analogue of the paper's GPU worker with
-//!   its in-progress queue and signaling kernel.
+//!   gathers the batched inputs by reading state-arena rows in place,
+//!   executes the cell once at the batch size, scatters outputs into
+//!   its own arena rows and pushes a completion record — the CPU
+//!   analogue of the paper's GPU worker with its in-progress queue and
+//!   signaling kernel (§5's per-device queues hiding launch gaps).
+//!
+//! ## The state plane
+//!
+//! Node outputs live in per-request slot blocks
+//! (`crate::state_plane::SlotBlock`): dense slot rows allocated at
+//! admission, written exactly once by the executing worker and read in
+//! place by every later gather. There is no global state map, no lock
+//! on the data path and no per-dependency `CellOutput` clone; a node's
+//! output is copied exactly once, into the [`GraphResult`] handed back
+//! to the client. Cross-task visibility is a per-node
+//! `Release`/`Acquire` publication word, and FIFO per-worker queues
+//! plus the engine's completion-driven dependency tracking guarantee a
+//! dependency's rows are published before any task that gathers them
+//! starts (§5 FIFO stream semantics).
 //!
 //! ## Overload behaviour
 //!
@@ -46,15 +64,15 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
-use parking_lot::Mutex;
 
-use bm_cell::{CellOutput, CellRegistry, InvocationInput, Scratch};
+use bm_cell::{CellRegistry, RowInvocation, Scratch, StateRef};
 use bm_device::CpuTimer;
 use bm_model::{reference::GraphResult, CellGraph, Model, RequestInput, TokenSource};
 use bm_trace::{EventKind, RejectReason, TraceEvent, TraceSink};
 
 use crate::engine::{CancelOutcome, CellularEngine, SchedulerConfig};
 use crate::ids::{RequestId, TaskId, WorkerId};
+use crate::state_plane::SlotBlock;
 use crate::task::{CompletedRequest, Task};
 
 /// Why a submission was refused.
@@ -188,10 +206,12 @@ impl ResponseHandle {
 /// let opts = RuntimeOptions::new()
 ///     .workers(4)
 ///     .scheduler(SchedulerConfig::new().max_tasks_to_submit(2))
+///     .pipeline_depth(3)
 ///     .max_active(64)
 ///     .deadline_us(50_000)
 ///     .queue_cap(256);
 /// assert_eq!(opts.workers, 4);
+/// assert_eq!(opts.pipeline_depth, 3);
 /// assert_eq!(opts.max_active, Some(64));
 /// ```
 #[derive(Debug, Clone)]
@@ -201,6 +221,12 @@ pub struct RuntimeOptions {
     pub workers: usize,
     /// Scheduler tunables (Algorithm 1).
     pub scheduler: SchedulerConfig,
+    /// Per-worker in-flight window: the manager refills a worker's FIFO
+    /// queue whenever fewer than this many of its tasks are unfinished,
+    /// so the next batch is already queued when the current one drains
+    /// and the worker never idles on the manager round-trip. Depth 1
+    /// reproduces the classic dispatch-on-drain behaviour; must be ≥ 1.
+    pub pipeline_depth: usize,
     /// Cap on concurrently admitted (unresolved) requests; submissions
     /// beyond it fail with [`SubmitError::AtCapacity`]. `None` admits
     /// everything.
@@ -224,6 +250,7 @@ impl Default for RuntimeOptions {
         RuntimeOptions {
             workers: 1,
             scheduler: SchedulerConfig::default(),
+            pipeline_depth: 2,
             max_active: None,
             deadline_us: None,
             queue_cap: None,
@@ -233,8 +260,8 @@ impl Default for RuntimeOptions {
 }
 
 impl RuntimeOptions {
-    /// Default options: one worker, default scheduler, no admission cap,
-    /// no deadline, unbounded queue, tracing off.
+    /// Default options: one worker, default scheduler, depth-2 pipeline,
+    /// no admission cap, no deadline, unbounded queue, tracing off.
     pub fn new() -> Self {
         Self::default()
     }
@@ -248,6 +275,13 @@ impl RuntimeOptions {
     /// Sets the scheduler tunables.
     pub fn scheduler(mut self, cfg: SchedulerConfig) -> Self {
         self.scheduler = cfg;
+        self
+    }
+
+    /// Sets the per-worker in-flight window (≥ 1; 1 disables
+    /// pipelining).
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth;
         self
     }
 
@@ -294,7 +328,13 @@ enum ManagerMsg {
     Shutdown,
 }
 
-type StateStore = Arc<Mutex<HashMap<(RequestId, u32), CellOutput>>>;
+/// A dispatched task plus the state blocks its entries live in (one per
+/// entry, parallel to `task.entries`), so the worker can gather and
+/// scatter without any shared map.
+struct WorkerTask {
+    task: Task,
+    blocks: Vec<Arc<SlotBlock>>,
+}
 
 /// The multi-threaded serving runtime.
 pub struct Runtime {
@@ -315,12 +355,12 @@ impl Runtime {
     ///
     /// # Panics
     ///
-    /// Panics if `opts.workers` is zero.
+    /// Panics if `opts.workers` or `opts.pipeline_depth` is zero.
     pub fn start(model: Arc<dyn Model>, opts: RuntimeOptions) -> Self {
         let num_workers = opts.workers;
         assert!(num_workers > 0, "need at least one worker");
+        assert!(opts.pipeline_depth > 0, "pipeline depth must be >= 1");
         let registry: Arc<CellRegistry> = Arc::new(model.registry().clone());
-        let store: StateStore = Arc::new(Mutex::new(HashMap::new()));
         let timer = CpuTimer::new();
         let active = Arc::new(AtomicUsize::new(0));
 
@@ -331,18 +371,19 @@ impl Runtime {
         let mut worker_txs = Vec::new();
         let mut workers = Vec::new();
         for w in 0..num_workers {
-            // The manager only dispatches to workers whose queue has
-            // drained, and one dispatch hands over at most
-            // `max_tasks_to_submit` tasks — so this bound is never hit
-            // and the manager never blocks on a worker.
-            let (tx, rx) = bounded::<Task>(opts.scheduler.max_tasks_to_submit.max(1));
+            // The manager stops refilling a worker at `pipeline_depth`
+            // unfinished tasks and each refill overshoots by at most
+            // one dispatch (`max_tasks_to_submit` tasks) — so this
+            // bound is never hit and the manager never blocks on a
+            // worker.
+            let bound = opts.pipeline_depth + opts.scheduler.max_tasks_to_submit.max(1);
+            let (tx, rx) = bounded::<WorkerTask>(bound);
             worker_txs.push(tx);
             workers.push(spawn_worker(
                 WorkerId(w as u32),
                 rx,
                 mgr_tx.clone(),
                 Arc::clone(&registry),
-                Arc::clone(&store),
                 timer.clone(),
             ));
         }
@@ -351,8 +392,8 @@ impl Runtime {
             rx: mgr_rx,
             worker_txs,
             registry,
-            store,
             cfg: opts.scheduler,
+            pipeline_depth: opts.pipeline_depth,
             num_workers,
             timer: timer.clone(),
             active: Arc::clone(&active),
@@ -508,23 +549,38 @@ impl Drop for Runtime {
 
 struct ManagerArgs {
     rx: Receiver<ManagerMsg>,
-    worker_txs: Vec<Sender<Task>>,
+    worker_txs: Vec<Sender<WorkerTask>>,
     registry: Arc<CellRegistry>,
-    store: StateStore,
     cfg: SchedulerConfig,
+    pipeline_depth: usize,
     num_workers: usize,
     timer: CpuTimer,
     active: Arc<AtomicUsize>,
     trace: Arc<dyn TraceSink>,
 }
 
+/// The client side of one admitted request, kept by the manager until
+/// the request resolves.
+struct Responder {
+    tx: Sender<ServedOutcome>,
+    n_nodes: usize,
+    /// Whether the deadline heap still holds this request's entry; used
+    /// to count entries that go stale when the request resolves first.
+    has_deadline: bool,
+}
+
+/// Rebuild the deadline heap once stale (already-resolved) entries
+/// outnumber live ones; below this size the waste is not worth the
+/// rebuild.
+const DEADLINE_PRUNE_MIN: usize = 64;
+
 fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
     let ManagerArgs {
         rx,
         worker_txs,
         registry,
-        store,
         cfg,
+        pipeline_depth,
         num_workers,
         timer,
         active,
@@ -535,17 +591,26 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
         .spawn(move || {
             let mut engine = CellularEngine::new(Arc::clone(&registry), cfg);
             engine.set_trace_sink(Arc::clone(&trace));
-            let mut responders: HashMap<RequestId, (Sender<ServedOutcome>, usize)> = HashMap::new();
+            let mut responders: HashMap<RequestId, Responder> = HashMap::new();
+            // Per-request state blocks; workers hold per-task `Arc`
+            // clones, so dropping an entry here reclaims the storage as
+            // soon as the last in-flight task finishes.
+            let mut blocks: HashMap<RequestId, Arc<SlotBlock>> = HashMap::new();
             // Min-heap of (absolute deadline µs, request). Entries for
-            // already-resolved requests are skipped when popped.
+            // already-resolved requests are discarded when popped and
+            // pruned wholesale when they outnumber live entries.
             let mut deadlines: BinaryHeap<std::cmp::Reverse<(u64, RequestId)>> = BinaryHeap::new();
+            let mut stale_deadlines = 0usize;
             let mut inflight_per_worker = vec![0usize; num_workers];
+            // Last traced queue depth per worker; MAX forces an initial
+            // zero sample so counter tracks start at a baseline.
+            let mut traced_depth = vec![usize::MAX; num_workers];
             let mut shutting_down = false;
 
             loop {
                 // Wait for the next message, but never past the nearest
                 // pending deadline.
-                let msg = match deadlines.peek() {
+                let first = match deadlines.peek() {
                     Some(&std::cmp::Reverse((d, _))) => {
                         let now = timer.now_us();
                         if d <= now {
@@ -564,39 +629,62 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
                     },
                 };
 
-                match msg {
-                    Some(ManagerMsg::Arrive {
-                        id,
-                        graph,
-                        arrival_us,
-                        deadline_us,
-                        respond,
-                    }) => {
-                        let n = graph.len();
-                        responders.insert(id, (respond, n));
-                        engine.on_arrival(id, graph, arrival_us);
-                        if let Some(d) = deadline_us {
-                            deadlines.push(std::cmp::Reverse((d, id)));
+                // Drain every pending message before dispatching, so a
+                // burst of completions triggers one dispatch pass (and
+                // one batching decision), not one per completion.
+                let mut msg = first;
+                loop {
+                    match msg {
+                        Some(ManagerMsg::Arrive {
+                            id,
+                            graph,
+                            arrival_us,
+                            deadline_us,
+                            respond,
+                        }) => {
+                            responders.insert(
+                                id,
+                                Responder {
+                                    tx: respond,
+                                    n_nodes: graph.len(),
+                                    has_deadline: deadline_us.is_some(),
+                                },
+                            );
+                            blocks.insert(id, Arc::new(SlotBlock::for_graph(&graph, &registry)));
+                            engine.on_arrival(id, graph, arrival_us);
+                            if let Some(d) = deadline_us {
+                                deadlines.push(std::cmp::Reverse((d, id)));
+                            }
                         }
-                    }
-                    Some(ManagerMsg::TaskDone {
-                        task,
-                        worker,
-                        started_us,
-                        finished_us,
-                        tokens,
-                    }) => {
-                        inflight_per_worker[worker.index()] -= 1;
-                        engine.on_task_started(task, started_us);
-                        let done = engine.on_task_completed(task, &tokens, finished_us);
-                        for c in done {
-                            resolve(&mut responders, &store, &active, c);
+                        Some(ManagerMsg::TaskDone {
+                            task,
+                            worker,
+                            started_us,
+                            finished_us,
+                            tokens,
+                        }) => {
+                            inflight_per_worker[worker.index()] -= 1;
+                            engine.on_task_started(task, started_us);
+                            let done = engine.on_task_completed(task, &tokens, finished_us);
+                            for c in done {
+                                resolve(
+                                    &mut responders,
+                                    &mut blocks,
+                                    &active,
+                                    &mut stale_deadlines,
+                                    c,
+                                );
+                            }
                         }
+                        Some(ManagerMsg::Shutdown) => {
+                            shutting_down = true;
+                        }
+                        None => {}
                     }
-                    Some(ManagerMsg::Shutdown) => {
-                        shutting_down = true;
+                    match rx.try_recv() {
+                        Ok(m) => msg = Some(m),
+                        Err(_) => break,
                     }
-                    None => {}
                 }
 
                 // Expire overdue requests: cancel unsubmitted work now;
@@ -608,9 +696,13 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
                         break;
                     }
                     deadlines.pop();
-                    if !responders.contains_key(&id) {
-                        continue; // already resolved
-                    }
+                    let Some(r) = responders.get_mut(&id) else {
+                        // Resolved before its deadline — a stale entry
+                        // counted at resolve time, now consumed.
+                        stale_deadlines = stale_deadlines.saturating_sub(1);
+                        continue;
+                    };
+                    r.has_deadline = false;
                     if trace.enabled() {
                         trace.record(TraceEvent {
                             ts_us: now,
@@ -618,21 +710,69 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
                         });
                     }
                     if let CancelOutcome::Finished(done) = engine.cancel_request(id, now) {
-                        resolve(&mut responders, &store, &active, done);
+                        resolve(
+                            &mut responders,
+                            &mut blocks,
+                            &active,
+                            &mut stale_deadlines,
+                            done,
+                        );
                     }
                 }
+                // Opportunistic prune: without it, a long-running server
+                // whose requests complete ahead of their deadlines grows
+                // the heap without bound.
+                if deadlines.len() >= DEADLINE_PRUNE_MIN && stale_deadlines > deadlines.len() / 2 {
+                    let live: Vec<_> = deadlines
+                        .drain()
+                        .filter(|&std::cmp::Reverse((_, id))| responders.contains_key(&id))
+                        .collect();
+                    deadlines = BinaryHeap::from(live);
+                    stale_deadlines = 0;
+                }
 
-                // Dispatch to idle workers (the paper dispatches when a
-                // worker's queue drains; MaxTasksToSubmit amortizes the
-                // notification round-trip).
+                // Refill every worker's pipeline window (§5: per-device
+                // FIFO queues + MaxTasksToSubmit hide the completion
+                // round-trip; depth 1 degenerates to dispatch-on-drain).
                 engine.advance_clock(now);
                 for (w, tx) in worker_txs.iter().enumerate() {
-                    if inflight_per_worker[w] > 0 {
-                        continue;
+                    while inflight_per_worker[w] < pipeline_depth {
+                        let tasks = engine.dispatch(WorkerId(w as u32));
+                        if tasks.is_empty() {
+                            break;
+                        }
+                        for t in tasks {
+                            inflight_per_worker[w] += 1;
+                            let wt = WorkerTask {
+                                blocks: t
+                                    .entries
+                                    .iter()
+                                    .map(|e| {
+                                        Arc::clone(
+                                            blocks
+                                                .get(&e.request)
+                                                .expect("state block for dispatched request"),
+                                        )
+                                    })
+                                    .collect(),
+                                task: t,
+                            };
+                            let _ = tx.send(wt);
+                        }
                     }
-                    for t in engine.dispatch(WorkerId(w as u32)) {
-                        inflight_per_worker[w] += 1;
-                        let _ = tx.send(t);
+                }
+                if trace.enabled() {
+                    for (w, &depth) in inflight_per_worker.iter().enumerate() {
+                        if traced_depth[w] != depth {
+                            traced_depth[w] = depth;
+                            trace.record(TraceEvent {
+                                ts_us: now,
+                                kind: EventKind::WorkerQueueDepth {
+                                    worker: w as u32,
+                                    depth: depth as u32,
+                                },
+                            });
+                        }
                     }
                 }
                 if shutting_down && engine.active_requests() == 0 {
@@ -645,49 +785,54 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
         .expect("spawn manager")
 }
 
-/// Resolves one completion record: removes the responder, reclaims the
-/// request's state-store rows and sends the outcome (Completed, or
-/// Expired for a cancelled record).
+/// Resolves one completion record: removes the responder and the
+/// request's state block, and sends the outcome (Completed, or Expired
+/// for a cancelled record).
+///
+/// The engine reports a request finished only after every task touching
+/// it has drained, so no worker reads the block's rows concurrently;
+/// output extraction is a plain copy on the manager with no lock held
+/// anywhere.
 fn resolve(
-    responders: &mut HashMap<RequestId, (Sender<ServedOutcome>, usize)>,
-    store: &StateStore,
+    responders: &mut HashMap<RequestId, Responder>,
+    blocks: &mut HashMap<RequestId, Arc<SlotBlock>>,
     active: &AtomicUsize,
+    stale_deadlines: &mut usize,
     done: CompletedRequest,
 ) {
-    let Some((tx, n_nodes)) = responders.remove(&done.id) else {
+    let Some(r) = responders.remove(&done.id) else {
         return;
     };
+    let block = blocks.remove(&done.id);
+    if r.has_deadline {
+        // The heap entry now points at a resolved request.
+        *stale_deadlines += 1;
+    }
     active.fetch_sub(1, Ordering::AcqRel);
     let timing = ServedTiming {
         arrival_us: done.arrival_us,
         start_us: done.start_us,
         completion_us: done.completion_us,
     };
-    let mut outputs = Vec::with_capacity(n_nodes);
-    {
-        let mut s = store.lock();
-        for i in 0..n_nodes {
-            outputs.push(s.remove(&(done.id, i as u32)));
-        }
-    }
     let outcome = if done.cancelled {
-        // Partial outputs were reclaimed above and discarded.
+        // Partial outputs die with the block dropped above.
         ServedOutcome::Expired(timing)
     } else {
+        let block = block.expect("state block for completed request");
+        let outputs = (0..r.n_nodes).map(|i| block.output(i)).collect();
         ServedOutcome::Completed(ServedResult {
             result: GraphResult { outputs },
             timing,
         })
     };
-    let _ = tx.send(outcome);
+    let _ = r.tx.send(outcome);
 }
 
 fn spawn_worker(
     id: WorkerId,
-    rx: Receiver<Task>,
+    rx: Receiver<WorkerTask>,
     mgr_tx: Sender<ManagerMsg>,
     registry: Arc<CellRegistry>,
-    store: StateStore,
     timer: CpuTimer,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
@@ -697,15 +842,15 @@ fn spawn_worker(
             // are recycled across tasks, so steady-state execution does
             // no per-step heap allocation.
             let mut scratch = Scratch::new();
-            while let Ok(task) = rx.recv() {
+            while let Ok(wt) = rx.recv() {
                 let started_us = timer.now_us();
-                let tokens = execute_task(&task, &registry, &store, &mut scratch);
+                let tokens = execute_task(&wt, &registry, &mut scratch);
                 let finished_us = timer.now_us();
                 // Blocking send: completions are backpressure, never
                 // dropped — the manager always drains its queue.
                 if mgr_tx
                     .send(ManagerMsg::TaskDone {
-                        task: task.id,
+                        task: wt.task.id,
                         worker: id,
                         started_us,
                         finished_us,
@@ -720,63 +865,51 @@ fn spawn_worker(
         .expect("spawn worker")
 }
 
-/// Executes one batched task against the shared state store.
+/// Executes one batched task against the slot-indexed state plane.
 ///
-/// Performs the "gather" (§4.3): reads each entry's predecessor states
-/// and token from the store, builds the contiguous batch, runs the cell
-/// once, and scatters outputs back. Returns the emitted tokens.
+/// Performs the "gather" (§4.3) by pointing each invocation straight at
+/// its dependencies' published arena rows — no map lookup, no lock, no
+/// `CellOutput` clone — then runs the cell once and scatters each result
+/// row into the entry's own slot. Dependency rows are guaranteed
+/// published: tasks on one worker execute in submission order and the
+/// engine submits a node only once its external dependencies completed
+/// (FIFO stream semantics, §5).
 fn execute_task(
-    task: &Task,
+    wt: &WorkerTask,
     registry: &Arc<CellRegistry>,
-    store: &StateStore,
     scratch: &mut Scratch,
 ) -> Vec<Option<u32>> {
+    const NO_STATE: StateRef<'static> = StateRef { h: &[], c: &[] };
+    let task = &wt.task;
     let cell = registry.cell(task.cell_type);
-    // Gather: snapshot dependency outputs under the lock. Tasks on one
-    // worker execute in submission order, so every dependency's output
-    // is present (FIFO stream semantics, §5).
-    let gathered: Vec<(Option<u32>, Vec<CellOutput>)> = {
-        let s = store.lock();
-        task.entries
-            .iter()
-            .map(|e| {
-                let states: Vec<CellOutput> = e
-                    .deps
-                    .iter()
-                    .map(|d| {
-                        s.get(&(e.request, d.0))
-                            .unwrap_or_else(|| {
-                                panic!("missing dependency {}/{} for {}", e.request, d, e.node)
-                            })
-                            .clone()
-                    })
-                    .collect();
-                let token = match e.token {
-                    TokenSource::None => None,
-                    TokenSource::Fixed(t) => Some(t),
-                    TokenSource::FromDep(k) => Some(
-                        states[k]
-                            .token
-                            .expect("FromDep dependency emitted no token"),
-                    ),
-                };
-                (token, states)
-            })
-            .collect()
-    };
-    let invocations: Vec<InvocationInput<'_>> = gathered
+    let invocations: Vec<RowInvocation<'_>> = task
+        .entries
         .iter()
-        .map(|(token, states)| InvocationInput {
-            token: *token,
-            states: states.iter().map(|o| &o.state).collect(),
+        .zip(&wt.blocks)
+        .map(|(e, block)| {
+            let mut states = [NO_STATE; 2];
+            for (slot, d) in states.iter_mut().zip(e.deps.iter()) {
+                *slot = block.state(d.index()).unwrap_or_else(|| {
+                    panic!("missing dependency {}/{} for {}", e.request, d, e.node)
+                });
+            }
+            let token = match e.token {
+                TokenSource::None => None,
+                TokenSource::Fixed(t) => Some(t),
+                TokenSource::FromDep(k) => Some(
+                    block
+                        .token(e.deps[k].index())
+                        .expect("FromDep dependency emitted no token"),
+                ),
+            };
+            RowInvocation::new(token, &states[..e.deps.len()])
         })
         .collect();
-    let outputs = cell.execute_batch_in(&invocations, scratch);
-    let tokens: Vec<Option<u32>> = outputs.iter().map(|o| o.token).collect();
-    // Scatter: write results back.
-    let mut s = store.lock();
-    for (e, out) in task.entries.iter().zip(outputs) {
-        s.insert((e.request, e.node.0), out);
-    }
+    let mut tokens: Vec<Option<u32>> = vec![None; task.entries.len()];
+    cell.execute_rows_in(&invocations, scratch, |row, h, c, token| {
+        let e = &task.entries[row];
+        wt.blocks[row].write(e.node.index(), h, c, token);
+        tokens[row] = token;
+    });
     tokens
 }

@@ -1,0 +1,170 @@
+//! The per-request slot-indexed state plane.
+//!
+//! One [`SlotBlock`] backs each admitted request: a [`RowArena`] holding
+//! two rows per graph node (hidden state and memory cell, sized from the
+//! node's cell type) plus one atomic publication word per node. Workers
+//! *scatter* a node's output by writing its rows and then storing the
+//! word with `Release`; any later *gather* (on any worker) loads the
+//! word with `Acquire` and reads the rows in place — so dependency
+//! states flow between tasks with zero copies, no `CellOutput`
+//! materialization and no lock.
+//!
+//! Publication protocol, per node:
+//!
+//! - `0` — empty (node not executed; reads report "missing").
+//! - `CLAIMED` — a writer won the (panicking) claim CAS and is filling
+//!   the rows. Readers still report "missing": the write is not
+//!   published.
+//! - `WRITTEN | [HAS_TOKEN | token]` — rows are final and immutable;
+//!   the `Release`/`Acquire` pair orders the row bytes.
+//!
+//! The claim CAS makes the API safe: a node's rows are written at most
+//! once ever (a second writer panics — the engine's exactly-once
+//! submission invariant, so this is a scheduler-bug detector, not a
+//! recoverable path), and once `WRITTEN` is observed the rows can never
+//! be written again, so shared row views handed to gathers are sound.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bm_cell::{CellOutput, CellRegistry, CellState, StateRef};
+use bm_model::CellGraph;
+use bm_tensor::RowArena;
+
+const CLAIMED: u64 = 1 << 62;
+const WRITTEN: u64 = 1 << 63;
+const HAS_TOKEN: u64 = 1 << 32;
+const TOKEN_MASK: u64 = u32::MAX as u64;
+
+/// State storage for one request: slot rows plus publication words,
+/// indexed by node.
+#[derive(Debug)]
+pub struct SlotBlock {
+    arena: RowArena,
+    meta: Box<[AtomicU64]>,
+}
+
+impl SlotBlock {
+    /// Allocates zeroed slots for every node of `graph`, sized from each
+    /// node's cell type (`h` row of `hidden_size`, `c` row of
+    /// `memory_width` — 0 for cells without a memory cell).
+    pub fn for_graph(graph: &CellGraph, registry: &CellRegistry) -> Self {
+        let mut widths = Vec::with_capacity(2 * graph.len());
+        for node in graph.nodes() {
+            let cell = registry.cell(node.cell_type);
+            widths.push(cell.hidden_size());
+            widths.push(cell.memory_width());
+        }
+        SlotBlock {
+            arena: RowArena::new(&widths),
+            meta: (0..graph.len()).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Writes node `i`'s output rows and publishes them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was already claimed or written (each node
+    /// executes exactly once), or on a row-width mismatch.
+    pub fn write(&self, i: usize, h: &[f32], c: &[f32], token: Option<u32>) {
+        self.meta[i]
+            .compare_exchange(0, CLAIMED, Ordering::Acquire, Ordering::Relaxed)
+            .unwrap_or_else(|_| panic!("state slot {i} written twice"));
+        // SAFETY: the claim CAS above makes this thread the only writer
+        // of node `i`'s rows, ever; readers wait for WRITTEN.
+        unsafe {
+            self.arena.row_mut(2 * i).copy_from_slice(h);
+            self.arena.row_mut(2 * i + 1).copy_from_slice(c);
+        }
+        let mut m = WRITTEN;
+        if let Some(t) = token {
+            m |= HAS_TOKEN | t as u64;
+        }
+        self.meta[i].store(m, Ordering::Release);
+    }
+
+    /// Borrows node `i`'s published state rows, or `None` if the node
+    /// has not (finished) executing.
+    pub fn state(&self, i: usize) -> Option<StateRef<'_>> {
+        if self.meta[i].load(Ordering::Acquire) & WRITTEN == 0 {
+            return None;
+        }
+        // SAFETY: WRITTEN was observed with Acquire, so the final row
+        // write happened-before this read and no writer can ever touch
+        // these rows again.
+        Some(unsafe {
+            StateRef {
+                h: self.arena.row(2 * i),
+                c: self.arena.row(2 * i + 1),
+            }
+        })
+    }
+
+    /// The token node `i` emitted, if any.
+    ///
+    /// Meaningful only after [`SlotBlock::state`] returned `Some` for
+    /// the node.
+    pub fn token(&self, i: usize) -> Option<u32> {
+        let m = self.meta[i].load(Ordering::Acquire);
+        debug_assert_ne!(m & WRITTEN, 0, "token read before publication");
+        if m & HAS_TOKEN != 0 {
+            Some((m & TOKEN_MASK) as u32)
+        } else {
+            None
+        }
+    }
+
+    /// Copies node `i`'s published output out as an owned [`CellOutput`]
+    /// (`None` for never-executed nodes, e.g. past an `<eos>` cancel).
+    /// The one copy of the state plane's lifecycle, made once per node
+    /// when the finished request is handed back to the client.
+    pub fn output(&self, i: usize) -> Option<CellOutput> {
+        let st = self.state(i)?;
+        Some(CellOutput {
+            state: CellState {
+                h: st.h.to_vec(),
+                c: st.c.to_vec(),
+            },
+            token: self.token(i),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(widths: &[(usize, usize)]) -> SlotBlock {
+        let flat: Vec<usize> = widths.iter().flat_map(|&(h, c)| [h, c]).collect();
+        SlotBlock {
+            arena: RowArena::new(&flat),
+            meta: (0..widths.len()).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    #[test]
+    fn publish_then_read_round_trips() {
+        let b = block(&[(3, 3), (2, 0)]);
+        assert!(b.state(0).is_none());
+        b.write(0, &[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], None);
+        let st = b.state(0).expect("published");
+        assert_eq!(st.h, &[1.0, 2.0, 3.0]);
+        assert_eq!(st.c, &[4.0, 5.0, 6.0]);
+        assert_eq!(b.token(0), None);
+
+        b.write(1, &[7.0, 8.0], &[], Some(42));
+        assert_eq!(b.token(1), Some(42));
+        let out = b.output(1).expect("published");
+        assert_eq!(out.state.h, vec![7.0, 8.0]);
+        assert!(out.state.c.is_empty());
+        assert_eq!(out.token, Some(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "written twice")]
+    fn double_write_panics() {
+        let b = block(&[(1, 1)]);
+        b.write(0, &[1.0], &[2.0], None);
+        b.write(0, &[1.0], &[2.0], None);
+    }
+}

@@ -369,6 +369,8 @@ fn builders_preserve_defaults() {
     assert_eq!(opts.max_active, None);
     assert_eq!(opts.deadline_us, None);
     assert_eq!(opts.queue_cap, None);
+    assert_eq!(opts.pipeline_depth, defaults.pipeline_depth);
+    assert_eq!(opts.pipeline_depth, 2);
     assert!(!opts.trace.enabled(), "default sink must be the no-op");
 
     let cfg = bm_core::SchedulerConfig::new();
@@ -385,13 +387,134 @@ fn builders_set_only_the_named_field() {
         .max_active(64)
         .deadline_us(50_000)
         .queue_cap(256)
+        .pipeline_depth(4)
         .scheduler(bm_core::SchedulerConfig::new().max_tasks_to_submit(2));
     assert_eq!(opts.workers, 3);
     assert_eq!(opts.max_active, Some(64));
     assert_eq!(opts.deadline_us, Some(50_000));
     assert_eq!(opts.queue_cap, Some(256));
+    assert_eq!(opts.pipeline_depth, 4);
     assert_eq!(opts.scheduler.max_tasks_to_submit, 2);
     // Untouched knobs keep their defaults through the chain.
     assert!(!opts.scheduler.retain_completions);
     assert!(!opts.trace.enabled());
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined dispatch: bit-identity across (workers, depth, submit cap).
+// ---------------------------------------------------------------------------
+
+use proptest::prelude::*;
+
+/// Seeded inputs for one model family, sized to exercise batching
+/// without making each proptest case expensive.
+fn model_and_inputs(kind: usize, seed: u64) -> (Arc<dyn Model>, Vec<RequestInput>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match kind {
+        0 => {
+            let ds = Dataset::lstm(8, LengthDistribution::wmt15_clipped(10), 900, seed);
+            (Arc::new(LstmLm::small()), ds.items().to_vec())
+        }
+        1 => {
+            let inputs = (0..8)
+                .map(|i: u32| RequestInput::Pair {
+                    src: (2..(2 + 1 + (i + seed as u32) % 5)).collect(),
+                    decode_len: 1 + ((i as usize + seed as usize) % 4),
+                })
+                .collect();
+            (Arc::new(Seq2Seq::small()), inputs)
+        }
+        _ => {
+            let ds = Dataset::trees(8, LengthDistribution::Fixed(7), 100, seed);
+            let inputs = (0..8).map(|_| ds.sample(&mut rng).clone()).collect();
+            (Arc::new(TreeLstm::small()), inputs)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The served result must be bit-identical to the unbatched
+    /// reference executor at every (workers, pipeline depth,
+    /// MaxTasksToSubmit) combination, for all three model families —
+    /// pipelining and the slot-indexed state plane change scheduling
+    /// and storage, never values.
+    #[test]
+    fn pipelined_runtime_matches_reference(
+        workers in 1usize..4,
+        depth in 1usize..4,
+        max_tasks in 1usize..6,
+        kind in 0usize..3,
+        seed in 0u64..1_000,
+    ) {
+        let (model, inputs) = model_and_inputs(kind, seed);
+        let rt = Runtime::start(
+            Arc::clone(&model),
+            RuntimeOptions::new()
+                .workers(workers)
+                .pipeline_depth(depth)
+                .scheduler(bm_core::SchedulerConfig::new().max_tasks_to_submit(max_tasks)),
+        );
+        let handles: Vec<_> = inputs.iter().map(|i| rt.submit(i)).collect();
+        for (input, h) in inputs.iter().zip(handles) {
+            let served = h.wait().completed();
+            let expect = reference::execute_graph(&model.unfold(input), model.registry());
+            prop_assert_eq!(
+                &served.result,
+                &expect,
+                "diverged at workers={} depth={} max_tasks={} kind={} for {:?}",
+                workers,
+                depth,
+                max_tasks,
+                kind,
+                input
+            );
+        }
+        rt.shutdown();
+    }
+}
+
+/// Deep pipelining must never outrun state publication: with every
+/// worker holding a deep in-flight window and an aggressive submit cap,
+/// cross-worker dependencies (tree joins whose children ran elsewhere,
+/// encoder-to-decoder handoffs) must find their states published at
+/// gather time. A missed happens-before edge panics the worker
+/// (`missing dependency ...`) and wedges the handle, so completing
+/// bit-identically IS the regression assertion.
+#[test]
+fn deep_pipelining_preserves_cross_worker_dependencies() {
+    let tree = Arc::new(TreeLstm::small());
+    let mut rng = StdRng::seed_from_u64(97);
+    let ds = Dataset::trees(48, LengthDistribution::Fixed(9), 100, 97);
+    let tree_inputs: Vec<RequestInput> = (0..48).map(|_| ds.sample(&mut rng).clone()).collect();
+
+    let s2s = Arc::new(Seq2Seq::small());
+    let s2s_inputs: Vec<RequestInput> = (0..48)
+        .map(|i: u32| RequestInput::Pair {
+            src: (2..(2 + 1 + i % 6)).collect(),
+            decode_len: 1 + (i as usize % 5),
+        })
+        .collect();
+
+    for (model, inputs) in [
+        (tree as Arc<dyn Model>, tree_inputs),
+        (s2s as Arc<dyn Model>, s2s_inputs),
+    ] {
+        let rt = Runtime::start(
+            Arc::clone(&model),
+            RuntimeOptions::new()
+                .workers(4)
+                .pipeline_depth(4)
+                .scheduler(bm_core::SchedulerConfig::new().max_tasks_to_submit(6)),
+        );
+        let handles: Vec<_> = inputs.iter().map(|i| rt.submit(i)).collect();
+        for (input, h) in inputs.iter().zip(handles) {
+            let served = h.wait().completed();
+            let expect = reference::execute_graph(&model.unfold(input), model.registry());
+            assert_eq!(served.result, expect, "diverged for {input:?}");
+        }
+        assert_eq!(rt.active_requests(), 0);
+        rt.shutdown();
+    }
 }

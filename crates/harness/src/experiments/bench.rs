@@ -8,13 +8,15 @@
 //! `bm-bench/v1`) so CI can assert the numbers stay finite and positive
 //! without depending on absolute machine speed.
 
+use std::collections::HashMap;
 use std::path::Path;
+use std::sync::Mutex;
 use std::time::Instant;
 
-use bm_cell::{Cell, InvocationInput, LstmCell, Scratch};
-use bm_core::{Runtime, RuntimeOptions};
-use bm_metrics::Table;
-use bm_model::{LstmLm, RequestInput};
+use bm_cell::{Cell, CellOutput, CellState, InvocationInput, LstmCell, Scratch};
+use bm_core::{Runtime, RuntimeOptions, SlotBlock};
+use bm_metrics::{LatencyRecorder, RequestTiming, Table};
+use bm_model::{LstmLm, Model, RequestInput};
 use bm_tensor::{ops, xavier_uniform, Matrix};
 
 use crate::experiments::Scale;
@@ -251,6 +253,211 @@ fn serving_rps(scale: Scale) -> f64 {
     completed as f64 / secs
 }
 
+/// One serving measurement of the threaded runtime at a fixed pipeline
+/// depth: sustained throughput plus latency quantiles.
+#[derive(Debug, Clone)]
+pub struct RuntimeBench {
+    /// Per-worker in-flight window used for the run.
+    pub pipeline_depth: usize,
+    /// Completed requests per second over the measured span.
+    pub throughput_rps: f64,
+    /// Median total latency, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile total latency, ms.
+    pub p99_ms: f64,
+}
+
+/// One serving run: a closed burst of chain-LSTM requests over the
+/// threaded runtime at the given pipeline depth.
+///
+/// The shape targets the regime pipelining exists for: few concurrent
+/// requests over long chains, so batches stay narrow and each task is
+/// short — at depth 1 the worker drains and idles for a manager
+/// round-trip between consecutive dispatch groups, while a depth-2
+/// window keeps it fed.
+fn serve_once(scale: Scale, workers: usize, depth: usize) -> RuntimeBench {
+    let (requests, len) = match scale {
+        Scale::Quick => (4, 256),
+        Scale::Full => (8, 512),
+    };
+    // A narrow cell keeps each task a few microseconds, the regime
+    // where the manager round-trip is the cost being measured.
+    let model = std::sync::Arc::new(LstmLm::new(bm_model::LstmLmConfig {
+        embed_size: 32,
+        hidden_size: 32,
+        ..Default::default()
+    }));
+    // Submit cap 1: each task costs one manager round-trip, so the
+    // depth window is the only lookahead — at depth 1 this IS the
+    // classic single-in-flight dispatch the comparison baselines.
+    let rt = Runtime::start(
+        model,
+        RuntimeOptions::new()
+            .workers(workers)
+            .pipeline_depth(depth)
+            .scheduler(bm_core::SchedulerConfig::new().max_tasks_to_submit(1)),
+    );
+    let handles: Vec<_> = (0..requests)
+        .map(|i| {
+            let tokens: Vec<u32> = (0..len).map(|t| ((i * 7 + t * 3) % 1000) as u32).collect();
+            rt.submit(&RequestInput::Sequence(tokens))
+        })
+        .collect();
+    let mut rec = LatencyRecorder::new();
+    for h in handles {
+        let served = h.wait().completed();
+        let t = served.timing;
+        rec.record(RequestTiming {
+            arrival_us: t.arrival_us,
+            start_us: t.start_us,
+            completion_us: t.completion_us,
+        });
+    }
+    rt.shutdown();
+    let s = rec.summary();
+    RuntimeBench {
+        pipeline_depth: depth,
+        throughput_rps: s.throughput_rps,
+        p50_ms: s.p50_ms,
+        p99_ms: s.p99_ms,
+    }
+}
+
+/// Measures the threaded runtime's serving data plane: the same closed
+/// burst at pipeline depth 1 (classic dispatch-on-drain, the seed's
+/// behaviour) and at the pipelined default, interleaved so both depths
+/// see the same background load. Each depth keeps its best-throughput
+/// sample; the last element's throughput over the first's is the
+/// pipelining speedup.
+fn runtime_suite(scale: Scale) -> Vec<RuntimeBench> {
+    let workers = 2;
+    let depths = [1usize, RuntimeOptions::new().pipeline_depth];
+    let samples = match scale {
+        Scale::Quick => 2,
+        Scale::Full => 3,
+    };
+    let mut best: Vec<Option<RuntimeBench>> = vec![None; depths.len()];
+    for _ in 0..samples {
+        for (slot, &d) in depths.iter().enumerate() {
+            let run = serve_once(scale, workers, d);
+            if best[slot]
+                .as_ref()
+                .is_none_or(|b| run.throughput_rps > b.throughput_rps)
+            {
+                best[slot] = Some(run);
+            }
+        }
+    }
+    best.into_iter().map(|b| b.expect("sampled")).collect()
+}
+
+/// Head-to-head gather microbench: the slot-indexed state arena against
+/// the seed's data plane — a globally locked `HashMap<(request, node),
+/// CellOutput>` whose gather cloned one owned `CellOutput` per batch row.
+/// Both sides assemble the same 64-row batch-input matrix from published
+/// node states; the arena side reads slot rows in place (one atomic load
+/// per row, zero clones, zero allocations).
+fn state_plane_suite(scale: Scale) -> (KernelBench, KernelBench, f64) {
+    let model = LstmLm::small();
+    let rows = 64usize;
+    let input = RequestInput::Sequence((0..rows as u32).map(|t| t % 50).collect());
+    let graph = model.unfold(&input);
+    let registry = model.registry();
+    let hidden = 64usize;
+
+    let h: Vec<f32> = (0..hidden).map(|i| i as f32 * 0.25).collect();
+    let c: Vec<f32> = (0..hidden).map(|i| i as f32 * 0.5).collect();
+
+    // Arena side: every node published once, the steady state a gather
+    // observes.
+    let block = SlotBlock::for_graph(&graph, registry);
+    for i in 0..rows {
+        block.write(i, &h, &c, None);
+    }
+
+    // Seed side: the same states behind the old global store.
+    let store: Mutex<HashMap<(u64, u32), CellOutput>> = Mutex::new(
+        (0..rows)
+            .map(|i| {
+                let out = CellOutput::state_only(CellState {
+                    h: h.clone(),
+                    c: c.clone(),
+                });
+                ((0u64, i as u32), out)
+            })
+            .collect(),
+    );
+
+    let mut xh_arena = Matrix::zeros(rows, hidden);
+    let mut xh_map = Matrix::zeros(rows, hidden);
+    // One gather is sub-microsecond; time a burst of them per sample so
+    // each measurement sits well above clock resolution. The speedup is
+    // a ratio, so the burst size cancels.
+    let reps = 256usize;
+    let elems = (reps * rows * hidden) as f64;
+    let (arena, locked) = bench_pair(
+        scale,
+        "gather_slot_arena_b64_h64",
+        "gather_locked_map_b64_h64",
+        elems,
+        || {
+            for _ in 0..reps {
+                for r in 0..rows {
+                    let st = block.state(r).expect("published");
+                    xh_arena.row_mut(r).copy_from_slice(st.h);
+                }
+                std::hint::black_box(&xh_arena);
+            }
+        },
+        || {
+            for _ in 0..reps {
+                for r in 0..rows {
+                    let out = store
+                        .lock()
+                        .expect("unpoisoned")
+                        .get(&(0, r as u32))
+                        .cloned()
+                        .expect("published");
+                    xh_map.row_mut(r).copy_from_slice(&out.state.h);
+                }
+                std::hint::black_box(&xh_map);
+            }
+        },
+    );
+    let speedup = locked.ns_per_op / arena.ns_per_op;
+    (arena, locked, speedup)
+}
+
+/// Renders `BENCH_runtime.json` (schema `bm-bench-runtime/v1`): the
+/// serving runs per depth, the end-to-end pipelining speedup, and the
+/// state-plane gather pair.
+fn runtime_to_json(
+    runs: &[RuntimeBench],
+    speedup: f64,
+    arena: &KernelBench,
+    locked: &KernelBench,
+    gather_speedup: f64,
+) -> String {
+    let mut s = String::from("{\n  \"schema\": \"bm-bench-runtime/v1\",\n  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"pipeline_depth\": {}, \"throughput_rps\": {:.1}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}{}\n",
+            r.pipeline_depth,
+            r.throughput_rps,
+            r.p50_ms,
+            r.p99_ms,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    s.push_str(&format!(
+        "  ],\n  \"pipelined_speedup\": {speedup:.2},\n  \"state_plane\": \
+         {{\"slot_arena_ns\": {:.1}, \"locked_map_ns\": {:.1}, \"gather_speedup\": {gather_speedup:.2}}}\n}}\n",
+        arena.ns_per_op, locked.ns_per_op
+    ));
+    s
+}
+
 /// Renders the machine-readable regression file (schema `bm-bench/v1`).
 fn to_json(benches: &[KernelBench], speedup: f64, rps: f64) -> String {
     let mut s = String::from("{\n  \"schema\": \"bm-bench/v1\",\n  \"benches\": [\n");
@@ -269,7 +476,8 @@ fn to_json(benches: &[KernelBench], speedup: f64, rps: f64) -> String {
     s
 }
 
-/// Runs the experiment, writing `BENCH_kernels.json` into `out_dir`.
+/// Runs the experiment, writing `BENCH_kernels.json` and
+/// `BENCH_runtime.json` into `out_dir`.
 ///
 /// # Panics
 ///
@@ -278,6 +486,8 @@ fn to_json(benches: &[KernelBench], speedup: f64, rps: f64) -> String {
 pub fn run(scale: Scale, out_dir: &Path) -> Vec<Table> {
     let (benches, speedup) = kernel_suite(scale);
     let rps = serving_rps(scale);
+    let runtime_runs = runtime_suite(scale);
+    let (arena, locked, gather_speedup) = state_plane_suite(scale);
 
     for b in &benches {
         assert!(
@@ -298,11 +508,55 @@ pub fn run(scale: Scale, out_dir: &Path) -> Vec<Table> {
         "bad speedup {speedup}"
     );
     assert!(rps.is_finite() && rps > 0.0, "bad serving rate {rps}");
+    for r in &runtime_runs {
+        for (metric, v) in [
+            ("throughput_rps", r.throughput_rps),
+            ("p50_ms", r.p50_ms),
+            ("p99_ms", r.p99_ms),
+        ] {
+            assert!(
+                v.is_finite() && v > 0.0,
+                "runtime bench depth {} has bad {metric} {v}",
+                r.pipeline_depth
+            );
+        }
+    }
+    let pipelined_speedup = runtime_runs.last().expect("runs").throughput_rps
+        / runtime_runs.first().expect("runs").throughput_rps;
+    assert!(
+        pipelined_speedup.is_finite() && pipelined_speedup > 0.0,
+        "bad pipelined speedup {pipelined_speedup}"
+    );
+    for b in [&arena, &locked] {
+        assert!(
+            b.ns_per_op.is_finite() && b.ns_per_op > 0.0,
+            "bench {} has bad ns_per_op {}",
+            b.name,
+            b.ns_per_op
+        );
+    }
+    assert!(
+        gather_speedup.is_finite() && gather_speedup > 0.0,
+        "bad gather speedup {gather_speedup}"
+    );
 
     std::fs::create_dir_all(out_dir).expect("create output directory");
     let json_path = out_dir.join("BENCH_kernels.json");
     std::fs::write(&json_path, to_json(&benches, speedup, rps)).expect("write BENCH_kernels.json");
     eprintln!("wrote {}", json_path.display());
+    let runtime_path = out_dir.join("BENCH_runtime.json");
+    std::fs::write(
+        &runtime_path,
+        runtime_to_json(
+            &runtime_runs,
+            pipelined_speedup,
+            &arena,
+            &locked,
+            gather_speedup,
+        ),
+    )
+    .expect("write BENCH_runtime.json");
+    eprintln!("wrote {}", runtime_path.display());
 
     let mut kernels = Table::new(
         "Kernel benchmarks (best-of-N wall time)",
@@ -310,6 +564,29 @@ pub fn run(scale: Scale, out_dir: &Path) -> Vec<Table> {
     );
     for b in &benches {
         kernels.push_row(vec![
+            b.name.clone(),
+            format!("{:.0}", b.ns_per_op),
+            format!("{:.3}", b.gflops),
+        ]);
+    }
+    let mut runtime = Table::new(
+        "Runtime serving (2 workers, best-of-N)",
+        &["pipeline_depth", "throughput_rps", "p50_ms", "p99_ms"],
+    );
+    for r in &runtime_runs {
+        runtime.push_row(vec![
+            format!("{}", r.pipeline_depth),
+            format!("{:.0}", r.throughput_rps),
+            format!("{:.3}", r.p50_ms),
+            format!("{:.3}", r.p99_ms),
+        ]);
+    }
+    let mut state_plane = Table::new(
+        "State-plane gather (64 rows, hidden 64)",
+        &["bench", "ns_per_op", "gflops"],
+    );
+    for b in [&arena, &locked] {
+        state_plane.push_row(vec![
             b.name.clone(),
             format!("{:.0}", b.ns_per_op),
             format!("{:.3}", b.gflops),
@@ -324,7 +601,15 @@ pub fn run(scale: Scale, out_dir: &Path) -> Vec<Table> {
         "serving throughput (req/s)".into(),
         format!("{rps:.0}"),
     ]);
-    vec![kernels, headline]
+    headline.push_row(vec![
+        "pipelined dispatch speedup (depth 1 -> default)".into(),
+        format!("{pipelined_speedup:.2}x"),
+    ]);
+    headline.push_row(vec![
+        "state-plane gather speedup (arena vs locked map)".into(),
+        format!("{gather_speedup:.2}x"),
+    ]);
+    vec![kernels, runtime, state_plane, headline]
 }
 
 #[cfg(test)]
@@ -362,6 +647,42 @@ mod tests {
             assert_eq!(out.state.h.as_slice(), h2.row(r));
             assert_eq!(out.state.c.as_slice(), c2.row(r));
         }
+    }
+
+    #[test]
+    fn runtime_bench_json_is_well_formed() {
+        let runs = vec![
+            RuntimeBench {
+                pipeline_depth: 1,
+                throughput_rps: 500.0,
+                p50_ms: 1.0,
+                p99_ms: 2.0,
+            },
+            RuntimeBench {
+                pipeline_depth: 2,
+                throughput_rps: 900.0,
+                p50_ms: 0.6,
+                p99_ms: 1.4,
+            },
+        ];
+        let arena = KernelBench {
+            name: "gather_slot_arena_b64_h64".into(),
+            ns_per_op: 1000.0,
+            gflops: 4.0,
+        };
+        let locked = KernelBench {
+            name: "gather_locked_map_b64_h64".into(),
+            ns_per_op: 2500.0,
+            gflops: 1.6,
+        };
+        let j = runtime_to_json(&runs, 1.8, &arena, &locked, 2.5);
+        assert!(j.contains("\"schema\": \"bm-bench-runtime/v1\""));
+        assert!(j.contains("\"pipeline_depth\": 1"));
+        assert!(j.contains("\"pipeline_depth\": 2"));
+        assert!(j.contains("\"pipelined_speedup\": 1.80"));
+        assert!(j.contains("\"slot_arena_ns\": 1000.0"));
+        assert!(j.contains("\"locked_map_ns\": 2500.0"));
+        assert!(j.contains("\"gather_speedup\": 2.50"));
     }
 
     #[test]

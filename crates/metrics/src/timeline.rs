@@ -27,7 +27,7 @@ pub struct TimelineEntry {
 pub struct RequestTimeline {
     /// The request id.
     pub request: u64,
-    /// Lifecycle steps in trace order.
+    /// Lifecycle steps ordered by timestamp (ties keep trace order).
     pub entries: Vec<TimelineEntry>,
 }
 
@@ -86,6 +86,11 @@ impl RequestTimeline {
 /// Regroups a flat trace into per-request timelines, ordered by first
 /// appearance in the trace. Events naming no request (and tasks whose
 /// `batch_formed` fell outside the captured window) are skipped.
+///
+/// Each timeline is sorted by timestamp (stable, so simultaneous events
+/// keep their trace order): under pipelined dispatch the manager learns
+/// a task's worker-clock start time only when its completion drains, so
+/// the raw stream can record a later dispatch before an earlier start.
 pub fn reconstruct_timelines(events: &[TraceEvent]) -> Vec<RequestTimeline> {
     // Pass 1: task → (requests, worker, detail context) from batch_formed.
     let mut task_requests: HashMap<u64, Vec<u64>> = HashMap::new();
@@ -264,14 +269,18 @@ pub fn reconstruct_timelines(events: &[TraceEvent]) -> Vec<RequestTimeline> {
                     ),
                 },
             ),
+            // Worker-scoped counter samples; not part of any request's
+            // timeline (they render as a Chrome trace counter track).
+            EventKind::WorkerQueueDepth { .. } => {}
         }
     }
 
     order
         .into_iter()
-        .map(|request| RequestTimeline {
-            request,
-            entries: by_request.remove(&request).expect("collected above"),
+        .map(|request| {
+            let mut entries = by_request.remove(&request).expect("collected above");
+            entries.sort_by_key(|e| e.ts_us);
+            RequestTimeline { request, entries }
         })
         .collect()
 }

@@ -28,6 +28,11 @@ use crate::server::{Server, SimRequest};
 pub struct SimOptions {
     /// Number of simulated GPU workers.
     pub workers: usize,
+    /// In-flight window per worker: the driver keeps asking the server
+    /// for work until a worker has this many queued items, instead of
+    /// waiting for its queue to drain. Depth 1 (the default) is the
+    /// classic dispatch-on-idle model used by the paper experiments.
+    pub pipeline_depth: usize,
     /// Stop after this much virtual time even if arrivals remain
     /// (overload guard). `u64::MAX` disables the cap.
     pub max_sim_us: u64,
@@ -58,6 +63,7 @@ impl Default for SimOptions {
     fn default() -> Self {
         SimOptions {
             workers: 1,
+            pipeline_depth: 1,
             max_sim_us: 600_000_000, // 10 virtual minutes.
             warmup: 0,
             worker_speeds: None,
@@ -78,6 +84,12 @@ impl SimOptions {
     /// Sets the number of simulated workers.
     pub fn workers(mut self, n: usize) -> Self {
         self.workers = n;
+        self
+    }
+
+    /// Sets the per-worker in-flight window (must be ≥ 1).
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth;
         self
     }
 
@@ -184,6 +196,7 @@ pub fn simulate(
     opts: SimOptions,
 ) -> SimOutcome {
     assert!(opts.workers > 0, "need at least one worker");
+    assert!(opts.pipeline_depth > 0, "pipeline depth must be >= 1");
     assert!(!arrivals.is_empty(), "no arrivals");
 
     let mut events: EventQueue<Event> = EventQueue::new();
@@ -191,8 +204,11 @@ pub fn simulate(
         events.push(*at, Event::Arrival(idx));
     }
 
-    // Per-worker: remaining queued items (busy while nonzero).
+    // Per-worker: remaining queued items (busy while nonzero) and the
+    // virtual time its current backlog drains (items run serially, so a
+    // refilled item starts when the backlog ends, not at `now`).
     let mut queued = vec![0usize; opts.workers];
+    let mut busy_until = vec![0u64; opts.workers];
     let mut recorder = LatencyRecorder::new();
     let mut completions = Vec::new();
     let mut status = vec![ReqStatus::NotArrived; arrivals.len()];
@@ -276,29 +292,34 @@ pub fn simulate(
                 }
             }
         }
-        // Refill idle workers.
+        // Refill workers whose in-flight window has room. At depth 1
+        // this is the classic "refill when idle"; deeper windows model
+        // the threaded runtime's pipelined dispatch.
         for (w, q) in queued.iter_mut().enumerate() {
-            if *q > 0 {
-                continue;
-            }
             let speed = opts
                 .worker_speeds
                 .as_ref()
                 .map_or(1.0, |s| s.get(w).copied().unwrap_or(1.0));
             assert!(speed > 0.0, "worker speed must be positive");
-            let items = server.next_work(w, now);
-            let mut at = now;
-            for it in items {
-                server.on_work_started(it.id, at);
-                at += (it.duration_us as f64 / speed).round() as u64;
-                *q += 1;
-                events.push(
-                    at,
-                    Event::WorkDone {
-                        worker: w,
-                        item: it.id,
-                    },
-                );
+            let mut at = now.max(busy_until[w]);
+            while *q < opts.pipeline_depth {
+                let items = server.next_work(w, now);
+                if items.is_empty() {
+                    break;
+                }
+                for it in items {
+                    server.on_work_started(it.id, at);
+                    at += (it.duration_us as f64 / speed).round() as u64;
+                    *q += 1;
+                    events.push(
+                        at,
+                        Event::WorkDone {
+                            worker: w,
+                            item: it.id,
+                        },
+                    );
+                }
+                busy_until[w] = at;
             }
         }
         // Timeout-based servers may need a poll with no event pending.
@@ -454,6 +475,21 @@ mod tests {
         // Both runs keep up with their offered load.
         assert!(!out1.saturated && !out2.saturated);
         assert!(out2.throughput_rps() > 1.8 * out1.throughput_rps());
+    }
+
+    #[test]
+    fn deeper_pipeline_preserves_serial_fifo_schedule() {
+        // Items on one worker run serially, so a depth-2 window must not
+        // overlap them: the completion schedule is identical to depth 1.
+        let mut s1 = FifoServer::new(100);
+        let out1 = simulate(&mut s1, &arrivals(200, 50), SimOptions::default());
+        let mut s2 = FifoServer::new(100);
+        let out2 = simulate(
+            &mut s2,
+            &arrivals(200, 50),
+            SimOptions::default().pipeline_depth(2),
+        );
+        assert_eq!(out1.completions, out2.completions);
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Slot-indexed row arena backing the runtime's zero-copy state plane.
+//!
+//! [`RowArena`] stores a fixed set of variable-width `f32` rows in one
+//! contiguous allocation, addressed by dense row index. The runtime
+//! allocates one arena per request at unfold time (two rows per graph
+//! node: hidden state and memory cell), workers *scatter* cell outputs
+//! by writing their own rows and *gather* dependencies by reading other
+//! rows directly into batch matrices — no per-row `Vec`, no map lookup,
+//! no lock.
+//!
+//! # Safety contract
+//!
+//! The arena hands out `&[f32]` / `&mut [f32]` row views through `&self`
+//! (interior mutability: the storage is a slice of [`UnsafeCell`]s, and
+//! each view covers exactly one row, so views of distinct rows never
+//! alias). The *caller* must guarantee the discipline the borrow checker
+//! normally would:
+//!
+//! - a row is written at most once, by exactly one thread, before any
+//!   read of it;
+//! - every read of a row happens-after that write (the runtime
+//!   publishes writes with a `Release` store on a per-node flag and
+//!   reads them behind the matching `Acquire` load).
+//!
+//! Under that discipline the arena is [`Sync`]: it is a write-once
+//! publication structure, not a general shared matrix.
+
+use std::cell::UnsafeCell;
+
+/// A write-once arena of variable-width `f32` rows in one allocation.
+pub struct RowArena {
+    /// Row `i` occupies `data[offsets[i] as usize..offsets[i + 1] as usize]`.
+    offsets: Box<[u32]>,
+    data: Box<[UnsafeCell<f32>]>,
+}
+
+// SAFETY: all access goes through `row`/`row_mut`, whose contracts
+// (documented on the module) require callers to serialize access per
+// row and publish writes with Release/Acquire ordering before any read.
+// Rows are disjoint, so distinct-row access from distinct threads never
+// aliases.
+unsafe impl Sync for RowArena {}
+// SAFETY: `RowArena` owns its storage; sending it moves plain `f32` data.
+unsafe impl Send for RowArena {}
+
+impl RowArena {
+    /// Builds an arena with one row per entry of `widths`, zero-filled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total element count overflows `u32` — request
+    /// graphs are far below that bound.
+    pub fn new(widths: &[usize]) -> Self {
+        let mut offsets = Vec::with_capacity(widths.len() + 1);
+        let mut total = 0u32;
+        offsets.push(0);
+        for &w in widths {
+            total = total
+                .checked_add(u32::try_from(w).expect("row width overflows u32"))
+                .expect("arena size overflows u32");
+            offsets.push(total);
+        }
+        RowArena {
+            offsets: offsets.into_boxed_slice(),
+            data: (0..total).map(|_| UnsafeCell::new(0.0)).collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Width of row `i`.
+    pub fn width(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Total `f32` elements across all rows.
+    pub fn elements(&self) -> usize {
+        *self.offsets.last().expect("offsets non-empty") as usize
+    }
+
+    fn cells(&self, i: usize) -> &[UnsafeCell<f32>] {
+        &self.data[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Shared view of row `i`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that the write of row `i` (if any)
+    /// happened-before this call and that no `row_mut(i)` borrow is
+    /// live concurrently.
+    pub unsafe fn row(&self, i: usize) -> &[f32] {
+        let cells = self.cells(i);
+        // SAFETY: `UnsafeCell<f32>` has the layout of `f32`; the view
+        // covers only this row, and the caller contract rules out a
+        // concurrent writer.
+        std::slice::from_raw_parts(cells.as_ptr().cast::<f32>(), cells.len())
+    }
+
+    /// Exclusive view of row `i`, through `&self`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee exclusive access to row `i` for the
+    /// lifetime of the returned borrow (the runtime writes each row
+    /// exactly once, from the single worker that executes the node,
+    /// before publishing it).
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn row_mut(&self, i: usize) -> &mut [f32] {
+        let cells = self.cells(i);
+        // SAFETY: as above, plus exclusivity per the caller contract.
+        std::slice::from_raw_parts_mut(cells.as_ptr() as *mut f32, cells.len())
+    }
+}
+
+impl std::fmt::Debug for RowArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RowArena")
+            .field("rows", &self.rows())
+            .field("elements", &self.elements())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn rows_are_disjoint_and_zero_initialised() {
+        let a = RowArena::new(&[3, 0, 2]);
+        assert_eq!(a.rows(), 3);
+        assert_eq!(a.elements(), 5);
+        assert_eq!((a.width(0), a.width(1), a.width(2)), (3, 0, 2));
+        unsafe {
+            assert_eq!(a.row(0), &[0.0; 3]);
+            assert!(a.row(1).is_empty());
+            a.row_mut(0).copy_from_slice(&[1.0, 2.0, 3.0]);
+            a.row_mut(2).copy_from_slice(&[4.0, 5.0]);
+            assert_eq!(a.row(0), &[1.0, 2.0, 3.0]);
+            assert_eq!(a.row(2), &[4.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn cross_thread_publication_round_trips() {
+        let a = Arc::new(RowArena::new(&[4, 4]));
+        let ready = Arc::new(AtomicBool::new(false));
+        let (a2, ready2) = (Arc::clone(&a), Arc::clone(&ready));
+        let writer = std::thread::spawn(move || {
+            // SAFETY: this thread is the only writer of row 1, and it
+            // publishes with a Release store before any reader looks.
+            unsafe { a2.row_mut(1).copy_from_slice(&[9.0, 8.0, 7.0, 6.0]) };
+            ready2.store(true, Ordering::Release);
+        });
+        while !ready.load(Ordering::Acquire) {
+            std::hint::spin_loop();
+        }
+        // SAFETY: the Acquire load above synchronizes with the writer's
+        // Release store, so the row write happened-before this read.
+        unsafe { assert_eq!(a.row(1), &[9.0, 8.0, 7.0, 6.0]) };
+        writer.join().expect("writer thread");
+    }
+}

@@ -29,6 +29,7 @@
 //! assert_eq!(c, a);
 //! ```
 
+mod arena;
 mod error;
 pub mod gemm;
 mod init;
@@ -38,6 +39,7 @@ pub mod ops;
 pub mod pool;
 mod scratch;
 
+pub use arena::RowArena;
 pub use error::{ShapeError, TensorError};
 pub use gemm::PackedWeights;
 pub use init::{xavier_uniform, zeros_like, WeightInit};

@@ -11,7 +11,11 @@
 //!   expiries, rejections and completions;
 //! - **flow arrows per request** (`ph` `s`/`t`/`f`, flow id = request
 //!   id) connecting the batched tasks a request participated in, in
-//!   execution order — the visual form of a per-request timeline.
+//!   execution order — the visual form of a per-request timeline;
+//! - a **counter track per worker** (`ph` `C`) sampling its pipeline
+//!   occupancy (tasks dispatched but not completed), so dispatch
+//!   bubbles — a worker idling at depth 0 while work exists — show up
+//!   as gaps in the counter graph.
 //!
 //! The output is the JSON-object form (`{"traceEvents": [...]}`), which
 //! both Perfetto and `chrome://tracing` load directly. All timestamps
@@ -359,6 +363,15 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                      \"cancelled\":{cancelled}"
                 ),
             ),
+            EventKind::WorkerQueueDepth { worker, depth } => e.push(
+                ts,
+                Rank::Instant,
+                format!(
+                    "{{\"name\":\"worker {worker} pipeline\",\"cat\":\"scheduler\",\
+                     \"ph\":\"C\",\"ts\":{ts},\"pid\":{PID},\"tid\":{worker},\
+                     \"args\":{{\"depth\":{depth}}}}}"
+                ),
+            ),
             EventKind::TaskStarted { .. } | EventKind::TaskCompleted { .. } => {}
         }
     }
@@ -396,6 +409,21 @@ mod tests {
         let json = chrome_trace(&events);
         assert!(json.contains("\"ph\":\"B\",\"ts\":10"));
         assert!(json.contains("\"ph\":\"E\",\"ts\":11"));
+    }
+
+    #[test]
+    fn queue_depth_becomes_a_counter_event() {
+        let events = vec![TraceEvent {
+            ts_us: 30,
+            kind: EventKind::WorkerQueueDepth {
+                worker: 1,
+                depth: 3,
+            },
+        }];
+        let json = chrome_trace(&events);
+        assert!(json.contains("\"name\":\"worker 1 pipeline\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"depth\":3"));
     }
 
     #[test]

@@ -196,10 +196,21 @@ pub enum EventKind {
         /// running to completion.
         cancelled: bool,
     },
+    /// A worker's in-flight task count (pipeline occupancy) changed.
+    /// Sampled by the manager on every change and exported as a Chrome
+    /// trace counter track, so pipeline bubbles — windows where a
+    /// worker's queue drained to zero while work existed — are directly
+    /// visible in Perfetto.
+    WorkerQueueDepth {
+        /// The worker.
+        worker: u32,
+        /// Unfinished tasks dispatched to it (queued + executing).
+        depth: u32,
+    },
 }
 
 /// Number of distinct [`EventKind`] variants (for counter sinks).
-pub const NUM_EVENT_KINDS: usize = 11;
+pub const NUM_EVENT_KINDS: usize = 12;
 
 impl EventKind {
     /// Dense index of the variant, `0..NUM_EVENT_KINDS`.
@@ -216,6 +227,7 @@ impl EventKind {
             EventKind::CancelRequested { .. } => 8,
             EventKind::RequestExpired { .. } => 9,
             EventKind::RequestCompleted { .. } => 10,
+            EventKind::WorkerQueueDepth { .. } => 11,
         }
     }
 
@@ -237,7 +249,8 @@ impl EventKind {
             | EventKind::RequestCompleted { request, .. } => Some(*request),
             EventKind::BatchFormed { .. }
             | EventKind::TaskStarted { .. }
-            | EventKind::TaskCompleted { .. } => None,
+            | EventKind::TaskCompleted { .. }
+            | EventKind::WorkerQueueDepth { .. } => None,
         }
     }
 }
@@ -255,6 +268,7 @@ pub const KIND_NAMES: [&str; NUM_EVENT_KINDS] = [
     "cancel_requested",
     "request_expired",
     "request_completed",
+    "worker_queue_depth",
 ];
 
 #[cfg(test)]
@@ -314,6 +328,10 @@ mod tests {
                 executed: 1,
                 total: 1,
                 cancelled: false,
+            },
+            EventKind::WorkerQueueDepth {
+                worker: 0,
+                depth: 2,
             },
         ];
         assert_eq!(kinds.len(), NUM_EVENT_KINDS);
