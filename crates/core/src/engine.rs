@@ -18,6 +18,7 @@ use std::sync::Arc;
 
 use bm_cell::{CellRegistry, CellTypeId};
 use bm_model::{CellGraph, NodeId};
+use bm_telemetry::{Counter, Gauge, Histogram, Telemetry};
 use bm_trace::{BatchReason, EventKind, TraceEvent, TraceSink};
 
 use crate::ids::{RequestId, SubgraphId, TaskId, WorkerId};
@@ -95,12 +96,98 @@ pub enum CancelOutcome {
     Finished(CompletedRequest),
 }
 
+/// The latency-decomposition stage labels of `bm_stage_us`, in
+/// pipeline order. The four stages tile `[arrival, completion]`
+/// exactly — their per-request durations telescope to the end-to-end
+/// latency — so snapshot sums reconcile with `LatencyRecorder` totals
+/// to the microsecond.
+pub const STAGE_NAMES: [&str; 4] = [
+    "submit_to_enqueue",
+    "enqueue_to_batch",
+    "batch_wait",
+    "compute",
+];
+
+/// Telemetry handles the engine records into when a live registry is
+/// attached ([`CellularEngine::set_telemetry`]). All handles are
+/// registered once at attach time; the hot path pays one
+/// `Option::is_some` branch per site when telemetry is disabled,
+/// mirroring the trace plane's `enabled()` gate.
+#[derive(Debug)]
+struct EngineMetrics {
+    requests_admitted: Counter,
+    requests_completed: Counter,
+    requests_cancelled: Counter,
+    tasks_submitted: Counter,
+    gather_rows: Counter,
+    transfer_rows: Counter,
+    nodes_cancelled: Counter,
+    /// Indexed like [`BatchReason`]: saturation, starvation, priority.
+    batch_reason: [Counter; 3],
+    active_requests: Gauge,
+    ready_nodes: Gauge,
+    inflight_tasks: Gauge,
+    /// Per cell type, indexed by `CellTypeId::index`.
+    batch_size: Vec<Histogram>,
+    /// Per cell type × stage ([`STAGE_NAMES`] order), labelled by the
+    /// cell type of the request's first node.
+    stage: Vec<[Histogram; 4]>,
+}
+
+impl EngineMetrics {
+    fn new(tel: &Telemetry, registry: &CellRegistry) -> Self {
+        let mut batch_size = Vec::with_capacity(registry.len());
+        let mut stage = Vec::with_capacity(registry.len());
+        for meta in registry.iter() {
+            let cell = meta.name.as_str();
+            batch_size.push(tel.histogram_with("bm_batch_size", &[("cell", cell)]));
+            stage.push(
+                STAGE_NAMES
+                    .map(|s| tel.histogram_with("bm_stage_us", &[("stage", s), ("cell", cell)])),
+            );
+        }
+        EngineMetrics {
+            requests_admitted: tel.counter("bm_requests_admitted_total"),
+            requests_completed: tel.counter("bm_requests_completed_total"),
+            requests_cancelled: tel.counter("bm_requests_cancelled_total"),
+            tasks_submitted: tel.counter("bm_tasks_submitted_total"),
+            gather_rows: tel.counter("bm_gather_rows_total"),
+            transfer_rows: tel.counter("bm_transfer_rows_total"),
+            nodes_cancelled: tel.counter("bm_nodes_cancelled_total"),
+            batch_reason: [
+                tel.counter_with("bm_batch_reason_total", &[("reason", "saturation")]),
+                tel.counter_with("bm_batch_reason_total", &[("reason", "starvation")]),
+                tel.counter_with("bm_batch_reason_total", &[("reason", "priority")]),
+            ],
+            active_requests: tel.gauge("bm_active_requests"),
+            ready_nodes: tel.gauge("bm_ready_nodes"),
+            inflight_tasks: tel.gauge("bm_inflight_tasks"),
+            batch_size,
+            stage,
+        }
+    }
+
+    fn reason_counter(&self, reason: BatchReason) -> &Counter {
+        match reason {
+            BatchReason::Saturation => &self.batch_reason[0],
+            BatchReason::Starvation => &self.batch_reason[1],
+            BatchReason::Priority => &self.batch_reason[2],
+        }
+    }
+}
+
 /// Per-request bookkeeping held by the request processor.
 #[derive(Debug)]
 struct RequestState {
     graph: CellGraph,
     arrival_us: u64,
     start_us: Option<u64>,
+    /// When the request's first nodes entered a scheduling queue
+    /// (telemetry stage decomposition; stamped only when metrics are
+    /// attached).
+    first_enqueue_us: Option<u64>,
+    /// When the first batched task containing the request was formed.
+    first_batch_us: Option<u64>,
     /// Per node: dependencies not yet satisfied. Intra-subgraph edges are
     /// satisfied at *submission* of the dependency (FIFO per worker
     /// guarantees order); external edges at *completion*.
@@ -242,6 +329,9 @@ pub struct CellularEngine {
     /// Structured event sink ([`bm_trace`]); defaults to the no-op sink,
     /// whose `enabled() == false` keeps instrumentation off hot paths.
     trace: Arc<dyn TraceSink>,
+    /// Registered metric handles; `None` (the default) keeps telemetry
+    /// to one branch per call site.
+    metrics: Option<EngineMetrics>,
     /// The latest driver-supplied timestamp, used to stamp events from
     /// methods that take no clock (dispatch).
     clock_us: u64,
@@ -264,6 +354,7 @@ impl CellularEngine {
             completions: Vec::new(),
             stats: SchedulerStats::default(),
             trace: bm_trace::noop(),
+            metrics: None,
             clock_us: 0,
         }
     }
@@ -272,6 +363,17 @@ impl CellularEngine {
     /// request-lifecycle transition is recorded into it.
     pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
         self.trace = sink;
+    }
+
+    /// Attaches a telemetry registry: registers the engine's counters,
+    /// gauges and per-cell-type histograms and records into them from
+    /// every subsequent transition. A disabled registry
+    /// (`Telemetry::disabled()`) detaches metrics instead, restoring
+    /// the one-branch-per-site cold path.
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.metrics = tel
+            .enabled()
+            .then(|| EngineMetrics::new(tel, &self.registry));
     }
 
     /// Advances the engine's event clock without any other effect.
@@ -362,6 +464,8 @@ impl CellularEngine {
         let req = RequestState {
             arrival_us: now_us,
             start_us: None,
+            first_enqueue_us: None,
+            first_batch_us: None,
             unmet,
             dependents,
             submitted: vec![false; n],
@@ -386,10 +490,25 @@ impl CellularEngine {
                 },
             );
         }
+        if let Some(m) = &self.metrics {
+            m.requests_admitted.inc();
+            m.active_requests.add(1);
+        }
 
         // Enqueue released subgraphs with ready nodes.
         for sg_id in subgraph_ids {
             self.maybe_enqueue(sg_id);
+        }
+        if self.metrics.is_some() {
+            self.set_ready_gauge();
+        }
+    }
+
+    /// Publishes the ready-node level (single-writer gauge; the engine
+    /// is driven from one thread).
+    fn set_ready_gauge(&self) {
+        if let Some(m) = &self.metrics {
+            m.ready_nodes.set(self.total_ready_nodes() as i64);
         }
     }
 
@@ -411,6 +530,13 @@ impl CellularEngine {
                         count: count as u32,
                     },
                 );
+            }
+            if self.metrics.is_some() {
+                // Stage decomposition: when the request first became
+                // schedulable.
+                if let Some(req) = self.requests.get_mut(&request) {
+                    req.first_enqueue_us.get_or_insert(self.clock_us);
+                }
             }
         }
     }
@@ -545,6 +671,7 @@ impl CellularEngine {
         let mut subgraph_list: Vec<SubgraphId> = Vec::new();
         let mut transfer_rows = 0usize;
         let tracing = self.trace.enabled();
+        let metrics_on = self.metrics.is_some();
         // Deferred trace payloads (emitted after the mutable borrows
         // below end): pins, migrations, intra-subgraph enqueues.
         let mut pins: Vec<(SubgraphId, RequestId)> = Vec::new();
@@ -590,6 +717,9 @@ impl CellularEngine {
             // Mark submitted and satisfy intra-subgraph dependencies
             // (UpdateNodesDependency, line 18).
             let req = self.requests.get_mut(&req_id).expect("live request");
+            if metrics_on {
+                req.first_batch_us.get_or_insert(self.clock_us);
+            }
             let mut newly_ready = Vec::new();
             for &n in nodes {
                 let ni = n as usize;
@@ -637,6 +767,15 @@ impl CellularEngine {
         self.stats.nodes_submitted += entries.len() as u64;
         self.stats.gathered_rows += gather_rows as u64;
         self.stats.transfers += transfer_rows as u64;
+        if let Some(m) = &self.metrics {
+            m.tasks_submitted.inc();
+            m.reason_counter(reason).inc();
+            m.gather_rows.add(gather_rows as u64);
+            m.transfer_rows.add(transfer_rows as u64);
+            m.batch_size[ct.index()].record(entries.len() as u64);
+            m.inflight_tasks.add(1);
+            m.ready_nodes.set(self.total_ready_nodes() as i64);
+        }
         let task = Task {
             id,
             worker,
@@ -780,6 +919,9 @@ impl CellularEngine {
                 },
             );
         }
+        if let Some(m) = &self.metrics {
+            m.inflight_tasks.sub(1);
+        }
 
         // Unpin subgraphs whose in-flight count drains.
         for sg_id in t.subgraphs.iter() {
@@ -856,6 +998,26 @@ impl CellularEngine {
                 } else {
                     self.stats.requests_completed += 1;
                 }
+                if let Some(m) = &self.metrics {
+                    m.active_requests.sub(1);
+                    if done.cancelled {
+                        m.requests_cancelled.inc();
+                    } else {
+                        m.requests_completed.inc();
+                        // Stage decomposition, clamped into a monotone
+                        // chain so the four durations telescope to
+                        // exactly `completion - arrival`.
+                        let cell = req.graph.node(NodeId(0)).cell_type.index();
+                        let (a, e) = (done.arrival_us, done.completion_us);
+                        let b = req.first_enqueue_us.unwrap_or(a).clamp(a, e);
+                        let c = req.first_batch_us.unwrap_or(b).clamp(b, e);
+                        let d = done.start_us.clamp(c, e);
+                        m.stage[cell][0].record(b - a);
+                        m.stage[cell][1].record(c - b);
+                        m.stage[cell][2].record(d - c);
+                        m.stage[cell][3].record(e - d);
+                    }
+                }
                 if self.trace.enabled() {
                     self.emit(
                         now_us,
@@ -870,6 +1032,7 @@ impl CellularEngine {
                 self.retire(*req_id);
             }
         }
+        self.set_ready_gauge();
         if self.cfg.retain_completions {
             self.completions.extend(completed_requests.iter().copied());
         }
@@ -910,6 +1073,9 @@ impl CellularEngine {
         };
 
         let dropped = newly_cancelled.len() as u32;
+        if let Some(m) = &self.metrics {
+            m.nodes_cancelled.add(dropped as u64);
+        }
 
         // Remove the cancelled nodes from their subgraphs' ready queues,
         // keeping per-type ready counters consistent.
@@ -927,6 +1093,7 @@ impl CellularEngine {
         for ct in 0..self.queues.len() {
             self.compact_queue(CellTypeId(ct as u32));
         }
+        self.set_ready_gauge();
 
         let req = &self.requests[&id];
         let draining = req.remaining > 0;
@@ -956,6 +1123,10 @@ impl CellularEngine {
             cancelled: true,
         };
         self.stats.requests_cancelled += 1;
+        if let Some(m) = &self.metrics {
+            m.requests_cancelled.inc();
+            m.active_requests.sub(1);
+        }
         if self.trace.enabled() {
             self.emit(
                 now_us,
@@ -1024,6 +1195,7 @@ impl CellularEngine {
                 }
             }
         }
+        let n_cancelled = newly_cancelled.len() as u64;
         // Remove cancelled nodes from their subgraphs' ready queues.
         for i in newly_cancelled {
             let sg_id = req.subgraph_ids[req.node_subgraph[i]];
@@ -1038,6 +1210,9 @@ impl CellularEngine {
         // Compact any queues that drained.
         for ct in 0..self.queues.len() {
             self.compact_queue(CellTypeId(ct as u32));
+        }
+        if let Some(m) = &self.metrics {
+            m.nodes_cancelled.add(n_cancelled);
         }
     }
 

@@ -24,7 +24,7 @@ mod runtime;
 mod state_plane;
 mod task;
 
-pub use engine::{CancelOutcome, CellularEngine, SchedulerConfig, SchedulerStats};
+pub use engine::{CancelOutcome, CellularEngine, SchedulerConfig, SchedulerStats, STAGE_NAMES};
 pub use ids::{RequestId, SubgraphId, TaskId, WorkerId};
 pub use partition::{partition, Partition};
 pub use runtime::{

@@ -68,6 +68,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender,
 use bm_cell::{CellRegistry, RowInvocation, Scratch, StateRef};
 use bm_device::CpuTimer;
 use bm_model::{reference::GraphResult, CellGraph, Model, RequestInput, TokenSource};
+use bm_telemetry::{Counter, Gauge, Histogram, Telemetry};
 use bm_trace::{EventKind, RejectReason, TraceEvent, TraceSink};
 
 use crate::engine::{CancelOutcome, CellularEngine, SchedulerConfig};
@@ -243,6 +244,13 @@ pub struct RuntimeOptions {
     /// reports itself disabled, so instrumentation costs one branch per
     /// site.
     pub trace: Arc<dyn TraceSink>,
+    /// Metric registry for live serving telemetry. The default
+    /// disabled registry keeps every instrumentation site to a single
+    /// branch (no handles are even registered); pass
+    /// `Telemetry::new()` to record admission/rejection/expiry
+    /// counters, queue-depth gauges, per-stage latency and batch-size
+    /// histograms, and per-worker busy time.
+    pub telemetry: Arc<Telemetry>,
 }
 
 impl Default for RuntimeOptions {
@@ -255,6 +263,7 @@ impl Default for RuntimeOptions {
             deadline_us: None,
             queue_cap: None,
             trace: bm_trace::noop(),
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -308,6 +317,13 @@ impl RuntimeOptions {
         self.trace = sink;
         self
     }
+
+    /// Records serving metrics into `tel` (see
+    /// [`RuntimeOptions::telemetry`]).
+    pub fn telemetry(mut self, tel: Arc<Telemetry>) -> Self {
+        self.telemetry = tel;
+        self
+    }
 }
 
 enum ManagerMsg {
@@ -346,6 +362,9 @@ pub struct Runtime {
     next_request: AtomicU64,
     /// Requests admitted and not yet resolved; shared with the manager.
     active: Arc<AtomicUsize>,
+    /// `bm_requests_rejected_total{reason}` counters, indexed
+    /// at_capacity / queue_full; `None` when telemetry is disabled.
+    reject_counters: Option<[Counter; 2]>,
     opts: RuntimeOptions,
 }
 
@@ -368,9 +387,13 @@ impl Runtime {
             Some(cap) => bounded::<ManagerMsg>(cap.max(1)),
             None => unbounded::<ManagerMsg>(),
         };
+        let tel = &opts.telemetry;
         let mut worker_txs = Vec::new();
         let mut workers = Vec::new();
         for w in 0..num_workers {
+            let busy = tel.enabled().then(|| {
+                tel.counter_with("bm_worker_busy_us_total", &[("worker", &w.to_string())])
+            });
             // The manager stops refilling a worker at `pipeline_depth`
             // unfinished tasks and each refill overshoots by at most
             // one dispatch (`max_tasks_to_submit` tasks) — so this
@@ -385,6 +408,7 @@ impl Runtime {
                 mgr_tx.clone(),
                 Arc::clone(&registry),
                 timer.clone(),
+                busy,
             ));
         }
 
@@ -398,6 +422,14 @@ impl Runtime {
             timer: timer.clone(),
             active: Arc::clone(&active),
             trace: Arc::clone(&opts.trace),
+            telemetry: Arc::clone(tel),
+        });
+
+        let reject_counters = tel.enabled().then(|| {
+            [
+                tel.counter_with("bm_requests_rejected_total", &[("reason", "at_capacity")]),
+                tel.counter_with("bm_requests_rejected_total", &[("reason", "queue_full")]),
+            ]
         });
 
         Runtime {
@@ -408,6 +440,7 @@ impl Runtime {
             timer,
             next_request: AtomicU64::new(0),
             active,
+            reject_counters,
             opts,
         }
     }
@@ -501,6 +534,12 @@ impl Runtime {
     }
 
     fn trace_rejection(&self, id: RequestId, reason: RejectReason) {
+        if let Some(c) = &self.reject_counters {
+            match reason {
+                RejectReason::AtCapacity => c[0].inc(),
+                RejectReason::QueueFull => c[1].inc(),
+            }
+        }
         if self.opts.trace.enabled() {
             self.opts.trace.record(TraceEvent {
                 ts_us: self.timer.now_us(),
@@ -557,6 +596,7 @@ struct ManagerArgs {
     timer: CpuTimer,
     active: Arc<AtomicUsize>,
     trace: Arc<dyn TraceSink>,
+    telemetry: Arc<Telemetry>,
 }
 
 /// The client side of one admitted request, kept by the manager until
@@ -585,12 +625,33 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
         timer,
         active,
         trace,
+        telemetry,
     } = args;
     std::thread::Builder::new()
         .name("bm-manager".into())
         .spawn(move || {
             let mut engine = CellularEngine::new(Arc::clone(&registry), cfg);
             engine.set_trace_sink(Arc::clone(&trace));
+            engine.set_telemetry(&telemetry);
+            // Manager-side telemetry handles; all `None` when disabled
+            // so each site below stays one branch.
+            let expired_counter = telemetry
+                .enabled()
+                .then(|| telemetry.counter("bm_requests_expired_total"));
+            let depth_gauges: Option<Vec<Gauge>> = telemetry.enabled().then(|| {
+                (0..num_workers)
+                    .map(|w| {
+                        telemetry
+                            .gauge_with("bm_worker_pipeline_depth", &[("worker", &w.to_string())])
+                    })
+                    .collect()
+            });
+            // Scatter→completion: time from the engine declaring a
+            // request complete to the manager resolving its handle
+            // (output copy-out). Outside the four-stage tiling.
+            let scatter_hist = telemetry
+                .enabled()
+                .then(|| telemetry.histogram_with("bm_stage_us", &[("stage", "scatter_resolve")]));
             let mut responders: HashMap<RequestId, Responder> = HashMap::new();
             // Per-request state blocks; workers hold per-task `Arc`
             // clones, so dropping an entry here reclaims the storage as
@@ -673,6 +734,8 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
                                     &active,
                                     &mut stale_deadlines,
                                     c,
+                                    scatter_hist.as_ref(),
+                                    &timer,
                                 );
                             }
                         }
@@ -703,6 +766,9 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
                         continue;
                     };
                     r.has_deadline = false;
+                    if let Some(c) = &expired_counter {
+                        c.inc();
+                    }
                     if trace.enabled() {
                         trace.record(TraceEvent {
                             ts_us: now,
@@ -716,6 +782,8 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
                             &active,
                             &mut stale_deadlines,
                             done,
+                            scatter_hist.as_ref(),
+                            &timer,
                         );
                     }
                 }
@@ -761,17 +829,22 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
                         }
                     }
                 }
-                if trace.enabled() {
+                if trace.enabled() || depth_gauges.is_some() {
                     for (w, &depth) in inflight_per_worker.iter().enumerate() {
                         if traced_depth[w] != depth {
                             traced_depth[w] = depth;
-                            trace.record(TraceEvent {
-                                ts_us: now,
-                                kind: EventKind::WorkerQueueDepth {
-                                    worker: w as u32,
-                                    depth: depth as u32,
-                                },
-                            });
+                            if trace.enabled() {
+                                trace.record(TraceEvent {
+                                    ts_us: now,
+                                    kind: EventKind::WorkerQueueDepth {
+                                        worker: w as u32,
+                                        depth: depth as u32,
+                                    },
+                                });
+                            }
+                            if let Some(g) = &depth_gauges {
+                                g[w].set(depth as i64);
+                            }
                         }
                     }
                 }
@@ -799,10 +872,15 @@ fn resolve(
     active: &AtomicUsize,
     stale_deadlines: &mut usize,
     done: CompletedRequest,
+    scatter_hist: Option<&Histogram>,
+    timer: &CpuTimer,
 ) {
     let Some(r) = responders.remove(&done.id) else {
         return;
     };
+    if let Some(h) = scatter_hist {
+        h.record(timer.now_us().saturating_sub(done.completion_us));
+    }
     let block = blocks.remove(&done.id);
     if r.has_deadline {
         // The heap entry now points at a resolved request.
@@ -834,6 +912,7 @@ fn spawn_worker(
     mgr_tx: Sender<ManagerMsg>,
     registry: Arc<CellRegistry>,
     timer: CpuTimer,
+    busy_counter: Option<Counter>,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("bm-worker-{}", id.0))
@@ -846,6 +925,9 @@ fn spawn_worker(
                 let started_us = timer.now_us();
                 let tokens = execute_task(&wt, &registry, &mut scratch);
                 let finished_us = timer.now_us();
+                if let Some(c) = &busy_counter {
+                    c.add(finished_us - started_us);
+                }
                 // Blocking send: completions are backpressure, never
                 // dropped — the manager always drains its queue.
                 if mgr_tx

@@ -676,3 +676,118 @@ fn completion_records_retained_on_request() {
         "drain empties the buffer"
     );
 }
+
+#[test]
+fn telemetry_reconciles_with_scheduler_stats() {
+    // The metrics plane must agree exactly with the engine's own
+    // cumulative stats, and the four-stage latency decomposition must
+    // telescope to exactly the end-to-end latency of every completed
+    // request.
+    use bm_telemetry::{MetricValue, Telemetry};
+
+    let m = LstmLm::small();
+    let mut eng = engine_for(&m, 3);
+    let tel = Telemetry::new();
+    eng.set_telemetry(&tel);
+
+    let n = 8u64;
+    for r in 0..n {
+        eng.on_arrival(
+            RequestId(r),
+            m.unfold(&RequestInput::Sequence(vec![1; 2 + (r as usize % 5)])),
+            r * 5,
+        );
+    }
+    let mut now = 40;
+    let mut done = Vec::new();
+    while eng.active_requests() > 0 {
+        for t in eng.dispatch(WorkerId(0)) {
+            now += 7;
+            done.extend(complete(&mut eng, &t, now));
+        }
+    }
+    assert_eq!(done.len(), n as usize);
+
+    let stats = eng.stats();
+    let snap = tel.snapshot();
+    assert_eq!(snap.counter_sum("bm_requests_admitted_total"), n);
+    assert_eq!(
+        snap.counter_sum("bm_requests_completed_total"),
+        stats.requests_completed
+    );
+    assert_eq!(
+        snap.counter_sum("bm_tasks_submitted_total"),
+        stats.tasks_submitted
+    );
+    assert_eq!(
+        snap.counter_sum("bm_gather_rows_total"),
+        stats.gathered_rows
+    );
+    assert_eq!(snap.counter_sum("bm_transfer_rows_total"), stats.transfers);
+    assert_eq!(
+        snap.counter_sum("bm_batch_reason_total"),
+        stats.tasks_submitted,
+        "every task is attributed to exactly one Algorithm 1 branch"
+    );
+
+    // Batch-size histogram: exact count is the task count, exact sum is
+    // the node-invocation count.
+    let (mut bcount, mut bsum) = (0u64, 0u64);
+    let (mut stage_sum, mut stage_count) = (0u64, 0u64);
+    for e in &snap.entries {
+        if let MetricValue::Histogram(h) = &e.value {
+            match e.name.as_str() {
+                "bm_batch_size" => {
+                    bcount += h.count;
+                    bsum += h.sum;
+                }
+                "bm_stage_us" => {
+                    stage_count += h.count;
+                    stage_sum += h.sum;
+                }
+                _ => {}
+            }
+        }
+    }
+    assert_eq!(bcount, stats.tasks_submitted);
+    assert_eq!(bsum, stats.nodes_submitted);
+
+    // Stage decomposition telescopes exactly: four samples per
+    // completed request summing to completion - arrival.
+    let e2e: u64 = done.iter().map(|c| c.completion_us - c.arrival_us).sum();
+    assert_eq!(stage_count, 4 * stats.requests_completed);
+    assert_eq!(stage_sum, e2e);
+
+    // A drained engine's gauges read zero.
+    for (name, want) in [
+        ("bm_active_requests", 0i64),
+        ("bm_inflight_tasks", 0),
+        ("bm_ready_nodes", 0),
+    ] {
+        match snap.get_with(name, &[]) {
+            Some(MetricValue::Gauge(g)) => assert_eq!(*g, want, "{name}"),
+            other => panic!("missing gauge {name}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn detached_telemetry_records_nothing() {
+    let m = LstmLm::small();
+    let mut eng = engine_for(&m, 3);
+    eng.set_telemetry(&bm_telemetry::Telemetry::disabled());
+    eng.on_arrival(
+        RequestId(0),
+        m.unfold(&RequestInput::Sequence(vec![1; 3])),
+        0,
+    );
+    for t in eng.dispatch(WorkerId(0)) {
+        complete(&mut eng, &t, 10);
+    }
+    // The disabled registry hands out no handles, so nothing registers.
+    assert!(bm_telemetry::Telemetry::disabled()
+        .snapshot()
+        .entries
+        .is_empty());
+    assert_eq!(eng.stats().requests_completed, 1);
+}

@@ -6,25 +6,28 @@
 //! ```
 //!
 //! Experiments: fig3 fig5 fig7a fig7b fig8 fig9 fig10 fig11 fig13 fig14
-//! fig15 headline ablation sla trace bench. Results land in `results/`
-//! as markdown + CSV and are echoed to stdout; `trace` additionally
-//! writes Chrome trace JSON (Perfetto-loadable) and per-request
-//! timelines, and `bench` writes machine-readable `BENCH_kernels.json`
-//! kernel timings for benchmark regression checks.
+//! fig15 headline ablation sla trace bench stats. Results land in
+//! `results/` as markdown + CSV and are echoed to stdout; `trace`
+//! additionally writes Chrome trace JSON (Perfetto-loadable) and
+//! per-request timelines, `bench` writes machine-readable
+//! `BENCH_kernels.json` kernel timings for benchmark regression checks,
+//! and `stats` exercises the live telemetry plane (scraper, head-sampled
+//! tracing, stage-latency reconciliation) and writes
+//! `BENCH_telemetry.json` plus a Prometheus exposition.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use bm_harness::experiments::{
     ablation, bench, fig10, fig11, fig13, fig14, fig15, fig3, fig5, fig7, fig8, fig9, headline,
-    sla, trace, Scale,
+    sla, stats, trace, Scale,
 };
 use bm_harness::write_results;
 use bm_metrics::Table;
 
 const EXPERIMENTS: &[&str] = &[
     "fig3", "fig5", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11", "fig13", "fig14", "fig15",
-    "headline", "ablation", "sla", "trace", "bench",
+    "headline", "ablation", "sla", "trace", "bench", "stats",
 ];
 
 fn run_one(name: &str, scale: Scale, out_dir: &Path) -> Option<Vec<Table>> {
@@ -45,6 +48,7 @@ fn run_one(name: &str, scale: Scale, out_dir: &Path) -> Option<Vec<Table>> {
         "sla" => sla::run(scale),
         "trace" => trace::run(scale, out_dir),
         "bench" => bench::run(scale, out_dir),
+        "stats" => stats::run(scale, out_dir),
         _ => return None,
     };
     Some(tables)

@@ -15,6 +15,7 @@ pub mod fig9;
 pub mod headline;
 pub mod serving;
 pub mod sla;
+pub mod stats;
 pub mod trace;
 
 /// Experiment size: `Quick` for tests and benches, `Full` for the real

@@ -22,7 +22,7 @@ use std::sync::Arc;
 use bm_metrics::{reconstruct_timelines, render_timelines, Table};
 use bm_model::{LstmLm, LstmLmConfig, Model, Seq2Seq};
 use bm_sim::{simulate, CellularServer, SimOptions};
-use bm_trace::{chrome_trace, EventKind, RingBufferSink, TraceEvent};
+use bm_trace::{chrome_trace_with_meta, EventKind, RingBufferSink, TraceEvent};
 use bm_workload::{Dataset, LengthDistribution};
 
 use crate::experiments::serving::arrivals;
@@ -53,7 +53,11 @@ fn record_run(
 
     std::fs::create_dir_all(out_dir).expect("create results dir");
     let chrome_path = out_dir.join(format!("trace_{name}.chrome.json"));
-    std::fs::write(&chrome_path, chrome_trace(&events)).expect("write chrome trace");
+    std::fs::write(
+        &chrome_path,
+        chrome_trace_with_meta(&events, sink.dropped()),
+    )
+    .expect("write chrome trace");
     let timelines = reconstruct_timelines(&events);
     let text_path = out_dir.join(format!("trace_{name}.timelines.txt"));
     std::fs::write(&text_path, render_timelines(&timelines)).expect("write timelines");
@@ -83,17 +87,33 @@ fn summarize(
     let mut by_reason = [0u64; 3];
     let mut migrations = 0u64;
     let mut counts = [0u64; bm_trace::NUM_EVENT_KINDS];
+    // Per-worker busy time from task slices: each task's wall time is
+    // the span between its TaskStarted and TaskCompleted events.
+    let mut task_start: std::collections::HashMap<u64, u64> = Default::default();
+    let mut busy_us: std::collections::BTreeMap<u32, u64> = Default::default();
+    let (mut span_lo, mut span_hi) = (u64::MAX, 0u64);
     for ev in events {
         counts[ev.kind.index()] += 1;
+        span_lo = span_lo.min(ev.ts_us);
+        span_hi = span_hi.max(ev.ts_us);
         match &ev.kind {
             EventKind::BatchFormed { reason, .. } => {
                 batches += 1;
                 by_reason[*reason as usize] += 1;
             }
             EventKind::SubgraphMigrated { .. } => migrations += 1,
+            EventKind::TaskStarted { task, .. } => {
+                task_start.insert(*task, ev.ts_us);
+            }
+            EventKind::TaskCompleted { task, worker } => {
+                if let Some(start) = task_start.remove(task) {
+                    *busy_us.entry(*worker).or_default() += ev.ts_us.saturating_sub(start);
+                }
+            }
             _ => {}
         }
     }
+    let span_us = span_hi.saturating_sub(span_lo).max(1);
     let mut t = Table::new(format!("Trace summary: {name}"), &["metric", "value"]);
     let mut row = |metric: &str, value: String| t.push_row(vec![metric.to_string(), value]);
     row("events_captured", events.len().to_string());
@@ -105,6 +125,19 @@ fn summarize(
     row("batches_starvation", by_reason[1].to_string());
     row("batches_priority", by_reason[2].to_string());
     row("subgraph_migrations", migrations.to_string());
+    for (w, b) in &busy_us {
+        // Busy fraction of the captured span; workers run tasks
+        // serially, so this is true utilization, not oversubscription.
+        let util = *b as f64 / span_us as f64 * 100.0;
+        row(
+            &format!("worker_{w}_utilization_pct"),
+            format!(
+                "{util:.1} ({:.1} ms busy / {:.1} ms span)",
+                *b as f64 / 1e3,
+                span_us as f64 / 1e3
+            ),
+        );
+    }
     for (i, c) in counts.iter().enumerate() {
         // Per-kind counts for kinds not already summarised above.
         if i != 3 && i != 7 {

@@ -76,6 +76,15 @@ impl CellularServer {
         self.engine.set_trace_sink(sink);
         self
     }
+
+    /// Records the engine's scheduler metrics (admissions, batch sizes,
+    /// per-stage latency decomposition) into `tel`, in virtual time.
+    /// Pair with `SimOptions::telemetry` to also capture driver-level
+    /// rejections, expiries, and worker busy time.
+    pub fn with_telemetry(mut self, tel: &bm_telemetry::Telemetry) -> Self {
+        self.engine.set_telemetry(tel);
+        self
+    }
 }
 
 impl Server for CellularServer {

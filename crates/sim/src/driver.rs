@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use bm_metrics::{LatencyRecorder, RequestTiming};
 use bm_model::RequestInput;
+use bm_telemetry::Telemetry;
 use bm_trace::{EventKind, RejectReason, TraceEvent, TraceSink};
 
 use crate::event::EventQueue;
@@ -57,6 +58,12 @@ pub struct SimOptions {
     /// sink installed on the server too (e.g.
     /// [`crate::CellularServer::with_trace`]).
     pub trace: Arc<dyn TraceSink>,
+    /// Telemetry registry for driver-level metrics (rejections,
+    /// expiries, per-worker busy time). Engine-level metrics need the
+    /// registry installed on the server too (e.g.
+    /// [`crate::CellularServer::with_telemetry`]). Defaults to the
+    /// disabled registry, which costs one branch per call site.
+    pub telemetry: Arc<Telemetry>,
 }
 
 impl Default for SimOptions {
@@ -70,6 +77,7 @@ impl Default for SimOptions {
             deadline_us: None,
             max_active: None,
             trace: bm_trace::noop(),
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -126,6 +134,12 @@ impl SimOptions {
     /// Routes driver-level trace events to `sink`.
     pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
         self.trace = sink;
+        self
+    }
+
+    /// Records driver-level metrics into `tel`.
+    pub fn telemetry(mut self, tel: Arc<Telemetry>) -> Self {
+        self.telemetry = tel;
         self
     }
 }
@@ -204,6 +218,21 @@ pub fn simulate(
         events.push(*at, Event::Arrival(idx));
     }
 
+    // Driver-level metric handles, resolved once; `None` when telemetry
+    // is disabled so the hot path pays a single branch per site.
+    let tel = &opts.telemetry;
+    let rejected_ctr = tel
+        .enabled()
+        .then(|| tel.counter_with("bm_requests_rejected_total", &[("reason", "at_capacity")]));
+    let expired_ctr = tel
+        .enabled()
+        .then(|| tel.counter("bm_requests_expired_total"));
+    let busy_ctrs = tel.enabled().then(|| {
+        (0..opts.workers)
+            .map(|w| tel.counter_with("bm_worker_busy_us_total", &[("worker", &w.to_string())]))
+            .collect::<Vec<_>>()
+    });
+
     // Per-worker: remaining queued items (busy while nonzero) and the
     // virtual time its current backlog drains (items run serially, so a
     // refilled item starts when the backlog ends, not at `now`).
@@ -240,6 +269,9 @@ pub fn simulate(
                     {
                         status[idx] = ReqStatus::Rejected;
                         rejected += 1;
+                        if let Some(c) = &rejected_ctr {
+                            c.inc();
+                        }
                         if opts.trace.enabled() {
                             opts.trace.record(TraceEvent {
                                 ts_us: now,
@@ -275,6 +307,9 @@ pub fn simulate(
                     if status[idx] == ReqStatus::Admitted {
                         status[idx] = ReqStatus::Expired;
                         expired += 1;
+                        if let Some(c) = &expired_ctr {
+                            c.inc();
+                        }
                         if opts.trace.enabled() {
                             opts.trace.record(TraceEvent {
                                 ts_us: now,
@@ -309,7 +344,11 @@ pub fn simulate(
                 }
                 for it in items {
                     server.on_work_started(it.id, at);
-                    at += (it.duration_us as f64 / speed).round() as u64;
+                    let scaled = (it.duration_us as f64 / speed).round() as u64;
+                    if let Some(cs) = &busy_ctrs {
+                        cs[w].add(scaled);
+                    }
+                    at += scaled;
                     *q += 1;
                     events.push(
                         at,

@@ -1,0 +1,420 @@
+//! Lock-free sharded metric primitives.
+//!
+//! Every handle fans writes out across [`SHARDS`] cache-line-padded
+//! atomic cells indexed by a thread-local shard id, so concurrent
+//! recorders on different threads never contend on one cache line.
+//! Reads (snapshots) sum the shards; they are racy-by-design and see a
+//! value that was true at *some* interleaving, which is all a scrape
+//! needs. All atomics use relaxed ordering — metrics carry no
+//! happens-before obligations.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::snapshot::HistogramSnapshot;
+
+/// Write shards per metric. Eight covers the worker counts this
+/// workspace runs (2–8) without making snapshot sums expensive.
+pub const SHARDS: usize = 8;
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// The calling thread's shard index, assigned round-robin on first use.
+#[inline]
+fn shard_index() -> usize {
+    SHARD.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            v
+        } else {
+            let v = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            s.set(v);
+            v
+        }
+    })
+}
+
+/// One atomic on its own cache line, so shards never false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedI64(AtomicI64);
+
+#[derive(Default)]
+struct CounterCore {
+    shards: [PaddedU64; SHARDS],
+}
+
+/// A monotonically increasing counter. Cloning shares the underlying
+/// shards — handles are cheap to clone and `Send + Sync`.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<CounterCore>);
+
+impl Counter {
+    /// A fresh zeroed counter (normally obtained from the registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the calling thread's shard.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.shards[shard_index()]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current total across all shards.
+    pub fn value(&self) -> u64 {
+        self.0
+            .shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Counter").field(&self.value()).finish()
+    }
+}
+
+#[derive(Default)]
+struct GaugeCore {
+    shards: [PaddedI64; SHARDS],
+}
+
+/// A signed instantaneous value (queue depth, active requests).
+///
+/// [`Gauge::add`]/[`Gauge::sub`] are sharded and safe from any thread.
+/// [`Gauge::set`] overwrites the whole gauge and is only meaningful
+/// when a single thread owns the value (e.g. the engine's manager
+/// thread publishing a level it computes itself) — do not mix `set`
+/// with concurrent `add`/`sub` from other threads.
+#[derive(Clone, Default)]
+pub struct Gauge(Arc<GaugeCore>);
+
+impl Gauge {
+    /// A fresh zeroed gauge (normally obtained from the registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` (may be negative) to the calling thread's shard.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.shards[shard_index()]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` from the calling thread's shard.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.add(-n);
+    }
+
+    /// Sets the gauge to `v` (single-writer: stores `v` in shard 0 and
+    /// zeroes the rest).
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.shards[0].0.store(v, Ordering::Relaxed);
+        for s in &self.0.shards[1..] {
+            // Loads are far cheaper than stores here: after the first
+            // `set`, the non-owner shards stay zero, so a steady-state
+            // single-writer `set` touches one cache line, not eight.
+            if s.0.load(Ordering::Relaxed) != 0 {
+                s.0.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The current level across all shards.
+    pub fn value(&self) -> i64 {
+        self.0
+            .shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Gauge").field(&self.value()).finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Log-bucketed histogram
+// ---------------------------------------------------------------------------
+
+/// Sub-bucket resolution bits: 8 sub-buckets per power of two, bounding
+/// relative quantile error below 1/8 = 12.5%.
+const SUB_BITS: u32 = 3;
+const SUB_BUCKETS: usize = 1 << SUB_BITS; // 8
+
+/// Values below this are bucketed exactly (one bucket per value).
+const EXACT_LIMIT: u64 = 16;
+
+/// Total buckets: 16 exact + 60 magnitudes (2^4 .. 2^63) × 8 sub-buckets.
+pub const NUM_BUCKETS: usize = EXACT_LIMIT as usize + 60 * SUB_BUCKETS; // 496
+
+/// The bucket index a value lands in. Monotone in `v`, so the
+/// rank-order of samples survives bucketing exactly.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < EXACT_LIMIT {
+        v as usize
+    } else {
+        let m = 63 - v.leading_zeros() as usize; // 4..=63
+        let sub = ((v >> (m - SUB_BITS as usize)) & (SUB_BUCKETS as u64 - 1)) as usize;
+        EXACT_LIMIT as usize + (m - 4) * SUB_BUCKETS + sub
+    }
+}
+
+/// Inclusive `(lo, hi)` value range of bucket `i`. For every value `v`
+/// in the range, `hi <= v * 1.125` (the HDR error bound the proptest
+/// suite asserts).
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < NUM_BUCKETS, "bucket index {i} out of range");
+    if i < EXACT_LIMIT as usize {
+        (i as u64, i as u64)
+    } else {
+        let m = (i - EXACT_LIMIT as usize) / SUB_BUCKETS + 4;
+        let sub = (i - EXACT_LIMIT as usize) % SUB_BUCKETS;
+        let width = 1u64 << (m - SUB_BITS as usize);
+        let lo = (SUB_BUCKETS as u64 + sub as u64) * width;
+        // `lo + (width - 1)`: the top bucket ends exactly at u64::MAX,
+        // so add the already-decremented width to avoid overflow.
+        (lo, lo + (width - 1))
+    }
+}
+
+struct HistShard {
+    buckets: Box<[AtomicU64]>, // NUM_BUCKETS long
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistShard {
+    fn default() -> Self {
+        let mut v = Vec::with_capacity(NUM_BUCKETS);
+        v.resize_with(NUM_BUCKETS, AtomicU64::default);
+        HistShard {
+            buckets: v.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+struct HistogramCore {
+    shards: [HistShard; SHARDS],
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            shards: Default::default(),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log-bucketed (HDR-style) histogram of `u64` samples.
+///
+/// Bucket layout: values `< 16` get exact buckets; above that, each
+/// power of two is split into 8 sub-buckets, so any quantile estimate
+/// overshoots the exact sample by at most 12.5% (`sum`, `count`, `min`
+/// and `max` stay exact). Recording touches one shard's bucket, count
+/// and sum plus the shared min/max pair — no locks, no allocation.
+#[derive(Clone, Default)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// A fresh empty histogram (normally obtained from the registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let shard = &self.0.shards[shard_index()];
+        shard.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        shard.count.fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(v, Ordering::Relaxed);
+        // Check before the RMW: once min/max have settled (almost every
+        // record in steady state), the shared pair costs two loads
+        // instead of two cross-core atomic RMWs. Racing improvements
+        // still land — fetch_min/fetch_max re-check atomically.
+        if v < self.0.min.load(Ordering::Relaxed) {
+            self.0.min.fetch_min(v, Ordering::Relaxed);
+        }
+        if v > self.0.max.load(Ordering::Relaxed) {
+            self.0.max.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0
+            .shards
+            .iter()
+            .map(|s| s.count.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Exact sum of all samples (wrapping on overflow past `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.0
+            .shards
+            .iter()
+            .map(|s| s.sum.load(Ordering::Relaxed))
+            .fold(0u64, u64::wrapping_add)
+    }
+
+    /// Merges the shards into an immutable [`HistogramSnapshot`]
+    /// (only non-empty buckets are retained).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut merged = [0u64; NUM_BUCKETS];
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        for shard in &self.0.shards {
+            count += shard.count.load(Ordering::Relaxed);
+            sum = sum.wrapping_add(shard.sum.load(Ordering::Relaxed));
+            for (m, b) in merged.iter_mut().zip(shard.buckets.iter()) {
+                *m += b.load(Ordering::Relaxed);
+            }
+        }
+        let buckets: Vec<(u64, u64)> = merged
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (bucket_bounds(i).1, *c))
+            .collect();
+        let min = if count == 0 {
+            0
+        } else {
+            self.0.min.load(Ordering::Relaxed)
+        };
+        HistogramSnapshot {
+            count,
+            sum,
+            min,
+            max: self.0.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_shards() {
+        let c = Counter::new();
+        c.add(3);
+        c.inc();
+        assert_eq!(c.value(), 4);
+    }
+
+    #[test]
+    fn gauge_add_sub_set() {
+        let g = Gauge::new();
+        g.add(5);
+        g.sub(2);
+        assert_eq!(g.value(), 3);
+        g.set(-7);
+        assert_eq!(g.value(), -7);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounds_tile() {
+        // Exhaustive over small values, then spot-check magnitudes.
+        for v in 0..4096u64 {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v && v <= hi, "v={v} i={i} lo={lo} hi={hi}");
+            if v > 0 {
+                assert!(bucket_index(v - 1) <= i);
+            }
+        }
+        // Buckets tile the line with no gaps or overlap.
+        let mut expect = 0u64;
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, expect, "bucket {i} starts at {lo}, expected {expect}");
+            assert!(hi >= lo);
+            if hi == u64::MAX {
+                assert_eq!(i, NUM_BUCKETS - 1);
+                break;
+            }
+            expect = hi + 1;
+        }
+        assert_eq!(bucket_bounds(NUM_BUCKETS - 1).1, u64::MAX);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_error_is_bounded() {
+        for v in [16u64, 100, 1000, 123_456, u32::MAX as u64, 1 << 60] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(hi as f64 <= lo as f64 * 1.125, "v={v} lo={lo} hi={hi}");
+        }
+    }
+
+    #[test]
+    fn histogram_records_exact_sums_and_extremes() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 15, 16, 17, 1000, 65_536] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 1 + 15 + 16 + 17 + 1000 + 65_536);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 7);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 65_536);
+        assert_eq!(snap.buckets.iter().map(|(_, c)| c).sum::<u64>(), 7);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_sane() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 0);
+        assert!(snap.buckets.is_empty());
+        assert_eq!(snap.quantile(0.5), None);
+    }
+}

@@ -1,0 +1,482 @@
+//! Immutable point-in-time snapshots of the registry, with strict JSON
+//! (`bm-telemetry/v1`) and Prometheus text exposition encodings.
+//!
+//! A snapshot is plain data: entries sorted by `(name, labels)` so two
+//! snapshots of identical registry state compare equal with `==`, which
+//! is what the JSON round-trip test (serialize → strict-parse →
+//! compare) relies on.
+
+use std::fmt::Write as _;
+
+use crate::json::{self, Value};
+
+/// Schema tag written into and required from the JSON encoding.
+pub const SNAPSHOT_SCHEMA: &str = "bm-telemetry/v1";
+
+/// The merged, immutable form of a [`crate::Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Exact sum of all samples.
+    pub sum: u64,
+    /// Exact smallest sample (0 when empty).
+    pub min: u64,
+    /// Exact largest sample (0 when empty).
+    pub max: u64,
+    /// `(upper_bound_inclusive, count)` per non-empty bucket, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Nearest-rank quantile estimate, `q` in `[0, 1]`: the upper bound
+    /// of the bucket containing the rank-`⌈q·n⌉` sample. Matches
+    /// `bm_metrics::Cdf::quantile`'s rank convention, overshooting the
+    /// exact sample by at most 12.5% (the bucket width bound). `None`
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for &(hi, c) in &self.buckets {
+            cum += c;
+            if cum >= rank {
+                return Some(hi);
+            }
+        }
+        self.buckets.last().map(|&(hi, _)| hi)
+    }
+
+    /// Mean of the recorded samples (exact, from `sum`/`count`); `None`
+    /// when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+}
+
+/// One metric's value inside a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotone counter total.
+    Counter(u64),
+    /// An instantaneous gauge level.
+    Gauge(i64),
+    /// A merged histogram.
+    Histogram(HistogramSnapshot),
+}
+
+impl MetricValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One named, labelled metric inside a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricEntry {
+    /// Metric name, e.g. `bm_requests_admitted_total`.
+    pub name: String,
+    /// Sorted `(key, value)` label pairs; empty for unlabelled metrics.
+    pub labels: Vec<(String, String)>,
+    /// The value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// A point-in-time view of every registered metric, sorted by
+/// `(name, labels)`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// All metric entries.
+    pub entries: Vec<MetricEntry>,
+}
+
+impl Snapshot {
+    /// The first entry matching `name` with no labels.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.get_with(name, &[])
+    }
+
+    /// The entry matching `name` and exactly these labels
+    /// (order-insensitive).
+    pub fn get_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        let mut want: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        want.sort();
+        self.entries
+            .iter()
+            .find(|e| e.name == name && e.labels == want)
+            .map(|e| &e.value)
+    }
+
+    /// Sum of all counter entries with this name, any labels.
+    pub fn counter_sum(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.name == name)
+            .filter_map(|e| match &e.value {
+                MetricValue::Counter(v) => Some(*v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Sum of the exact `sum` fields of all histogram entries with this
+    /// name, any labels.
+    pub fn histogram_sum(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.name == name)
+            .filter_map(|e| match &e.value {
+                MetricValue::Histogram(h) => Some(h.sum),
+                _ => None,
+            })
+            .fold(0u64, u64::wrapping_add)
+    }
+
+    /// Strict JSON encoding under the [`SNAPSHOT_SCHEMA`] tag.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.entries.len() * 64);
+        out.push_str("{\"schema\":\"");
+        out.push_str(SNAPSHOT_SCHEMA);
+        out.push_str("\",\"metrics\":[");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            json_string(&mut out, &e.name);
+            out.push_str(",\"labels\":{");
+            for (j, (k, v)) in e.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                json_string(&mut out, k);
+                out.push(':');
+                json_string(&mut out, v);
+            }
+            out.push_str("},\"type\":\"");
+            out.push_str(e.value.type_name());
+            out.push_str("\",");
+            match &e.value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, "\"value\":{v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(out, "\"value\":{v}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                        h.count, h.sum, h.min, h.max
+                    );
+                    for (j, (hi, c)) in h.buckets.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "[{hi},{c}]");
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Strict decoder for [`Snapshot::to_json`] output: rejects unknown
+    /// schema tags, missing fields and malformed values, so the
+    /// `bm-telemetry/v1` wire format cannot drift silently.
+    pub fn from_json(text: &str) -> Result<Snapshot, String> {
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        let schema = doc
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or("missing schema tag")?;
+        if schema != SNAPSHOT_SCHEMA {
+            return Err(format!(
+                "schema mismatch: got {schema:?}, want {SNAPSHOT_SCHEMA:?}"
+            ));
+        }
+        let metrics = doc
+            .get("metrics")
+            .and_then(Value::as_arr)
+            .ok_or("missing metrics array")?;
+        let mut entries = Vec::with_capacity(metrics.len());
+        for m in metrics {
+            let name = m
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or("metric missing name")?
+                .to_string();
+            let mut labels: Vec<(String, String)> = match m.get("labels") {
+                Some(Value::Obj(map)) => map
+                    .iter()
+                    .map(|(k, v)| {
+                        v.as_str()
+                            .map(|s| (k.clone(), s.to_string()))
+                            .ok_or_else(|| format!("{name}: non-string label value"))
+                    })
+                    .collect::<Result<_, _>>()?,
+                _ => return Err(format!("{name}: missing labels object")),
+            };
+            labels.sort();
+            let ty = m
+                .get("type")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("{name}: missing type"))?;
+            let value = match ty {
+                "counter" => MetricValue::Counter(
+                    m.get("value")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| format!("{name}: counter missing value"))?,
+                ),
+                "gauge" => {
+                    let v = m
+                        .get("value")
+                        .and_then(Value::as_f64)
+                        .filter(|v| v.fract() == 0.0)
+                        .ok_or_else(|| format!("{name}: gauge missing integral value"))?;
+                    MetricValue::Gauge(v as i64)
+                }
+                "histogram" => {
+                    let field = |f: &str| {
+                        m.get(f)
+                            .and_then(Value::as_u64)
+                            .ok_or_else(|| format!("{name}: histogram missing {f}"))
+                    };
+                    let buckets = m
+                        .get("buckets")
+                        .and_then(Value::as_arr)
+                        .ok_or_else(|| format!("{name}: histogram missing buckets"))?
+                        .iter()
+                        .map(|pair| {
+                            let pair = pair
+                                .as_arr()
+                                .filter(|p| p.len() == 2)
+                                .ok_or_else(|| format!("{name}: bucket is not a pair"))?;
+                            let hi = pair[0]
+                                .as_u64()
+                                .ok_or_else(|| format!("{name}: bad bucket bound"))?;
+                            let c = pair[1]
+                                .as_u64()
+                                .ok_or_else(|| format!("{name}: bad bucket count"))?;
+                            Ok::<(u64, u64), String>((hi, c))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    MetricValue::Histogram(HistogramSnapshot {
+                        count: field("count")?,
+                        sum: field("sum")?,
+                        min: field("min")?,
+                        max: field("max")?,
+                        buckets,
+                    })
+                }
+                other => return Err(format!("{name}: unknown metric type {other:?}")),
+            };
+            entries.push(MetricEntry {
+                name,
+                labels,
+                value,
+            });
+        }
+        entries.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        Ok(Snapshot { entries })
+    }
+
+    /// Prometheus text exposition format (0.0.4): `# TYPE` lines, one
+    /// sample line per counter/gauge, and cumulative
+    /// `_bucket{le=...}`/`_sum`/`_count` series per histogram.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(256 + self.entries.len() * 96);
+        let mut last_name = "";
+        for e in &self.entries {
+            if e.name != last_name {
+                let _ = writeln!(out, "# TYPE {} {}", e.name, e.value.type_name());
+                last_name = &e.name;
+            }
+            match &e.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{}{} {v}", e.name, prom_labels(&e.labels, None));
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{}{} {v}", e.name, prom_labels(&e.labels, None));
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for &(hi, c) in &h.buckets {
+                        cum += c;
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {cum}",
+                            e.name,
+                            prom_labels(&e.labels, Some(&hi.to_string()))
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        e.name,
+                        prom_labels(&e.labels, Some("+Inf")),
+                        h.count
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        e.name,
+                        prom_labels(&e.labels, None),
+                        h.sum
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        e.name,
+                        prom_labels(&e.labels, None),
+                        h.count
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+fn prom_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{k}=\"{}\"",
+            v.replace('\\', "\\\\").replace('"', "\\\"")
+        );
+    }
+    if let Some(le) = le {
+        if !labels.is_empty() {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> Snapshot {
+        Snapshot {
+            entries: vec![
+                MetricEntry {
+                    name: "bm_active_requests".into(),
+                    labels: vec![],
+                    value: MetricValue::Gauge(-2),
+                },
+                MetricEntry {
+                    name: "bm_requests_admitted_total".into(),
+                    labels: vec![("cell".into(), "lstm".into())],
+                    value: MetricValue::Counter(42),
+                },
+                MetricEntry {
+                    name: "bm_stage_us".into(),
+                    labels: vec![("stage".into(), "compute".into())],
+                    value: MetricValue::Histogram(HistogramSnapshot {
+                        count: 3,
+                        sum: 1234,
+                        min: 100,
+                        max: 900,
+                        buckets: vec![(103, 1), (511, 1), (959, 1)],
+                    }),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_identity() {
+        let snap = sample_snapshot();
+        let parsed = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn from_json_rejects_drift() {
+        assert!(Snapshot::from_json("{}").is_err());
+        assert!(Snapshot::from_json(r#"{"schema":"bm-telemetry/v2","metrics":[]}"#).is_err());
+        assert!(Snapshot::from_json(
+            r#"{"schema":"bm-telemetry/v1","metrics":[{"name":"x","labels":{},"type":"ramp","value":1}]}"#
+        )
+        .is_err());
+        assert!(Snapshot::from_json(
+            r#"{"schema":"bm-telemetry/v1","metrics":[{"name":"x","type":"counter","value":1}]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn quantile_is_nearest_rank_on_bucket_bounds() {
+        let h = HistogramSnapshot {
+            count: 4,
+            sum: 100,
+            min: 1,
+            max: 50,
+            buckets: vec![(1, 1), (10, 2), (50, 1)],
+        };
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.25), Some(1));
+        assert_eq!(h.quantile(0.5), Some(10));
+        assert_eq!(h.quantile(0.75), Some(10));
+        assert_eq!(h.quantile(1.0), Some(50));
+        assert_eq!(h.mean(), Some(25.0));
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let text = sample_snapshot().to_prometheus();
+        assert!(text.contains("# TYPE bm_requests_admitted_total counter"));
+        assert!(text.contains("bm_requests_admitted_total{cell=\"lstm\"} 42"));
+        assert!(text.contains("# TYPE bm_active_requests gauge"));
+        assert!(text.contains("bm_active_requests -2"));
+        assert!(text.contains("bm_stage_us_bucket{stage=\"compute\",le=\"511\"} 2"));
+        assert!(text.contains("bm_stage_us_bucket{stage=\"compute\",le=\"+Inf\"} 3"));
+        assert!(text.contains("bm_stage_us_sum{stage=\"compute\"} 1234"));
+        assert!(text.contains("bm_stage_us_count{stage=\"compute\"} 3"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests: the log-bucketed histogram against the exact
+//! empirical CDF from `bm-metrics`.
+//!
+//! The histogram promises ≤ 12.5% relative quantile error (each bucket
+//! spans `[lo, hi]` with `hi/lo < 9/8`, values below 16 are exact) while
+//! keeping exact `count`/`sum`/`min`/`max`. Both promises are checked
+//! here on arbitrary value sets, alongside agreement of the two
+//! nearest-rank quantile conventions.
+
+use bm_metrics::Cdf;
+use bm_telemetry::{bucket_bounds, bucket_index, Telemetry, NUM_BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every value lands in a bucket that contains it, and the bucket's
+    /// width obeys the advertised relative-error bound.
+    #[test]
+    fn buckets_contain_their_values(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < NUM_BUCKETS);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+        if lo >= 16 {
+            // hi <= lo * 9/8 - 1 for all log-spaced buckets.
+            prop_assert!(hi - lo <= lo / 8, "bucket [{lo}, {hi}] too wide");
+        } else {
+            prop_assert_eq!(lo, hi, "exact range must have unit buckets");
+        }
+    }
+
+    /// Histogram quantiles bound the exact CDF quantiles from above,
+    /// within the 12.5% relative-error budget.
+    #[test]
+    fn quantiles_match_exact_cdf_within_error(
+        values in collection::vec(0u64..1_000_000_000, 1..400),
+        qs in collection::vec(0.0f64..=1.0, 1..8),
+    ) {
+        let tel = Telemetry::new();
+        let h = tel.histogram("lat");
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+
+        // Exact fields are exact, not approximations.
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(snap.min, *values.iter().min().expect("nonempty"));
+        prop_assert_eq!(snap.max, *values.iter().max().expect("nonempty"));
+
+        let exact = Cdf::new(values.iter().map(|&v| v as f64).collect());
+        for &q in &qs {
+            let est = snap.quantile(q).expect("nonempty") as f64;
+            let want = exact.quantile(q);
+            // Both sides use the nearest-rank convention, so the
+            // estimate is the upper bucket bound of the *same* ranked
+            // element: exact <= estimate <= exact * 9/8.
+            prop_assert!(
+                want <= est && est <= want * 1.125,
+                "q={q}: exact {want} vs histogram {est}"
+            );
+        }
+    }
+
+    /// The approximate bucket counts still sum to the exact count, and
+    /// reported buckets are sorted and non-empty.
+    #[test]
+    fn bucket_counts_are_consistent(
+        values in collection::vec(any::<u64>(), 1..200),
+    ) {
+        let tel = Telemetry::new();
+        let h = tel.histogram("lat");
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let total: u64 = snap.buckets.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(total, values.len() as u64);
+        for w in snap.buckets.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "bucket bounds must be sorted");
+        }
+        prop_assert!(snap.buckets.iter().all(|&(_, c)| c > 0));
+    }
+}

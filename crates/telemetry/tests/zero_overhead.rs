@@ -1,0 +1,91 @@
+//! Zero-overhead assertions for the hot path, backed by a counting
+//! global allocator.
+//!
+//! Isolated in its own integration-test binary because the allocator
+//! hook is process-global. Two properties:
+//!
+//! - recording into `Counter`/`Gauge`/`Histogram` never allocates once
+//!   the handle exists (the per-thread shard assignment happens on the
+//!   first touch, which the warm-up absorbs);
+//! - the disabled path is a `None` handle, so an instrumented call site
+//!   costs one branch and zero allocations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bm_telemetry::{Counter, Telemetry};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn recording_allocates_nothing() {
+    let tel = Telemetry::new();
+    let counter = tel.counter("hot_total");
+    let gauge = tel.gauge("hot_depth");
+    let hist = tel.histogram("hot_us");
+    // Warm up: first touch assigns this thread its shard index.
+    counter.inc();
+    gauge.add(1);
+    hist.record(1);
+
+    let before = allocations();
+    for i in 0..100_000u64 {
+        counter.add(i & 7);
+        gauge.add(1);
+        gauge.sub(1);
+        hist.record(i * 31);
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "metric recording must not allocate on the hot path"
+    );
+}
+
+#[test]
+fn disabled_path_is_branch_only() {
+    let tel = Telemetry::disabled();
+    assert!(!tel.enabled());
+
+    // The instrumentation idiom: resolve handles once, `None` when
+    // disabled, so the steady state is a single `is_some` branch.
+    let counter: Option<Counter> = tel.enabled().then(|| tel.counter("never"));
+    assert!(counter.is_none(), "disabled registry must yield no handle");
+
+    let before = allocations();
+    let mut observed = 0u64;
+    for _ in 0..100_000 {
+        if let Some(c) = &counter {
+            c.inc();
+            observed += 1;
+        }
+    }
+    assert_eq!(observed, 0);
+    assert_eq!(
+        allocations(),
+        before,
+        "the disabled branch must not allocate"
+    );
+
+    // And a disabled registry records nothing even if probed directly.
+    assert!(tel.snapshot().entries.is_empty());
+}

@@ -116,6 +116,14 @@ struct TaskMeta {
 /// the same track. Zero-duration task slices are widened to 1 µs so the
 /// pair stays well-formed.
 pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    chrome_trace_with_meta(events, 0)
+}
+
+/// Like [`chrome_trace`], but also records capture loss: when
+/// `dropped_events > 0` (e.g. a [`crate::RingBufferSink`] overflowed),
+/// the top-level `"metadata"` object carries the count and a warning
+/// line so a truncated trace can't silently pass for a complete one.
+pub fn chrome_trace_with_meta(events: &[TraceEvent], dropped_events: u64) -> String {
     let mut e = Emitter { rows: Vec::new() };
 
     // Harvest task metadata, execution intervals and worker ids.
@@ -215,6 +223,27 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                 "{{\"name\":\"{}\",\"cat\":\"task\",\"ph\":\"E\",\"ts\":{end},\
                  \"pid\":{PID},\"tid\":{worker}}}",
                 esc(&name)
+            ),
+        );
+        // Busy/idle utilization as a 0/1 counter track per worker:
+        // workers execute their slices serially, so toggling at slice
+        // edges renders exact busy windows next to the pipeline-depth
+        // track. Rank keeps the falling edge before a back-to-back
+        // rising edge at the same ts.
+        e.push(
+            *start,
+            Rank::Begin,
+            format!(
+                "{{\"name\":\"worker {worker} busy\",\"cat\":\"scheduler\",\"ph\":\"C\",\
+                 \"ts\":{start},\"pid\":{PID},\"tid\":{worker},\"args\":{{\"busy\":1}}}}"
+            ),
+        );
+        e.push(
+            *end,
+            Rank::End,
+            format!(
+                "{{\"name\":\"worker {worker} busy\",\"cat\":\"scheduler\",\"ph\":\"C\",\
+                 \"ts\":{end},\"pid\":{PID},\"tid\":{worker},\"args\":{{\"busy\":0}}}}"
             ),
         );
     }
@@ -377,7 +406,16 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
     }
 
     e.rows.sort_by_key(|&(ts, rank, _)| (ts, rank));
-    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",");
+    if dropped_events > 0 {
+        let _ = write!(
+            out,
+            "\"metadata\":{{\"dropped_events\":{dropped_events},\"warning\":\
+             \"ring buffer overflowed: {dropped_events} oldest events were dropped; \
+             the start of this trace is incomplete\"}},"
+        );
+    }
+    out.push_str("\"traceEvents\":[\n");
     for (i, (_, _, json)) in e.rows.iter().enumerate() {
         out.push_str(json);
         if i + 1 < e.rows.len() {
@@ -424,6 +462,35 @@ mod tests {
         assert!(json.contains("\"name\":\"worker 1 pipeline\""));
         assert!(json.contains("\"ph\":\"C\""));
         assert!(json.contains("\"depth\":3"));
+    }
+
+    #[test]
+    fn busy_counter_track_toggles_at_slice_edges() {
+        let events = vec![
+            TraceEvent {
+                ts_us: 10,
+                kind: EventKind::TaskStarted { task: 1, worker: 3 },
+            },
+            TraceEvent {
+                ts_us: 25,
+                kind: EventKind::TaskCompleted { task: 1, worker: 3 },
+            },
+        ];
+        let json = chrome_trace(&events);
+        assert!(json.contains("\"name\":\"worker 3 busy\""));
+        assert!(json.contains("\"ts\":10") && json.contains("\"busy\":1"));
+        assert!(json.contains("\"ts\":25") && json.contains("\"busy\":0"));
+    }
+
+    #[test]
+    fn drop_metadata_appears_only_when_events_were_dropped() {
+        let json = chrome_trace_with_meta(&[], 0);
+        assert!(!json.contains("metadata"));
+        let json = chrome_trace_with_meta(&[], 17);
+        assert!(json.contains("\"dropped_events\":17"));
+        assert!(json.contains("incomplete"));
+        // The metadata object must still parse as strict JSON.
+        assert!(crate::json::parse(&json).is_ok());
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //! - [`CounterSink`] — per-event-kind atomic counters for cheap
 //!   always-on accounting;
 //! - [`RingBufferSink`] — a bounded drop-oldest buffer capturing full
-//!   events for export.
+//!   events for export, counting what it drops;
+//! - [`SamplingSink`] — per-request head sampling in front of another
+//!   sink (keep/drop decided once at arrival by request-id hash), so
+//!   million-request replays stay bounded.
 //!
 //! Exporters:
 //!
@@ -28,9 +31,13 @@
 
 mod chrome;
 mod event;
-pub mod json;
 mod sink;
 
-pub use chrome::chrome_trace;
+/// Strict JSON parser, re-exported from `bm-telemetry` (it moved there
+/// so snapshot decoding could live beside snapshot encoding without a
+/// dependency cycle).
+pub use bm_telemetry::json;
+
+pub use chrome::{chrome_trace, chrome_trace_with_meta};
 pub use event::{BatchReason, EventKind, RejectReason, TraceEvent, KIND_NAMES, NUM_EVENT_KINDS};
-pub use sink::{noop, CounterSink, NoopSink, RingBufferSink, TraceSink};
+pub use sink::{noop, CounterSink, NoopSink, RingBufferSink, SamplingSink, TraceSink};
