@@ -23,7 +23,12 @@ use bm_trace::{BatchReason, EventKind, TraceEvent, TraceSink};
 
 use crate::ids::{RequestId, SubgraphId, TaskId, WorkerId};
 use crate::partition::{partition, Partition};
+use crate::policy::{FormationOrder, PolicyKind, PolicyView, SchedulingPolicy, TypeCandidate};
 use crate::task::{CompletedRequest, Task, TaskEntry};
+
+/// EWMA weight of the newest per-row service-cost sample (the slack
+/// estimator's remaining-work model).
+const ROW_COST_EWMA_ALPHA: f64 = 0.2;
 
 /// Tunables of the scheduler.
 ///
@@ -46,6 +51,9 @@ pub struct SchedulerConfig {
     /// must leave this off (the default) — otherwise the undrained
     /// records grow without bound.
     pub retain_completions: bool,
+    /// The batch-formation policy ([`crate::policy`]); the default,
+    /// [`PolicyKind::PaperDefault`], is Algorithm 1 exactly.
+    pub policy: PolicyKind,
 }
 
 impl Default for SchedulerConfig {
@@ -53,6 +61,7 @@ impl Default for SchedulerConfig {
         SchedulerConfig {
             max_tasks_to_submit: 5,
             retain_completions: false,
+            policy: PolicyKind::PaperDefault,
         }
     }
 }
@@ -74,6 +83,13 @@ impl SchedulerConfig {
     /// [`CellularEngine::drain_completions`] (default off).
     pub fn retain_completions(mut self, retain: bool) -> Self {
         self.retain_completions = retain;
+        self
+    }
+
+    /// Sets the batch-formation policy (default
+    /// [`PolicyKind::PaperDefault`]).
+    pub fn policy(mut self, kind: PolicyKind) -> Self {
+        self.policy = kind;
         self
     }
 }
@@ -122,8 +138,9 @@ struct EngineMetrics {
     gather_rows: Counter,
     transfer_rows: Counter,
     nodes_cancelled: Counter,
-    /// Indexed like [`BatchReason`]: saturation, starvation, priority.
-    batch_reason: [Counter; 3],
+    /// Indexed like [`BatchReason`]: saturation, starvation, priority,
+    /// deadline, slack_release, timeout.
+    batch_reason: [Counter; 6],
     active_requests: Gauge,
     ready_nodes: Gauge,
     inflight_tasks: Gauge,
@@ -158,6 +175,9 @@ impl EngineMetrics {
                 tel.counter_with("bm_batch_reason_total", &[("reason", "saturation")]),
                 tel.counter_with("bm_batch_reason_total", &[("reason", "starvation")]),
                 tel.counter_with("bm_batch_reason_total", &[("reason", "priority")]),
+                tel.counter_with("bm_batch_reason_total", &[("reason", "deadline")]),
+                tel.counter_with("bm_batch_reason_total", &[("reason", "slack_release")]),
+                tel.counter_with("bm_batch_reason_total", &[("reason", "timeout")]),
             ],
             active_requests: tel.gauge("bm_active_requests"),
             ready_nodes: tel.gauge("bm_ready_nodes"),
@@ -172,6 +192,9 @@ impl EngineMetrics {
             BatchReason::Saturation => &self.batch_reason[0],
             BatchReason::Starvation => &self.batch_reason[1],
             BatchReason::Priority => &self.batch_reason[2],
+            BatchReason::Deadline => &self.batch_reason[3],
+            BatchReason::SlackRelease => &self.batch_reason[4],
+            BatchReason::Timeout => &self.batch_reason[5],
         }
     }
 }
@@ -181,6 +204,10 @@ impl EngineMetrics {
 struct RequestState {
     graph: CellGraph,
     arrival_us: u64,
+    /// Absolute completion deadline, when the driver supplied one
+    /// ([`CellularEngine::on_arrival_with_deadline`]); the slack input
+    /// of deadline-aware policies.
+    deadline_us: Option<u64>,
     start_us: Option<u64>,
     /// When the request's first nodes entered a scheduling queue
     /// (telemetry stage decomposition; stamped only when metrics are
@@ -251,6 +278,9 @@ struct InflightTask {
     worker: WorkerId,
     entries: Vec<(RequestId, NodeId)>,
     subgraphs: Arc<[SubgraphId]>,
+    /// When the task began executing ([`CellularEngine::on_task_started`]);
+    /// feeds the per-row service-cost EWMA on completion.
+    started_us: Option<u64>,
 }
 
 impl InflightTask {
@@ -260,6 +290,7 @@ impl InflightTask {
             worker: t.worker,
             entries: t.entries.iter().map(|e| (e.request, e.node)).collect(),
             subgraphs: Arc::clone(&t.subgraphs),
+            started_us: None,
         }
     }
 }
@@ -335,14 +366,23 @@ pub struct CellularEngine {
     /// The latest driver-supplied timestamp, used to stamp events from
     /// methods that take no clock (dispatch).
     clock_us: u64,
+    /// The batch-formation policy ([`crate::policy`]), built from
+    /// `cfg.policy`.
+    policy: Box<dyn SchedulingPolicy>,
+    /// Per cell type: EWMA of observed per-row service cost (µs),
+    /// `0.0` until the first completion. Feeds slack estimation.
+    row_cost_ewma: Vec<f64>,
 }
 
 impl CellularEngine {
     /// Creates an engine over the given registry.
     pub fn new(registry: Arc<CellRegistry>, cfg: SchedulerConfig) -> Self {
         let queues = (0..registry.len()).map(|_| TypeQueue::default()).collect();
+        let row_cost_ewma = vec![0.0; registry.len()];
         CellularEngine {
             registry,
+            policy: cfg.policy.build(),
+            row_cost_ewma,
             cfg,
             requests: HashMap::new(),
             subgraphs: HashMap::new(),
@@ -397,6 +437,36 @@ impl CellularEngine {
         self.stats
     }
 
+    /// Swaps in a different batch-formation policy ([`crate::policy`]).
+    /// Queue state is untouched; only future `dispatch` calls are
+    /// affected.
+    pub fn set_policy_kind(&mut self, kind: PolicyKind) {
+        self.cfg.policy = kind;
+        self.policy = kind.build();
+    }
+
+    /// The kind of the active batch-formation policy.
+    pub fn policy_kind(&self) -> PolicyKind {
+        self.cfg.policy
+    }
+
+    /// Absolute time (µs) at which the active policy wants a dispatch
+    /// poll even if no new event arrives — the release point of a held
+    /// batch. `None` when nothing is held. Drivers with a real clock
+    /// fold this into their wait; the simulator schedules a wake event.
+    pub fn next_wakeup(&self, now_us: u64) -> Option<u64> {
+        self.policy.next_wakeup(now_us)
+    }
+
+    /// Per-cell-type `(ready_nodes, running_tasks)`, indexed by
+    /// [`CellTypeId::index`]. Introspection for tests and oracles.
+    pub fn queue_depths(&self) -> Vec<(usize, usize)> {
+        self.queues
+            .iter()
+            .map(|q| (q.ready_nodes, q.running_tasks))
+            .collect()
+    }
+
     /// The registry the engine schedules for.
     pub fn registry(&self) -> &Arc<CellRegistry> {
         &self.registry
@@ -410,6 +480,25 @@ impl CellularEngine {
     /// Panics if the request id is already active or the graph fails
     /// validation against the registry.
     pub fn on_arrival(&mut self, id: RequestId, graph: CellGraph, now_us: u64) {
+        self.on_arrival_with_deadline(id, graph, now_us, None);
+    }
+
+    /// [`CellularEngine::on_arrival`] with an absolute completion
+    /// deadline (µs) attached. Deadline-aware policies
+    /// ([`crate::policy`]) read it through the per-type slack
+    /// aggregates; the paper-default policy ignores it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request id is already active or the graph fails
+    /// validation against the registry.
+    pub fn on_arrival_with_deadline(
+        &mut self,
+        id: RequestId,
+        graph: CellGraph,
+        now_us: u64,
+        deadline_us: Option<u64>,
+    ) {
         assert!(
             !self.requests.contains_key(&id),
             "duplicate request id {id}"
@@ -463,6 +552,7 @@ impl CellularEngine {
         let num_subgraphs = part.len() as u32;
         let req = RequestState {
             arrival_us: now_us,
+            deadline_us,
             start_us: None,
             first_enqueue_us: None,
             first_batch_us: None,
@@ -561,60 +651,141 @@ impl CellularEngine {
         self.total_ready_nodes() > 0
     }
 
-    /// Algorithm 1 `Schedule(worker)`: picks a cell type and forms up to
-    /// `MaxTasksToSubmit` batched tasks for `worker`.
+    /// Algorithm 1 `Schedule(worker)`: asks the policy for a cell type
+    /// and forms up to `MaxTasksToSubmit` batched tasks for `worker`.
     ///
-    /// Returns an empty vector when nothing is schedulable (either no
-    /// ready nodes, or all ready subgraphs are pinned to other workers).
+    /// Returns an empty vector when nothing is schedulable: no ready
+    /// nodes, every candidate type's ready subgraphs are pinned to
+    /// other workers, or the policy is holding a batch for more slack.
+    ///
+    /// When the picked type yields no batch because all of its ready
+    /// subgraphs are pinned elsewhere, the pick is retried with that
+    /// type excluded — a worker never idles while another type has
+    /// runnable unpinned work.
     pub fn dispatch(&mut self, worker: WorkerId) -> Vec<Task> {
-        let Some((ct, reason)) = self.pick_cell_type() else {
-            return Vec::new();
-        };
-        self.batch(ct, worker, reason)
+        let mut excluded = vec![false; self.queues.len()];
+        loop {
+            let view = self.policy_view(worker, &excluded);
+            if view.candidates.is_empty() {
+                return Vec::new();
+            }
+            let Some(pick) = self.policy.pick(&view) else {
+                // The policy holds: nothing this round.
+                return Vec::new();
+            };
+            let tasks = self.batch(pick.cell_type, worker, pick.reason, pick.order);
+            if !tasks.is_empty() {
+                return tasks;
+            }
+            excluded[pick.cell_type.index()] = true;
+        }
     }
 
-    /// Algorithm 1 cell-type selection (lines 5–10), with the *reason*
-    /// the winning type qualified — the trace's batch-formation label.
-    fn pick_cell_type(&self) -> Option<(CellTypeId, BatchReason)> {
-        let candidates = |f: &dyn Fn(&TypeQueue, &bm_cell::CellMeta) -> bool| -> Vec<CellTypeId> {
-            self.registry
-                .iter()
-                .filter(|m| f(&self.queues[m.id.index()], m))
-                .map(|m| m.id)
-                .collect()
-        };
-        // (a) types whose ready nodes meet the maximum batch size;
-        let mut reason = BatchReason::Saturation;
-        let mut s = candidates(&|q, m| q.ready_nodes >= m.max_batch);
-        // (b) types with ready nodes and no running tasks;
-        if s.is_empty() {
-            reason = BatchReason::Starvation;
-            s = candidates(&|q, _| q.running_tasks == 0 && q.ready_nodes > 0);
+    /// Distills queue state into the policy's input: one candidate per
+    /// cell type with ready nodes, in registry order, minus `excluded`
+    /// types. Slack aggregates are computed only when the policy asks
+    /// for them.
+    fn policy_view(&self, worker: WorkerId, excluded: &[bool]) -> PolicyView {
+        let want_slack = self.policy.needs_slack();
+        let mut candidates = Vec::new();
+        for meta in self.registry.iter() {
+            let i = meta.id.index();
+            let q = &self.queues[i];
+            if excluded[i] || q.ready_nodes == 0 {
+                continue;
+            }
+            let (min_slack_us, earliest_deadline_us) = if want_slack {
+                self.type_slack(meta.id)
+            } else {
+                (None, None)
+            };
+            candidates.push(TypeCandidate {
+                cell_type: meta.id,
+                ready_nodes: q.ready_nodes,
+                running_tasks: q.running_tasks,
+                min_batch: meta.min_batch,
+                max_batch: meta.max_batch,
+                priority: meta.priority,
+                min_slack_us,
+                earliest_deadline_us,
+            });
         }
-        // (c) any type with ready nodes.
-        if s.is_empty() {
-            reason = BatchReason::Priority;
-            s = candidates(&|q, _| q.ready_nodes > 0);
+        PolicyView {
+            now_us: self.clock_us,
+            worker,
+            candidates,
         }
-        // Highest priority wins ties (line 10).
-        s.into_iter()
-            .max_by_key(|id| self.registry.meta(*id).priority)
-            .map(|id| (id, reason))
+    }
+
+    /// Minimum slack and earliest absolute deadline across the requests
+    /// with queued ready nodes of this type. Slack = deadline − now −
+    /// estimated remaining work (remaining nodes × the type's EWMA
+    /// per-row cost). The scan is bounded to the first `max_batch`
+    /// queued subgraphs — the members a batch formed now would take.
+    fn type_slack(&self, ct: CellTypeId) -> (Option<i64>, Option<u64>) {
+        let q = &self.queues[ct.index()];
+        let per_row = self.row_cost_ewma[ct.index()];
+        let cap = self.registry.meta(ct).max_batch;
+        let mut min_slack: Option<i64> = None;
+        let mut earliest: Option<u64> = None;
+        for &sg_id in q.subgraphs.iter().take(cap) {
+            let sg = &self.subgraphs[&sg_id];
+            if sg.ready.is_empty() {
+                continue;
+            }
+            let req = &self.requests[&sg.request];
+            let Some(d) = req.deadline_us else { continue };
+            earliest = Some(earliest.map_or(d, |e| e.min(d)));
+            let est = (req.remaining as f64 * per_row) as i64;
+            let slack = d as i64 - self.clock_us as i64 - est;
+            min_slack = Some(min_slack.map_or(slack, |s| s.min(slack)));
+        }
+        (min_slack, earliest)
+    }
+
+    /// Re-derives the Algorithm 1 qualification tier for a follow-on
+    /// task formed in the same `dispatch` call: the selection-time
+    /// reason goes stale once the first task drains the queue below
+    /// `max_batch` (or leaves the type with a running task), so each
+    /// formed task is labelled against the queue state it actually saw.
+    fn requalify(&self, ct: CellTypeId) -> BatchReason {
+        let q = &self.queues[ct.index()];
+        if q.ready_nodes >= self.registry.meta(ct).max_batch {
+            BatchReason::Saturation
+        } else if q.running_tasks == 0 {
+            BatchReason::Starvation
+        } else {
+            BatchReason::Priority
+        }
     }
 
     /// Algorithm 1 `Batch(ct, worker)` (lines 12–23).
-    fn batch(&mut self, ct: CellTypeId, worker: WorkerId, reason: BatchReason) -> Vec<Task> {
+    fn batch(
+        &mut self,
+        ct: CellTypeId,
+        worker: WorkerId,
+        reason: BatchReason,
+        order: FormationOrder,
+    ) -> Vec<Task> {
         let meta = self.registry.meta(ct);
         let (min_batch, max_batch) = (meta.min_batch, meta.max_batch);
         let mut tasks = Vec::new();
         while tasks.len() < self.cfg.max_tasks_to_submit {
-            let picks = self.form_batched_task(ct, worker, max_batch);
+            let picks = self.form_batched_task(ct, worker, max_batch, order);
             if picks.is_empty() {
                 break;
             }
             let size: usize = picks.iter().map(|(_, nodes)| nodes.len()).sum();
             if size >= min_batch || tasks.is_empty() {
-                tasks.push(self.submit(ct, worker, picks, reason));
+                // The policy's reason describes the first task; follow-on
+                // tasks in the same call requalify against the drained
+                // queue so their labels stay truthful.
+                let r = if tasks.is_empty() {
+                    reason
+                } else {
+                    self.requalify(ct)
+                };
+                tasks.push(self.submit(ct, worker, picks, r));
             } else {
                 break;
             }
@@ -626,29 +797,59 @@ impl CellularEngine {
     /// queue selecting ready nodes from subgraphs pinned to `None` or
     /// `worker`, without mutating state. Returns per-subgraph node
     /// counts to take from the front of each ready deque.
+    ///
+    /// Under [`FormationOrder::EarliestDeadline`] the eligible
+    /// subgraphs are visited in earliest-request-deadline order
+    /// (deadline-free requests last, queue order breaking ties)
+    /// instead of queue order.
     fn form_batched_task(
         &self,
         ct: CellTypeId,
         worker: WorkerId,
         max_batch: usize,
+        order: FormationOrder,
     ) -> Vec<(SubgraphId, Vec<u32>)> {
         let q = &self.queues[ct.index()];
+        let eligible = |sg: &SubgraphState| {
+            (sg.pinned.is_none() || sg.pinned == Some(worker)) && !sg.ready.is_empty()
+        };
         let mut picks = Vec::new();
         let mut total = 0;
-        for &sg_id in &q.subgraphs {
+        let mut take_from = |sg_id: SubgraphId| {
             let sg = &self.subgraphs[&sg_id];
-            if sg.pinned.is_some() && sg.pinned != Some(worker) {
-                continue;
-            }
-            if sg.ready.is_empty() {
-                continue;
-            }
             let take = sg.ready.len().min(max_batch - total);
             let nodes: Vec<u32> = sg.ready.iter().take(take).copied().collect();
             total += nodes.len();
             picks.push((sg_id, nodes));
-            if total == max_batch {
-                break;
+            total == max_batch
+        };
+        match order {
+            FormationOrder::Fifo => {
+                for &sg_id in &q.subgraphs {
+                    if !eligible(&self.subgraphs[&sg_id]) {
+                        continue;
+                    }
+                    if take_from(sg_id) {
+                        break;
+                    }
+                }
+            }
+            FormationOrder::EarliestDeadline => {
+                let mut by_deadline: Vec<(u64, SubgraphId)> = q
+                    .subgraphs
+                    .iter()
+                    .filter(|sg_id| eligible(&self.subgraphs[sg_id]))
+                    .map(|&sg_id| {
+                        let req = self.subgraphs[&sg_id].request;
+                        (self.requests[&req].deadline_us.unwrap_or(u64::MAX), sg_id)
+                    })
+                    .collect();
+                by_deadline.sort_by_key(|&(d, _)| d);
+                for (_, sg_id) in by_deadline {
+                    if take_from(sg_id) {
+                        break;
+                    }
+                }
             }
         }
         picks
@@ -863,9 +1064,10 @@ impl CellularEngine {
     /// request whose first cell this is.
     pub fn on_task_started(&mut self, task: TaskId, now_us: u64) {
         self.advance_clock(now_us);
-        let Some(t) = self.inflight.get(&task) else {
+        let Some(t) = self.inflight.get_mut(&task) else {
             return;
         };
+        t.started_us.get_or_insert(now_us);
         let (task_id, worker) = (task.0, t.worker.0);
         for (req_id, _) in &t.entries {
             if let Some(req) = self.requests.get_mut(req_id) {
@@ -910,6 +1112,17 @@ impl CellularEngine {
             "token vector must match task entries"
         );
         self.queues[t.cell_type.index()].running_tasks -= 1;
+        // Update the per-row service-cost EWMA that backs slack
+        // estimation for deadline-aware policies.
+        if let Some(started) = t.started_us {
+            let per_row = now_us.saturating_sub(started) as f64 / t.entries.len().max(1) as f64;
+            let e = &mut self.row_cost_ewma[t.cell_type.index()];
+            *e = if *e == 0.0 {
+                per_row
+            } else {
+                *e * (1.0 - ROW_COST_EWMA_ALPHA) + per_row * ROW_COST_EWMA_ALPHA
+            };
+        }
         if self.trace.enabled() {
             self.emit(
                 now_us,

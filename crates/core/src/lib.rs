@@ -20,6 +20,7 @@
 mod engine;
 mod ids;
 pub mod partition;
+pub mod policy;
 mod runtime;
 mod state_plane;
 mod task;
@@ -27,6 +28,9 @@ mod task;
 pub use engine::{CancelOutcome, CellularEngine, SchedulerConfig, SchedulerStats, STAGE_NAMES};
 pub use ids::{RequestId, SubgraphId, TaskId, WorkerId};
 pub use partition::{partition, Partition};
+pub use policy::{
+    FormationOrder, PolicyKind, PolicyPick, PolicyView, SchedulingPolicy, TypeCandidate,
+};
 pub use runtime::{
     ResponseHandle, Runtime, RuntimeOptions, ServedOutcome, ServedResult, ServedTiming, SubmitError,
 };

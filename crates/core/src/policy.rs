@@ -1,0 +1,565 @@
+//! Pluggable batch-formation policies.
+//!
+//! [`CellularEngine`](crate::CellularEngine) makes two decisions per
+//! `dispatch`: *which cell type to batch next* and *whether to submit
+//! now or hold for a larger batch*. Both are delegated to a
+//! [`SchedulingPolicy`]. The engine distills its queue state into a
+//! [`PolicyView`] — one [`TypeCandidate`] per cell type with ready
+//! nodes, in registry order, carrying per-request slack aggregates —
+//! and the policy answers with a [`PolicyPick`], or `None` to form no
+//! batch this round (either nothing qualifies or a lazy policy is
+//! deliberately holding).
+//!
+//! Three policies ship, selected by [`PolicyKind`] on
+//! [`SchedulerConfig`](crate::SchedulerConfig):
+//!
+//! * [`PolicyKind::PaperDefault`] — Algorithm 1 lines 5–10 verbatim
+//!   (saturation → starvation → priority, highest priority wins ties),
+//!   bit-identical to the pre-trait scheduler and gated so by proptest.
+//! * [`PolicyKind::LazySlack`] — LazyBatching/E-BATCH hybrid: holds a
+//!   merely-priority-qualified batch while every member has slack above
+//!   a threshold and the ready queue is still growing, bounded by a
+//!   max-delay timeout. Saturated and starving types always submit
+//!   immediately.
+//! * [`PolicyKind::DeadlineEdf`] — earliest-deadline-first type
+//!   selection and request ordering under overload; saturated types
+//!   keep precedence so full batches are never broken up.
+//!
+//! Slack is `deadline − now − estimated remaining work`, where the
+//! remaining-work estimate is the request's remaining node count times
+//! an EWMA of the type's observed per-row service cost.
+
+use std::fmt;
+
+use bm_cell::CellTypeId;
+use bm_trace::BatchReason;
+
+use crate::ids::WorkerId;
+
+/// Which batch-formation policy the engine runs.
+///
+/// `Copy` so it can ride along in
+/// [`SchedulerConfig`](crate::SchedulerConfig); [`PolicyKind::build`]
+/// materialises the (stateful) policy object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum PolicyKind {
+    /// Algorithm 1 exactly as published.
+    #[default]
+    PaperDefault,
+    /// Slack-aware lazy batching with a max-delay timeout.
+    LazySlack {
+        /// Hold only while every would-be batch member's slack exceeds
+        /// this (µs).
+        slack_threshold_us: u64,
+        /// Upper bound on how long a batch may be held (µs), after
+        /// which it is released with [`BatchReason::Timeout`].
+        max_delay_us: u64,
+    },
+    /// Earliest-deadline-first type selection and request ordering.
+    DeadlineEdf,
+}
+
+impl PolicyKind {
+    /// The lazy-slack policy with its default knobs (hold while every
+    /// member has > 20 ms slack, release after at most 1 ms).
+    pub fn lazy_slack() -> Self {
+        PolicyKind::LazySlack {
+            slack_threshold_us: 20_000,
+            max_delay_us: 1_000,
+        }
+    }
+
+    /// Stable lowercase label used in metrics, result tables and CLI
+    /// flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::PaperDefault => "paper",
+            PolicyKind::LazySlack { .. } => "lazy",
+            PolicyKind::DeadlineEdf => "edf",
+        }
+    }
+
+    /// Parses a CLI spelling (`paper`, `lazy`, `edf`, plus long
+    /// aliases). Returns `None` for unknown names.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "paper" | "paper-default" | "default" => Some(PolicyKind::PaperDefault),
+            "lazy" | "lazy-slack" => Some(PolicyKind::lazy_slack()),
+            "edf" | "deadline-edf" | "deadline" => Some(PolicyKind::DeadlineEdf),
+            _ => None,
+        }
+    }
+
+    /// Materialises the policy object this kind describes.
+    pub fn build(self) -> Box<dyn SchedulingPolicy> {
+        match self {
+            PolicyKind::PaperDefault => Box::new(PaperDefault),
+            PolicyKind::LazySlack {
+                slack_threshold_us,
+                max_delay_us,
+            } => Box::new(LazySlack::new(slack_threshold_us, max_delay_us)),
+            PolicyKind::DeadlineEdf => Box::new(DeadlineEdf),
+        }
+    }
+}
+
+/// The scheduler observables for one cell type, as offered to a policy.
+#[derive(Debug, Clone, Copy)]
+pub struct TypeCandidate {
+    /// The cell type.
+    pub cell_type: CellTypeId,
+    /// Ready (schedulable) nodes queued for the type; always > 0 for a
+    /// candidate.
+    pub ready_nodes: usize,
+    /// In-flight tasks of the type (`ct.NumRunningTasks()`).
+    pub running_tasks: usize,
+    /// The type's minimum worthwhile batch size.
+    pub min_batch: usize,
+    /// The type's desired maximum batch size.
+    pub max_batch: usize,
+    /// Scheduling priority; higher wins ties.
+    pub priority: u32,
+    /// Minimum slack (deadline − now − estimated remaining work, µs;
+    /// negative when overdue) across the requests a batch formed now
+    /// would contain. `None` when no such request carries a deadline,
+    /// or when the policy declared it does not need slack
+    /// ([`SchedulingPolicy::needs_slack`]).
+    pub min_slack_us: Option<i64>,
+    /// Earliest absolute deadline (µs) across those requests; `None`
+    /// under the same conditions as `min_slack_us`.
+    pub earliest_deadline_us: Option<u64>,
+}
+
+/// The queue state a policy decides over: one candidate per cell type
+/// with ready nodes, in registry order, minus any types the engine has
+/// already found unformable for this worker during this dispatch call.
+#[derive(Debug, Clone)]
+pub struct PolicyView {
+    /// The engine clock at dispatch time (µs).
+    pub now_us: u64,
+    /// The worker being dispatched to.
+    pub worker: WorkerId,
+    /// Cell types with ready nodes, in registry order.
+    pub candidates: Vec<TypeCandidate>,
+}
+
+impl PolicyView {
+    fn candidate(&self, ct: CellTypeId) -> &TypeCandidate {
+        self.candidates
+            .iter()
+            .find(|c| c.cell_type == ct)
+            .expect("picked cell type is a candidate")
+    }
+}
+
+/// How `FormBatchedTask` orders candidate subgraphs within the picked
+/// type's queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FormationOrder {
+    /// Queue (arrival/re-enqueue) order — the paper's behavior.
+    Fifo,
+    /// Earliest request deadline first; deadline-free requests last, in
+    /// queue order.
+    EarliestDeadline,
+}
+
+/// A policy's answer: batch this type, for this recorded reason, in
+/// this formation order.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyPick {
+    /// The cell type to batch.
+    pub cell_type: CellTypeId,
+    /// The decision label stamped on `BatchFormed` trace events and
+    /// `bm_batch_reason_total`.
+    pub reason: BatchReason,
+    /// How to order subgraphs when forming the batch.
+    pub order: FormationOrder,
+}
+
+/// A batch-formation policy: cell-type selection plus submit-or-hold
+/// gating.
+///
+/// `pick` may be called several times per engine `dispatch` (the
+/// engine retries with the picked type excluded when all of its ready
+/// subgraphs turn out to be pinned to other workers), and once per
+/// dispatched worker — policies with internal hold state must tolerate
+/// both.
+pub trait SchedulingPolicy: Send + fmt::Debug {
+    /// The kind that built this policy (label source).
+    fn kind(&self) -> PolicyKind;
+
+    /// Decides what to batch for `view.worker`, or `None` to form
+    /// nothing this round.
+    fn pick(&mut self, view: &PolicyView) -> Option<PolicyPick>;
+
+    /// Absolute time (µs) at which the policy wants to be re-polled
+    /// even if no new event arrives — the release point of a held
+    /// batch. `None` when nothing is held.
+    fn next_wakeup(&self, now_us: u64) -> Option<u64> {
+        let _ = now_us;
+        None
+    }
+
+    /// Whether `pick` consults `min_slack_us` / `earliest_deadline_us`.
+    /// When `false` the engine skips the per-request slack scan.
+    fn needs_slack(&self) -> bool {
+        false
+    }
+}
+
+/// Algorithm 1 cell-type selection (lines 5–10), shared by the
+/// policies: (a) saturated types, else (b) starving types, else (c)
+/// any type with ready nodes; highest priority wins ties (`max_by_key`
+/// keeps the *last* maximum, matching the pre-trait scheduler's
+/// iteration over the registry).
+fn paper_pick(view: &PolicyView) -> Option<(CellTypeId, BatchReason)> {
+    let pick = |f: &dyn Fn(&TypeCandidate) -> bool| {
+        view.candidates
+            .iter()
+            .filter(|c| f(c))
+            .max_by_key(|c| c.priority)
+            .map(|c| c.cell_type)
+    };
+    if let Some(ct) = pick(&|c| c.ready_nodes >= c.max_batch) {
+        return Some((ct, BatchReason::Saturation));
+    }
+    if let Some(ct) = pick(&|c| c.running_tasks == 0) {
+        return Some((ct, BatchReason::Starvation));
+    }
+    pick(&|_| true).map(|ct| (ct, BatchReason::Priority))
+}
+
+/// Algorithm 1 exactly as published; bit-identical to the pre-trait
+/// scheduler (gated by proptest in `tests/scheduler_invariants.rs`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PaperDefault;
+
+impl SchedulingPolicy for PaperDefault {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::PaperDefault
+    }
+
+    fn pick(&mut self, view: &PolicyView) -> Option<PolicyPick> {
+        paper_pick(view).map(|(cell_type, reason)| PolicyPick {
+            cell_type,
+            reason,
+            order: FormationOrder::Fifo,
+        })
+    }
+}
+
+/// Per-type hold state of [`LazySlack`].
+#[derive(Debug, Clone, Copy, Default)]
+struct HoldState {
+    /// When the current hold began; `None` when not holding.
+    held_since: Option<u64>,
+    /// Ready-node level observed at the previous poll, to detect
+    /// whether the queue is still growing.
+    last_ready: usize,
+}
+
+/// Slack-aware lazy batching (LazyBatching + E-BATCH's timeout knob).
+///
+/// Saturated and starving picks submit immediately — delaying a full
+/// batch buys nothing, and a starving pipeline must not idle. A pick
+/// that qualifies only by priority (tier c) is *held* while every
+/// would-be member has slack above `slack_threshold_us` and the type's
+/// ready queue grew since the last poll; the hold is released with
+/// [`BatchReason::SlackRelease`] when slack runs low or growth stalls,
+/// or with [`BatchReason::Timeout`] after `max_delay_us`.
+#[derive(Debug)]
+pub struct LazySlack {
+    slack_threshold_us: u64,
+    max_delay_us: u64,
+    /// Indexed by cell-type index, grown on demand.
+    holds: Vec<HoldState>,
+}
+
+impl LazySlack {
+    /// Creates the policy with the given hold threshold and timeout.
+    pub fn new(slack_threshold_us: u64, max_delay_us: u64) -> Self {
+        LazySlack {
+            slack_threshold_us,
+            max_delay_us,
+            holds: Vec::new(),
+        }
+    }
+
+    fn hold_mut(&mut self, ct: CellTypeId) -> &mut HoldState {
+        let i = ct.index();
+        if self.holds.len() <= i {
+            self.holds.resize(i + 1, HoldState::default());
+        }
+        &mut self.holds[i]
+    }
+}
+
+impl SchedulingPolicy for LazySlack {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::LazySlack {
+            slack_threshold_us: self.slack_threshold_us,
+            max_delay_us: self.max_delay_us,
+        }
+    }
+
+    fn needs_slack(&self) -> bool {
+        true
+    }
+
+    fn pick(&mut self, view: &PolicyView) -> Option<PolicyPick> {
+        let (cell_type, reason) = paper_pick(view)?;
+        if reason != BatchReason::Priority {
+            // Saturated or starving: submit now, drop any pending hold.
+            *self.hold_mut(cell_type) = HoldState::default();
+            return Some(PolicyPick {
+                cell_type,
+                reason,
+                order: FormationOrder::Fifo,
+            });
+        }
+        let c = *view.candidate(cell_type);
+        let threshold = self.slack_threshold_us as i64;
+        let max_delay = self.max_delay_us;
+        let h = self.hold_mut(cell_type);
+        let slack_high = c.min_slack_us.is_none_or(|s| s > threshold);
+        let grew = c.ready_nodes > h.last_ready;
+        h.last_ready = c.ready_nodes;
+        let release = |h: &mut HoldState, reason| {
+            *h = HoldState::default();
+            Some(PolicyPick {
+                cell_type,
+                reason,
+                order: FormationOrder::Fifo,
+            })
+        };
+        match h.held_since {
+            None if slack_high => {
+                h.held_since = Some(view.now_us);
+                None
+            }
+            None => release(h, BatchReason::Priority),
+            Some(t0) if view.now_us.saturating_sub(t0) >= max_delay => {
+                release(h, BatchReason::Timeout)
+            }
+            Some(_) if !slack_high || !grew => release(h, BatchReason::SlackRelease),
+            Some(_) => None,
+        }
+    }
+
+    fn next_wakeup(&self, _now_us: u64) -> Option<u64> {
+        self.holds
+            .iter()
+            .filter_map(|h| h.held_since)
+            .min()
+            .map(|t0| t0.saturating_add(self.max_delay_us))
+    }
+}
+
+/// Earliest-deadline-first: among saturated types the earliest
+/// deadline wins (full batches keep precedence — breaking them up
+/// costs throughput with no latency gain); otherwise the type holding
+/// the earliest deadline wins outright, labelled
+/// [`BatchReason::Deadline`]. Within the picked type, subgraphs are
+/// batched in earliest-deadline order. Falls back to paper behavior
+/// when no queued request carries a deadline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeadlineEdf;
+
+impl SchedulingPolicy for DeadlineEdf {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::DeadlineEdf
+    }
+
+    fn needs_slack(&self) -> bool {
+        true
+    }
+
+    fn pick(&mut self, view: &PolicyView) -> Option<PolicyPick> {
+        let saturated: Vec<&TypeCandidate> = view
+            .candidates
+            .iter()
+            .filter(|c| c.ready_nodes >= c.max_batch)
+            .collect();
+        let any_saturated = !saturated.is_empty();
+        let pool: Vec<&TypeCandidate> = if any_saturated {
+            saturated
+        } else {
+            view.candidates.iter().collect()
+        };
+        let earliest = pool
+            .iter()
+            .filter(|c| c.earliest_deadline_us.is_some())
+            .min_by_key(|c| c.earliest_deadline_us);
+        match earliest {
+            Some(c) => Some(PolicyPick {
+                cell_type: c.cell_type,
+                reason: if any_saturated {
+                    BatchReason::Saturation
+                } else {
+                    BatchReason::Deadline
+                },
+                order: FormationOrder::EarliestDeadline,
+            }),
+            // No queued request carries a deadline: paper behavior.
+            None => paper_pick(view).map(|(cell_type, reason)| PolicyPick {
+                cell_type,
+                reason,
+                order: FormationOrder::EarliestDeadline,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(i: u32, ready: usize, running: usize, priority: u32) -> TypeCandidate {
+        TypeCandidate {
+            cell_type: CellTypeId(i),
+            ready_nodes: ready,
+            running_tasks: running,
+            min_batch: 1,
+            max_batch: 8,
+            priority,
+            min_slack_us: None,
+            earliest_deadline_us: None,
+        }
+    }
+
+    fn view(now_us: u64, candidates: Vec<TypeCandidate>) -> PolicyView {
+        PolicyView {
+            now_us,
+            worker: WorkerId(0),
+            candidates,
+        }
+    }
+
+    #[test]
+    fn paper_tiers_and_tie_breaks() {
+        // Saturation beats a higher-priority starving type.
+        let v = view(0, vec![cand(0, 8, 0, 5), cand(1, 1, 0, 9)]);
+        let (ct, reason) = paper_pick(&v).unwrap();
+        assert_eq!((ct, reason), (CellTypeId(0), BatchReason::Saturation));
+
+        // Within a tier the higher priority wins...
+        let v = view(0, vec![cand(0, 1, 0, 1), cand(1, 1, 0, 2)]);
+        assert_eq!(paper_pick(&v).unwrap().0, CellTypeId(1));
+
+        // ...and an equal-priority tie goes to the later registry entry
+        // (the pre-trait scheduler's `max_by_key` kept the last max).
+        let v = view(0, vec![cand(0, 1, 0, 3), cand(1, 1, 0, 3)]);
+        assert_eq!(paper_pick(&v).unwrap().0, CellTypeId(1));
+
+        // Starvation outranks priority-only types.
+        let v = view(0, vec![cand(0, 1, 1, 9), cand(1, 1, 0, 1)]);
+        let (ct, reason) = paper_pick(&v).unwrap();
+        assert_eq!((ct, reason), (CellTypeId(1), BatchReason::Starvation));
+
+        assert!(paper_pick(&view(0, Vec::new())).is_none());
+    }
+
+    /// A priority-only candidate with the given slack.
+    fn slacked(i: u32, ready: usize, slack: i64) -> TypeCandidate {
+        TypeCandidate {
+            min_slack_us: Some(slack),
+            earliest_deadline_us: Some(1_000_000),
+            ..cand(i, ready, 1, 1)
+        }
+    }
+
+    #[test]
+    fn lazy_slack_submits_saturated_and_starving_immediately() {
+        let mut p = LazySlack::new(10_000, 500);
+        let pick = p.pick(&view(0, vec![cand(0, 8, 1, 1)])).unwrap();
+        assert_eq!(pick.reason, BatchReason::Saturation);
+        let pick = p.pick(&view(0, vec![cand(0, 1, 0, 1)])).unwrap();
+        assert_eq!(pick.reason, BatchReason::Starvation);
+        assert_eq!(p.next_wakeup(0), None);
+    }
+
+    #[test]
+    fn lazy_slack_low_slack_never_holds() {
+        let mut p = LazySlack::new(10_000, 500);
+        let pick = p.pick(&view(0, vec![slacked(0, 1, 5_000)])).unwrap();
+        assert_eq!(pick.reason, BatchReason::Priority);
+    }
+
+    #[test]
+    fn lazy_slack_hold_times_out() {
+        let mut p = LazySlack::new(10_000, 500);
+        assert!(p.pick(&view(100, vec![slacked(0, 1, 50_000)])).is_none());
+        assert_eq!(p.next_wakeup(100), Some(600));
+        // Still growing before the deadline: keep holding.
+        assert!(p.pick(&view(300, vec![slacked(0, 2, 50_000)])).is_none());
+        let pick = p.pick(&view(600, vec![slacked(0, 3, 50_000)])).unwrap();
+        assert_eq!(pick.reason, BatchReason::Timeout);
+        assert_eq!(p.next_wakeup(600), None);
+    }
+
+    #[test]
+    fn lazy_slack_releases_when_slack_drops() {
+        let mut p = LazySlack::new(10_000, 100_000);
+        assert!(p.pick(&view(100, vec![slacked(0, 1, 50_000)])).is_none());
+        let pick = p.pick(&view(200, vec![slacked(0, 2, 9_000)])).unwrap();
+        assert_eq!(pick.reason, BatchReason::SlackRelease);
+    }
+
+    #[test]
+    fn lazy_slack_releases_when_growth_stalls() {
+        let mut p = LazySlack::new(10_000, 100_000);
+        assert!(p.pick(&view(100, vec![slacked(0, 2, 50_000)])).is_none());
+        let pick = p.pick(&view(200, vec![slacked(0, 2, 50_000)])).unwrap();
+        assert_eq!(pick.reason, BatchReason::SlackRelease);
+    }
+
+    fn deadlined(i: u32, ready: usize, deadline: u64) -> TypeCandidate {
+        TypeCandidate {
+            min_slack_us: Some(0),
+            earliest_deadline_us: Some(deadline),
+            ..cand(i, ready, 1, 1)
+        }
+    }
+
+    #[test]
+    fn edf_picks_earliest_deadline_type() {
+        let mut p = DeadlineEdf;
+        let pick = p
+            .pick(&view(
+                0,
+                vec![deadlined(0, 1, 9_000), deadlined(1, 1, 4_000)],
+            ))
+            .unwrap();
+        assert_eq!(pick.cell_type, CellTypeId(1));
+        assert_eq!(pick.reason, BatchReason::Deadline);
+        assert_eq!(pick.order, FormationOrder::EarliestDeadline);
+    }
+
+    #[test]
+    fn edf_keeps_saturation_precedence() {
+        // A full batch is never broken up for a tighter deadline
+        // elsewhere: the saturated type wins even though the other
+        // type's deadline is earlier.
+        let mut p = DeadlineEdf;
+        let saturated = TypeCandidate {
+            earliest_deadline_us: Some(9_000),
+            min_slack_us: Some(0),
+            ..cand(0, 8, 1, 1)
+        };
+        let pick = p
+            .pick(&view(0, vec![saturated, deadlined(1, 1, 4_000)]))
+            .unwrap();
+        assert_eq!(pick.cell_type, CellTypeId(0));
+        assert_eq!(pick.reason, BatchReason::Saturation);
+    }
+
+    #[test]
+    fn edf_falls_back_to_paper_without_deadlines() {
+        let mut p = DeadlineEdf;
+        let pick = p.pick(&view(0, vec![cand(0, 1, 0, 1)])).unwrap();
+        assert_eq!(pick.cell_type, CellTypeId(0));
+        assert_eq!(pick.reason, BatchReason::Starvation);
+        assert_eq!(pick.order, FormationOrder::EarliestDeadline);
+    }
+}

@@ -287,6 +287,14 @@ impl RuntimeOptions {
         self
     }
 
+    /// Sets the batch-formation policy (shorthand for setting it on
+    /// [`RuntimeOptions::scheduler`]); the threaded runtime and the
+    /// simulator run the same policy objects.
+    pub fn policy(mut self, kind: crate::policy::PolicyKind) -> Self {
+        self.scheduler.policy = kind;
+        self
+    }
+
     /// Sets the per-worker in-flight window (≥ 1; 1 disables
     /// pipelining).
     pub fn pipeline_depth(mut self, depth: usize) -> Self {
@@ -670,10 +678,16 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
 
             loop {
                 // Wait for the next message, but never past the nearest
-                // pending deadline.
-                let first = match deadlines.peek() {
-                    Some(&std::cmp::Reverse((d, _))) => {
-                        let now = timer.now_us();
+                // pending deadline or the policy's requested wake-up
+                // (the release point of a held batch).
+                let now = timer.now_us();
+                let next_deadline = deadlines.peek().map(|&std::cmp::Reverse((d, _))| d);
+                let next_wake = match (next_deadline, engine.next_wakeup(now)) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                let first = match next_wake {
+                    Some(d) => {
                         if d <= now {
                             None
                         } else {
@@ -712,7 +726,7 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
                                 },
                             );
                             blocks.insert(id, Arc::new(SlotBlock::for_graph(&graph, &registry)));
-                            engine.on_arrival(id, graph, arrival_us);
+                            engine.on_arrival_with_deadline(id, graph, arrival_us, deadline_us);
                             if let Some(d) = deadline_us {
                                 deadlines.push(std::cmp::Reverse((d, id)));
                             }

@@ -1,23 +1,28 @@
 //! The reproduction CLI: regenerates every figure of the paper.
 //!
 //! ```text
-//! repro <experiment>... [--quick|--smoke] [--out DIR]
+//! repro <experiment>... [--quick|--smoke] [--out DIR] [--policy NAME]
 //! repro all [--quick]
 //! ```
 //!
 //! Experiments: fig3 fig5 fig7a fig7b fig8 fig9 fig10 fig11 fig13 fig14
-//! fig15 headline ablation sla trace bench stats. Results land in
-//! `results/` as markdown + CSV and are echoed to stdout; `trace`
+//! fig15 headline ablation sla policies trace bench stats. Results land
+//! in `results/` as markdown + CSV and are echoed to stdout; `trace`
 //! additionally writes Chrome trace JSON (Perfetto-loadable) and
 //! per-request timelines, `bench` writes machine-readable
 //! `BENCH_kernels.json` kernel timings for benchmark regression checks,
-//! and `stats` exercises the live telemetry plane (scraper, head-sampled
+//! `stats` exercises the live telemetry plane (scraper, head-sampled
 //! tracing, stage-latency reconciliation) and writes
-//! `BENCH_telemetry.json` plus a Prometheus exposition.
+//! `BENCH_telemetry.json` plus a Prometheus exposition, and `policies`
+//! compares the batch-formation policies (paper/lazy/edf) across the
+//! SLA load sweep, writing `BENCH_policies.json`. `repro sla --policy
+//! lazy` runs the SLA sweep under one alternative policy (results land
+//! under `sla_<policy>` so the default `sla` outputs stay untouched).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use bm_core::PolicyKind;
 use bm_harness::experiments::{
     ablation, bench, fig10, fig11, fig13, fig14, fig15, fig3, fig5, fig7, fig8, fig9, headline,
     sla, stats, trace, Scale,
@@ -27,10 +32,15 @@ use bm_metrics::Table;
 
 const EXPERIMENTS: &[&str] = &[
     "fig3", "fig5", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11", "fig13", "fig14", "fig15",
-    "headline", "ablation", "sla", "trace", "bench", "stats",
+    "headline", "ablation", "sla", "policies", "trace", "bench", "stats",
 ];
 
-fn run_one(name: &str, scale: Scale, out_dir: &Path) -> Option<Vec<Table>> {
+fn run_one(
+    name: &str,
+    scale: Scale,
+    out_dir: &Path,
+    policy: Option<PolicyKind>,
+) -> Option<Vec<Table>> {
     let tables = match name {
         "fig3" => fig3::run(scale),
         "fig5" => fig5::run(scale),
@@ -45,7 +55,11 @@ fn run_one(name: &str, scale: Scale, out_dir: &Path) -> Option<Vec<Table>> {
         "fig15" => fig15::run(scale),
         "headline" => headline::run(scale),
         "ablation" => ablation::run(scale),
-        "sla" => sla::run(scale),
+        "sla" => match policy {
+            Some(kind) => sla::run_with_policy(scale, kind),
+            None => sla::run(scale),
+        },
+        "policies" => sla::run_policies(scale, out_dir),
         "trace" => trace::run(scale, out_dir),
         "bench" => bench::run(scale, out_dir),
         "stats" => stats::run(scale, out_dir),
@@ -58,6 +72,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Full;
     let mut out_dir = PathBuf::from("results");
+    let mut policy: Option<PolicyKind> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(a) = iter.next() {
@@ -70,12 +85,19 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--policy" => match iter.next().as_deref().and_then(PolicyKind::parse) {
+                Some(k) => policy = Some(k),
+                None => {
+                    eprintln!("--policy requires one of: paper lazy edf");
+                    return ExitCode::FAILURE;
+                }
+            },
             "all" => selected.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
             other => selected.push(other.to_string()),
         }
     }
     if selected.is_empty() {
-        eprintln!("usage: repro <experiment>... [--quick|--smoke] [--out DIR]");
+        eprintln!("usage: repro <experiment>... [--quick|--smoke] [--out DIR] [--policy NAME]");
         eprintln!("experiments: {} all", EXPERIMENTS.join(" "));
         return ExitCode::FAILURE;
     }
@@ -83,10 +105,16 @@ fn main() -> ExitCode {
     for name in &selected {
         eprintln!("== running {name} ({scale:?}) ==");
         let start = std::time::Instant::now();
-        match run_one(name, scale, &out_dir) {
+        match run_one(name, scale, &out_dir, policy) {
             Some(tables) => {
-                write_results(&out_dir, name, &tables);
-                eprintln!("== {name} done in {:.1?} ==\n", start.elapsed());
+                // A policy-variant sla run lands under its own name so
+                // the default sla outputs stay byte-stable.
+                let out_name = match policy {
+                    Some(k) if name == "sla" => format!("sla_{}", k.label()),
+                    _ => name.clone(),
+                };
+                write_results(&out_dir, &out_name, &tables);
+                eprintln!("== {out_name} done in {:.1?} ==\n", start.elapsed());
             }
             None => {
                 eprintln!(

@@ -53,6 +53,11 @@ pub struct SimOptions {
     /// the system are dropped before reaching the server and counted in
     /// [`SimOutcome::rejected`]. `None` admits everything.
     pub max_active: Option<usize>,
+    /// Batch-formation policy installed on the server at the start of
+    /// the run ([`Server::set_policy`]); `None` (the default) leaves
+    /// the server as constructed. Servers without a pluggable
+    /// scheduler ignore the request.
+    pub policy: Option<bm_core::PolicyKind>,
     /// Destination for driver-level trace events (admission rejections,
     /// expiries), stamped in virtual time. Engine-level events need the
     /// sink installed on the server too (e.g.
@@ -76,6 +81,7 @@ impl Default for SimOptions {
             worker_speeds: None,
             deadline_us: None,
             max_active: None,
+            policy: None,
             trace: bm_trace::noop(),
             telemetry: Telemetry::disabled(),
         }
@@ -128,6 +134,12 @@ impl SimOptions {
     /// Caps concurrently admitted requests.
     pub fn max_active(mut self, cap: usize) -> Self {
         self.max_active = Some(cap);
+        self
+    }
+
+    /// Installs a batch-formation policy on the server at run start.
+    pub fn policy(mut self, kind: bm_core::PolicyKind) -> Self {
+        self.policy = Some(kind);
         self
     }
 
@@ -212,6 +224,12 @@ pub fn simulate(
     assert!(opts.workers > 0, "need at least one worker");
     assert!(opts.pipeline_depth > 0, "pipeline depth must be >= 1");
     assert!(!arrivals.is_empty(), "no arrivals");
+    if let Some(kind) = opts.policy {
+        assert!(
+            server.set_policy(kind),
+            "server does not support pluggable scheduling policies"
+        );
+    }
 
     let mut events: EventQueue<Event> = EventQueue::new();
     for (idx, (at, _)) in arrivals.iter().enumerate() {
@@ -289,6 +307,7 @@ pub fn simulate(
                             id: idx as u64,
                             input: input.clone(),
                             arrival_us: *at,
+                            deadline_us: opts.deadline_us.map(|d| at.saturating_add(d)),
                         },
                         now,
                     );

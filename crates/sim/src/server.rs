@@ -1,5 +1,6 @@
 //! The simulated-server protocol.
 
+use bm_core::PolicyKind;
 use bm_model::RequestInput;
 
 /// One arriving request as seen by a simulated server.
@@ -11,6 +12,10 @@ pub struct SimRequest {
     pub input: RequestInput,
     /// Arrival time, µs.
     pub arrival_us: u64,
+    /// Absolute completion deadline, µs (`SimOptions::deadline_us`
+    /// applied to the arrival time); deadline-aware schedulers may
+    /// consult it, and the driver expires the request past it.
+    pub deadline_us: Option<u64>,
 }
 
 /// A unit of device occupancy produced by a server: one batched kernel
@@ -57,6 +62,15 @@ pub trait Server {
     fn next_wakeup(&self, now_us: u64) -> Option<u64> {
         let _ = now_us;
         None
+    }
+
+    /// Installs a batch-formation policy ([`bm_core::policy`]).
+    /// Returns `true` if the server honours it; servers without a
+    /// pluggable scheduler return `false` (the default) and the driver
+    /// surfaces the mismatch to the caller.
+    fn set_policy(&mut self, kind: PolicyKind) -> bool {
+        let _ = kind;
+        false
     }
 
     /// Cancels an admitted request (deadline expiry): unscheduled work

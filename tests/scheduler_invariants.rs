@@ -305,3 +305,499 @@ proptest! {
         );
     }
 }
+
+/// A comparable summary of a dispatch result: (cell type, worker,
+/// entries as (request, node), subgraphs) per task.
+type TaskSig = Vec<(usize, u32, Vec<(u64, u32)>, Vec<bm_core::SubgraphId>)>;
+
+fn sig(tasks: &[bm_core::Task]) -> TaskSig {
+    tasks
+        .iter()
+        .map(|t| {
+            (
+                t.cell_type.index(),
+                t.worker.0,
+                t.entries.iter().map(|e| (e.request.0, e.node.0)).collect(),
+                t.subgraphs.to_vec(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// PaperDefault under the policy trait is bit-identical to the
+    /// default-configured scheduler: two engines fed the same arrivals
+    /// and driven in lockstep (across models × workers × pipeline
+    /// depth) produce identical task streams. The second engine also
+    /// round-trips through a policy swap first, so a stale-state
+    /// regression in `set_policy_kind` would surface here.
+    #[test]
+    fn paper_default_under_trait_is_bit_identical(
+        workload in workload_strategy(),
+        workers in 1usize..4,
+        max_tasks in 1usize..6,
+        depth in 1usize..4,
+    ) {
+        use bm_core::PolicyKind;
+
+        let (model, inputs) = build(&workload);
+        let registry = Arc::new(model.registry().clone());
+        let mut a = CellularEngine::new(
+            Arc::clone(&registry),
+            SchedulerConfig::new().max_tasks_to_submit(max_tasks),
+        );
+        let mut b = CellularEngine::new(
+            Arc::clone(&registry),
+            SchedulerConfig::new()
+                .max_tasks_to_submit(max_tasks)
+                .policy(PolicyKind::PaperDefault),
+        );
+        b.set_policy_kind(PolicyKind::lazy_slack());
+        b.set_policy_kind(PolicyKind::PaperDefault);
+
+        for (i, input) in inputs.iter().enumerate() {
+            let now = i as u64;
+            a.on_arrival(RequestId(i as u64), model.unfold(input), now);
+            b.on_arrival(RequestId(i as u64), model.unfold(input), now);
+        }
+
+        let mut inflight: std::collections::VecDeque<(bm_core::Task, bm_core::Task)> =
+            Default::default();
+        let mut now = 1000u64;
+        let mut stalled = 0;
+        while a.active_requests() > 0 {
+            let mut dispatched = false;
+            for w in 0..workers {
+                let ta = a.dispatch(WorkerId(w as u32));
+                let tb = b.dispatch(WorkerId(w as u32));
+                prop_assert_eq!(sig(&ta), sig(&tb), "task streams diverged");
+                dispatched |= !ta.is_empty();
+                inflight.extend(ta.into_iter().zip(tb));
+            }
+            // Hold up to `depth` tasks in flight across rounds; drain
+            // fully when nothing new formed so completions release work.
+            let keep = if dispatched { depth } else { 0 };
+            let mut completed = false;
+            while inflight.len() > keep {
+                let (x, y) = inflight.pop_front().expect("nonempty");
+                now += 1;
+                a.on_task_started(x.id, now);
+                b.on_task_started(y.id, now);
+                let tokens = vec![None; x.entries.len()];
+                let ca: Vec<u64> = a
+                    .on_task_completed(x.id, &tokens, now)
+                    .iter()
+                    .map(|c| c.id.0)
+                    .collect();
+                let cb: Vec<u64> = b
+                    .on_task_completed(y.id, &tokens, now)
+                    .iter()
+                    .map(|c| c.id.0)
+                    .collect();
+                prop_assert_eq!(ca, cb, "completion streams diverged");
+                completed = true;
+            }
+            if !dispatched && !completed {
+                stalled += 1;
+                prop_assert!(stalled < 3, "engines wedged with work remaining");
+            } else {
+                stalled = 0;
+            }
+        }
+        prop_assert_eq!(b.active_requests(), 0);
+    }
+}
+
+/// Re-derives Algorithm 1's cell-type selection (lines 5–10) from the
+/// engine's observable queue depths: saturation, then starvation, then
+/// priority; highest priority wins ties, last registry entry winning
+/// equal-priority ties (`max_by_key` keeps the last maximum).
+fn predict_alg1(
+    metas: &[(usize, u32)],    // (max_batch, priority) per type index
+    depths: &[(usize, usize)], // (ready_nodes, running_tasks)
+) -> Option<(usize, bm_trace::BatchReason)> {
+    use bm_trace::BatchReason;
+    let tier = |f: &dyn Fn(usize) -> bool| -> Option<usize> {
+        (0..metas.len())
+            .filter(|&i| depths[i].0 > 0 && f(i))
+            .max_by_key(|&i| metas[i].1)
+    };
+    if let Some(i) = tier(&|i| depths[i].0 >= metas[i].0) {
+        return Some((i, BatchReason::Saturation));
+    }
+    if let Some(i) = tier(&|i| depths[i].1 == 0) {
+        return Some((i, BatchReason::Starvation));
+    }
+    tier(&|_| true).map(|i| (i, BatchReason::Priority))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The engine's picks match an independent re-implementation of
+    /// Algorithm 1 derived only from observable queue depths: same cell
+    /// type and same recorded `BatchReason`, across all three models
+    /// and pipeline depths. Single worker, so subgraph pinning can
+    /// never mask the selection.
+    #[test]
+    fn paper_default_matches_algorithm1_oracle(
+        workload in workload_strategy(),
+        max_tasks in 1usize..6,
+        depth in 1usize..4,
+    ) {
+        use bm_trace::{EventKind, RingBufferSink};
+
+        let (model, inputs) = build(&workload);
+        let registry = Arc::new(model.registry().clone());
+        let metas: Vec<(usize, u32)> = registry
+            .iter()
+            .map(|m| (m.max_batch, m.priority))
+            .collect();
+        let mut engine = CellularEngine::new(
+            Arc::clone(&registry),
+            SchedulerConfig::new().max_tasks_to_submit(max_tasks),
+        );
+        let sink = Arc::new(RingBufferSink::new(4096));
+        engine.set_trace_sink(sink.clone());
+
+        for (i, input) in inputs.iter().enumerate() {
+            engine.on_arrival(RequestId(i as u64), model.unfold(input), i as u64);
+        }
+        sink.drain();
+
+        let mut inflight: std::collections::VecDeque<bm_core::Task> = Default::default();
+        let mut now = 1000u64;
+        while engine.active_requests() > 0 {
+            let depths = engine.queue_depths();
+            let predicted = predict_alg1(&metas, &depths);
+            let tasks = engine.dispatch(WorkerId(0));
+            let formed: Vec<bm_trace::BatchReason> = sink
+                .drain()
+                .into_iter()
+                .filter_map(|e| match e.kind {
+                    EventKind::BatchFormed { reason, .. } => Some(reason),
+                    _ => None,
+                })
+                .collect();
+            match predicted {
+                Some((ct, reason)) => {
+                    prop_assert!(!tasks.is_empty(), "oracle expected a batch");
+                    prop_assert_eq!(tasks[0].cell_type.index(), ct, "cell type diverged");
+                    prop_assert_eq!(formed.len(), tasks.len());
+                    prop_assert_eq!(formed[0], reason, "selection reason diverged");
+                }
+                None => prop_assert!(tasks.is_empty(), "batch the oracle ruled out"),
+            }
+            let dispatched = !tasks.is_empty();
+            inflight.extend(tasks);
+            prop_assert!(
+                dispatched || !inflight.is_empty(),
+                "engine wedged with work remaining"
+            );
+            let keep = if dispatched { depth } else { 0 };
+            while inflight.len() > keep {
+                let t = inflight.pop_front().expect("nonempty");
+                now += 1;
+                engine.on_task_started(t.id, now);
+                let tokens = vec![None; t.entries.len()];
+                engine.on_task_completed(t.id, &tokens, now);
+            }
+        }
+    }
+}
+
+/// Drains the sink's `BatchFormed` reasons.
+fn formed_reasons(sink: &bm_trace::RingBufferSink) -> Vec<bm_trace::BatchReason> {
+    sink.drain()
+        .into_iter()
+        .filter_map(|e| match e.kind {
+            bm_trace::EventKind::BatchFormed { reason, .. } => Some(reason),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Regression (stale batch reason): when one `dispatch` call forms
+/// several tasks, follow-on tasks must be labelled against the queue
+/// state they actually saw, not the selection-time reason. Five
+/// single-node requests against `max_batch = 4` form a saturated
+/// 4-batch plus a 1-node leftover; the leftover is merely
+/// priority-qualified (the first task is still running) and must not
+/// inherit the `Saturation` label.
+#[test]
+fn follow_on_tasks_requalify_their_reason() {
+    use bm_model::{LstmLm, LstmLmConfig};
+    use bm_trace::{BatchReason, RingBufferSink};
+
+    let model = LstmLm::new(LstmLmConfig {
+        max_batch: 4,
+        ..Default::default()
+    });
+    let registry = Arc::new(model.registry().clone());
+    let mut engine = CellularEngine::new(
+        Arc::clone(&registry),
+        SchedulerConfig::new().max_tasks_to_submit(4),
+    );
+    let sink = Arc::new(RingBufferSink::new(64));
+    engine.set_trace_sink(sink.clone());
+
+    for i in 0..5u64 {
+        engine.on_arrival(
+            RequestId(i),
+            model.unfold(&RequestInput::Sequence(vec![1])),
+            0,
+        );
+    }
+    sink.drain();
+    let tasks = engine.dispatch(WorkerId(0));
+    assert_eq!(tasks.len(), 2);
+    assert_eq!(tasks[0].batch_size(), 4);
+    assert_eq!(tasks[1].batch_size(), 1);
+    assert_eq!(
+        formed_reasons(&sink),
+        vec![BatchReason::Saturation, BatchReason::Priority],
+        "follow-on task must requalify, not inherit Saturation"
+    );
+}
+
+/// Regression (worker-oblivious cell-type pick): a worker must not
+/// idle because the highest-priority type's only ready subgraph is
+/// pinned to a *different* worker while another type has unpinned
+/// ready work. Seq2Seq gives the decoder priority over the encoder;
+/// worker 0 holds both an in-flight decoder task (pinning request A's
+/// decoder subgraph, which has a further ready node) and an in-flight
+/// encoder task, so for worker 1 the pick must fall through the pinned
+/// decoder to request B's unpinned encoder work.
+#[test]
+fn pick_falls_through_type_pinned_to_other_worker() {
+    let model = Seq2Seq::small();
+    let registry = Arc::new(model.registry().clone());
+    let mut engine = CellularEngine::new(
+        Arc::clone(&registry),
+        SchedulerConfig::new().max_tasks_to_submit(1),
+    );
+    let mut now = 0u64;
+    let finish = |engine: &mut CellularEngine, t: &bm_core::Task, now: &mut u64| {
+        *now += 1;
+        engine.on_task_started(t.id, *now);
+        engine.on_task_completed(t.id, &vec![None; t.entries.len()], *now);
+    };
+
+    // Request A: run its encoder to completion on worker 0, then start
+    // (and keep in flight) its first decoder step — pinning A's decoder
+    // subgraph, whose next node is now ready, to worker 0.
+    engine.on_arrival(
+        RequestId(0),
+        model.unfold(&RequestInput::Pair {
+            src: vec![2, 3],
+            decode_len: 3,
+        }),
+        now,
+    );
+    for _ in 0..2 {
+        let t = engine.dispatch(WorkerId(0));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].cell_type, model.encoder_type());
+        finish(&mut engine, &t[0], &mut now);
+    }
+    let dec = engine.dispatch(WorkerId(0));
+    assert_eq!(dec.len(), 1);
+    assert_eq!(dec[0].cell_type, model.decoder_type());
+    engine.on_task_started(dec[0].id, now);
+
+    // Request C: its single-node encoder task goes in flight on worker
+    // 0 too, so the encoder is no longer starving.
+    engine.on_arrival(
+        RequestId(2),
+        model.unfold(&RequestInput::Pair {
+            src: vec![2],
+            decode_len: 1,
+        }),
+        now,
+    );
+    let enc = engine.dispatch(WorkerId(0));
+    assert_eq!(enc.len(), 1);
+    assert_eq!(enc[0].cell_type, model.encoder_type());
+    engine.on_task_started(enc[0].id, now);
+
+    // Request B arrives with unpinned encoder work. The pick for worker
+    // 1 prefers the decoder (higher priority, ready node), but its only
+    // ready subgraph is pinned to worker 0 — the scheduler must fall
+    // through to the encoder instead of idling worker 1.
+    engine.on_arrival(
+        RequestId(1),
+        model.unfold(&RequestInput::Pair {
+            src: vec![2],
+            decode_len: 1,
+        }),
+        now,
+    );
+    let tasks = engine.dispatch(WorkerId(1));
+    assert_eq!(tasks.len(), 1, "worker 1 idled despite unpinned ready work");
+    assert_eq!(tasks[0].cell_type, model.encoder_type());
+    assert_eq!(tasks[0].entries.len(), 1);
+    assert_eq!(tasks[0].entries[0].request, RequestId(1));
+}
+
+/// Under `DeadlineEdf` the formed batch serves requests in earliest-
+/// deadline order, not queue order; `PaperDefault` keeps queue order.
+#[test]
+fn edf_forms_batches_in_deadline_order() {
+    use bm_core::PolicyKind;
+    use bm_model::{LstmLm, LstmLmConfig};
+
+    let model = LstmLm::new(LstmLmConfig {
+        max_batch: 1,
+        ..Default::default()
+    });
+    let registry = Arc::new(model.registry().clone());
+    let arrivals = |engine: &mut CellularEngine| {
+        // r0 queues first but has the laxer deadline; r1 is tighter.
+        engine.on_arrival_with_deadline(
+            RequestId(0),
+            model.unfold(&RequestInput::Sequence(vec![1, 2])),
+            0,
+            Some(200_000),
+        );
+        engine.on_arrival_with_deadline(
+            RequestId(1),
+            model.unfold(&RequestInput::Sequence(vec![1, 2])),
+            10,
+            Some(50_000),
+        );
+    };
+
+    let mut edf = CellularEngine::new(
+        Arc::clone(&registry),
+        SchedulerConfig::new()
+            .max_tasks_to_submit(1)
+            .policy(PolicyKind::DeadlineEdf),
+    );
+    arrivals(&mut edf);
+    let tasks = edf.dispatch(WorkerId(0));
+    assert_eq!(tasks.len(), 1);
+    assert_eq!(
+        tasks[0].entries[0].request,
+        RequestId(1),
+        "EDF must serve the tighter deadline first"
+    );
+
+    let mut paper = CellularEngine::new(
+        Arc::clone(&registry),
+        SchedulerConfig::new().max_tasks_to_submit(1),
+    );
+    arrivals(&mut paper);
+    let tasks = paper.dispatch(WorkerId(0));
+    assert_eq!(tasks.len(), 1);
+    assert_eq!(tasks[0].entries[0].request, RequestId(0));
+}
+
+/// `LazySlack` engine wiring: a merely priority-qualified batch with
+/// ample slack is held (dispatch returns nothing, `next_wakeup`
+/// schedules the release), and the hold is released with `Timeout`
+/// once the max delay elapses.
+#[test]
+fn lazy_slack_holds_then_times_out() {
+    use bm_core::PolicyKind;
+    use bm_model::LstmLm;
+    use bm_trace::{BatchReason, RingBufferSink};
+
+    let model = LstmLm::small();
+    let registry = Arc::new(model.registry().clone());
+    let mut engine = CellularEngine::new(
+        Arc::clone(&registry),
+        SchedulerConfig::new()
+            .max_tasks_to_submit(1)
+            .policy(PolicyKind::LazySlack {
+                slack_threshold_us: 10_000,
+                max_delay_us: 500,
+            }),
+    );
+    let sink = Arc::new(RingBufferSink::new(64));
+    engine.set_trace_sink(sink.clone());
+
+    // Ample slack: the deadline is far beyond the hold window.
+    engine.on_arrival_with_deadline(
+        RequestId(0),
+        model.unfold(&RequestInput::Sequence(vec![1, 2, 3, 4])),
+        1_000,
+        Some(1_000_000),
+    );
+    sink.drain();
+
+    // Starving type: submits immediately, no hold. Keep it in flight so
+    // the next node only priority-qualifies.
+    let first = engine.dispatch(WorkerId(0));
+    assert_eq!(first.len(), 1);
+    assert_eq!(formed_reasons(&sink), vec![BatchReason::Starvation]);
+    engine.on_task_started(first[0].id, 1_000);
+
+    // Priority-qualified with ample slack: held.
+    assert!(engine.dispatch(WorkerId(0)).is_empty(), "hold expected");
+    assert_eq!(engine.next_wakeup(1_000), Some(1_500));
+
+    // At the wakeup the hold times out and the batch is released.
+    engine.advance_clock(1_500);
+    let released = engine.dispatch(WorkerId(0));
+    assert_eq!(released.len(), 1);
+    assert_eq!(formed_reasons(&sink), vec![BatchReason::Timeout]);
+    assert_eq!(engine.next_wakeup(1_500), None);
+}
+
+/// `LazySlack` releases a held batch as soon as the ready queue stops
+/// growing (no point waiting longer — nothing new is coalescing), and
+/// keeps holding while it does grow.
+#[test]
+fn lazy_slack_releases_when_growth_stalls() {
+    use bm_core::PolicyKind;
+    use bm_model::LstmLm;
+    use bm_trace::{BatchReason, RingBufferSink};
+
+    let model = LstmLm::small();
+    let registry = Arc::new(model.registry().clone());
+    let mut engine = CellularEngine::new(
+        Arc::clone(&registry),
+        SchedulerConfig::new()
+            .max_tasks_to_submit(1)
+            .policy(PolicyKind::LazySlack {
+                slack_threshold_us: 10_000,
+                max_delay_us: 100_000,
+            }),
+    );
+    let sink = Arc::new(RingBufferSink::new(64));
+    engine.set_trace_sink(sink.clone());
+
+    engine.on_arrival_with_deadline(
+        RequestId(0),
+        model.unfold(&RequestInput::Sequence(vec![1, 2, 3])),
+        1_000,
+        Some(10_000_000),
+    );
+    let first = engine.dispatch(WorkerId(0));
+    assert_eq!(first.len(), 1);
+    engine.on_task_started(first[0].id, 1_000);
+    sink.drain();
+
+    // Hold starts; a second arrival keeps the queue growing, so the
+    // hold survives the next poll.
+    assert!(engine.dispatch(WorkerId(0)).is_empty(), "hold expected");
+    engine.on_arrival_with_deadline(
+        RequestId(1),
+        model.unfold(&RequestInput::Sequence(vec![1])),
+        1_050,
+        Some(10_000_000),
+    );
+    assert!(
+        engine.dispatch(WorkerId(0)).is_empty(),
+        "growing: keep holding"
+    );
+
+    // No further growth: the next poll releases, well before timeout.
+    engine.advance_clock(1_100);
+    let released = engine.dispatch(WorkerId(0));
+    assert_eq!(released.len(), 1);
+    assert_eq!(released[0].batch_size(), 2, "hold coalesced both requests");
+    assert_eq!(formed_reasons(&sink), vec![BatchReason::SlackRelease]);
+}
