@@ -174,6 +174,7 @@ mod tests {
                 input: RequestInput::Tree(TreeShape::leaf(1)),
                 arrival_us: 0,
                 deadline_us: None,
+                priority: 0,
             },
             0,
         );

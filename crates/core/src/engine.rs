@@ -21,9 +21,11 @@ use bm_model::{CellGraph, NodeId};
 use bm_telemetry::{Counter, Gauge, Histogram, Telemetry};
 use bm_trace::{BatchReason, EventKind, TraceEvent, TraceSink};
 
+use crate::config::ServeConfig;
 use crate::ids::{RequestId, SubgraphId, TaskId, WorkerId};
 use crate::partition::{partition, Partition};
 use crate::policy::{FormationOrder, PolicyKind, PolicyView, SchedulingPolicy, TypeCandidate};
+use crate::request::Request;
 use crate::task::{CompletedRequest, Task, TaskEntry};
 
 /// EWMA weight of the newest per-row service-cost sample (the slack
@@ -32,16 +34,22 @@ const ROW_COST_EWMA_ALPHA: f64 = 0.2;
 
 /// Tunables of the scheduler.
 ///
-/// Construct with the builder:
+/// Embeds the shared [`ServeConfig`] (policy, deadlines, observability
+/// sinks) and adds the engine-only knobs. Construct with the builder:
 ///
 /// ```
 /// use bm_core::SchedulerConfig;
 /// let cfg = SchedulerConfig::new().max_tasks_to_submit(3);
 /// assert_eq!(cfg.max_tasks_to_submit, 3);
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub struct SchedulerConfig {
+    /// The shared serving knobs ([`ServeConfig`]): the engine reads the
+    /// batch-formation policy, trace sink and telemetry registry from
+    /// it; the admission/queue/pipelining knobs are consumed by the
+    /// drivers embedding this config.
+    pub serve: ServeConfig,
     /// "The maximum number of tasks that can be submitted to a worker"
     /// per `Schedule` invocation (Algorithm 1; default 5).
     pub max_tasks_to_submit: usize,
@@ -51,17 +59,14 @@ pub struct SchedulerConfig {
     /// must leave this off (the default) — otherwise the undrained
     /// records grow without bound.
     pub retain_completions: bool,
-    /// The batch-formation policy ([`crate::policy`]); the default,
-    /// [`PolicyKind::PaperDefault`], is Algorithm 1 exactly.
-    pub policy: PolicyKind,
 }
 
 impl Default for SchedulerConfig {
     fn default() -> Self {
         SchedulerConfig {
+            serve: ServeConfig::default(),
             max_tasks_to_submit: 5,
             retain_completions: false,
-            policy: PolicyKind::PaperDefault,
         }
     }
 }
@@ -87,10 +92,22 @@ impl SchedulerConfig {
     }
 
     /// Sets the batch-formation policy (default
-    /// [`PolicyKind::PaperDefault`]).
+    /// [`PolicyKind::PaperDefault`]); shorthand for setting it on
+    /// [`SchedulerConfig::serve`].
     pub fn policy(mut self, kind: PolicyKind) -> Self {
-        self.policy = kind;
+        self.serve.policy = Some(kind);
         self
+    }
+
+    /// Replaces the embedded [`ServeConfig`].
+    pub fn serve(mut self, serve: ServeConfig) -> Self {
+        self.serve = serve;
+        self
+    }
+
+    /// The effective batch-formation policy.
+    pub fn policy_kind(&self) -> PolicyKind {
+        self.serve.policy.unwrap_or_default()
     }
 }
 
@@ -208,6 +225,9 @@ struct RequestState {
     /// ([`CellularEngine::on_arrival_with_deadline`]); the slack input
     /// of deadline-aware policies.
     deadline_us: Option<u64>,
+    /// Request priority ([`Request::priority`]); deadline-EDF batch
+    /// formation prefers higher priorities among equal deadlines.
+    priority: u8,
     start_us: Option<u64>,
     /// When the request's first nodes entered a scheduling queue
     /// (telemetry stage decomposition; stamped only when metrics are
@@ -376,14 +396,27 @@ pub struct CellularEngine {
 
 impl CellularEngine {
     /// Creates an engine over the given registry.
+    ///
+    /// The embedded [`ServeConfig`] supplies the batch-formation policy
+    /// and the observability sinks: a configured trace sink or enabled
+    /// telemetry registry is installed directly, as if
+    /// [`CellularEngine::set_trace_sink`] /
+    /// [`CellularEngine::set_telemetry`] had been called.
     pub fn new(registry: Arc<CellRegistry>, cfg: SchedulerConfig) -> Self {
         let queues = (0..registry.len()).map(|_| TypeQueue::default()).collect();
         let row_cost_ewma = vec![0.0; registry.len()];
+        let metrics = cfg
+            .serve
+            .telemetry
+            .enabled()
+            .then(|| EngineMetrics::new(&cfg.serve.telemetry, &registry));
         CellularEngine {
-            registry,
-            policy: cfg.policy.build(),
+            policy: cfg.policy_kind().build(),
             row_cost_ewma,
+            trace: Arc::clone(&cfg.serve.trace),
+            metrics,
             cfg,
+            registry,
             requests: HashMap::new(),
             subgraphs: HashMap::new(),
             queues,
@@ -393,8 +426,6 @@ impl CellularEngine {
             next_task: 0,
             completions: Vec::new(),
             stats: SchedulerStats::default(),
-            trace: bm_trace::noop(),
-            metrics: None,
             clock_us: 0,
         }
     }
@@ -441,13 +472,13 @@ impl CellularEngine {
     /// Queue state is untouched; only future `dispatch` calls are
     /// affected.
     pub fn set_policy_kind(&mut self, kind: PolicyKind) {
-        self.cfg.policy = kind;
+        self.cfg.serve.policy = Some(kind);
         self.policy = kind.build();
     }
 
     /// The kind of the active batch-formation policy.
     pub fn policy_kind(&self) -> PolicyKind {
-        self.cfg.policy
+        self.cfg.policy_kind()
     }
 
     /// Absolute time (µs) at which the active policy wants a dispatch
@@ -498,6 +529,43 @@ impl CellularEngine {
         graph: CellGraph,
         now_us: u64,
         deadline_us: Option<u64>,
+    ) {
+        self.admit(id, graph, now_us, deadline_us, 0);
+    }
+
+    /// [`CellularEngine::on_arrival_with_deadline`] with a scheduling
+    /// priority attached (see [`Request::priority`]); for drivers that
+    /// resolved the request's deadline to an absolute time at
+    /// submission.
+    pub fn on_arrival_full(
+        &mut self,
+        id: RequestId,
+        graph: CellGraph,
+        now_us: u64,
+        deadline_us: Option<u64>,
+        priority: u8,
+    ) {
+        self.admit(id, graph, now_us, deadline_us, priority);
+    }
+
+    /// Admits a pre-unfolded graph carrying a [`Request`]'s metadata:
+    /// the deadline resolves relative to `now_us` (the engine itself
+    /// has no default deadline — drivers resolve theirs first) and the
+    /// priority feeds deadline-aware batch formation.
+    pub fn on_request(&mut self, id: RequestId, graph: CellGraph, now_us: u64, req: &Request) {
+        let deadline = req
+            .effective_deadline_us(None)
+            .map(|d| now_us.saturating_add(d));
+        self.admit(id, graph, now_us, deadline, req.priority);
+    }
+
+    fn admit(
+        &mut self,
+        id: RequestId,
+        graph: CellGraph,
+        now_us: u64,
+        deadline_us: Option<u64>,
+        priority: u8,
     ) {
         assert!(
             !self.requests.contains_key(&id),
@@ -553,6 +621,7 @@ impl CellularEngine {
         let req = RequestState {
             arrival_us: now_us,
             deadline_us,
+            priority,
             start_us: None,
             first_enqueue_us: None,
             first_batch_us: None,
@@ -835,16 +904,22 @@ impl CellularEngine {
                 }
             }
             FormationOrder::EarliestDeadline => {
-                let mut by_deadline: Vec<(u64, SubgraphId)> = q
+                // Earliest deadline first; among equal deadlines,
+                // higher request priority first; queue order breaks the
+                // remaining ties (the sort is stable).
+                let mut by_deadline: Vec<((u64, u8), SubgraphId)> = q
                     .subgraphs
                     .iter()
                     .filter(|sg_id| eligible(&self.subgraphs[sg_id]))
                     .map(|&sg_id| {
-                        let req = self.subgraphs[&sg_id].request;
-                        (self.requests[&req].deadline_us.unwrap_or(u64::MAX), sg_id)
+                        let req = &self.requests[&self.subgraphs[&sg_id].request];
+                        (
+                            (req.deadline_us.unwrap_or(u64::MAX), u8::MAX - req.priority),
+                            sg_id,
+                        )
                     })
                     .collect();
-                by_deadline.sort_by_key(|&(d, _)| d);
+                by_deadline.sort_by_key(|&(key, _)| key);
                 for (_, sg_id) in by_deadline {
                     if take_from(sg_id) {
                         break;

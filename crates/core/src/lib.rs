@@ -17,22 +17,29 @@
 //! [`CellularEngine`] under a calibrated GPU cost model to reproduce the
 //! paper's latency/throughput experiments.
 
+mod config;
 mod engine;
 mod ids;
 pub mod partition;
 pub mod policy;
+mod request;
 mod runtime;
+mod shard;
 mod state_plane;
 mod task;
 
+pub use config::{ServeConfig, TenantRate};
 pub use engine::{CancelOutcome, CellularEngine, SchedulerConfig, SchedulerStats, STAGE_NAMES};
 pub use ids::{RequestId, SubgraphId, TaskId, WorkerId};
 pub use partition::{partition, Partition};
 pub use policy::{
     FormationOrder, PolicyKind, PolicyPick, PolicyView, SchedulingPolicy, TypeCandidate,
 };
+pub use request::{DeadlineSpec, Request};
 pub use runtime::{
-    ResponseHandle, Runtime, RuntimeOptions, ServedOutcome, ServedResult, ServedTiming, SubmitError,
+    ResponseHandle, Runtime, RuntimeOptions, ServedOutcome, ServedResult, ServedTiming,
+    SubmitError, WaitError,
 };
+pub use shard::ShardedRuntime;
 pub use state_plane::SlotBlock;
 pub use task::{CompletedRequest, Task, TaskEntry};

@@ -39,7 +39,7 @@
 //!   [`RuntimeOptions::queue_cap`]) refuses excess submissions with a
 //!   typed [`SubmitError`] without disturbing admitted work.
 //! - **Deadlines** ([`RuntimeOptions::deadline_us`] or per-request via
-//!   [`Runtime::try_submit_with_deadline`]) cancel requests that cannot
+//!   [`crate::Request::deadline_us`]) cancel requests that cannot
 //!   meet their SLA: unsubmitted cells are dropped through
 //!   [`CellularEngine::cancel_request`], in-flight tasks drain, and the
 //!   handle resolves to [`ServedOutcome::Expired`].
@@ -71,8 +71,10 @@ use bm_model::{reference::GraphResult, CellGraph, Model, RequestInput, TokenSour
 use bm_telemetry::{Counter, Gauge, Histogram, Telemetry};
 use bm_trace::{EventKind, RejectReason, TraceEvent, TraceSink};
 
+use crate::config::ServeConfig;
 use crate::engine::{CancelOutcome, CellularEngine, SchedulerConfig};
 use crate::ids::{RequestId, TaskId, WorkerId};
+use crate::request::Request;
 use crate::state_plane::SlotBlock;
 use crate::task::{CompletedRequest, Task};
 
@@ -175,6 +177,25 @@ impl ServedOutcome {
     }
 }
 
+/// Why [`ResponseHandle::wait_timeout`] returned without an outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WaitError {
+    /// The timeout elapsed before the request resolved; the handle is
+    /// still live and may be waited on again.
+    TimedOut,
+}
+
+impl std::fmt::Display for WaitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaitError::TimedOut => write!(f, "timed out waiting for the request to resolve"),
+        }
+    }
+}
+
+impl std::error::Error for WaitError {}
+
 /// A handle to a submitted request; resolves to its outcome.
 #[derive(Debug)]
 pub struct ResponseHandle {
@@ -189,14 +210,30 @@ impl ResponseHandle {
         self.rx.recv().unwrap_or(ServedOutcome::ShutDown)
     }
 
+    /// Blocks until the request resolves or `timeout` elapses. On
+    /// timeout the handle stays live: callers interleaving waits with
+    /// other work (e.g. the network front door's per-connection reaper
+    /// checking for closed connections) call it again. A runtime that
+    /// shut down yields [`ServedOutcome::ShutDown`], never an error.
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<ServedOutcome, WaitError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(outcome) => Ok(outcome),
+            Err(RecvTimeoutError::Timeout) => Err(WaitError::TimedOut),
+            Err(RecvTimeoutError::Disconnected) => Ok(ServedOutcome::ShutDown),
+        }
+    }
+
     /// Non-blocking poll.
     pub fn try_wait(&self) -> Option<ServedOutcome> {
         self.rx.try_recv().ok()
     }
 }
 
-/// Runtime construction knobs: worker count, scheduler tunables,
-/// overload handling and tracing.
+/// Runtime construction knobs: worker count plus the scheduler
+/// tunables, whose embedded [`ServeConfig`] carries the shared serving
+/// knobs (policy, deadlines, admission caps, queue bound, pipelining,
+/// observability). The fluent setters below delegate into it, so
+/// existing builder chains read unchanged.
 ///
 /// Built fluently (`#[non_exhaustive]` forbids literal construction so
 /// new knobs can be added compatibly):
@@ -212,45 +249,17 @@ impl ResponseHandle {
 ///     .deadline_us(50_000)
 ///     .queue_cap(256);
 /// assert_eq!(opts.workers, 4);
-/// assert_eq!(opts.pipeline_depth, 3);
-/// assert_eq!(opts.max_active, Some(64));
+/// assert_eq!(opts.serve().pipeline_depth, 3);
+/// assert_eq!(opts.serve().max_active, Some(64));
 /// ```
 #[derive(Debug, Clone)]
 #[non_exhaustive]
 pub struct RuntimeOptions {
     /// Worker threads executing batched tasks. Must be ≥ 1.
     pub workers: usize,
-    /// Scheduler tunables (Algorithm 1).
+    /// Scheduler tunables (Algorithm 1), including the embedded
+    /// [`ServeConfig`] (reachable via [`RuntimeOptions::serve`]).
     pub scheduler: SchedulerConfig,
-    /// Per-worker in-flight window: the manager refills a worker's FIFO
-    /// queue whenever fewer than this many of its tasks are unfinished,
-    /// so the next batch is already queued when the current one drains
-    /// and the worker never idles on the manager round-trip. Depth 1
-    /// reproduces the classic dispatch-on-drain behaviour; must be ≥ 1.
-    pub pipeline_depth: usize,
-    /// Cap on concurrently admitted (unresolved) requests; submissions
-    /// beyond it fail with [`SubmitError::AtCapacity`]. `None` admits
-    /// everything.
-    pub max_active: Option<usize>,
-    /// Relative deadline applied to every submission that does not carry
-    /// its own, µs from arrival. `None` means no default deadline.
-    pub deadline_us: Option<u64>,
-    /// Bound on the manager's message queue. When full, new submissions
-    /// fail with [`SubmitError::QueueFull`]; workers reporting
-    /// completions block briefly instead (backpressure, never dropped).
-    /// `None` leaves the queue unbounded.
-    pub queue_cap: Option<usize>,
-    /// Destination for scheduler trace events. The default no-op sink
-    /// reports itself disabled, so instrumentation costs one branch per
-    /// site.
-    pub trace: Arc<dyn TraceSink>,
-    /// Metric registry for live serving telemetry. The default
-    /// disabled registry keeps every instrumentation site to a single
-    /// branch (no handles are even registered); pass
-    /// `Telemetry::new()` to record admission/rejection/expiry
-    /// counters, queue-depth gauges, per-stage latency and batch-size
-    /// histograms, and per-worker busy time.
-    pub telemetry: Arc<Telemetry>,
 }
 
 impl Default for RuntimeOptions {
@@ -258,12 +267,6 @@ impl Default for RuntimeOptions {
         RuntimeOptions {
             workers: 1,
             scheduler: SchedulerConfig::default(),
-            pipeline_depth: 2,
-            max_active: None,
-            deadline_us: None,
-            queue_cap: None,
-            trace: bm_trace::noop(),
-            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -275,61 +278,85 @@ impl RuntimeOptions {
         Self::default()
     }
 
+    /// The shared serving configuration embedded in the scheduler
+    /// tunables.
+    pub fn serve(&self) -> &ServeConfig {
+        &self.scheduler.serve
+    }
+
     /// Sets the number of worker threads.
     pub fn workers(mut self, n: usize) -> Self {
         self.workers = n;
         self
     }
 
-    /// Sets the scheduler tunables.
+    /// Sets the scheduler tunables. Replaces the whole config including
+    /// its embedded [`ServeConfig`], so call it before the delegating
+    /// setters below (they edit the embedded serve config in place).
     pub fn scheduler(mut self, cfg: SchedulerConfig) -> Self {
         self.scheduler = cfg;
         self
     }
 
-    /// Sets the batch-formation policy (shorthand for setting it on
-    /// [`RuntimeOptions::scheduler`]); the threaded runtime and the
+    /// Replaces the embedded [`ServeConfig`] wholesale, keeping the
+    /// other scheduler tunables.
+    pub fn serve_config(mut self, serve: ServeConfig) -> Self {
+        self.scheduler.serve = serve;
+        self
+    }
+
+    /// Sets the batch-formation policy (shorthand for setting it on the
+    /// embedded [`ServeConfig`]); the threaded runtime and the
     /// simulator run the same policy objects.
     pub fn policy(mut self, kind: crate::policy::PolicyKind) -> Self {
-        self.scheduler.policy = kind;
+        self.scheduler.serve.policy = Some(kind);
         self
     }
 
     /// Sets the per-worker in-flight window (≥ 1; 1 disables
-    /// pipelining).
+    /// pipelining): the manager refills a worker's FIFO queue whenever
+    /// fewer than this many of its tasks are unfinished, so the next
+    /// batch is already queued when the current one drains. Depth 1
+    /// reproduces the classic dispatch-on-drain behaviour.
     pub fn pipeline_depth(mut self, depth: usize) -> Self {
-        self.pipeline_depth = depth;
+        self.scheduler.serve.pipeline_depth = depth;
         self
     }
 
-    /// Caps concurrently admitted requests.
+    /// Caps concurrently admitted (unresolved) requests; submissions
+    /// beyond the cap fail with [`SubmitError::AtCapacity`].
     pub fn max_active(mut self, cap: usize) -> Self {
-        self.max_active = Some(cap);
+        self.scheduler.serve.max_active = Some(cap);
         self
     }
 
-    /// Sets the default relative deadline, µs from arrival.
+    /// Sets the default relative deadline, µs from arrival, applied to
+    /// every submission that does not carry its own.
     pub fn deadline_us(mut self, d: u64) -> Self {
-        self.deadline_us = Some(d);
+        self.scheduler.serve.deadline_us = Some(d);
         self
     }
 
-    /// Bounds the manager's message queue.
+    /// Bounds the manager's message queue. When full, new submissions
+    /// fail with [`SubmitError::QueueFull`]; workers reporting
+    /// completions block briefly instead (backpressure, never dropped).
     pub fn queue_cap(mut self, cap: usize) -> Self {
-        self.queue_cap = Some(cap);
+        self.scheduler.serve.queue_cap = Some(cap);
         self
     }
 
     /// Routes scheduler trace events to `sink`.
     pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
-        self.trace = sink;
+        self.scheduler.serve.trace = sink;
         self
     }
 
-    /// Records serving metrics into `tel` (see
-    /// [`RuntimeOptions::telemetry`]).
+    /// Records serving metrics into `tel`: admission/rejection/expiry
+    /// counters, queue-depth gauges, per-stage latency and batch-size
+    /// histograms, and per-worker busy time. The default disabled
+    /// registry keeps every instrumentation site to a single branch.
     pub fn telemetry(mut self, tel: Arc<Telemetry>) -> Self {
-        self.telemetry = tel;
+        self.scheduler.serve.telemetry = tel;
         self
     }
 }
@@ -340,6 +367,7 @@ enum ManagerMsg {
         graph: CellGraph,
         arrival_us: u64,
         deadline_us: Option<u64>,
+        priority: u8,
         respond: Sender<ServedOutcome>,
     },
     TaskDone {
@@ -382,20 +410,23 @@ impl Runtime {
     ///
     /// # Panics
     ///
-    /// Panics if `opts.workers` or `opts.pipeline_depth` is zero.
+    /// Panics if `opts.workers` or the serve config's `pipeline_depth`
+    /// is zero.
     pub fn start(model: Arc<dyn Model>, opts: RuntimeOptions) -> Self {
         let num_workers = opts.workers;
+        let pipeline_depth = opts.serve().pipeline_depth;
         assert!(num_workers > 0, "need at least one worker");
-        assert!(opts.pipeline_depth > 0, "pipeline depth must be >= 1");
+        assert!(pipeline_depth > 0, "pipeline depth must be >= 1");
         let registry: Arc<CellRegistry> = Arc::new(model.registry().clone());
         let timer = CpuTimer::new();
         let active = Arc::new(AtomicUsize::new(0));
 
-        let (mgr_tx, mgr_rx) = match opts.queue_cap {
+        let (mgr_tx, mgr_rx) = match opts.serve().queue_cap {
             Some(cap) => bounded::<ManagerMsg>(cap.max(1)),
             None => unbounded::<ManagerMsg>(),
         };
-        let tel = &opts.telemetry;
+        let tel = Arc::clone(&opts.serve().telemetry);
+        let tel = &tel;
         let mut worker_txs = Vec::new();
         let mut workers = Vec::new();
         for w in 0..num_workers {
@@ -407,7 +438,7 @@ impl Runtime {
             // one dispatch (`max_tasks_to_submit` tasks) — so this
             // bound is never hit and the manager never blocks on a
             // worker.
-            let bound = opts.pipeline_depth + opts.scheduler.max_tasks_to_submit.max(1);
+            let bound = pipeline_depth + opts.scheduler.max_tasks_to_submit.max(1);
             let (tx, rx) = bounded::<WorkerTask>(bound);
             worker_txs.push(tx);
             workers.push(spawn_worker(
@@ -424,12 +455,12 @@ impl Runtime {
             rx: mgr_rx,
             worker_txs,
             registry,
-            cfg: opts.scheduler,
-            pipeline_depth: opts.pipeline_depth,
+            cfg: opts.scheduler.clone(),
+            pipeline_depth,
             num_workers,
             timer: timer.clone(),
             active: Arc::clone(&active),
-            trace: Arc::clone(&opts.trace),
+            trace: Arc::clone(&opts.serve().trace),
             telemetry: Arc::clone(tel),
         });
 
@@ -462,43 +493,38 @@ impl Runtime {
         Runtime::start(model, opts.workers(num_workers))
     }
 
-    /// Submits a request; returns a handle resolving to its outcome.
-    ///
-    /// # Panics
-    ///
-    /// Panics on any [`SubmitError`] (invalid input or overload
-    /// refusal); use [`Runtime::try_submit`] to handle those.
-    pub fn submit(&self, input: &RequestInput) -> ResponseHandle {
-        self.try_submit(input)
-            .unwrap_or_else(|e| panic!("submit failed: {e}"))
-    }
-
-    /// Submits a request with the runtime's default deadline (if any).
+    /// Submits a [`Request`] — the single submission entry point; the
+    /// deprecated `submit`/`try_submit` trio are shims over it.
     ///
     /// Fails fast with a typed [`SubmitError`] — invalid input,
     /// admission-control refusal ([`SubmitError::AtCapacity`],
     /// [`SubmitError::QueueFull`]) or shutdown. A returned handle means
     /// the request was admitted; it resolves to a [`ServedOutcome`].
-    pub fn try_submit(&self, input: &RequestInput) -> Result<ResponseHandle, SubmitError> {
-        self.try_submit_with_deadline(input, self.opts.deadline_us)
-    }
-
-    /// Submits a request with an explicit relative deadline (µs from
-    /// arrival; `None` disables the deadline for this request even if
-    /// the runtime has a default).
-    pub fn try_submit_with_deadline(
-        &self,
-        input: &RequestInput,
-        deadline_us: Option<u64>,
-    ) -> Result<ResponseHandle, SubmitError> {
-        self.model.validate(input).map_err(SubmitError::Invalid)?;
-        let graph = self.model.unfold(input);
+    ///
+    /// ```no_run
+    /// # use std::sync::Arc;
+    /// # use bm_core::{Request, Runtime, RuntimeOptions};
+    /// # use bm_model::RequestInput;
+    /// # fn serve(rt: &Runtime) -> Result<(), bm_core::SubmitError> {
+    /// let handle = rt.submit_request(
+    ///     Request::new(RequestInput::Sequence(vec![1, 2, 3])).deadline_us(50_000),
+    /// )?;
+    /// let outcome = handle.wait();
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn submit_request(&self, req: impl Into<Request>) -> Result<ResponseHandle, SubmitError> {
+        let req = req.into();
+        self.model
+            .validate(&req.input)
+            .map_err(SubmitError::Invalid)?;
+        let graph = self.model.unfold(&req.input);
         let id = RequestId(self.next_request.fetch_add(1, Ordering::Relaxed));
         let (tx, rx) = unbounded();
         let handle = ResponseHandle { rx };
 
         // Admission: reserve a slot under the cap or refuse outright.
-        if let Some(cap) = self.opts.max_active {
+        if let Some(cap) = self.opts.serve().max_active {
             let admitted = self
                 .active
                 .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
@@ -518,11 +544,13 @@ impl Runtime {
         }
 
         let arrival_us = self.timer.now_us();
+        let deadline_us = req.effective_deadline_us(self.opts.serve().deadline_us);
         let msg = ManagerMsg::Arrive {
             id,
             graph,
             arrival_us,
             deadline_us: deadline_us.map(|d| arrival_us.saturating_add(d)),
+            priority: req.priority,
             respond: tx,
         };
         match self.manager_tx.try_send(msg) {
@@ -541,6 +569,44 @@ impl Runtime {
         }
     }
 
+    /// Submits a request; returns a handle resolving to its outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`SubmitError`] (invalid input or overload
+    /// refusal); use [`Runtime::submit_request`] to handle those.
+    #[deprecated(since = "0.3.0", note = "use `submit_request(Request::new(input))`")]
+    pub fn submit(&self, input: &RequestInput) -> ResponseHandle {
+        self.submit_request(Request::from(input))
+            .unwrap_or_else(|e| panic!("submit failed: {e}"))
+    }
+
+    /// Submits a request with the runtime's default deadline (if any).
+    #[deprecated(since = "0.3.0", note = "use `submit_request(Request::new(input))`")]
+    pub fn try_submit(&self, input: &RequestInput) -> Result<ResponseHandle, SubmitError> {
+        self.submit_request(Request::from(input))
+    }
+
+    /// Submits a request with an explicit relative deadline (µs from
+    /// arrival; `None` disables the deadline for this request even if
+    /// the runtime has a default).
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `submit_request(Request::new(input).deadline_us(..))` \
+                (or `.no_deadline()` for an explicit None)"
+    )]
+    pub fn try_submit_with_deadline(
+        &self,
+        input: &RequestInput,
+        deadline_us: Option<u64>,
+    ) -> Result<ResponseHandle, SubmitError> {
+        let req = match deadline_us {
+            Some(d) => Request::from(input).deadline_us(d),
+            None => Request::from(input).no_deadline(),
+        };
+        self.submit_request(req)
+    }
+
     fn trace_rejection(&self, id: RequestId, reason: RejectReason) {
         if let Some(c) = &self.reject_counters {
             match reason {
@@ -548,8 +614,9 @@ impl Runtime {
                 RejectReason::QueueFull => c[1].inc(),
             }
         }
-        if self.opts.trace.enabled() {
-            self.opts.trace.record(TraceEvent {
+        let trace = &self.opts.serve().trace;
+        if trace.enabled() {
+            trace.record(TraceEvent {
                 ts_us: self.timer.now_us(),
                 kind: EventKind::RequestRejected {
                     request: id.0,
@@ -562,6 +629,11 @@ impl Runtime {
     /// Requests admitted and not yet resolved.
     pub fn active_requests(&self) -> usize {
         self.active.load(Ordering::Acquire)
+    }
+
+    /// The options this runtime was started with.
+    pub fn options(&self) -> &RuntimeOptions {
+        &self.opts
     }
 
     /// Microseconds since the runtime started.
@@ -638,9 +710,9 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name("bm-manager".into())
         .spawn(move || {
+            // The engine installs its own trace/telemetry sinks from
+            // the serve config embedded in `cfg`.
             let mut engine = CellularEngine::new(Arc::clone(&registry), cfg);
-            engine.set_trace_sink(Arc::clone(&trace));
-            engine.set_telemetry(&telemetry);
             // Manager-side telemetry handles; all `None` when disabled
             // so each site below stays one branch.
             let expired_counter = telemetry
@@ -715,6 +787,7 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
                             graph,
                             arrival_us,
                             deadline_us,
+                            priority,
                             respond,
                         }) => {
                             responders.insert(
@@ -726,7 +799,7 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
                                 },
                             );
                             blocks.insert(id, Arc::new(SlotBlock::for_graph(&graph, &registry)));
-                            engine.on_arrival_with_deadline(id, graph, arrival_us, deadline_us);
+                            engine.on_arrival_full(id, graph, arrival_us, deadline_us, priority);
                             if let Some(d) = deadline_us {
                                 deadlines.push(std::cmp::Reverse((d, id)));
                             }

@@ -1,0 +1,248 @@
+//! The sharded scheduler control plane.
+//!
+//! BENCH_runtime.json showed the single-threaded manager capping
+//! end-to-end pipelining gains: one thread owns the only
+//! [`CellularEngine`](crate::CellularEngine) and time-shares with the
+//! workers. [`ShardedRuntime`] removes that bottleneck by running N
+//! independent scheduler shards — each a full threaded [`Runtime`] with
+//! its own engine, deadline heap, manager queue and worker pool — behind
+//! one submission front.
+//!
+//! ## Placement
+//!
+//! Requests are placed with **cell-type affinity**: each
+//! [`RequestInput`] variant (LSTM-LM sequence, seq2seq pair, TreeLSTM
+//! tree) has a home shard, so a mixed workload keeps each shard's
+//! engine forming large same-type batches instead of splitting every
+//! type's queue N ways. Affinity alone collapses under a skewed type
+//! mix (all-LSTM traffic would fill one shard), so placement is
+//! load-aware: when the home shard's active-request count exceeds the
+//! least-loaded shard's by more than a spill margin, the request is
+//! **rebalanced** to the least-loaded shard. This is admission-time
+//! stealing — once admitted a request never migrates, because its state
+//! rows live in the owning shard's slot blocks.
+//!
+//! Overload refusals get a second chance: a shard refusing with
+//! `QueueFull`/`AtCapacity` does not fail the submission until every
+//! other shard (tried in load order) has also refused.
+//!
+//! ## Telemetry
+//!
+//! With telemetry enabled ([`ServeConfig::telemetry`]), each shard gets
+//! its **own** registry (so shards never contend on one), and
+//! [`ShardedRuntime::snapshot`] rolls them up into a single
+//! [`Snapshot`] with a `shard` label on every entry — aggregate totals
+//! fall out of `counter_sum`/`histogram_sum` over the merged view.
+//!
+//! Worker threads are divided across shards (each shard gets at least
+//! one), so a 1-shard and an N-shard runtime with the same
+//! [`RuntimeOptions::workers`] use the same compute and differ only in
+//! control-plane parallelism — the comparison `repro serve` records.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use bm_model::{Model, RequestInput};
+use bm_telemetry::{Snapshot, Telemetry};
+
+use crate::config::ServeConfig;
+use crate::request::Request;
+use crate::runtime::{ResponseHandle, Runtime, RuntimeOptions, SubmitError};
+
+/// How far (in active requests) a home shard may run ahead of the
+/// least-loaded shard before affinity yields to rebalancing. Small
+/// enough that a skewed type mix spreads within tens of requests; large
+/// enough that balanced traffic keeps its type affinity through normal
+/// load jitter.
+const SPILL_MARGIN: usize = 16;
+
+/// N independent scheduler shards behind one submission API.
+///
+/// See the module-level docs in `shard.rs` for placement and telemetry semantics.
+/// Construction mirrors [`Runtime::start`]; the shard count comes from
+/// the embedded serve config ([`ServeConfig::shards`]):
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use bm_core::{Request, RuntimeOptions, ShardedRuntime};
+/// use bm_model::RequestInput;
+/// # fn demo(model: Arc<dyn bm_model::Model>) {
+/// let rt = ShardedRuntime::start(
+///     model,
+///     RuntimeOptions::new().workers(8).scheduler(
+///         bm_core::SchedulerConfig::new()
+///             .serve(bm_core::ServeConfig::new().shards(4)),
+///     ),
+/// );
+/// let handle = rt
+///     .submit_request(Request::new(RequestInput::Sequence(vec![1, 2])))
+///     .unwrap();
+/// let _ = handle.wait();
+/// # }
+/// ```
+pub struct ShardedRuntime {
+    shards: Vec<Runtime>,
+    /// Per-shard registries (empty when telemetry is disabled).
+    registries: Vec<Arc<Telemetry>>,
+    /// Round-robin cursor used only to vary the starting shard of the
+    /// load scan, so equal-load ties don't all resolve to shard 0.
+    rr: AtomicUsize,
+}
+
+impl ShardedRuntime {
+    /// Starts `opts.serve().shards` shards serving `model`, dividing
+    /// `opts.workers` worker threads across them (each shard gets at
+    /// least one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opts.workers` or the serve config's `pipeline_depth`
+    /// is zero (shard count 0 is clamped to 1).
+    pub fn start(model: Arc<dyn Model>, opts: RuntimeOptions) -> Self {
+        let n = opts.serve().shards.max(1);
+        let total_workers = opts.workers.max(1);
+        let telemetry_on = opts.serve().telemetry.enabled();
+        let mut shards = Vec::with_capacity(n);
+        let mut registries = Vec::with_capacity(n);
+        for i in 0..n {
+            // Divide workers as evenly as possible: the first
+            // `total_workers % n` shards get one extra.
+            let workers = (total_workers / n + usize::from(i < total_workers % n)).max(1);
+            let mut shard_opts = opts.clone().workers(workers);
+            if telemetry_on {
+                let reg = Telemetry::new();
+                registries.push(Arc::clone(&reg));
+                shard_opts = shard_opts.telemetry(reg);
+            }
+            shards.push(Runtime::start(Arc::clone(&model), shard_opts));
+        }
+        ShardedRuntime {
+            shards,
+            registries,
+            rr: AtomicUsize::new(0),
+        }
+    }
+
+    /// The number of scheduler shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Submits a [`Request`], placing it by cell-type affinity with
+    /// load-aware rebalancing (placement details in the module-level docs).
+    ///
+    /// Fails with [`SubmitError::QueueFull`] / [`SubmitError::AtCapacity`]
+    /// only after every shard refused; [`SubmitError::Invalid`] fails
+    /// immediately (no shard would accept it).
+    pub fn submit_request(&self, req: impl Into<Request>) -> Result<ResponseHandle, SubmitError> {
+        let req = req.into();
+        let n = self.shards.len();
+        let home = affinity_shard(&req.input, n);
+        let start = self.rr.fetch_add(1, Ordering::Relaxed) % n;
+        let loads: Vec<usize> = self.shards.iter().map(Runtime::active_requests).collect();
+        let (mut lightest, mut min_load) = (start, loads[start]);
+        for off in 1..n {
+            let i = (start + off) % n;
+            if loads[i] < min_load {
+                lightest = i;
+                min_load = loads[i];
+            }
+        }
+        let first = if loads[home] > min_load + SPILL_MARGIN {
+            lightest
+        } else {
+            home
+        };
+
+        match self.shards[first].submit_request(req.clone()) {
+            Ok(h) => Ok(h),
+            Err(e @ SubmitError::Invalid(_)) | Err(e @ SubmitError::ShuttingDown) => Err(e),
+            Err(mut overloaded) => {
+                // Second chance: try the remaining shards, lightest
+                // first, before refusing.
+                let mut order: Vec<usize> = (0..n).filter(|&i| i != first).collect();
+                order.sort_by_key(|&i| loads[i]);
+                for i in order {
+                    match self.shards[i].submit_request(req.clone()) {
+                        Ok(h) => return Ok(h),
+                        Err(e @ SubmitError::Invalid(_)) | Err(e @ SubmitError::ShuttingDown) => {
+                            return Err(e)
+                        }
+                        Err(e) => overloaded = e,
+                    }
+                }
+                Err(overloaded)
+            }
+        }
+    }
+
+    /// Requests admitted and not yet resolved, summed over all shards.
+    pub fn active_requests(&self) -> usize {
+        self.shards.iter().map(Runtime::active_requests).sum()
+    }
+
+    /// Per-shard active-request counts (placement observability).
+    pub fn shard_loads(&self) -> Vec<usize> {
+        self.shards.iter().map(Runtime::active_requests).collect()
+    }
+
+    /// Microseconds since the runtime started (shard 0's clock).
+    pub fn now_us(&self) -> u64 {
+        self.shards[0].now_us()
+    }
+
+    /// One rolled-up snapshot of every shard's registry: each entry
+    /// carries a `shard` label naming its source shard. Empty when
+    /// telemetry was not enabled at start.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::merge(
+            self.registries
+                .iter()
+                .enumerate()
+                .map(|(i, reg)| reg.snapshot().with_label("shard", &i.to_string())),
+        )
+    }
+
+    /// Shuts every shard down after draining in-flight requests,
+    /// joining all threads.
+    pub fn shutdown(self) {
+        for shard in self.shards {
+            shard.shutdown();
+        }
+    }
+
+    /// The serve config knobs this runtime was started with (shard 0's
+    /// copy; all shards share them).
+    pub fn serve(&self) -> &ServeConfig {
+        self.shards[0].options().serve()
+    }
+}
+
+/// The home shard for an input: each cell-graph shape (and therefore
+/// cell type) maps to its own shard, so same-type requests co-locate
+/// and batch together.
+fn affinity_shard(input: &RequestInput, n: usize) -> usize {
+    let class = match input {
+        RequestInput::Sequence(_) => 0usize,
+        RequestInput::Pair { .. } => 1,
+        RequestInput::Tree(_) => 2,
+    };
+    class % n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affinity_separates_types_when_shards_allow() {
+        let seq = RequestInput::Sequence(vec![1]);
+        let pair = RequestInput::Pair {
+            src: vec![1],
+            decode_len: 1,
+        };
+        assert_eq!(affinity_shard(&seq, 1), 0);
+        assert_eq!(affinity_shard(&pair, 1), 0);
+        assert_ne!(affinity_shard(&seq, 2), affinity_shard(&pair, 2));
+    }
+}

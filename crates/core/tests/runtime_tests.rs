@@ -12,7 +12,10 @@ use rand::SeedableRng;
 
 fn check_against_reference(model: Arc<dyn Model>, inputs: &[RequestInput], workers: usize) {
     let rt = Runtime::start(Arc::clone(&model), RuntimeOptions::new().workers(workers));
-    let handles: Vec<_> = inputs.iter().map(|i| rt.submit(i)).collect();
+    let handles: Vec<_> = inputs
+        .iter()
+        .map(|i| rt.submit_request(i).expect("submit"))
+        .collect();
     for (input, h) in inputs.iter().zip(handles) {
         let served = h.wait().completed();
         let expect = reference::execute_graph(&model.unfold(input), model.registry());
@@ -86,7 +89,11 @@ fn eos_terminated_decode_stops_early() {
         src: vec![2, 3],
         decode_len: 40,
     };
-    let served = rt.submit(&input).wait().completed();
+    let served = rt
+        .submit_request(&input)
+        .expect("submit")
+        .wait()
+        .completed();
     // The reference executor applies the same eos semantics; decoded
     // prefixes must agree.
     let expect = reference::execute_graph(&model.unfold(&input), model.registry());
@@ -112,7 +119,11 @@ fn throughput_sanity_many_concurrent_requests() {
         RuntimeOptions::new().workers(2),
     );
     let ds = Dataset::lstm(200, LengthDistribution::Fixed(6), 900, 5);
-    let handles: Vec<_> = ds.items().iter().map(|i| rt.submit(i)).collect();
+    let handles: Vec<_> = ds
+        .items()
+        .iter()
+        .map(|i| rt.submit_request(i).expect("submit"))
+        .collect();
     let mut latencies = Vec::new();
     for (input, h) in ds.items().iter().zip(handles) {
         let served = h.wait().completed();
@@ -133,13 +144,15 @@ fn handles_resolve_even_when_submitted_after_idle() {
     );
     // First burst.
     let a = rt
-        .submit(&RequestInput::Sequence(vec![1, 2, 3]))
+        .submit_request(RequestInput::Sequence(vec![1, 2, 3]))
+        .expect("submit")
         .wait()
         .completed();
     // Let the system go idle, then submit again.
     std::thread::sleep(std::time::Duration::from_millis(5));
     let b = rt
-        .submit(&RequestInput::Sequence(vec![4, 5]))
+        .submit_request(RequestInput::Sequence(vec![4, 5]))
+        .expect("submit")
         .wait()
         .completed();
     assert_eq!(a.result.executed_count(), 3);
@@ -171,9 +184,12 @@ fn zero_deadline_requests_expire_while_others_complete() {
         .iter()
         .enumerate()
         .map(|(i, input)| {
-            let deadline = if i % 3 == 0 { Some(0) } else { None };
-            rt.try_submit_with_deadline(input, deadline)
-                .expect("valid input")
+            let req = if i % 3 == 0 {
+                bm_core::Request::from(input).deadline_us(0)
+            } else {
+                bm_core::Request::from(input)
+            };
+            rt.submit_request(req).expect("valid input")
         })
         .collect();
     let mut expired = 0;
@@ -208,7 +224,11 @@ fn deadline_flood_sheds_tail_without_hanging() {
         RuntimeOptions::new().workers(1).deadline_us(1_000),
     );
     let ds = Dataset::lstm(600, LengthDistribution::Fixed(20), 900, 17);
-    let handles: Vec<_> = ds.items().iter().map(|i| rt.submit(i)).collect();
+    let handles: Vec<_> = ds
+        .items()
+        .iter()
+        .map(|i| rt.submit_request(i).expect("submit"))
+        .collect();
     let (mut completed, mut expired) = (0usize, 0usize);
     for (input, h) in ds.items().iter().zip(handles) {
         match h.wait() {
@@ -244,7 +264,7 @@ fn admission_cap_rejects_excess_submissions() {
         RuntimeOptions::new().workers(1).max_active(4),
     );
     let ds = Dataset::lstm(200, LengthDistribution::Fixed(40), 900, 23);
-    let submissions: Vec<_> = ds.items().iter().map(|i| rt.try_submit(i)).collect();
+    let submissions: Vec<_> = ds.items().iter().map(|i| rt.submit_request(i)).collect();
     let (mut completed, mut rejected) = (0usize, 0usize);
     for (input, sub) in ds.items().iter().zip(submissions) {
         match sub {
@@ -280,7 +300,7 @@ fn bounded_manager_queue_never_deadlocks() {
         RuntimeOptions::new().workers(2).queue_cap(2),
     );
     let ds = Dataset::lstm(80, LengthDistribution::Fixed(10), 900, 31);
-    let submissions: Vec<_> = ds.items().iter().map(|i| rt.try_submit(i)).collect();
+    let submissions: Vec<_> = ds.items().iter().map(|i| rt.submit_request(i)).collect();
     let mut resolved = 0usize;
     for (input, sub) in ds.items().iter().zip(submissions) {
         match sub {
@@ -322,7 +342,11 @@ fn traced_run_yields_ordered_timelines() {
         RuntimeOptions::new().trace(sink.clone()),
     );
     let ds = Dataset::lstm(40, LengthDistribution::Fixed(8), 900, 41);
-    let handles: Vec<_> = ds.items().iter().map(|i| rt.submit(i)).collect();
+    let handles: Vec<_> = ds
+        .items()
+        .iter()
+        .map(|i| rt.submit_request(i).expect("submit"))
+        .collect();
     for h in handles {
         h.wait().completed();
     }
@@ -365,39 +389,53 @@ fn builders_preserve_defaults() {
     let defaults = RuntimeOptions::default();
     assert_eq!(opts.workers, defaults.workers);
     assert_eq!(opts.workers, 1);
-    assert_eq!(opts.max_active, defaults.max_active);
-    assert_eq!(opts.max_active, None);
-    assert_eq!(opts.deadline_us, None);
-    assert_eq!(opts.queue_cap, None);
-    assert_eq!(opts.pipeline_depth, defaults.pipeline_depth);
-    assert_eq!(opts.pipeline_depth, 2);
-    assert!(!opts.trace.enabled(), "default sink must be the no-op");
+    assert_eq!(opts.serve().max_active, defaults.serve().max_active);
+    assert_eq!(opts.serve().max_active, None);
+    assert_eq!(opts.serve().deadline_us, None);
+    assert_eq!(opts.serve().queue_cap, None);
+    assert_eq!(opts.serve().pipeline_depth, defaults.serve().pipeline_depth);
+    assert_eq!(opts.serve().pipeline_depth, 2);
+    assert!(
+        !opts.serve().trace.enabled(),
+        "default sink must be the no-op"
+    );
+    assert!(opts.serve().shards >= 1);
 
     let cfg = bm_core::SchedulerConfig::new();
     let cfg_defaults = bm_core::SchedulerConfig::default();
     assert_eq!(cfg.max_tasks_to_submit, cfg_defaults.max_tasks_to_submit);
     assert_eq!(cfg.max_tasks_to_submit, 5);
     assert!(!cfg.retain_completions);
+
+    let serve = bm_core::ServeConfig::new();
+    let serve_defaults = bm_core::ServeConfig::default();
+    assert_eq!(serve.policy, serve_defaults.policy);
+    assert_eq!(serve.policy, None);
+    assert_eq!(serve.pipeline_depth, 2);
+    assert_eq!(serve.tenant_rate, None);
 }
 
 #[test]
 fn builders_set_only_the_named_field() {
+    // `scheduler(..)` replaces the whole SchedulerConfig including its
+    // embedded ServeConfig, so it comes first in the chain; the
+    // delegating setters after it edit the embedded serve config.
     let opts = RuntimeOptions::new()
+        .scheduler(bm_core::SchedulerConfig::new().max_tasks_to_submit(2))
         .workers(3)
         .max_active(64)
         .deadline_us(50_000)
         .queue_cap(256)
-        .pipeline_depth(4)
-        .scheduler(bm_core::SchedulerConfig::new().max_tasks_to_submit(2));
+        .pipeline_depth(4);
     assert_eq!(opts.workers, 3);
-    assert_eq!(opts.max_active, Some(64));
-    assert_eq!(opts.deadline_us, Some(50_000));
-    assert_eq!(opts.queue_cap, Some(256));
-    assert_eq!(opts.pipeline_depth, 4);
+    assert_eq!(opts.serve().max_active, Some(64));
+    assert_eq!(opts.serve().deadline_us, Some(50_000));
+    assert_eq!(opts.serve().queue_cap, Some(256));
+    assert_eq!(opts.serve().pipeline_depth, 4);
     assert_eq!(opts.scheduler.max_tasks_to_submit, 2);
     // Untouched knobs keep their defaults through the chain.
     assert!(!opts.scheduler.retain_completions);
-    assert!(!opts.trace.enabled());
+    assert!(!opts.serve().trace.enabled());
 }
 
 // ---------------------------------------------------------------------------
@@ -456,7 +494,7 @@ proptest! {
                 .pipeline_depth(depth)
                 .scheduler(bm_core::SchedulerConfig::new().max_tasks_to_submit(max_tasks)),
         );
-        let handles: Vec<_> = inputs.iter().map(|i| rt.submit(i)).collect();
+        let handles: Vec<_> = inputs.iter().map(|i| rt.submit_request(i).expect("submit")).collect();
         for (input, h) in inputs.iter().zip(handles) {
             let served = h.wait().completed();
             let expect = reference::execute_graph(&model.unfold(input), model.registry());
@@ -504,11 +542,16 @@ fn deep_pipelining_preserves_cross_worker_dependencies() {
         let rt = Runtime::start(
             Arc::clone(&model),
             RuntimeOptions::new()
+                // scheduler() replaces the whole config, so it comes
+                // before the delegating setters.
+                .scheduler(bm_core::SchedulerConfig::new().max_tasks_to_submit(6))
                 .workers(4)
-                .pipeline_depth(4)
-                .scheduler(bm_core::SchedulerConfig::new().max_tasks_to_submit(6)),
+                .pipeline_depth(4),
         );
-        let handles: Vec<_> = inputs.iter().map(|i| rt.submit(i)).collect();
+        let handles: Vec<_> = inputs
+            .iter()
+            .map(|i| rt.submit_request(i).expect("submit"))
+            .collect();
         for (input, h) in inputs.iter().zip(handles) {
             let served = h.wait().completed();
             let expect = reference::execute_graph(&model.unfold(input), model.registry());
@@ -517,4 +560,41 @@ fn deep_pipelining_preserves_cross_worker_dependencies() {
         assert_eq!(rt.active_requests(), 0);
         rt.shutdown();
     }
+}
+
+#[test]
+fn wait_timeout_distinguishes_pending_from_resolved() {
+    use std::time::Duration;
+    let model: Arc<dyn Model> = Arc::new(LstmLm::small());
+    let rt = Runtime::start(Arc::clone(&model), RuntimeOptions::new().workers(1));
+
+    // A long request polled with a zero-ish timeout: at least the first
+    // poll reports TimedOut rather than blocking or fabricating an
+    // outcome, and polling eventually yields the real completion.
+    let h = rt
+        .submit_request(RequestInput::Sequence(vec![1; 40]))
+        .expect("submit");
+    let mut timed_out = false;
+    let outcome = loop {
+        match h.wait_timeout(Duration::from_micros(50)) {
+            Err(bm_core::WaitError::TimedOut) => timed_out = true,
+            Err(e) => panic!("unexpected wait error: {e}"),
+            Ok(outcome) => break outcome,
+        }
+    };
+    assert!(timed_out, "a 40-step request must outlive a 50µs poll");
+    let served = outcome.completed();
+    let expect = reference::execute_graph(
+        &model.unfold(&RequestInput::Sequence(vec![1; 40])),
+        model.registry(),
+    );
+    assert_eq!(served.result, expect);
+
+    // A resolved handle keeps answering without further timeouts.
+    let h2 = rt
+        .submit_request(RequestInput::Sequence(vec![2, 3]))
+        .expect("submit");
+    let first = h2.wait_timeout(Duration::from_secs(30)).expect("resolves");
+    assert!(matches!(first, bm_core::ServedOutcome::Completed(_)));
+    rt.shutdown();
 }

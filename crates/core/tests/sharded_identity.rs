@@ -1,0 +1,142 @@
+//! Sharding must be invisible to results: a request served by an
+//! N-shard [`ShardedRuntime`] returns outputs bit-identical to the
+//! single-shard [`Runtime`], across shard counts × batch-formation
+//! policies × all three model families. Placement and rebalancing may
+//! move *where* a request runs, never *what* it computes.
+
+use std::sync::Arc;
+
+use bm_core::{
+    PolicyKind, Request, Runtime, RuntimeOptions, SchedulerConfig, ServeConfig, ServedOutcome,
+    ShardedRuntime,
+};
+use bm_model::{LstmLm, Model, RequestInput, Seq2Seq, TreeLstm, TreeShape};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Vocabulary bound shared by the three `small()` models' inputs.
+const VOCAB: u32 = 900;
+
+fn opts(shards: usize, policy: Option<PolicyKind>) -> RuntimeOptions {
+    let mut serve = ServeConfig::new().shards(shards);
+    if let Some(p) = policy {
+        serve = serve.policy(p);
+    }
+    RuntimeOptions::new()
+        .workers(2)
+        .scheduler(SchedulerConfig::new().serve(serve))
+}
+
+/// Serves every input on `rt`-like runtimes and returns the full
+/// per-node outputs (states and tokens) in submission order.
+fn outputs_of(
+    submit: impl Fn(Request) -> bm_core::ResponseHandle,
+    inputs: &[RequestInput],
+) -> Vec<Vec<Option<bm_cell::CellOutput>>> {
+    let handles: Vec<_> = inputs.iter().map(|i| submit(Request::from(i))).collect();
+    handles
+        .into_iter()
+        .map(|h| match h.wait() {
+            ServedOutcome::Completed(res) => res.result.outputs,
+            other => panic!("request did not complete: {other:?}"),
+        })
+        .collect()
+}
+
+fn check_identity(
+    model: Arc<dyn Model>,
+    inputs: &[RequestInput],
+    shards: usize,
+    policy: Option<PolicyKind>,
+) {
+    let single = Runtime::start(Arc::clone(&model), opts(1, policy));
+    let want = outputs_of(|r| single.submit_request(r).expect("single submit"), inputs);
+    single.shutdown();
+
+    let sharded = ShardedRuntime::start(model, opts(shards, policy));
+    assert_eq!(sharded.num_shards(), shards);
+    let got = outputs_of(
+        |r| sharded.submit_request(r).expect("sharded submit"),
+        inputs,
+    );
+    sharded.shutdown();
+
+    // PartialEq on CellOutput compares every f32 exactly: any
+    // accumulation-order difference between the paths would fail here.
+    assert_eq!(
+        want, got,
+        "sharded outputs diverged ({shards} shards, {policy:?})"
+    );
+}
+
+fn tree_strategy() -> impl Strategy<Value = TreeShape> {
+    (0u32..VOCAB).prop_map(TreeShape::Leaf).prop_recursive(
+        4,  // depth
+        24, // total nodes
+        2,  // branches
+        |inner| (inner.clone(), inner).prop_map(|(l, r)| TreeShape::internal(l, r)),
+    )
+}
+
+fn policy_strategy() -> impl Strategy<Value = Option<PolicyKind>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(PolicyKind::PaperDefault)),
+        Just(Some(PolicyKind::lazy_slack())),
+        Just(Some(PolicyKind::DeadlineEdf)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn lstm_outputs_identical_across_shards(
+        seqs in vec(vec(1u32..VOCAB, 1..12), 4..16),
+        shards in 2usize..5,
+        policy in policy_strategy(),
+    ) {
+        let inputs: Vec<RequestInput> =
+            seqs.into_iter().map(RequestInput::Sequence).collect();
+        check_identity(Arc::new(LstmLm::small()), &inputs, shards, policy);
+    }
+
+    #[test]
+    fn seq2seq_outputs_identical_across_shards(
+        // Seq2Seq::small has a 500-token vocabulary; 2.. reserves the
+        // <go>/<eos> ids.
+        pairs in vec((vec(2u32..490, 1..10), 1usize..8), 4..12),
+        shards in 2usize..5,
+        policy in policy_strategy(),
+    ) {
+        let inputs: Vec<RequestInput> = pairs
+            .into_iter()
+            .map(|(src, decode_len)| RequestInput::Pair { src, decode_len })
+            .collect();
+        check_identity(Arc::new(Seq2Seq::small()), &inputs, shards, policy);
+    }
+
+    #[test]
+    fn treelstm_outputs_identical_across_shards(
+        trees in vec(tree_strategy(), 4..12),
+        shards in 2usize..5,
+        policy in policy_strategy(),
+    ) {
+        let inputs: Vec<RequestInput> =
+            trees.into_iter().map(RequestInput::Tree).collect();
+        check_identity(Arc::new(TreeLstm::small()), &inputs, shards, policy);
+    }
+
+    #[test]
+    fn mixed_type_traffic_identical_with_affinity_placement(
+        seqs in vec(vec(1u32..VOCAB, 1..10), 2..6),
+        shards in 2usize..4,
+    ) {
+        // Mixed Sequence traffic through affinity + spill placement on
+        // an LstmLm-only runtime: every request lands *somewhere* and
+        // still computes the same bits.
+        let inputs: Vec<RequestInput> =
+            seqs.into_iter().map(RequestInput::Sequence).collect();
+        check_identity(Arc::new(LstmLm::small()), &inputs, shards, None);
+    }
+}

@@ -6,7 +6,8 @@
 //! ```
 //!
 //! Experiments: fig3 fig5 fig7a fig7b fig8 fig9 fig10 fig11 fig13 fig14
-//! fig15 headline ablation sla policies trace bench stats. Results land
+//! fig15 headline ablation sla policies trace bench stats serve.
+//! Results land
 //! in `results/` as markdown + CSV and are echoed to stdout; `trace`
 //! additionally writes Chrome trace JSON (Perfetto-loadable) and
 //! per-request timelines, `bench` writes machine-readable
@@ -17,7 +18,10 @@
 //! compares the batch-formation policies (paper/lazy/edf) across the
 //! SLA load sweep, writing `BENCH_policies.json`. `repro sla --policy
 //! lazy` runs the SLA sweep under one alternative policy (results land
-//! under `sla_<policy>` so the default `sla` outputs stay untouched).
+//! under `sla_<policy>` so the default `sla` outputs stay untouched),
+//! and `serve` drives the full socket path — wire protocol, TCP front
+//! door, sharded scheduler — writing `BENCH_serve.json` with the 1-vs-N
+//! shard throughput comparison and a client-observed SLA sweep.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -25,14 +29,14 @@ use std::process::ExitCode;
 use bm_core::PolicyKind;
 use bm_harness::experiments::{
     ablation, bench, fig10, fig11, fig13, fig14, fig15, fig3, fig5, fig7, fig8, fig9, headline,
-    sla, stats, trace, Scale,
+    serve, sla, stats, trace, Scale,
 };
 use bm_harness::write_results;
 use bm_metrics::Table;
 
 const EXPERIMENTS: &[&str] = &[
     "fig3", "fig5", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11", "fig13", "fig14", "fig15",
-    "headline", "ablation", "sla", "policies", "trace", "bench", "stats",
+    "headline", "ablation", "sla", "policies", "trace", "bench", "stats", "serve",
 ];
 
 fn run_one(
@@ -63,6 +67,7 @@ fn run_one(
         "trace" => trace::run(scale, out_dir),
         "bench" => bench::run(scale, out_dir),
         "stats" => stats::run(scale, out_dir),
+        "serve" => serve::run(scale, out_dir),
         _ => return None,
     };
     Some(tables)

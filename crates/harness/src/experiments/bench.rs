@@ -14,7 +14,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use bm_cell::{Cell, CellOutput, CellState, InvocationInput, LstmCell, Scratch};
-use bm_core::{Runtime, RuntimeOptions, SlotBlock};
+use bm_core::{Request, Runtime, RuntimeOptions, SlotBlock};
 use bm_metrics::{LatencyRecorder, RequestTiming, Table};
 use bm_model::{LstmLm, Model, RequestInput};
 use bm_tensor::{ops, xavier_uniform, Matrix};
@@ -239,7 +239,8 @@ fn serving_rps(scale: Scale) -> f64 {
     let handles: Vec<_> = (0..requests)
         .map(|i| {
             let tokens: Vec<u32> = (0..len).map(|t| ((i * 7 + t * 3) % 1000) as u32).collect();
-            rt.submit(&RequestInput::Sequence(tokens))
+            rt.submit_request(Request::new(RequestInput::Sequence(tokens)))
+                .expect("submit")
         })
         .collect();
     let mut completed = 0usize;
@@ -294,13 +295,14 @@ fn serve_once(scale: Scale, workers: usize, depth: usize) -> RuntimeBench {
         model,
         RuntimeOptions::new()
             .workers(workers)
-            .pipeline_depth(depth)
-            .scheduler(bm_core::SchedulerConfig::new().max_tasks_to_submit(1)),
+            .scheduler(bm_core::SchedulerConfig::new().max_tasks_to_submit(1))
+            .pipeline_depth(depth),
     );
     let handles: Vec<_> = (0..requests)
         .map(|i| {
             let tokens: Vec<u32> = (0..len).map(|t| ((i * 7 + t * 3) % 1000) as u32).collect();
-            rt.submit(&RequestInput::Sequence(tokens))
+            rt.submit_request(Request::new(RequestInput::Sequence(tokens)))
+                .expect("submit")
         })
         .collect();
     let mut rec = LatencyRecorder::new();
@@ -331,7 +333,7 @@ fn serve_once(scale: Scale, workers: usize, depth: usize) -> RuntimeBench {
 /// pipelining speedup.
 fn runtime_suite(scale: Scale) -> Vec<RuntimeBench> {
     let workers = 2;
-    let depths = [1usize, RuntimeOptions::new().pipeline_depth];
+    let depths = [1usize, RuntimeOptions::new().serve().pipeline_depth];
     let samples = match scale {
         Scale::Quick => 2,
         Scale::Full => 3,

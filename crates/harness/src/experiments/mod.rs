@@ -13,6 +13,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod headline;
+pub mod serve;
 pub mod serving;
 pub mod sla;
 pub mod stats;

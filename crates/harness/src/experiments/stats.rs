@@ -81,7 +81,11 @@ fn timed_serve_run(ds: &Dataset, tel: &Arc<Telemetry>) -> f64 {
         RuntimeOptions::new().workers(1).telemetry(Arc::clone(tel)),
     );
     let t0 = Instant::now();
-    let handles: Vec<_> = ds.items().iter().map(|i| rt.submit(i)).collect();
+    let handles: Vec<_> = ds
+        .items()
+        .iter()
+        .map(|i| rt.submit_request(i).expect("submit"))
+        .collect();
     for h in handles {
         let _ = h.wait().completed();
     }
@@ -236,7 +240,7 @@ fn live_run(scale: Scale) -> LiveRun {
     // run in flight rather than only its end state.
     let mut handles = Vec::with_capacity(n);
     for chunk in ds.items().chunks(64) {
-        handles.extend(chunk.iter().map(|i| rt.submit(i)));
+        handles.extend(chunk.iter().map(|i| rt.submit_request(i).expect("submit")));
         std::thread::sleep(Duration::from_millis(10));
     }
     let mut e2e_sum_us = 0u64;

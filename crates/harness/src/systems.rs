@@ -101,7 +101,7 @@ impl ServerFactory {
         match kind {
             SystemKind::BatchMaker => Box::new(CellularServer::new(
                 Arc::clone(&self.model),
-                self.scheduler,
+                self.scheduler.clone(),
                 self.cost,
                 self.profile.clone(),
             )),

@@ -102,7 +102,11 @@ fn loaded_model_serves_through_runtime() {
         RuntimeOptions::new().workers(1),
     );
     let input = RequestInput::Sequence(vec![1, 2, 3, 4, 5]);
-    let served = rt.submit(&input).wait().completed();
+    let served = rt
+        .submit_request(&input)
+        .expect("submit")
+        .wait()
+        .completed();
     let expect = reference::execute_graph(&original.unfold(&input), original.registry());
     assert_eq!(served.result, expect);
     rt.shutdown();

@@ -1,0 +1,122 @@
+//! A blocking client for the wire protocol.
+//!
+//! [`NetClient`] is deliberately simple — one blocking socket, explicit
+//! [`send`](NetClient::send)/[`recv`](NetClient::recv) halves so a
+//! caller can pipeline many submits before collecting responses (the
+//! load generator does), plus a [`call`](NetClient::call) convenience
+//! for one-at-a-time use. Responses are matched by correlation id; the
+//! server answers one connection's requests in submission order, but
+//! callers should not rely on that beyond a single connection.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use bm_core::Request;
+
+use crate::wire::{self, Message, NetResponse};
+
+/// Why a client call failed.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NetError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server's bytes did not decode.
+    Wire(wire::WireError),
+    /// The server closed the connection.
+    Closed,
+    /// The server sent a submit frame (protocol violation).
+    UnexpectedMessage,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::Wire(e) => write!(f, "wire error: {e}"),
+            NetError::Closed => write!(f, "connection closed by server"),
+            NetError::UnexpectedMessage => write!(f, "server sent a non-response frame"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<wire::WireError> for NetError {
+    fn from(e: wire::WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+/// A blocking connection to a [`NetServer`](crate::NetServer).
+pub struct NetClient {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    next_corr: u32,
+}
+
+impl NetClient {
+    /// Connects (blocking socket, `TCP_NODELAY`).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(NetClient {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::with_capacity(4096),
+            next_corr: 0,
+        })
+    }
+
+    /// Submits `req` without waiting, returning the correlation id the
+    /// response will carry. Pipeline-friendly: send many, then
+    /// [`recv`](Self::recv) as many.
+    pub fn send(&mut self, req: &Request) -> Result<u32, NetError> {
+        let corr = self.next_corr;
+        self.next_corr = self.next_corr.wrapping_add(1);
+        self.wbuf.clear();
+        wire::encode_submit(&mut self.wbuf, corr, req);
+        self.stream.write_all(&self.wbuf)?;
+        Ok(corr)
+    }
+
+    /// Blocks until the next response frame arrives.
+    pub fn recv(&mut self) -> Result<(u32, NetResponse), NetError> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some((frame, consumed)) = wire::decode_frame(&self.rbuf)? {
+                self.rbuf.drain(..consumed);
+                return match frame.message {
+                    Message::Response(resp) => Ok((frame.correlation, resp)),
+                    Message::Submit(_) => Err(NetError::UnexpectedMessage),
+                };
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(NetError::Closed),
+                Ok(n) => self.rbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(NetError::Io(e)),
+            }
+        }
+    }
+
+    /// Submits `req` and blocks for its response (correlation checked).
+    pub fn call(&mut self, req: &Request) -> Result<NetResponse, NetError> {
+        let want = self.send(req)?;
+        loop {
+            let (corr, resp) = self.recv()?;
+            if corr == want {
+                return Ok(resp);
+            }
+            // A pipelined response from an earlier send; with `call`'s
+            // lock-step use this does not happen, but be tolerant.
+        }
+    }
+}

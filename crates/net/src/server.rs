@@ -1,0 +1,572 @@
+//! The TCP front door: non-blocking ingest over a [`ShardedRuntime`].
+//!
+//! One **ingest thread** owns the listener and every connection's read
+//! half: it accepts (with admission control — past
+//! [`NetServerOptions::max_connections`] new sockets are closed
+//! immediately), drains readable sockets into per-connection buffers,
+//! decodes frames incrementally, applies per-tenant token-bucket rate
+//! limits ([`bm_core::ServeConfig::tenant_rate`]), and submits decoded requests
+//! to the sharded runtime. The vendored dependency set has no epoll
+//! wrapper, so readiness is a polled scan of non-blocking sockets with
+//! an adaptive idle backoff — at the connection counts the harness
+//! drives (tens), the scan is cheaper than a syscall-per-wakeup
+//! reactor.
+//!
+//! Each connection gets a **reaper thread** that resolves that
+//! connection's pending [`ResponseHandle`]s in submission order (via
+//! [`ResponseHandle::wait_timeout`]) and writes response frames back.
+//! Responses to one connection are therefore FIFO by submission;
+//! clients match concurrent submits by correlation id.
+//!
+//! **Backpressure** is per-connection: while a connection has
+//! [`NetServerOptions::max_inflight`] unresolved requests, the ingest
+//! thread stops reading its socket, so the kernel receive buffer fills
+//! and TCP flow control pushes back on the client. A protocol error on
+//! a connection closes it (the stream can never re-synchronise).
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use bm_core::{
+    Request, ResponseHandle, RuntimeOptions, ServedOutcome, ShardedRuntime, SubmitError,
+};
+use bm_model::Model;
+use bm_telemetry::Snapshot;
+
+use crate::wire::{self, Message, NetReject, NetResponse};
+
+/// How long a reaper sleeps between polls of its channel / a pending
+/// handle, and the write-retry backoff on `WouldBlock`.
+const REAPER_TICK: Duration = Duration::from_millis(20);
+const WRITE_BACKOFF: Duration = Duration::from_micros(100);
+
+/// Bytes read from a socket per scan pass.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Front-door configuration on top of the runtime's own options.
+#[derive(Clone)]
+#[non_exhaustive]
+pub struct NetServerOptions {
+    /// Options for the backing [`ShardedRuntime`] (shard count, worker
+    /// threads, policy, deadlines, tenant rate limits — all via the
+    /// embedded [`bm_core::ServeConfig`]).
+    pub runtime: RuntimeOptions,
+    /// Admission control: connections accepted beyond this cap are
+    /// closed immediately without reading a byte.
+    pub max_connections: usize,
+    /// Per-connection backpressure window: with this many unresolved
+    /// requests, the connection's socket is not read.
+    pub max_inflight: usize,
+}
+
+impl Default for NetServerOptions {
+    fn default() -> Self {
+        NetServerOptions {
+            runtime: RuntimeOptions::new(),
+            max_connections: 1024,
+            max_inflight: 1024,
+        }
+    }
+}
+
+impl NetServerOptions {
+    /// Defaults: 1024 connections, 1024 in-flight per connection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the runtime options.
+    pub fn runtime(mut self, runtime: RuntimeOptions) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Sets the connection admission cap.
+    pub fn max_connections(mut self, cap: usize) -> Self {
+        self.max_connections = cap;
+        self
+    }
+
+    /// Sets the per-connection in-flight window.
+    pub fn max_inflight(mut self, cap: usize) -> Self {
+        self.max_inflight = cap;
+        self
+    }
+}
+
+/// Monotonic front-door counters, updated lock-free by the ingest and
+/// reaper threads. Read a consistent-enough view with
+/// [`NetServer::stats`].
+#[derive(Default)]
+struct NetStats {
+    accepted: AtomicU64,
+    refused: AtomicU64,
+    frames_in: AtomicU64,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    expired: AtomicU64,
+    rejected: AtomicU64,
+    rate_limited: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// A point-in-time copy of the server's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct NetStatsView {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections refused at the admission cap.
+    pub refused: u64,
+    /// Well-formed frames decoded.
+    pub frames_in: u64,
+    /// Requests admitted into the runtime.
+    pub submitted: u64,
+    /// Responses that completed.
+    pub completed: u64,
+    /// Responses that expired at their deadline.
+    pub expired: u64,
+    /// Submissions the runtime refused (invalid / queue full / at
+    /// capacity).
+    pub rejected: u64,
+    /// Submissions refused by a tenant token bucket.
+    pub rate_limited: u64,
+    /// Connections closed for undecodable bytes.
+    pub protocol_errors: u64,
+}
+
+/// A token bucket: `tokens` refills at `per_sec` up to `burst`.
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+impl Bucket {
+    fn admit(&mut self, per_sec: f64, burst: f64, now: Instant) -> bool {
+        let dt = now.duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + dt * per_sec).min(burst);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// What a reaper must turn into a response frame.
+enum Pending {
+    /// Wait for the runtime to resolve this handle.
+    Handle(ResponseHandle),
+    /// Already decided at ingest (rate limit, submit refusal).
+    Immediate(NetResponse),
+}
+
+/// Ingest-side connection state. The write half lives in the reaper.
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    inflight: Arc<AtomicUsize>,
+    to_reaper: Sender<(u32, Pending)>,
+    dead: bool,
+}
+
+/// The serving front door. Binds, serves until [`NetServer::shutdown`],
+/// and owns the backing [`ShardedRuntime`].
+pub struct NetServer {
+    local_addr: std::net::SocketAddr,
+    runtime: Arc<ShardedRuntime>,
+    stats: Arc<NetStats>,
+    stop: Arc<AtomicBool>,
+    ingest: Option<JoinHandle<()>>,
+    reapers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl NetServer {
+    /// Starts a sharded runtime for `model` and binds the front door to
+    /// `addr` (use port 0 for an ephemeral port, then
+    /// [`local_addr`](Self::local_addr)).
+    pub fn bind<A: ToSocketAddrs>(
+        model: Arc<dyn Model>,
+        opts: NetServerOptions,
+        addr: A,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let runtime = Arc::new(ShardedRuntime::start(model, opts.runtime.clone()));
+        let stats = Arc::new(NetStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let reapers = Arc::new(Mutex::new(Vec::new()));
+
+        let ingest = {
+            let runtime = Arc::clone(&runtime);
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            let reapers = Arc::clone(&reapers);
+            thread::Builder::new()
+                .name("bm-net-ingest".into())
+                .spawn(move || ingest_loop(listener, &opts, &runtime, &stats, &stop, &reapers))?
+        };
+
+        Ok(NetServer {
+            local_addr,
+            runtime,
+            stats,
+            stop,
+            ingest: Some(ingest),
+            reapers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// The backing sharded runtime (placement observability, telemetry
+    /// snapshots).
+    pub fn runtime(&self) -> &ShardedRuntime {
+        &self.runtime
+    }
+
+    /// A point-in-time copy of the front-door counters.
+    pub fn stats(&self) -> NetStatsView {
+        let s = &self.stats;
+        NetStatsView {
+            accepted: s.accepted.load(Ordering::Relaxed),
+            refused: s.refused.load(Ordering::Relaxed),
+            frames_in: s.frames_in.load(Ordering::Relaxed),
+            submitted: s.submitted.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            expired: s.expired.load(Ordering::Relaxed),
+            rejected: s.rejected.load(Ordering::Relaxed),
+            rate_limited: s.rate_limited.load(Ordering::Relaxed),
+            protocol_errors: s.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The rolled-up per-shard telemetry snapshot (empty unless the
+    /// serve config enabled telemetry).
+    pub fn snapshot(&self) -> Snapshot {
+        self.runtime.snapshot()
+    }
+
+    /// Stops accepting, drains every pending response to its client,
+    /// then shuts the runtime down, joining all threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.ingest.take() {
+            let _ = h.join();
+        }
+        // Reapers drain their channels (the runtime is still up, so
+        // pending handles resolve) before the runtime is torn down.
+        let handles = {
+            let mut guard = self.reapers.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *guard)
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Ok(rt) = Arc::try_unwrap(self.runtime) {
+            rt.shutdown();
+        }
+    }
+}
+
+/// The key `None`-tenant requests share one bucket under.
+fn tenant_key(tenant: Option<u32>) -> u64 {
+    match tenant {
+        None => 0,
+        Some(t) => u64::from(t) + 1,
+    }
+}
+
+fn ingest_loop(
+    listener: TcpListener,
+    opts: &NetServerOptions,
+    runtime: &Arc<ShardedRuntime>,
+    stats: &Arc<NetStats>,
+    stop: &Arc<AtomicBool>,
+    reapers: &Mutex<Vec<JoinHandle<()>>>,
+) {
+    let rate = runtime.serve().tenant_rate;
+    let mut buckets: HashMap<u64, Bucket> = HashMap::new();
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut chunk = vec![0u8; READ_CHUNK];
+    let mut idle_passes: u32 = 0;
+
+    while !stop.load(Ordering::Relaxed) {
+        let mut progressed = false;
+
+        // Accept with admission control.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    progressed = true;
+                    if conns.len() >= opts.max_connections {
+                        stats.refused.fetch_add(1, Ordering::Relaxed);
+                        drop(stream); // refuse by closing
+                        continue;
+                    }
+                    match spawn_conn(stream, stats) {
+                        Ok((conn, reaper)) => {
+                            stats.accepted.fetch_add(1, Ordering::Relaxed);
+                            conns.push(conn);
+                            reapers
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .push(reaper);
+                        }
+                        Err(_) => {
+                            stats.refused.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+
+        // Read, decode, submit.
+        for conn in &mut conns {
+            if conn.dead {
+                continue;
+            }
+            // Backpressure: stop reading while the window is full, so
+            // TCP flow control reaches the client.
+            if conn.inflight.load(Ordering::Relaxed) >= opts.max_inflight {
+                continue;
+            }
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => conn.dead = true, // peer closed
+                Ok(n) => {
+                    progressed = true;
+                    conn.rbuf.extend_from_slice(&chunk[..n]);
+                    drain_frames(conn, runtime, stats, rate.as_ref(), &mut buckets);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => conn.dead = true,
+            }
+        }
+
+        // Dropping a dead Conn drops its reaper sender: the reaper
+        // drains what is queued, then exits.
+        conns.retain(|c| !c.dead);
+
+        if progressed {
+            idle_passes = 0;
+        } else {
+            idle_passes = idle_passes.saturating_add(1);
+            // Adaptive backoff: 50 µs after one idle pass, growing to a
+            // 2 ms cap so an idle server costs ~500 wakeups/s.
+            let us = (50u64 << idle_passes.min(6)).min(2_000);
+            thread::sleep(Duration::from_micros(us));
+        }
+    }
+    // Loop exit drops every Conn → reaper senders close → reapers drain.
+}
+
+/// Accepts one connection: non-blocking read half for the ingest scan,
+/// a cloned write half owned by a dedicated reaper thread.
+fn spawn_conn(stream: TcpStream, stats: &Arc<NetStats>) -> std::io::Result<(Conn, JoinHandle<()>)> {
+    stream.set_nonblocking(true)?;
+    stream.set_nodelay(true)?;
+    let write_half = stream.try_clone()?;
+    let inflight = Arc::new(AtomicUsize::new(0));
+    let (tx, rx) = channel::<(u32, Pending)>();
+    let reaper = {
+        let inflight = Arc::clone(&inflight);
+        let stats = Arc::clone(stats);
+        thread::Builder::new()
+            .name("bm-net-reaper".into())
+            .spawn(move || reaper_loop(write_half, rx, &inflight, &stats))?
+    };
+    Ok((
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            inflight,
+            to_reaper: tx,
+            dead: false,
+        },
+        reaper,
+    ))
+}
+
+/// Decodes every complete frame in `conn.rbuf`, submitting requests and
+/// queueing their (eventual) responses on the connection's reaper.
+fn drain_frames(
+    conn: &mut Conn,
+    runtime: &ShardedRuntime,
+    stats: &NetStats,
+    rate: Option<&bm_core::TenantRate>,
+    buckets: &mut HashMap<u64, Bucket>,
+) {
+    loop {
+        match wire::decode_frame(&conn.rbuf) {
+            Ok(None) => break,
+            Ok(Some((frame, consumed))) => {
+                conn.rbuf.drain(..consumed);
+                stats.frames_in.fetch_add(1, Ordering::Relaxed);
+                let req = match frame.message {
+                    Message::Submit(req) => req,
+                    // A server never receives responses; the stream is
+                    // out of protocol.
+                    Message::Response(_) => {
+                        stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        conn.dead = true;
+                        return;
+                    }
+                };
+                let pending = admit(req, runtime, stats, rate, buckets);
+                conn.inflight.fetch_add(1, Ordering::Relaxed);
+                if conn.to_reaper.send((frame.correlation, pending)).is_err() {
+                    conn.dead = true; // reaper gone (write side failed)
+                    return;
+                }
+            }
+            Err(_) => {
+                // Framing is unrecoverable; close the connection.
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Rate-limits and submits one request, producing either a live handle
+/// or an immediately-decided response.
+fn admit(
+    req: Request,
+    runtime: &ShardedRuntime,
+    stats: &NetStats,
+    rate: Option<&bm_core::TenantRate>,
+    buckets: &mut HashMap<u64, Bucket>,
+) -> Pending {
+    if let Some(r) = rate {
+        let now = Instant::now();
+        let bucket = buckets.entry(tenant_key(req.tenant)).or_insert(Bucket {
+            tokens: f64::from(r.burst),
+            last: now,
+        });
+        if !bucket.admit(r.per_sec, f64::from(r.burst), now) {
+            stats.rate_limited.fetch_add(1, Ordering::Relaxed);
+            return Pending::Immediate(NetResponse::Rejected(NetReject::RateLimited));
+        }
+    }
+    match runtime.submit_request(req) {
+        Ok(handle) => {
+            stats.submitted.fetch_add(1, Ordering::Relaxed);
+            Pending::Handle(handle)
+        }
+        Err(e) => {
+            stats.rejected.fetch_add(1, Ordering::Relaxed);
+            let resp = match e {
+                SubmitError::Invalid(msg) => NetResponse::Rejected(NetReject::Invalid(msg)),
+                SubmitError::QueueFull => NetResponse::Rejected(NetReject::QueueFull),
+                SubmitError::AtCapacity => NetResponse::Rejected(NetReject::AtCapacity),
+                SubmitError::ShuttingDown => NetResponse::ShutDown,
+                // SubmitError is non-exhaustive-ready; treat unknown
+                // refusals as capacity.
+                _ => NetResponse::Rejected(NetReject::AtCapacity),
+            };
+            Pending::Immediate(resp)
+        }
+    }
+}
+
+/// Resolves one connection's pending responses in order and writes them
+/// back. Exits when the ingest side drops the sender (connection closed
+/// or server stopping) and the queue is drained.
+fn reaper_loop(
+    mut stream: TcpStream,
+    rx: Receiver<(u32, Pending)>,
+    inflight: &AtomicUsize,
+    stats: &NetStats,
+) {
+    let mut wbuf = Vec::with_capacity(4096);
+    // Once a write fails the peer is gone: keep draining (handles must
+    // be consumed and `inflight` decremented) but stop writing.
+    let mut writable = true;
+    loop {
+        let (corr, pending) = match rx.recv_timeout(REAPER_TICK) {
+            Ok(item) => item,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        let resp = match pending {
+            Pending::Immediate(r) => r,
+            Pending::Handle(h) => resolve(h),
+        };
+        match &resp {
+            NetResponse::Completed { .. } => stats.completed.fetch_add(1, Ordering::Relaxed),
+            NetResponse::Expired { .. } => stats.expired.fetch_add(1, Ordering::Relaxed),
+            _ => 0,
+        };
+        if writable {
+            wbuf.clear();
+            wire::encode_response(&mut wbuf, corr, &resp);
+            if write_all_nb(&mut stream, &wbuf).is_err() {
+                writable = false;
+            }
+        }
+        inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Blocks (in reaper context) until the runtime resolves the handle.
+fn resolve(handle: ResponseHandle) -> NetResponse {
+    loop {
+        match handle.wait_timeout(REAPER_TICK) {
+            Err(_) => continue, // timed out; runtime still working
+            Ok(ServedOutcome::Completed(res)) => {
+                let executed = res.result.outputs.iter().flatten().count() as u32;
+                let tokens = res
+                    .result
+                    .outputs
+                    .iter()
+                    .map(|o| o.as_ref().and_then(|c| c.token))
+                    .collect();
+                return NetResponse::Completed {
+                    timing: res.timing,
+                    executed,
+                    tokens,
+                };
+            }
+            Ok(ServedOutcome::Expired(timing)) => return NetResponse::Expired { timing },
+            Ok(_) => return NetResponse::ShutDown,
+        }
+    }
+}
+
+/// `write_all` over a non-blocking socket: retries `WouldBlock` with a
+/// short backoff. Gives up (reporting the error) only on a real I/O
+/// failure — shutdown still flushes queued responses.
+fn write_all_nb(stream: &mut TcpStream, mut buf: &[u8]) -> std::io::Result<()> {
+    while !buf.is_empty() {
+        match stream.write(buf) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "socket closed mid-frame",
+                ))
+            }
+            Ok(n) => buf = &buf[n..],
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(WRITE_BACKOFF),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,188 @@
+//! End-to-end over a real socket: bind the front door on loopback,
+//! drive it with [`NetClient`], and check completions, bit-identity
+//! with the in-process runtime, rate limiting, admission control, and
+//! protocol-error handling.
+
+use std::sync::Arc;
+
+use bm_core::{Request, RuntimeOptions, SchedulerConfig, ServeConfig, ServedOutcome, TenantRate};
+use bm_model::{LstmLm, LstmLmConfig, Model, RequestInput, TreeShape};
+use bm_net::{NetClient, NetError, NetReject, NetResponse, NetServer, NetServerOptions};
+
+fn model() -> Arc<dyn Model> {
+    Arc::new(LstmLm::new(LstmLmConfig::default()))
+}
+
+fn opts(shards: usize) -> NetServerOptions {
+    NetServerOptions::new().runtime(
+        RuntimeOptions::new()
+            .workers(2)
+            .scheduler(SchedulerConfig::new().serve(ServeConfig::new().shards(shards))),
+    )
+}
+
+#[test]
+fn pipelined_submits_all_complete() {
+    let server = NetServer::bind(model(), opts(2), "127.0.0.1:0").expect("bind");
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+
+    let n = 64;
+    let mut corrs = Vec::new();
+    for i in 0..n {
+        let len = 3 + (i % 7);
+        let req = Request::new(RequestInput::Sequence(vec![1 + (i as u32 % 50); len]));
+        corrs.push(client.send(&req).expect("send"));
+    }
+    let mut done = vec![false; n];
+    for _ in 0..n {
+        let (corr, resp) = client.recv().expect("recv");
+        let idx = corrs.iter().position(|&c| c == corr).expect("known corr");
+        assert!(!done[idx], "duplicate response for {corr}");
+        done[idx] = true;
+        match resp {
+            NetResponse::Completed {
+                timing, executed, ..
+            } => {
+                assert!(executed > 0);
+                assert!(timing.arrival_us <= timing.start_us);
+                assert!(timing.start_us <= timing.completion_us);
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+    assert!(done.iter().all(|&d| d));
+
+    let stats = server.stats();
+    assert_eq!(stats.accepted, 1);
+    assert_eq!(stats.frames_in, n as u64);
+    assert_eq!(stats.submitted, n as u64);
+    assert_eq!(stats.completed, n as u64);
+    assert_eq!(stats.protocol_errors, 0);
+    server.shutdown();
+}
+
+#[test]
+fn socket_results_match_in_process_runtime() {
+    // The same request served over the socket and in-process must
+    // produce identical decoded tokens — the wire adds transport, not
+    // semantics.
+    let inputs = [
+        RequestInput::Sequence(vec![5, 6, 7, 8]),
+        RequestInput::Pair {
+            src: vec![9, 10, 11],
+            decode_len: 4,
+        },
+        RequestInput::Tree(TreeShape::internal(
+            TreeShape::internal(TreeShape::leaf(3), TreeShape::leaf(4)),
+            TreeShape::leaf(5),
+        )),
+    ];
+    // LstmLm only accepts sequences; use it for the sequence case and
+    // skip inputs the model rejects identically on both paths.
+    let server = NetServer::bind(model(), opts(2), "127.0.0.1:0").expect("bind");
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+    let local = bm_core::Runtime::start(model(), RuntimeOptions::new().workers(1));
+
+    for input in &inputs {
+        let over_socket = client.call(&Request::from(input)).expect("call");
+        let in_process = local.submit_request(Request::from(input));
+        match (over_socket, in_process) {
+            (NetResponse::Completed { tokens, .. }, Ok(handle)) => {
+                let ServedOutcome::Completed(res) = handle.wait() else {
+                    panic!("local runtime did not complete");
+                };
+                let local_tokens: Vec<Option<u32>> = res
+                    .result
+                    .outputs
+                    .iter()
+                    .map(|o| o.as_ref().and_then(|c| c.token))
+                    .collect();
+                assert_eq!(tokens, local_tokens, "socket vs in-process divergence");
+            }
+            (NetResponse::Rejected(NetReject::Invalid(_)), Err(e)) => {
+                assert!(matches!(e, bm_core::SubmitError::Invalid(_)));
+            }
+            (sock, local) => panic!("paths diverged: socket={sock:?} local={local:?}"),
+        }
+    }
+    local.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn tenant_rate_limit_rejects_excess() {
+    let options = NetServerOptions::new().runtime(
+        RuntimeOptions::new().workers(1).scheduler(
+            SchedulerConfig::new().serve(
+                ServeConfig::new()
+                    .shards(1)
+                    .tenant_rate(TenantRate::new(1.0, 3)),
+            ),
+        ),
+    );
+    let server = NetServer::bind(model(), options, "127.0.0.1:0").expect("bind");
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+
+    let mut limited = 0;
+    let mut served = 0;
+    for _ in 0..10 {
+        let req = Request::new(RequestInput::Sequence(vec![1, 2])).tenant(42);
+        match client.call(&req).expect("call") {
+            NetResponse::Rejected(NetReject::RateLimited) => limited += 1,
+            NetResponse::Completed { .. } => served += 1,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    // Burst of 3 at ~1 token/s: the burst serves, the tail is limited.
+    assert!(served >= 3, "burst should be admitted (served {served})");
+    assert!(limited >= 5, "steady excess should be limited ({limited})");
+    assert_eq!(server.stats().rate_limited, limited as u64);
+    server.shutdown();
+}
+
+#[test]
+fn junk_bytes_close_the_connection_but_not_the_server() {
+    use std::io::{Read, Write};
+    let server = NetServer::bind(model(), opts(1), "127.0.0.1:0").expect("bind");
+
+    // A connection spewing garbage gets closed...
+    let mut bad = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    bad.write_all(&[0xFF; 64]).expect("write junk");
+    let mut sink = [0u8; 16];
+    // The read returns 0 (server closed) rather than hanging.
+    bad.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .expect("timeout");
+    let got = bad.read(&mut sink).unwrap_or(0);
+    assert_eq!(got, 0, "server should close a junk connection");
+
+    // ...while a well-behaved connection still gets service.
+    let mut good = NetClient::connect(server.local_addr()).expect("connect");
+    let resp = good
+        .call(&Request::new(RequestInput::Sequence(vec![1, 2, 3])))
+        .expect("call");
+    assert!(matches!(resp, NetResponse::Completed { .. }));
+    assert!(server.stats().protocol_errors >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn admission_cap_refuses_excess_connections() {
+    let server = NetServer::bind(model(), opts(1).max_connections(1), "127.0.0.1:0").expect("bind");
+    let mut first = NetClient::connect(server.local_addr()).expect("connect");
+    // Prove the first connection is established server-side.
+    let resp = first
+        .call(&Request::new(RequestInput::Sequence(vec![1])))
+        .expect("call");
+    assert!(matches!(resp, NetResponse::Completed { .. }));
+
+    // The second connect succeeds at TCP level (kernel backlog) but the
+    // server closes it at accept: the first interaction fails.
+    let mut second = NetClient::connect(server.local_addr()).expect("tcp connect");
+    let err = second.call(&Request::new(RequestInput::Sequence(vec![1])));
+    match err {
+        Err(NetError::Closed) | Err(NetError::Io(_)) => {}
+        other => panic!("expected refusal, got {other:?}"),
+    }
+    assert!(server.stats().refused >= 1);
+    server.shutdown();
+}

@@ -90,8 +90,13 @@ impl CellularServer {
 impl Server for CellularServer {
     fn on_arrival(&mut self, req: SimRequest, now_us: u64) {
         let graph = self.model.unfold(&req.input);
-        self.engine
-            .on_arrival_with_deadline(RequestId(req.id), graph, now_us, req.deadline_us);
+        self.engine.on_arrival_full(
+            RequestId(req.id),
+            graph,
+            now_us,
+            req.deadline_us,
+            req.priority,
+        );
     }
 
     fn next_work(&mut self, worker: usize, now_us: u64) -> Vec<WorkItem> {

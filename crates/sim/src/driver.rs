@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use bm_core::{Request, ServeConfig};
 use bm_metrics::{LatencyRecorder, RequestTiming};
 use bm_model::RequestInput;
 use bm_telemetry::Telemetry;
@@ -12,28 +13,29 @@ use crate::server::{Server, SimRequest};
 
 /// Options controlling one simulation run.
 ///
-/// Built fluently (`#[non_exhaustive]` forbids literal construction so
-/// new knobs can be added compatibly); field names match
-/// `bm_core::RuntimeOptions` where the concepts coincide
-/// (`deadline_us`, `max_active`, `workers`, `trace`):
+/// The serving knobs shared with the threaded runtime — policy,
+/// deadlines, admission cap, pipeline depth, observability sinks — live
+/// in the embedded [`ServeConfig`] (`serve`), so a deployment
+/// configures them once for simulator and runtime alike; the fluent
+/// setters below delegate into it. The remaining fields are
+/// simulation-only. (`queue_cap`, `shards` and `tenant_rate` in the
+/// serve config have no simulator equivalent and are ignored.)
+///
+/// Built fluently (`#[non_exhaustive]` forbids out-of-crate literal
+/// construction so new knobs can be added compatibly):
 ///
 /// ```
 /// use bm_sim::SimOptions;
 ///
 /// let opts = SimOptions::new().workers(4).deadline_us(50_000).warmup(100);
 /// assert_eq!(opts.workers, 4);
-/// assert_eq!(opts.deadline_us, Some(50_000));
+/// assert_eq!(opts.serve.deadline_us, Some(50_000));
 /// ```
 #[derive(Debug, Clone)]
 #[non_exhaustive]
 pub struct SimOptions {
     /// Number of simulated GPU workers.
     pub workers: usize,
-    /// In-flight window per worker: the driver keeps asking the server
-    /// for work until a worker has this many queued items, instead of
-    /// waiting for its queue to drain. Depth 1 (the default) is the
-    /// classic dispatch-on-idle model used by the paper experiments.
-    pub pipeline_depth: usize,
     /// Stop after this much virtual time even if arrivals remain
     /// (overload guard). `u64::MAX` disables the cap.
     pub max_sim_us: u64,
@@ -44,46 +46,36 @@ pub struct SimOptions {
     /// factor. Useful for stall/imbalance injection experiments.
     /// `None` means all workers run at nominal speed.
     pub worker_speeds: Option<Vec<f64>>,
-    /// Relative deadline applied to every request, µs from arrival. A
-    /// request not completed by its deadline is cancelled on the server
-    /// (see [`Server::cancel`]) and counted in [`SimOutcome::expired`]
-    /// instead of the recorder. `None` disables deadlines.
-    pub deadline_us: Option<u64>,
-    /// Admission cap: arrivals while this many requests are already in
-    /// the system are dropped before reaching the server and counted in
-    /// [`SimOutcome::rejected`]. `None` admits everything.
-    pub max_active: Option<usize>,
-    /// Batch-formation policy installed on the server at the start of
-    /// the run ([`Server::set_policy`]); `None` (the default) leaves
-    /// the server as constructed. Servers without a pluggable
-    /// scheduler ignore the request.
-    pub policy: Option<bm_core::PolicyKind>,
-    /// Destination for driver-level trace events (admission rejections,
-    /// expiries), stamped in virtual time. Engine-level events need the
-    /// sink installed on the server too (e.g.
-    /// [`crate::CellularServer::with_trace`]).
-    pub trace: Arc<dyn TraceSink>,
-    /// Telemetry registry for driver-level metrics (rejections,
-    /// expiries, per-worker busy time). Engine-level metrics need the
-    /// registry installed on the server too (e.g.
-    /// [`crate::CellularServer::with_telemetry`]). Defaults to the
-    /// disabled registry, which costs one branch per call site.
-    pub telemetry: Arc<Telemetry>,
+    /// Shared serving knobs (see [`ServeConfig`]):
+    ///
+    /// - `pipeline_depth` — in-flight window per worker; the driver
+    ///   keeps asking the server for work until a worker has this many
+    ///   queued items. Depth 1 (the simulator default) is the classic
+    ///   dispatch-on-idle model used by the paper experiments.
+    /// - `deadline_us` — default relative deadline; a request not
+    ///   completed by its deadline is cancelled on the server (see
+    ///   [`Server::cancel`]) and counted in [`SimOutcome::expired`].
+    /// - `max_active` — admission cap; arrivals beyond it are dropped
+    ///   before reaching the server, counted in [`SimOutcome::rejected`].
+    /// - `policy` — installed via [`Server::set_policy`] at run start;
+    ///   `None` leaves the server as constructed.
+    /// - `trace` / `telemetry` — driver-level sinks (virtual-time
+    ///   stamps). Engine-level events need the sink installed on the
+    ///   server too (e.g. [`crate::CellularServer::with_trace`],
+    ///   [`crate::CellularServer::with_telemetry`]).
+    pub serve: ServeConfig,
 }
 
 impl Default for SimOptions {
     fn default() -> Self {
         SimOptions {
             workers: 1,
-            pipeline_depth: 1,
             max_sim_us: 600_000_000, // 10 virtual minutes.
             warmup: 0,
             worker_speeds: None,
-            deadline_us: None,
-            max_active: None,
-            policy: None,
-            trace: bm_trace::noop(),
-            telemetry: Telemetry::disabled(),
+            // The simulator's historical default is the classic
+            // dispatch-on-idle model, not the runtime's depth-2 window.
+            serve: ServeConfig::new().pipeline_depth(1),
         }
     }
 }
@@ -101,9 +93,16 @@ impl SimOptions {
         self
     }
 
+    /// Replaces the embedded [`ServeConfig`] wholesale; call it before
+    /// the delegating setters below (they edit it in place).
+    pub fn serve_config(mut self, serve: ServeConfig) -> Self {
+        self.serve = serve;
+        self
+    }
+
     /// Sets the per-worker in-flight window (must be ≥ 1).
     pub fn pipeline_depth(mut self, depth: usize) -> Self {
-        self.pipeline_depth = depth;
+        self.serve.pipeline_depth = depth;
         self
     }
 
@@ -125,33 +124,34 @@ impl SimOptions {
         self
     }
 
-    /// Applies a relative deadline to every request, µs from arrival.
+    /// Applies a default relative deadline to every request, µs from
+    /// arrival (overridable per request via [`Request::deadline_us`]).
     pub fn deadline_us(mut self, d: u64) -> Self {
-        self.deadline_us = Some(d);
+        self.serve.deadline_us = Some(d);
         self
     }
 
     /// Caps concurrently admitted requests.
     pub fn max_active(mut self, cap: usize) -> Self {
-        self.max_active = Some(cap);
+        self.serve.max_active = Some(cap);
         self
     }
 
     /// Installs a batch-formation policy on the server at run start.
     pub fn policy(mut self, kind: bm_core::PolicyKind) -> Self {
-        self.policy = Some(kind);
+        self.serve.policy = Some(kind);
         self
     }
 
     /// Routes driver-level trace events to `sink`.
     pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
-        self.trace = sink;
+        self.serve.trace = sink;
         self
     }
 
     /// Records driver-level metrics into `tel`.
     pub fn telemetry(mut self, tel: Arc<Telemetry>) -> Self {
-        self.telemetry = tel;
+        self.serve.telemetry = tel;
         self
     }
 }
@@ -211,7 +211,8 @@ enum ReqStatus {
 
 /// Runs one open-loop simulation: `arrivals` are `(time_us, input)`
 /// pairs injected into `server`; workers execute the server's work items
-/// serially.
+/// serially. Convenience wrapper over [`simulate_requests`] for
+/// workloads with uniform (options-level) metadata.
 ///
 /// # Panics
 ///
@@ -221,10 +222,31 @@ pub fn simulate(
     arrivals: &[(u64, RequestInput)],
     opts: SimOptions,
 ) -> SimOutcome {
+    let reqs: Vec<(u64, Request)> = arrivals
+        .iter()
+        .map(|(at, input)| (*at, Request::from(input)))
+        .collect();
+    simulate_requests(server, &reqs, opts)
+}
+
+/// [`simulate`] with full per-request metadata: each arrival is a
+/// `(time_us, Request)` pair, so individual requests can carry their
+/// own deadline ([`Request::deadline_us`], resolved against the serve
+/// config's default) and scheduling priority — the same submission type
+/// the threaded runtime and the network protocol accept.
+///
+/// # Panics
+///
+/// Panics if `opts.workers` is zero or `arrivals` is empty.
+pub fn simulate_requests(
+    server: &mut dyn Server,
+    arrivals: &[(u64, Request)],
+    opts: SimOptions,
+) -> SimOutcome {
     assert!(opts.workers > 0, "need at least one worker");
-    assert!(opts.pipeline_depth > 0, "pipeline depth must be >= 1");
+    assert!(opts.serve.pipeline_depth > 0, "pipeline depth must be >= 1");
     assert!(!arrivals.is_empty(), "no arrivals");
-    if let Some(kind) = opts.policy {
+    if let Some(kind) = opts.serve.policy {
         assert!(
             server.set_policy(kind),
             "server does not support pluggable scheduling policies"
@@ -238,7 +260,7 @@ pub fn simulate(
 
     // Driver-level metric handles, resolved once; `None` when telemetry
     // is disabled so the hot path pays a single branch per site.
-    let tel = &opts.telemetry;
+    let tel = &opts.serve.telemetry;
     let rejected_ctr = tel
         .enabled()
         .then(|| tel.counter_with("bm_requests_rejected_total", &[("reason", "at_capacity")]));
@@ -280,8 +302,9 @@ pub fn simulate(
         for ev in batch_events {
             match ev {
                 Event::Arrival(idx) => {
-                    let (at, input) = &arrivals[idx];
+                    let (at, req) = &arrivals[idx];
                     if opts
+                        .serve
                         .max_active
                         .is_some_and(|cap| server.pending_requests() >= cap)
                     {
@@ -290,8 +313,8 @@ pub fn simulate(
                         if let Some(c) = &rejected_ctr {
                             c.inc();
                         }
-                        if opts.trace.enabled() {
-                            opts.trace.record(TraceEvent {
+                        if opts.serve.trace.enabled() {
+                            opts.serve.trace.record(TraceEvent {
                                 ts_us: now,
                                 kind: EventKind::RequestRejected {
                                     request: idx as u64,
@@ -302,17 +325,21 @@ pub fn simulate(
                         continue;
                     }
                     status[idx] = ReqStatus::Admitted;
+                    let deadline_us = req
+                        .effective_deadline_us(opts.serve.deadline_us)
+                        .map(|d| at.saturating_add(d));
                     server.on_arrival(
                         SimRequest {
                             id: idx as u64,
-                            input: input.clone(),
+                            input: req.input.clone(),
                             arrival_us: *at,
-                            deadline_us: opts.deadline_us.map(|d| at.saturating_add(d)),
+                            deadline_us,
+                            priority: req.priority,
                         },
                         now,
                     );
-                    if let Some(d) = opts.deadline_us {
-                        events.push(at.saturating_add(d), Event::Expire(idx));
+                    if let Some(d) = deadline_us {
+                        events.push(d, Event::Expire(idx));
                     }
                 }
                 Event::WorkDone { worker, item } => {
@@ -329,8 +356,8 @@ pub fn simulate(
                         if let Some(c) = &expired_ctr {
                             c.inc();
                         }
-                        if opts.trace.enabled() {
-                            opts.trace.record(TraceEvent {
+                        if opts.serve.trace.enabled() {
+                            opts.serve.trace.record(TraceEvent {
                                 ts_us: now,
                                 kind: EventKind::RequestExpired {
                                     request: idx as u64,
@@ -356,7 +383,7 @@ pub fn simulate(
                 .map_or(1.0, |s| s.get(w).copied().unwrap_or(1.0));
             assert!(speed > 0.0, "worker speed must be positive");
             let mut at = now.max(busy_until[w]);
-            while *q < opts.pipeline_depth {
+            while *q < opts.serve.pipeline_depth {
                 let items = server.next_work(w, now);
                 if items.is_empty() {
                     break;

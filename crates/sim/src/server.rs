@@ -12,10 +12,15 @@ pub struct SimRequest {
     pub input: RequestInput,
     /// Arrival time, µs.
     pub arrival_us: u64,
-    /// Absolute completion deadline, µs (`SimOptions::deadline_us`
-    /// applied to the arrival time); deadline-aware schedulers may
-    /// consult it, and the driver expires the request past it.
+    /// Absolute completion deadline, µs (the request's own deadline or
+    /// `SimOptions`' default, applied to the arrival time);
+    /// deadline-aware schedulers may consult it, and the driver expires
+    /// the request past it.
     pub deadline_us: Option<u64>,
+    /// Scheduling priority (see `bm_core::Request::priority`):
+    /// deadline-aware batch formation prefers higher priorities among
+    /// equal deadlines.
+    pub priority: u8,
 }
 
 /// A unit of device occupancy produced by a server: one batched kernel

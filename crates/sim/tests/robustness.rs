@@ -112,10 +112,17 @@ fn sim_options_builder_preserves_defaults() {
     assert_eq!(opts.workers, defaults.workers);
     assert_eq!(opts.max_sim_us, defaults.max_sim_us);
     assert_eq!(opts.warmup, defaults.warmup);
-    assert_eq!(opts.deadline_us, None);
-    assert_eq!(opts.max_active, None);
+    assert_eq!(opts.serve.deadline_us, None);
+    assert_eq!(opts.serve.max_active, None);
+    assert_eq!(
+        opts.serve.pipeline_depth, 1,
+        "simulator default is dispatch-on-idle"
+    );
     assert!(opts.worker_speeds.is_none());
-    assert!(!opts.trace.enabled(), "default sink must be the no-op");
+    assert!(
+        !opts.serve.trace.enabled(),
+        "default sink must be the no-op"
+    );
 
     let opts = SimOptions::new()
         .workers(4)
@@ -124,6 +131,6 @@ fn sim_options_builder_preserves_defaults() {
         .deadline_us(99)
         .max_active(7);
     assert_eq!((opts.workers, opts.max_sim_us, opts.warmup), (4, 1_000, 10));
-    assert_eq!(opts.deadline_us, Some(99));
-    assert_eq!(opts.max_active, Some(7));
+    assert_eq!(opts.serve.deadline_us, Some(99));
+    assert_eq!(opts.serve.max_active, Some(7));
 }

@@ -145,6 +145,32 @@ impl Snapshot {
             .fold(0u64, u64::wrapping_add)
     }
 
+    /// Returns this snapshot with a `(key, value)` label added to every
+    /// entry (labels stay sorted). Used to tag per-source snapshots —
+    /// e.g. one registry per scheduler shard — before merging them with
+    /// [`Snapshot::merge`].
+    pub fn with_label(mut self, key: &str, value: &str) -> Snapshot {
+        for e in &mut self.entries {
+            let pair = (key.to_string(), value.to_string());
+            let at = e.labels.partition_point(|l| *l < pair);
+            e.labels.insert(at, pair);
+        }
+        self.entries
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        self
+    }
+
+    /// Merges several snapshots into one sorted snapshot. Entries are
+    /// concatenated, not summed: callers distinguishing sources (e.g.
+    /// per-shard registries) tag each part with [`Snapshot::with_label`]
+    /// first, and aggregate views come from [`Snapshot::counter_sum`] /
+    /// [`Snapshot::histogram_sum`] over the merged result.
+    pub fn merge(parts: impl IntoIterator<Item = Snapshot>) -> Snapshot {
+        let mut entries: Vec<MetricEntry> = parts.into_iter().flat_map(|s| s.entries).collect();
+        entries.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        Snapshot { entries }
+    }
+
     /// Strict JSON encoding under the [`SNAPSHOT_SCHEMA`] tag.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256 + self.entries.len() * 64);
@@ -448,6 +474,28 @@ mod tests {
             r#"{"schema":"bm-telemetry/v1","metrics":[{"name":"x","type":"counter","value":1}]}"#
         )
         .is_err());
+    }
+
+    #[test]
+    fn labeled_merge_tags_sources_and_stays_sorted() {
+        let a = sample_snapshot().with_label("shard", "0");
+        let b = sample_snapshot().with_label("shard", "1");
+        let merged = Snapshot::merge([a, b]);
+        assert_eq!(merged.entries.len(), 6);
+        assert!(merged
+            .entries
+            .windows(2)
+            .all(|w| (&w[0].name, &w[0].labels) <= (&w[1].name, &w[1].labels)));
+        assert_eq!(
+            merged.get_with(
+                "bm_requests_admitted_total",
+                &[("cell", "lstm"), ("shard", "1")]
+            ),
+            Some(&MetricValue::Counter(42))
+        );
+        assert_eq!(merged.counter_sum("bm_requests_admitted_total"), 84);
+        // The rollup still encodes as strict bm-telemetry/v1.
+        assert_eq!(Snapshot::from_json(&merged.to_json()).unwrap(), merged);
     }
 
     #[test]

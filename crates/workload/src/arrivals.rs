@@ -54,9 +54,67 @@ impl Iterator for PoissonArrivals {
     }
 }
 
+/// Replays a virtual-microsecond arrival schedule in wall-clock time.
+///
+/// The simulator consumes `(at_us, request)` schedules directly; the
+/// socket load generator must instead *pace* real submissions to the
+/// same timestamps. A `Pacer` anchors µs-zero at its creation instant;
+/// [`wait_until`](Pacer::wait_until) sleeps until a scheduled timestamp
+/// and reports how late the caller is running — open-loop lateness is
+/// the load generator's own saturation signal (the server's queueing
+/// shows up in response latency, not here).
+#[derive(Debug, Clone, Copy)]
+pub struct Pacer {
+    start: std::time::Instant,
+}
+
+impl Default for Pacer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pacer {
+    /// Starts the wall clock: virtual µs 0 is *now*.
+    pub fn new() -> Self {
+        Pacer {
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// Wall-clock microseconds since the pacer started.
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// Sleeps until virtual time `at_us`, returning the lateness in µs
+    /// (0 when the sleep happened; positive when the caller was already
+    /// past the scheduled instant — the open-loop generator can't keep
+    /// up).
+    pub fn wait_until(&self, at_us: u64) -> u64 {
+        let now = self.elapsed_us();
+        if now < at_us {
+            std::thread::sleep(std::time::Duration::from_micros(at_us - now));
+            0
+        } else {
+            now - at_us
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pacer_tracks_schedule_and_reports_lateness() {
+        let p = Pacer::new();
+        assert_eq!(p.wait_until(2_000), 0, "future timestamps sleep");
+        let elapsed = p.elapsed_us();
+        assert!(elapsed >= 2_000, "woke early: {elapsed}");
+        let late = p.wait_until(1_000);
+        assert!(late >= 1_000, "past timestamps report lateness: {late}");
+    }
 
     #[test]
     fn arrival_times_are_nondecreasing() {

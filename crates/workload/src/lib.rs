@@ -18,13 +18,15 @@
 //! - [`datasets`] — seeded generators producing `RequestInput`s for all
 //!   three applications, including random binary parse trees and the
 //!   Figure 15 identical-tree dataset;
-//! - [`arrivals`] — the open-loop Poisson arrival process.
+//! - [`arrivals`] — the open-loop Poisson arrival process, plus the
+//!   wall-clock [`Pacer`] the socket load generator uses to replay a
+//!   virtual-µs schedule in real time.
 
 pub mod arrivals;
 pub mod datasets;
 pub mod dist;
 pub mod lengths;
 
-pub use arrivals::PoissonArrivals;
+pub use arrivals::{Pacer, PoissonArrivals};
 pub use datasets::{Dataset, DatasetKind};
 pub use lengths::LengthDistribution;

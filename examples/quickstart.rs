@@ -39,7 +39,10 @@ fn main() {
     // Submit everything at once: cellular batching will batch the
     // chains' steps together and return each request as soon as its
     // last cell finishes.
-    let handles: Vec<_> = sentences.iter().map(|s| runtime.submit(s)).collect();
+    let handles: Vec<_> = sentences
+        .iter()
+        .map(|s| runtime.submit_request(s).expect("submit"))
+        .collect();
 
     for (input, handle) in sentences.iter().zip(handles) {
         let served = handle.wait().completed();

@@ -46,7 +46,10 @@ fn main() {
     let mut inputs: Vec<RequestInput> = (0..10).map(|_| ds.sample(&mut rng).clone()).collect();
     inputs.push(RequestInput::Tree(TreeShape::complete(16, 500)));
 
-    let handles: Vec<_> = inputs.iter().map(|i| runtime.submit(i)).collect();
+    let handles: Vec<_> = inputs
+        .iter()
+        .map(|i| runtime.submit_request(i).expect("submit"))
+        .collect();
     for (input, handle) in inputs.iter().zip(handles) {
         let served = handle.wait().completed();
         let expect = reference::execute_graph(&model.unfold(input), model.registry());

@@ -37,7 +37,10 @@ fn main() {
 
     let mut handles = Vec::new();
     for input in &inputs {
-        handles.push((input.clone(), runtime.submit(input)));
+        handles.push((
+            input.clone(),
+            runtime.submit_request(input).expect("submit"),
+        ));
         // Staggered arrivals: later requests join mid-flight batches.
         std::thread::sleep(Duration::from_micros(300));
     }

@@ -12,7 +12,10 @@ use rand::SeedableRng;
 
 fn serve_and_verify(model: Arc<dyn Model>, inputs: &[RequestInput], workers: usize) -> Vec<u64> {
     let rt = Runtime::start(Arc::clone(&model), RuntimeOptions::new().workers(workers));
-    let handles: Vec<_> = inputs.iter().map(|i| rt.submit(i)).collect();
+    let handles: Vec<_> = inputs
+        .iter()
+        .map(|i| rt.submit_request(i).expect("submit"))
+        .collect();
     let mut latencies = Vec::new();
     for (input, h) in inputs.iter().zip(handles) {
         let served = h.wait().completed();
@@ -50,8 +53,10 @@ fn mixed_interleaved_submissions() {
     let rt = Runtime::start(Arc::clone(&model), RuntimeOptions::new().workers(1));
     let long = RequestInput::Sequence(vec![1; 120]);
     let short = RequestInput::Sequence(vec![2; 2]);
-    let h_long = rt.submit(&long);
-    let h_shorts: Vec<_> = (0..8).map(|_| rt.submit(&short)).collect();
+    let h_long = rt.submit_request(&long).expect("submit");
+    let h_shorts: Vec<_> = (0..8)
+        .map(|_| rt.submit_request(&short).expect("submit"))
+        .collect();
     let long_done = h_long.wait().completed().timing.completion_us;
     for h in h_shorts {
         let t = h.wait().completed().timing;
@@ -71,7 +76,7 @@ fn repeated_identical_requests_are_deterministic() {
     let input = ds.items()[0].clone();
     let rt = Runtime::start(Arc::clone(&model), RuntimeOptions::new().workers(2));
     let results: Vec<_> = (0..6)
-        .map(|_| rt.submit(&input))
+        .map(|_| rt.submit_request(&input).expect("submit"))
         .collect::<Vec<_>>()
         .into_iter()
         .map(|h| h.wait().completed().result)
@@ -116,22 +121,24 @@ fn malformed_requests_rejected_gracefully() {
     // Empty sequence, out-of-vocabulary token, wrong variant — all
     // surface as the typed `SubmitError::Invalid`.
     assert!(matches!(
-        rt.try_submit(&RequestInput::Sequence(vec![])),
+        rt.submit_request(RequestInput::Sequence(vec![])),
         Err(SubmitError::Invalid(_))
     ));
     assert!(matches!(
-        rt.try_submit(&RequestInput::Sequence(vec![u32::MAX])),
+        rt.submit_request(RequestInput::Sequence(vec![u32::MAX])),
         Err(SubmitError::Invalid(_))
     ));
     assert!(matches!(
-        rt.try_submit(&RequestInput::Pair {
+        rt.submit_request(&RequestInput::Pair {
             src: vec![1],
             decode_len: 1
         }),
         Err(SubmitError::Invalid(_))
     ));
     // The runtime is unharmed: a valid request still serves.
-    let ok = rt.try_submit(&RequestInput::Sequence(vec![1, 2])).unwrap();
+    let ok = rt
+        .submit_request(RequestInput::Sequence(vec![1, 2]))
+        .unwrap();
     assert_eq!(ok.wait().completed().result.executed_count(), 2);
     rt.shutdown();
 }
