@@ -1,0 +1,148 @@
+//! Resident-state plane vs the gather path for chain cells.
+//!
+//! Same comparison the `repro bench` harness records, under Criterion's
+//! statistics: per step the gather side rebuilds row invocations over
+//! per-request state rows and the cell copies them into a contiguous
+//! batch before the full `[x|h]·W` affine; the resident side places
+//! rows already parked in a [`ResidentBatch`] (a no-op when fresh) and
+//! runs the split affine — cached token projection plus the `h·Wh`
+//! fold continuation. A churn variant adds one leave/join per tick.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bm_cell::{Cell, CellState, InvocationInput, LstmCell, RowInvocation, Scratch, StateRef};
+use bm_core::{RequestId, ResidentBatch};
+use bm_model::NodeId;
+
+const HIDDEN: usize = 256;
+const VOCAB: usize = 1000;
+
+struct Fixture {
+    cell: Cell,
+    states: Vec<CellState>,
+    tokens: Vec<u32>,
+    tokens_opt: Vec<Option<u32>>,
+}
+
+fn fixture(batch: usize) -> Fixture {
+    let cell = Cell::Lstm(LstmCell::seeded(HIDDEN, HIDDEN, VOCAB, 71));
+    let states: Vec<CellState> = (0..batch)
+        .map(|r| {
+            let o = cell.execute_batch(&[InvocationInput::token_only((r % VOCAB) as u32)]);
+            o.into_iter().next().unwrap().state
+        })
+        .collect();
+    let tokens: Vec<u32> = (0..batch).map(|r| ((r * 13 + 5) % VOCAB) as u32).collect();
+    let tokens_opt = tokens.iter().map(|&t| Some(t)).collect();
+    Fixture {
+        cell,
+        states,
+        tokens,
+        tokens_opt,
+    }
+}
+
+fn bench_resident_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("resident_step_h256");
+    for &batch in &[16usize, 64] {
+        let f = fixture(batch);
+        g.throughput(Throughput::Elements(batch as u64));
+
+        // Gather: rebuild invocations over scattered rows every step.
+        let mut scratch = Scratch::new();
+        let mut prev = f.states.clone();
+        let mut next = f.states.clone();
+        g.bench_with_input(BenchmarkId::new("gather", batch), &batch, |b, _| {
+            b.iter(|| {
+                let invs: Vec<RowInvocation<'_>> = prev
+                    .iter()
+                    .zip(&f.tokens)
+                    .map(|(s, &t)| RowInvocation::chain(t, StateRef::of(s)))
+                    .collect();
+                f.cell
+                    .execute_rows_in(&invs, &mut scratch, |row, h, cs, _| {
+                        next[row].h.copy_from_slice(h);
+                        next[row].c.copy_from_slice(cs);
+                    });
+                std::mem::swap(&mut prev, &mut next);
+                std::hint::black_box(&prev);
+            });
+        });
+
+        // Resident: rows stay parked; place() is the fresh fast path.
+        let layout = f.cell.resident_layout().expect("chain cell");
+        let mut rb = ResidentBatch::new(layout);
+        for (i, s) in f.states.iter().enumerate() {
+            rb.place(i, RequestId(i as u64), NodeId(1), Some(NodeId(0)), || {
+                StateRef::of(s)
+            });
+        }
+        let mut scratch_res = Scratch::new();
+        let mut out = f.states.clone();
+        let mut t_node: u32 = 1;
+        g.bench_with_input(BenchmarkId::new("resident", batch), &batch, |b, _| {
+            b.iter(|| {
+                t_node += 1;
+                for i in 0..batch {
+                    rb.place(
+                        i,
+                        RequestId(i as u64),
+                        NodeId(t_node),
+                        Some(NodeId(t_node - 1)),
+                        || unreachable!("steady-state rows are always fresh"),
+                    );
+                }
+                rb.step(
+                    &f.cell,
+                    batch,
+                    &f.tokens_opt,
+                    &mut scratch_res,
+                    |row, h, cs, _| {
+                        out[row].h.copy_from_slice(h);
+                        out[row].c.copy_from_slice(cs);
+                    },
+                );
+                std::hint::black_box(&out);
+            });
+        });
+
+        // Churn: one swap-remove + join-with-fetch per tick on top.
+        let mut rb_churn = ResidentBatch::new(layout);
+        let mut scratch_churn = Scratch::new();
+        let zero = CellState::zeros(HIDDEN);
+        let mut churn_out = f.states.clone();
+        let mut ct: u32 = 0;
+        let mut victim = 0u64;
+        g.bench_with_input(BenchmarkId::new("resident_churn", batch), &batch, |b, _| {
+            b.iter(|| {
+                ct += 1;
+                rb_churn.remove(RequestId(victim));
+                victim = (victim + 1) % batch as u64;
+                for i in 0..batch {
+                    rb_churn.place(
+                        i,
+                        RequestId(i as u64),
+                        NodeId(ct),
+                        ct.checked_sub(1).map(NodeId),
+                        || StateRef::of(&zero),
+                    );
+                }
+                rb_churn.step(
+                    &f.cell,
+                    batch,
+                    &f.tokens_opt,
+                    &mut scratch_churn,
+                    |row, h, cs, _| {
+                        churn_out[row].h.copy_from_slice(h);
+                        churn_out[row].c.copy_from_slice(cs);
+                    },
+                );
+                std::hint::black_box(&churn_out);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_resident_step);
+criterion_main!(benches);

@@ -161,6 +161,82 @@ impl GruCell {
         }
     }
 
+    /// Resident-state row layout: the canonical `h` lives in `aux`, not
+    /// in the `[x|h]` input — the candidate gate rewrites `xh`'s right
+    /// half to `r * h` in place each step, so `xh` is per-step scratch
+    /// and only `aux` survives across steps.
+    pub fn resident_layout(&self) -> crate::state::ResidentLayout {
+        crate::state::ResidentLayout {
+            x_width: self.embed_size,
+            hidden: self.hidden_size,
+            h_in_xh: false,
+            aux_width: self.hidden_size,
+        }
+    }
+
+    /// Resident-state executor: refreshes `xh` rows from the resident
+    /// `aux` hidden state (one `hidden`-float copy per row — retained
+    /// because the candidate gate destroys `xh`'s right half), runs the
+    /// three fused prefix affines, and combines the new hidden state
+    /// into `aux` in place. Emits `(row, h, [], None)` per row, bitwise
+    /// identical to [`GruCell::execute_rows_in`] over equal state rows.
+    pub fn step_resident<F>(
+        &self,
+        xh: &mut Matrix,
+        aux: &mut Matrix,
+        rows: usize,
+        tokens: &[Option<u32>],
+        s: &mut Scratch,
+        mut emit: F,
+    ) where
+        F: FnMut(usize, &[f32], &[f32], Option<u32>),
+    {
+        let e = self.embed_size;
+        let hsz = self.hidden_size;
+        debug_assert_eq!(xh.cols(), e + hsz);
+        debug_assert_eq!(aux.cols(), hsz);
+        for (r, token) in tokens.iter().enumerate().take(rows) {
+            let id = token.expect("gru invocation requires a token") as usize;
+            assert!(
+                id < self.embed.rows(),
+                "embedding id {id} >= vocab {}",
+                self.embed.rows()
+            );
+            let xh_row = xh.row_mut(r);
+            xh_row[..e].copy_from_slice(self.embed.row(id));
+            xh_row[e..].copy_from_slice(aux.row(r));
+        }
+        let pool = ops::auto_pool(rows, e + hsz, hsz);
+        // Gate buffers are fully overwritten by the affines.
+        let mut r_gate = s.take_dirty(rows, hsz);
+        ops::affine_rows_into(xh, rows, &self.wr, &self.br, &mut r_gate, pool);
+        ops::sigmoid_inplace(&mut r_gate);
+        let mut z_gate = s.take_dirty(rows, hsz);
+        ops::affine_rows_into(xh, rows, &self.wz, &self.bz, &mut z_gate, pool);
+        ops::sigmoid_inplace(&mut z_gate);
+        // Turn [x, h] into [x, r * h] in place for the candidate gate.
+        for row in 0..rows {
+            let xh_row = xh.row_mut(row);
+            let rr = r_gate.row(row);
+            let hr = aux.row(row);
+            for j in 0..hsz {
+                xh_row[e + j] = rr[j] * hr[j];
+            }
+        }
+        let mut n_gate = s.take_dirty(rows, hsz);
+        ops::affine_rows_into(xh, rows, &self.wn, &self.bn, &mut n_gate, pool);
+        ops::tanh_inplace(&mut n_gate);
+        for row in 0..rows {
+            ops::gru_combine_row_inplace(z_gate.row(row), n_gate.row(row), aux.row_mut(row));
+        }
+        for row in 0..rows {
+            emit(row, aux.row(row), &[], None);
+        }
+        for m in [r_gate, z_gate, n_gate] {
+            s.put(m);
+        }
+    }
+
     /// Exports the cell's weights (§4.2 persistence).
     pub fn to_bundle(&self) -> WeightBundle {
         let mut b = WeightBundle::new();

@@ -11,11 +11,16 @@
 //! - concrete cell implementations: [`LstmCell`], [`GruCell`],
 //!   [`EncoderCell`], [`DecoderCell`], [`TreeLeafCell`],
 //!   [`TreeInternalCell`], all expressed over `bm-tensor` kernels;
-//! - the type-erased [`Cell`] enum with [`Cell::execute_batch`], the
-//!   batched executor used by workers (rows from many requests are
-//!   gathered into one contiguous batch, the cell runs once, and results
-//!   scatter back per request — exactly the memory behaviour §4.3
-//!   describes);
+//! - the type-erased [`Cell`] enum with two batched execution paths:
+//!   the §4.3 gather path ([`Cell::execute_batch`] /
+//!   [`Cell::execute_rows_in`] — rows from many requests are copied
+//!   into one contiguous batch, the cell runs once, and results scatter
+//!   back per request) and the resident-state path
+//!   ([`Cell::step_resident`] — chain cells keep each request's state
+//!   parked in a row of a persistent batch matrix described by
+//!   [`ResidentLayout`], so the steady-state step moves no state and
+//!   only the scatter remains); tree cells support only the gather
+//!   path;
 //! - [`CellSignature`]/[`CellTypeId`] identity ("BatchMaker identifies
 //!   the type of each cell by its definition, weights, and input tensor
 //!   shapes", §4.2) and the [`CellRegistry`] that materializes cells at
@@ -38,7 +43,7 @@ pub use lstm::LstmCell;
 pub use registry::{CellMeta, CellRegistry};
 pub use seq2seq::{DecoderCell, EncoderCell};
 pub use signature::{CellSignature, CellTypeId};
-pub use state::{CellOutput, CellState, InvocationInput, RowInvocation, StateRef};
+pub use state::{CellOutput, CellState, InvocationInput, ResidentLayout, RowInvocation, StateRef};
 pub use tree::{TreeInternalCell, TreeLeafCell};
 
 pub use bm_tensor::Scratch;
@@ -189,6 +194,58 @@ impl Cell {
         }
     }
 
+    /// The resident-state row layout for this cell, or `None` when the
+    /// cell does not support the resident plane (tree cells: their
+    /// batch composition is graph-shaped, not chain-shaped, so rows
+    /// cannot stay parked between steps).
+    pub fn resident_layout(&self) -> Option<ResidentLayout> {
+        match self {
+            Cell::Lstm(c) => Some(c.resident_layout()),
+            Cell::Gru(c) => Some(c.resident_layout()),
+            Cell::Encoder(c) => Some(c.resident_layout()),
+            Cell::Decoder(c) => Some(c.resident_layout()),
+            Cell::TreeLeaf(_) | Cell::TreeInternal(_) => None,
+        }
+    }
+
+    /// Resident-state executor: one fused step over rows `0..rows` of a
+    /// persistent batch laid out per [`Cell::resident_layout`], updating
+    /// the state rows in place and emitting `(row, h, c, token)` per row
+    /// in batch order — the same emit contract, and bitwise the same
+    /// outputs, as [`Cell::execute_rows_in`] over equal state rows.
+    ///
+    /// The caller (the runtime's `ResidentBatch`) owns row placement:
+    /// it must have arranged each batch entry's state at the matching
+    /// row index before calling, and `tokens[r]` carries row `r`'s
+    /// resolved input token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is 0, the cell has no resident layout, or a
+    /// token is missing.
+    pub fn step_resident<F>(
+        &self,
+        xh: &mut Matrix,
+        aux: &mut Matrix,
+        rows: usize,
+        tokens: &[Option<u32>],
+        scratch: &mut Scratch,
+        emit: F,
+    ) where
+        F: FnMut(usize, &[f32], &[f32], Option<u32>),
+    {
+        assert!(rows > 0, "step_resident on empty batch");
+        match self {
+            Cell::Lstm(c) => c.step_resident(xh, aux, rows, tokens, scratch, emit),
+            Cell::Gru(c) => c.step_resident(xh, aux, rows, tokens, scratch, emit),
+            Cell::Encoder(c) => c.step_resident(xh, aux, rows, tokens, scratch, emit),
+            Cell::Decoder(c) => c.step_resident(xh, aux, rows, tokens, scratch, emit),
+            Cell::TreeLeaf(_) | Cell::TreeInternal(_) => {
+                panic!("step_resident on a cell without a resident layout")
+            }
+        }
+    }
+
     /// Analytic floating-point operation count for one execution at
     /// batch size `batch`.
     pub fn flops(&self, batch: usize) -> u64 {
@@ -282,6 +339,116 @@ mod tests {
         assert_eq!(fa, fingerprint_weights(&[&a.clone()]));
         assert_ne!(fa, fingerprint_weights(&[&b]));
         assert_ne!(fa, fingerprint_weights(&[&c]));
+    }
+
+    /// Runs the same chain batch through the gather path and the
+    /// resident path and asserts bitwise-equal outputs.
+    fn assert_resident_matches_gather(cell: &Cell, steps: &[(u32, Option<CellState>)]) {
+        let layout = cell.resident_layout().expect("chain cell");
+        let invs: Vec<InvocationInput<'_>> = steps
+            .iter()
+            .map(|(t, st)| match st {
+                Some(s) => InvocationInput::chain(*t, s),
+                None => InvocationInput::token_only(*t),
+            })
+            .collect();
+        let want = cell.execute_batch(&invs);
+
+        let batch = steps.len();
+        let mut xh = Matrix::zeros(batch, layout.xh_width());
+        let mut aux = Matrix::zeros(batch, layout.aux_width);
+        for (r, (_, st)) in steps.iter().enumerate() {
+            if let Some(s) = st {
+                if layout.h_in_xh {
+                    xh.row_mut(r)[layout.x_width..].copy_from_slice(&s.h);
+                    aux.row_mut(r).copy_from_slice(&s.c);
+                } else {
+                    aux.row_mut(r).copy_from_slice(&s.h);
+                }
+            }
+        }
+        let tokens: Vec<Option<u32>> = steps.iter().map(|(t, _)| Some(*t)).collect();
+        let mut got: Vec<CellOutput> = Vec::new();
+        cell.step_resident(
+            &mut xh,
+            &mut aux,
+            batch,
+            &tokens,
+            &mut Scratch::new(),
+            |row, h, c, token| {
+                assert_eq!(row, got.len());
+                got.push(CellOutput {
+                    state: CellState {
+                        h: h.to_vec(),
+                        c: c.to_vec(),
+                    },
+                    token,
+                });
+            },
+        );
+        assert_eq!(want, got, "resident path diverged for {}", cell.kind_name());
+    }
+
+    #[test]
+    fn resident_step_is_bit_identical_to_gather_step() {
+        let cells = [
+            Cell::Lstm(LstmCell::seeded(4, 6, 20, 42)),
+            Cell::Gru(GruCell::seeded(4, 5, 12, 77)),
+            Cell::Encoder(EncoderCell::seeded(4, 6, 15, 5)),
+            Cell::Decoder(DecoderCell::seeded(4, 6, 25, 13)),
+        ];
+        for cell in &cells {
+            // Build distinct non-zero states by stepping once.
+            let mk_state = |tok: u32| {
+                cell.execute_batch(&[InvocationInput::token_only(tok)])
+                    .into_iter()
+                    .next()
+                    .unwrap()
+                    .state
+            };
+            let (s1, s2) = (mk_state(1), mk_state(3));
+            // Mixed batch: chain start (implicit zero state) + two live
+            // chains.
+            assert_resident_matches_gather(cell, &[(2, None), (7, Some(s1)), (0, Some(s2))]);
+        }
+    }
+
+    #[test]
+    fn resident_fallback_without_token_proj_is_bit_identical() {
+        // Cells whose vocabulary is too large to cache the token
+        // projection step through the full `[x|h]` resident layout;
+        // that fallback must agree with the gather path (and with the
+        // proj path, since both match the same oracle).
+        let mut lstm = LstmCell::seeded(4, 6, 20, 42);
+        lstm.drop_token_proj_for_tests();
+        let mut enc = EncoderCell::seeded(4, 6, 15, 5);
+        enc.drop_token_proj_for_tests();
+        let mut dec = DecoderCell::seeded(4, 6, 25, 13);
+        dec.drop_token_proj_for_tests();
+        for cell in [Cell::Lstm(lstm), Cell::Encoder(enc), Cell::Decoder(dec)] {
+            assert_eq!(
+                cell.resident_layout().expect("chain cell").x_width,
+                4,
+                "fallback keeps x columns"
+            );
+            let mk_state = |tok: u32| {
+                cell.execute_batch(&[InvocationInput::token_only(tok)])
+                    .into_iter()
+                    .next()
+                    .unwrap()
+                    .state
+            };
+            let (s1, s2) = (mk_state(1), mk_state(3));
+            assert_resident_matches_gather(&cell, &[(2, None), (7, Some(s1)), (0, Some(s2))]);
+        }
+    }
+
+    #[test]
+    fn tree_cells_have_no_resident_layout() {
+        let leaf = Cell::TreeLeaf(TreeLeafCell::seeded(8, 16, 100, 2));
+        let internal = Cell::TreeInternal(TreeInternalCell::seeded(16, 3));
+        assert!(leaf.resident_layout().is_none());
+        assert!(internal.resident_layout().is_none());
     }
 
     #[test]

@@ -16,10 +16,35 @@
 //! hidden width.
 
 use bm_tensor::io::WeightBundle;
-use bm_tensor::{ops, xavier_uniform, Matrix, Scratch};
+use bm_tensor::{gemm, ops, xavier_uniform, Matrix, PackedWeights, Scratch};
 
 use crate::persist::{expect, expect_shape};
 use crate::state::{collect_outputs, CellOutput, InvocationInput, RowInvocation};
+
+/// Cap on cached token-projection size (`vocab * 4 * hidden` floats,
+/// 16 MiB of f32). Above it the resident path falls back to gathering
+/// the embedded input into a `[x|h]` batch like the gather path does.
+const MAX_PROJ_ELEMS: usize = 1 << 22;
+
+/// The cached input half of the resident split affine.
+///
+/// The gate pre-activation `z = [x|h]·W + b` folds its inner dimension
+/// in ascending order with the bias added once at the end, so it splits
+/// exactly at the `x`/`h` boundary: `proj[t] = embed[t]·Wx` (no bias)
+/// is the first `input_size` terms of every output element's fold, and
+/// a [`gemm::gemm_acc_into`] continuation over `h·Wh` (bias at the end)
+/// reproduces the remaining terms bit for bit. Since the embedding and
+/// `W` are immutable per cell type (§4.2), `proj` is computed once at
+/// construction — the resident step then pays one row copy per request
+/// instead of the `x`-half of the GEMM, which halves the per-step
+/// multiply count when `embed_size == hidden_size`.
+#[derive(Debug, Clone)]
+pub(crate) struct TokenProj {
+    /// `embed · Wx`, `(vocab, 4 * hidden)`, bias *not* included.
+    proj: Matrix,
+    /// Rows `input_size..` of `w` (the recurrent half), packed.
+    wh: PackedWeights,
+}
 
 /// The weight set and math of one LSTM step, shared by every cell kind
 /// that embeds an LSTM (plain, encoder, decoder).
@@ -31,6 +56,9 @@ pub(crate) struct LstmCore {
     pub b: Matrix,
     pub input_size: usize,
     pub hidden_size: usize,
+    /// Cached token projection for the resident fast path; `None` when
+    /// the table would exceed [`MAX_PROJ_ELEMS`].
+    pub(crate) token_proj: Option<TokenProj>,
 }
 
 impl LstmCore {
@@ -40,6 +68,54 @@ impl LstmCore {
             b: Matrix::zeros(1, 4 * hidden_size),
             input_size,
             hidden_size,
+            token_proj: None,
+        }
+    }
+
+    /// Precomputes the [`TokenProj`] pair for `embed` (a no-op above
+    /// the size cap). Called by every owning cell right after the core
+    /// and embedding exist — construction and bundle-load alike — so
+    /// the cache can never go stale against the weights it derives
+    /// from.
+    pub(crate) fn install_token_proj(&mut self, embed: &Matrix) {
+        let (e, hsz) = (self.input_size, self.hidden_size);
+        let gates = 4 * hsz;
+        let vocab = embed.rows();
+        debug_assert_eq!(embed.cols(), e, "embedding width");
+        if vocab.saturating_mul(gates) > MAX_PROJ_ELEMS {
+            self.token_proj = None;
+            return;
+        }
+        let wdata = self.w.as_slice();
+        let wx = PackedWeights::pack(e, gates, &wdata[..e * gates]);
+        let wh = PackedWeights::pack(hsz, gates, &wdata[e * gates..]);
+        let mut proj = Matrix::zeros(vocab, gates);
+        gemm::gemm_into(
+            embed.as_slice(),
+            vocab,
+            e,
+            &wx,
+            None,
+            proj.as_mut_slice(),
+            None,
+        );
+        self.token_proj = Some(TokenProj { proj, wh });
+    }
+
+    /// The resident row layout this core steps with: `h`-only rows when
+    /// the token projection is cached (the fast path needs no `x`
+    /// columns at all), the full `[x|h]` rows otherwise.
+    pub(crate) fn resident_layout(&self) -> crate::state::ResidentLayout {
+        let x_width = if self.token_proj.is_some() {
+            0
+        } else {
+            self.input_size
+        };
+        crate::state::ResidentLayout {
+            x_width,
+            hidden: self.hidden_size,
+            h_in_xh: true,
+            aux_width: self.hidden_size,
         }
     }
 
@@ -61,6 +137,92 @@ impl LstmCore {
         ops::lstm_gates(&z, c_prev, &mut h_new, &mut c_new);
         s.put(z);
         (h_new, c_new)
+    }
+
+    /// One fused LSTM step over the occupied prefix (`0..rows`) of a
+    /// resident batch, updating state in place.
+    ///
+    /// With a cached [`TokenProj`] (the common case), `xh` is an
+    /// `h`-only matrix: each row's gate pre-activation is seeded from
+    /// the token's cached `x·Wx` partial row and completed by one
+    /// fold-continuation affine over `h·Wh`
+    /// ([`ops::affine_acc_rows_into`]) — half the multiplies of the
+    /// full `[x|h]·W` when `embed == hidden`, and zero state movement
+    /// at steady state. Without it (oversized vocabulary), tokens embed
+    /// into the left columns of `xh` and one full prefix affine runs as
+    /// the gather path would. Either way the per-row gate kernel then
+    /// overwrites the hidden and cell state in place.
+    ///
+    /// Bitwise identical per row to `gather_chain_xh` + [`step_in`]
+    /// over the same rows: the split affine continues the same
+    /// ascending-`k` fold with the bias added once at the end (see
+    /// [`TokenProj`]), and the gate kernel evaluates the same
+    /// expression tree ([`ops::lstm_gates_row_inplace`]).
+    ///
+    /// [`step_in`]: LstmCore::step_in
+    pub fn step_resident_chain(
+        &self,
+        embed: &Matrix,
+        xh: &mut Matrix,
+        c: &mut Matrix,
+        rows: usize,
+        tokens: &[Option<u32>],
+        s: &mut Scratch,
+    ) {
+        let hsz = self.hidden_size;
+        debug_assert_eq!(c.cols(), hsz);
+        if let Some(tp) = &self.token_proj {
+            debug_assert_eq!(xh.cols(), hsz);
+            // Fully overwritten by the seed copies, so dirty is fine.
+            let mut z = s.take_dirty(rows, 4 * hsz);
+            for (r, token) in tokens.iter().enumerate().take(rows) {
+                let id = token.expect("chain cell invocation requires a token") as usize;
+                assert!(
+                    id < tp.proj.rows(),
+                    "embedding id {id} >= vocab {}",
+                    tp.proj.rows()
+                );
+                z.row_mut(r).copy_from_slice(tp.proj.row(id));
+            }
+            ops::affine_acc_rows_into(
+                xh,
+                rows,
+                &tp.wh,
+                &self.b,
+                &mut z,
+                ops::auto_pool(rows, hsz, 4 * hsz),
+            );
+            for r in 0..rows {
+                ops::lstm_gates_row_inplace(z.row(r), xh.row_mut(r), c.row_mut(r));
+            }
+            s.put(z);
+            return;
+        }
+        let e = self.input_size;
+        debug_assert_eq!(xh.cols(), e + hsz);
+        for (r, token) in tokens.iter().enumerate().take(rows) {
+            let id = token.expect("chain cell invocation requires a token") as usize;
+            assert!(
+                id < embed.rows(),
+                "embedding id {id} >= vocab {}",
+                embed.rows()
+            );
+            xh.row_mut(r)[..e].copy_from_slice(embed.row(id));
+        }
+        // Fully overwritten by the affine, so a dirty buffer is fine.
+        let mut z = s.take_dirty(rows, 4 * hsz);
+        ops::affine_rows_into(
+            xh,
+            rows,
+            &self.w,
+            &self.b,
+            &mut z,
+            ops::auto_pool(rows, e + hsz, 4 * hsz),
+        );
+        for r in 0..rows {
+            ops::lstm_gates_row_inplace(z.row(r), &mut xh.row_mut(r)[e..], c.row_mut(r));
+        }
+        s.put(z);
     }
 }
 
@@ -125,10 +287,10 @@ pub struct LstmCell {
 impl LstmCell {
     /// Creates a cell with seeded Xavier weights.
     pub fn seeded(embed_size: usize, hidden_size: usize, vocab: usize, seed: u64) -> Self {
-        LstmCell {
-            embed: xavier_uniform(vocab, embed_size, seed ^ 0x5eed_0001),
-            core: LstmCore::seeded(embed_size, hidden_size, seed),
-        }
+        let embed = xavier_uniform(vocab, embed_size, seed ^ 0x5eed_0001);
+        let mut core = LstmCore::seeded(embed_size, hidden_size, seed);
+        core.install_token_proj(&embed);
+        LstmCell { embed, core }
     }
 
     /// Embedding width.
@@ -197,6 +359,47 @@ impl LstmCell {
         }
     }
 
+    /// Resident-state row layout: `h`-only rows when the token
+    /// projection is cached (the usual case), `[x|h]` rows otherwise;
+    /// `c` lives in the aux matrix either way. See
+    /// `LstmCore::resident_layout`.
+    pub fn resident_layout(&self) -> crate::state::ResidentLayout {
+        self.core.resident_layout()
+    }
+
+    /// Resident-state executor: one fused step over rows `0..rows` of a
+    /// persistent `[x|h]` batch (`xh`) and its cell-state side matrix
+    /// (`aux`), updating both in place and emitting
+    /// `(row, h, c, token)` per row in batch order — the same emit
+    /// contract, and bitwise the same outputs, as
+    /// [`LstmCell::execute_rows_in`] over equal state rows.
+    pub fn step_resident<F>(
+        &self,
+        xh: &mut Matrix,
+        aux: &mut Matrix,
+        rows: usize,
+        tokens: &[Option<u32>],
+        s: &mut Scratch,
+        mut emit: F,
+    ) where
+        F: FnMut(usize, &[f32], &[f32], Option<u32>),
+    {
+        self.core
+            .step_resident_chain(&self.embed, xh, aux, rows, tokens, s);
+        let e = self.core.resident_layout().x_width;
+        for r in 0..rows {
+            emit(r, &xh.row(r)[e..], aux.row(r), None);
+        }
+    }
+
+    /// Strips the cached token projection so tests can exercise the
+    /// full-`[x|h]` resident fallback a too-large vocabulary would
+    /// take.
+    #[cfg(test)]
+    pub(crate) fn drop_token_proj_for_tests(&mut self) {
+        self.core.token_proj = None;
+    }
+
     /// Exports the cell's weights (§4.2 persistence).
     pub fn to_bundle(&self) -> WeightBundle {
         let mut b = WeightBundle::new();
@@ -215,15 +418,16 @@ impl LstmCell {
         expect_shape(w, (input + hidden, 4 * hidden), "w")?;
         let b = expect(bundle, "b")?;
         expect_shape(b, (1, 4 * hidden), "b")?;
-        Ok(LstmCell {
-            embed: embed.clone(),
-            core: LstmCore {
-                w: w.clone(),
-                b: b.clone(),
-                input_size: input,
-                hidden_size: hidden,
-            },
-        })
+        let embed = embed.clone();
+        let mut core = LstmCore {
+            w: w.clone(),
+            b: b.clone(),
+            input_size: input,
+            hidden_size: hidden,
+            token_proj: None,
+        };
+        core.install_token_proj(&embed);
+        Ok(LstmCell { embed, core })
     }
 }
 

@@ -26,10 +26,10 @@ pub struct EncoderCell {
 impl EncoderCell {
     /// Creates a cell with seeded Xavier weights.
     pub fn seeded(embed_size: usize, hidden_size: usize, vocab: usize, seed: u64) -> Self {
-        EncoderCell {
-            embed: xavier_uniform(vocab, embed_size, seed ^ 0xe4c0_0001),
-            core: LstmCore::seeded(embed_size, hidden_size, seed ^ 0xe4c0_0002),
-        }
+        let embed = xavier_uniform(vocab, embed_size, seed ^ 0xe4c0_0001);
+        let mut core = LstmCore::seeded(embed_size, hidden_size, seed ^ 0xe4c0_0002);
+        core.install_token_proj(&embed);
+        EncoderCell { embed, core }
     }
 
     /// Embedding width.
@@ -94,6 +94,46 @@ impl EncoderCell {
         }
     }
 
+    /// Resident-state row layout; identical to [`LstmCell`]'s
+    /// (`h`-only rows with a cached token projection, `[x|h]` rows
+    /// otherwise; `c` in aux).
+    ///
+    /// [`LstmCell`]: crate::LstmCell
+    pub fn resident_layout(&self) -> crate::state::ResidentLayout {
+        self.core.resident_layout()
+    }
+
+    /// Resident-state executor; see [`LstmCell::step_resident`] — the
+    /// encoder is the same fused chain step.
+    ///
+    /// [`LstmCell::step_resident`]: crate::LstmCell::step_resident
+    pub fn step_resident<F>(
+        &self,
+        xh: &mut Matrix,
+        aux: &mut Matrix,
+        rows: usize,
+        tokens: &[Option<u32>],
+        s: &mut Scratch,
+        mut emit: F,
+    ) where
+        F: FnMut(usize, &[f32], &[f32], Option<u32>),
+    {
+        self.core
+            .step_resident_chain(&self.embed, xh, aux, rows, tokens, s);
+        let e = self.core.resident_layout().x_width;
+        for r in 0..rows {
+            emit(r, &xh.row(r)[e..], aux.row(r), None);
+        }
+    }
+
+    /// Strips the cached token projection so tests can exercise the
+    /// full-`[x|h]` resident fallback a too-large vocabulary would
+    /// take.
+    #[cfg(test)]
+    pub(crate) fn drop_token_proj_for_tests(&mut self) {
+        self.core.token_proj = None;
+    }
+
     /// Exports the cell's weights (§4.2 persistence).
     pub fn to_bundle(&self) -> WeightBundle {
         let mut b = WeightBundle::new();
@@ -112,15 +152,16 @@ impl EncoderCell {
         expect_shape(w, (input + hidden, 4 * hidden), "w")?;
         let b = expect(bundle, "b")?;
         expect_shape(b, (1, 4 * hidden), "b")?;
-        Ok(EncoderCell {
-            embed: embed.clone(),
-            core: LstmCore {
-                w: w.clone(),
-                b: b.clone(),
-                input_size: input,
-                hidden_size: hidden,
-            },
-        })
+        let embed = embed.clone();
+        let mut core = LstmCore {
+            w: w.clone(),
+            b: b.clone(),
+            input_size: input,
+            hidden_size: hidden,
+            token_proj: None,
+        };
+        core.install_token_proj(&embed);
+        Ok(EncoderCell { embed, core })
     }
 }
 
@@ -144,9 +185,12 @@ pub struct DecoderCell {
 impl DecoderCell {
     /// Creates a cell with seeded Xavier weights.
     pub fn seeded(embed_size: usize, hidden_size: usize, vocab: usize, seed: u64) -> Self {
+        let embed = xavier_uniform(vocab, embed_size, seed ^ 0xdec0_0001);
+        let mut core = LstmCore::seeded(embed_size, hidden_size, seed ^ 0xdec0_0002);
+        core.install_token_proj(&embed);
         DecoderCell {
-            embed: xavier_uniform(vocab, embed_size, seed ^ 0xdec0_0001),
-            core: LstmCore::seeded(embed_size, hidden_size, seed ^ 0xdec0_0002),
+            embed,
+            core,
             proj_w: xavier_uniform(hidden_size, vocab, seed ^ 0xdec0_0003),
             proj_b: Matrix::zeros(1, vocab),
         }
@@ -226,6 +270,62 @@ impl DecoderCell {
         }
     }
 
+    /// Resident-state row layout; identical to [`LstmCell`]'s
+    /// (`h`-only rows with a cached token projection, `[x|h]` rows
+    /// otherwise; `c` in aux).
+    ///
+    /// [`LstmCell`]: crate::LstmCell
+    pub fn resident_layout(&self) -> crate::state::ResidentLayout {
+        self.core.resident_layout()
+    }
+
+    /// Resident-state executor: the fused chain step updates `xh`/`aux`
+    /// in place, then the new hidden rows are gathered into a scratch
+    /// matrix for the vocabulary projection (the projection GEMM needs a
+    /// contiguous `(rows, hidden)` operand; this one `hidden`-float copy
+    /// per row is the decoder's only resident-path state movement, and
+    /// the projection itself dominates decode cost, §7.4). Emits
+    /// `(row, h, c, Some(word))` per row, bitwise identical to
+    /// [`DecoderCell::execute_rows_in`] over equal state rows.
+    pub fn step_resident<F>(
+        &self,
+        xh: &mut Matrix,
+        aux: &mut Matrix,
+        rows: usize,
+        tokens: &[Option<u32>],
+        s: &mut Scratch,
+        mut emit: F,
+    ) where
+        F: FnMut(usize, &[f32], &[f32], Option<u32>),
+    {
+        self.core
+            .step_resident_chain(&self.embed, xh, aux, rows, tokens, s);
+        let e = self.core.resident_layout().x_width;
+        let hsz = self.core.hidden_size;
+        // Both buffers are fully overwritten before being read.
+        let mut h2 = s.take_dirty(rows, hsz);
+        for r in 0..rows {
+            h2.row_mut(r).copy_from_slice(&xh.row(r)[e..]);
+        }
+        let mut logits = s.take_dirty(rows, self.vocab_size());
+        ops::affine_into(&h2, &self.proj_w, &self.proj_b, &mut logits);
+        let words = ops::argmax(&logits);
+        for (r, w) in words.into_iter().enumerate() {
+            emit(r, &xh.row(r)[e..], aux.row(r), Some(w as u32));
+        }
+        for m in [h2, logits] {
+            s.put(m);
+        }
+    }
+
+    /// Strips the cached token projection so tests can exercise the
+    /// full-`[x|h]` resident fallback a too-large vocabulary would
+    /// take.
+    #[cfg(test)]
+    pub(crate) fn drop_token_proj_for_tests(&mut self) {
+        self.core.token_proj = None;
+    }
+
     /// Exports the cell's weights (§4.2 persistence).
     pub fn to_bundle(&self) -> WeightBundle {
         let mut b = WeightBundle::new();
@@ -251,14 +351,18 @@ impl DecoderCell {
         expect_shape(proj_w, (hidden, vocab), "proj_w")?;
         let proj_b = expect(bundle, "proj_b")?;
         expect_shape(proj_b, (1, vocab), "proj_b")?;
+        let embed = embed.clone();
+        let mut core = LstmCore {
+            w: w.clone(),
+            b: b.clone(),
+            input_size: input,
+            hidden_size: hidden,
+            token_proj: None,
+        };
+        core.install_token_proj(&embed);
         Ok(DecoderCell {
-            embed: embed.clone(),
-            core: LstmCore {
-                w: w.clone(),
-                b: b.clone(),
-                input_size: input,
-                hidden_size: hidden,
-            },
+            embed,
+            core,
             proj_w: proj_w.clone(),
             proj_b: proj_b.clone(),
         })

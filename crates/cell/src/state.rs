@@ -1,10 +1,15 @@
 //! Per-invocation cell state, inputs and outputs.
 //!
 //! In the real runtime, outputs of each executed cell node live as
-//! per-request row vectors owned by the request processor; a batched task
-//! *gathers* the relevant rows into contiguous matrices before execution
-//! and scatters results back afterwards (§4.3). These types are the
-//! per-row currency of that protocol.
+//! per-request row vectors owned by the request processor. The §4.3
+//! gather path assembles a batched task by copying the relevant rows
+//! into contiguous matrices before execution and scattering results
+//! back afterwards; the resident-state path ([`ResidentLayout`],
+//! `Cell::step_resident`) instead keeps each chain request's recurrent
+//! state parked in a row of a persistent batch matrix, so steady-state
+//! steps move no state at all and only the scatter (publication of
+//! results to the state arena) remains. These types are the per-row
+//! currency of both protocols.
 
 /// The recurrent state one cell invocation produces for one request.
 ///
@@ -71,6 +76,44 @@ impl<'a> InvocationInput<'a> {
             token: None,
             states: vec![left, right],
         }
+    }
+}
+
+/// How a chain cell lays its recurrent state out across the two
+/// persistent matrices of a resident batch (`xh` and `aux`).
+///
+/// Chain cells that opt into the resident-state plane keep each active
+/// request's state as one row shared between:
+///
+/// - `xh`, the `(capacity, x_width + hidden)` fused-affine input whose
+///   left `x_width` columns receive the embedded token each step;
+/// - `aux`, a `(capacity, aux_width)` side matrix for the state
+///   component that cannot live inside `xh`.
+///
+/// LSTM-family cells park `h` in `xh`'s right columns (the fused affine
+/// reads `[x|h]` directly, zero copies at steady state) and `c` in
+/// `aux`. GRU cells park `h` in `aux` instead, because the candidate
+/// gate rewrites `xh`'s right half to `r * h` in place each step — the
+/// one retained per-step copy (`aux` row into `xh`) is documented on
+/// `GruCell::step_resident`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResidentLayout {
+    /// Embedded-input width: the left columns of `xh` rewritten per step.
+    pub x_width: usize,
+    /// Hidden-state width.
+    pub hidden: usize,
+    /// `true` when `h` lives in `xh`'s right `hidden` columns
+    /// (LSTM-family); `false` when it lives in `aux` (GRU).
+    pub h_in_xh: bool,
+    /// Row width of the `aux` matrix (`c` width for LSTM-family cells,
+    /// `h` width for GRU).
+    pub aux_width: usize,
+}
+
+impl ResidentLayout {
+    /// Total column count of the resident `xh` matrix.
+    pub fn xh_width(&self) -> usize {
+        self.x_width + self.hidden
     }
 }
 

@@ -76,6 +76,14 @@ pub struct ServeConfig {
     pub queue_cap: Option<usize>,
     /// Per-worker in-flight window (≥ 1; 1 disables pipelining).
     pub pipeline_depth: usize,
+    /// Execute eligible chain cells through the resident-state plane
+    /// ([`crate::ResidentBatch`]): each active request's recurrent state
+    /// stays parked as a row of a per-worker persistent batch matrix,
+    /// eliminating the per-step gather. Off by default; the gather path
+    /// remains the bit-identity oracle and A/B baseline. Outputs are
+    /// bitwise identical either way. The discrete-event simulator
+    /// (duration-based, no real state movement) ignores it.
+    pub resident_state: bool,
     /// Scheduler shards for the sharded runtime (each owns its own
     /// engine, queues and deadline heap). The plain threaded runtime
     /// and the simulator ignore it. Defaults to half the host's cores,
@@ -109,6 +117,7 @@ impl Default for ServeConfig {
             max_active: None,
             queue_cap: None,
             pipeline_depth: 2,
+            resident_state: false,
             shards: default_shards(),
             tenant_rate: None,
             trace: bm_trace::noop(),
@@ -154,6 +163,13 @@ impl ServeConfig {
     /// pipelining).
     pub fn pipeline_depth(mut self, depth: usize) -> Self {
         self.pipeline_depth = depth;
+        self
+    }
+
+    /// Enables (or disables) the resident-state execution plane for
+    /// chain cells.
+    pub fn resident_state(mut self, on: bool) -> Self {
+        self.resident_state = on;
         self
     }
 

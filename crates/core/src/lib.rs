@@ -11,7 +11,12 @@
 //!   for worker locality, and gather/transfer accounting;
 //! - [`Runtime`] — a threaded real-time driver (manager + worker
 //!   threads) that executes real cell math on CPU and returns results
-//!   bit-identical to the unbatched reference executor.
+//!   bit-identical to the unbatched reference executor;
+//! - [`ResidentBatch`] — the resident-state execution plane for chain
+//!   cells (opt-in via [`ServeConfig::resident_state`]): each active
+//!   request's recurrent state stays parked as a row of a persistent
+//!   batch matrix, eliminating the per-step gather while remaining
+//!   bit-identical to the gather path.
 //!
 //! The discrete-event simulator in `bm-sim` drives the same
 //! [`CellularEngine`] under a calibrated GPU cost model to reproduce the
@@ -23,6 +28,7 @@ mod ids;
 pub mod partition;
 pub mod policy;
 mod request;
+mod resident;
 mod runtime;
 mod shard;
 mod state_plane;
@@ -36,6 +42,7 @@ pub use policy::{
     FormationOrder, PolicyKind, PolicyPick, PolicyView, SchedulingPolicy, TypeCandidate,
 };
 pub use request::{DeadlineSpec, Request};
+pub use resident::{ResidentBatch, ResidentStats};
 pub use runtime::{
     ResponseHandle, Runtime, RuntimeOptions, ServedOutcome, ServedResult, ServedTiming,
     SubmitError, WaitError,

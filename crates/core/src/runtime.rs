@@ -30,6 +30,16 @@
 //! dependency's rows are published before any task that gathers them
 //! starts (§5 FIFO stream semantics).
 //!
+//! With [`RuntimeOptions::resident_state`] enabled, workers additionally
+//! keep a resident-state plane: one [`crate::ResidentBatch`] per chain
+//! cell type whose rows park each active request's recurrent state
+//! between steps, so steady-state chain execution skips the gather
+//! entirely (the scatter — publication to the slot block — remains, and
+//! outputs stay bit-identical). The manager piggybacks eviction notices
+//! for resolved requests onto dispatched tasks so workers can release
+//! rows; stale rows left by worker migration are repaired from the slot
+//! arena by a per-row freshness check.
+//!
 //! ## Overload behaviour
 //!
 //! Under overload the runtime degrades explicitly instead of letting
@@ -65,7 +75,7 @@ use std::time::Duration;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 
-use bm_cell::{CellRegistry, RowInvocation, Scratch, StateRef};
+use bm_cell::{Cell, CellRegistry, CellTypeId, ResidentLayout, RowInvocation, Scratch, StateRef};
 use bm_device::CpuTimer;
 use bm_model::{reference::GraphResult, CellGraph, Model, RequestInput, TokenSource};
 use bm_telemetry::{Counter, Gauge, Histogram, Telemetry};
@@ -75,6 +85,7 @@ use crate::config::ServeConfig;
 use crate::engine::{CancelOutcome, CellularEngine, SchedulerConfig};
 use crate::ids::{RequestId, TaskId, WorkerId};
 use crate::request::Request;
+use crate::resident::{ResidentBatch, ResidentStats};
 use crate::state_plane::SlotBlock;
 use crate::task::{CompletedRequest, Task};
 
@@ -345,6 +356,16 @@ impl RuntimeOptions {
         self
     }
 
+    /// Enables the resident-state execution plane for chain cells
+    /// (shorthand for setting it on the embedded [`ServeConfig`]):
+    /// workers keep each active request's recurrent state parked in a
+    /// [`crate::ResidentBatch`] row, skipping the per-step gather.
+    /// Outputs stay bit-identical to the gather path.
+    pub fn resident_state(mut self, on: bool) -> Self {
+        self.scheduler.serve.resident_state = on;
+        self
+    }
+
     /// Routes scheduler trace events to `sink`.
     pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
         self.scheduler.serve.trace = sink;
@@ -386,6 +407,15 @@ enum ManagerMsg {
 struct WorkerTask {
     task: Task,
     blocks: Vec<Arc<SlotBlock>>,
+    /// Requests that resolved since this worker's last task; the worker
+    /// releases their resident rows before executing. Always empty when
+    /// the resident plane is off.
+    evict: Vec<RequestId>,
+    /// Tells the worker to clear every resident batch outright — set
+    /// when the eviction backlog for an idle worker grew past
+    /// [`EVICT_FLUSH_THRESHOLD`] (memory hygiene; stale rows are
+    /// repaired by the freshness check, so correctness is unaffected).
+    flush_resident: bool,
 }
 
 /// The multi-threaded serving runtime.
@@ -429,9 +459,20 @@ impl Runtime {
         let tel = &tel;
         let mut worker_txs = Vec::new();
         let mut workers = Vec::new();
+        let resident_on = opts.serve().resident_state;
         for w in 0..num_workers {
             let busy = tel.enabled().then(|| {
                 tel.counter_with("bm_worker_busy_us_total", &[("worker", &w.to_string())])
+            });
+            let resident_tel = (resident_on && tel.enabled()).then(|| {
+                let lbl = w.to_string();
+                ResidentTelemetry {
+                    rows: tel.gauge_with("bm_resident_rows", &[("worker", &lbl)]),
+                    joins: tel.counter_with("bm_resident_joins_total", &[("worker", &lbl)]),
+                    leaves: tel.counter_with("bm_resident_leaves_total", &[("worker", &lbl)]),
+                    compactions: tel
+                        .counter_with("bm_resident_compactions_total", &[("worker", &lbl)]),
+                }
             });
             // The manager stops refilling a worker at `pipeline_depth`
             // unfinished tasks and each refill overshoots by at most
@@ -448,6 +489,8 @@ impl Runtime {
                 Arc::clone(&registry),
                 timer.clone(),
                 busy,
+                resident_on,
+                resident_tel,
             ));
         }
 
@@ -694,6 +737,23 @@ struct Responder {
 /// rebuild.
 const DEADLINE_PRUNE_MIN: usize = 64;
 
+/// When an idle worker's resident-eviction backlog exceeds this many
+/// requests, the manager drops the list and tells the worker to clear
+/// its resident batches wholesale instead — bounding manager-side
+/// memory without a correctness cost (stale rows are repaired by the
+/// freshness check).
+const EVICT_FLUSH_THRESHOLD: usize = 4096;
+
+/// Per-worker telemetry handles for the resident-state plane: the
+/// occupancy gauge plus churn counters, updated by the worker after
+/// each task from [`ResidentStats`] deltas.
+struct ResidentTelemetry {
+    rows: Gauge,
+    joins: Counter,
+    leaves: Counter,
+    compactions: Counter,
+}
+
 fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
     let ManagerArgs {
         rx,
@@ -710,6 +770,7 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name("bm-manager".into())
         .spawn(move || {
+            let resident_state = cfg.serve.resident_state;
             // The engine installs its own trace/telemetry sinks from
             // the serve config embedded in `cfg`.
             let mut engine = CellularEngine::new(Arc::clone(&registry), cfg);
@@ -743,6 +804,12 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
             let mut deadlines: BinaryHeap<std::cmp::Reverse<(u64, RequestId)>> = BinaryHeap::new();
             let mut stale_deadlines = 0usize;
             let mut inflight_per_worker = vec![0usize; num_workers];
+            // Resident-plane eviction: requests retired since each
+            // worker's last task. A request's row may live on any
+            // worker (migration), so retirements broadcast to all.
+            let mut retired: Vec<RequestId> = Vec::new();
+            let mut pending_evict: Vec<Vec<RequestId>> = vec![Vec::new(); num_workers];
+            let mut pending_flush = vec![false; num_workers];
             // Last traced queue depth per worker; MAX forces an initial
             // zero sample so counter tracks start at a baseline.
             let mut traced_depth = vec![usize::MAX; num_workers];
@@ -820,6 +887,7 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
                                     &mut blocks,
                                     &active,
                                     &mut stale_deadlines,
+                                    &mut retired,
                                     c,
                                     scatter_hist.as_ref(),
                                     &timer,
@@ -868,6 +936,7 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
                             &mut blocks,
                             &active,
                             &mut stale_deadlines,
+                            &mut retired,
                             done,
                             scatter_hist.as_ref(),
                             &timer,
@@ -884,6 +953,25 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
                         .collect();
                     deadlines = BinaryHeap::from(live);
                     stale_deadlines = 0;
+                }
+
+                // Broadcast retirements to every worker's eviction
+                // backlog (a migrated request's row may sit anywhere);
+                // an idle worker's backlog degrades to one flush bit.
+                if resident_state {
+                    for id in retired.drain(..) {
+                        for w in 0..num_workers {
+                            if !pending_flush[w] {
+                                pending_evict[w].push(id);
+                                if pending_evict[w].len() > EVICT_FLUSH_THRESHOLD {
+                                    pending_evict[w].clear();
+                                    pending_flush[w] = true;
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    retired.clear();
                 }
 
                 // Refill every worker's pipeline window (§5: per-device
@@ -911,6 +999,8 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
                                     })
                                     .collect(),
                                 task: t,
+                                evict: std::mem::take(&mut pending_evict[w]),
+                                flush_resident: std::mem::replace(&mut pending_flush[w], false),
                             };
                             let _ = tx.send(wt);
                         }
@@ -953,11 +1043,13 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
 /// it has drained, so no worker reads the block's rows concurrently;
 /// output extraction is a plain copy on the manager with no lock held
 /// anywhere.
+#[allow(clippy::too_many_arguments)]
 fn resolve(
     responders: &mut HashMap<RequestId, Responder>,
     blocks: &mut HashMap<RequestId, Arc<SlotBlock>>,
     active: &AtomicUsize,
     stale_deadlines: &mut usize,
+    retired: &mut Vec<RequestId>,
     done: CompletedRequest,
     scatter_hist: Option<&Histogram>,
     timer: &CpuTimer,
@@ -965,6 +1057,9 @@ fn resolve(
     let Some(r) = responders.remove(&done.id) else {
         return;
     };
+    // Request ids are never reused, so eviction is memory hygiene for
+    // the workers' resident batches — correctness never depends on it.
+    retired.push(done.id);
     if let Some(h) = scatter_hist {
         h.record(timer.now_us().saturating_sub(done.completion_us));
     }
@@ -993,6 +1088,7 @@ fn resolve(
     let _ = r.tx.send(outcome);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn spawn_worker(
     id: WorkerId,
     rx: Receiver<WorkerTask>,
@@ -1000,6 +1096,8 @@ fn spawn_worker(
     registry: Arc<CellRegistry>,
     timer: CpuTimer,
     busy_counter: Option<Counter>,
+    resident: bool,
+    resident_tel: Option<ResidentTelemetry>,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("bm-worker-{}", id.0))
@@ -1008,12 +1106,46 @@ fn spawn_worker(
             // are recycled across tasks, so steady-state execution does
             // no per-step heap allocation.
             let mut scratch = Scratch::new();
+            // The resident-state plane: one persistent batch per chain
+            // cell type, rows owned by this worker's active requests.
+            let mut plane: Option<HashMap<CellTypeId, ResidentBatch>> = resident.then(HashMap::new);
+            let mut last_stats = ResidentStats::default();
             while let Ok(wt) = rx.recv() {
+                if let Some(plane) = plane.as_mut() {
+                    if wt.flush_resident {
+                        for rb in plane.values_mut() {
+                            rb.clear();
+                        }
+                    }
+                    for id in &wt.evict {
+                        for rb in plane.values_mut() {
+                            rb.remove(*id);
+                        }
+                    }
+                }
                 let started_us = timer.now_us();
-                let tokens = execute_task(&wt, &registry, &mut scratch);
+                let tokens = execute_task(&wt, &registry, &mut scratch, plane.as_mut());
                 let finished_us = timer.now_us();
                 if let Some(c) = &busy_counter {
                     c.add(finished_us - started_us);
+                }
+                if let (Some(t), Some(plane)) = (&resident_tel, plane.as_ref()) {
+                    let mut occupied = 0usize;
+                    let mut agg = ResidentStats::default();
+                    for rb in plane.values() {
+                        occupied += rb.occupied();
+                        let s = rb.stats();
+                        agg.joins += s.joins;
+                        agg.leaves += s.leaves;
+                        agg.compaction_moves += s.compaction_moves;
+                        agg.refetches += s.refetches;
+                    }
+                    t.rows.set(occupied as i64);
+                    t.joins.add(agg.joins - last_stats.joins);
+                    t.leaves.add(agg.leaves - last_stats.leaves);
+                    t.compactions
+                        .add(agg.compaction_moves - last_stats.compaction_moves);
+                    last_stats = agg;
                 }
                 // Blocking send: completions are backpressure, never
                 // dropped — the manager always drains its queue.
@@ -1043,14 +1175,27 @@ fn spawn_worker(
 /// published: tasks on one worker execute in submission order and the
 /// engine submits a node only once its external dependencies completed
 /// (FIFO stream semantics, §5).
+///
+/// When the worker carries a resident plane (`plane` is `Some`) and the
+/// cell supports it, chain tasks take the resident fast path instead:
+/// see [`execute_task_resident`]. Outputs are bitwise identical either
+/// way.
 fn execute_task(
     wt: &WorkerTask,
     registry: &Arc<CellRegistry>,
     scratch: &mut Scratch,
+    plane: Option<&mut HashMap<CellTypeId, ResidentBatch>>,
 ) -> Vec<Option<u32>> {
     const NO_STATE: StateRef<'static> = StateRef { h: &[], c: &[] };
     let task = &wt.task;
     let cell = registry.cell(task.cell_type);
+    if let Some(plane) = plane {
+        if let Some(layout) = cell.resident_layout() {
+            if !task.entries.is_empty() && task.entries.iter().all(|e| e.deps.len() <= 1) {
+                return execute_task_resident(wt, cell, layout, plane, scratch);
+            }
+        }
+    }
     let invocations: Vec<RowInvocation<'_>> = task
         .entries
         .iter()
@@ -1076,6 +1221,55 @@ fn execute_task(
         .collect();
     let mut tokens: Vec<Option<u32>> = vec![None; task.entries.len()];
     cell.execute_rows_in(&invocations, scratch, |row, h, c, token| {
+        let e = &task.entries[row];
+        wt.blocks[row].write(e.node.index(), h, c, token);
+        tokens[row] = token;
+    });
+    tokens
+}
+
+/// Executes one chain task through the worker's resident-state plane.
+///
+/// Each entry is *placed* at its batch row — a no-op for a request
+/// already parked there from its previous step, one row write for a
+/// join, a slot-arena refetch only when the row went stale (the request
+/// migrated workers) — and then the cell runs one fused step over the
+/// dense prefix in place. The scatter half is unchanged: every row's
+/// output is still published to the request's [`SlotBlock`], keeping
+/// cross-worker gathers and final copy-out oblivious to which path ran.
+fn execute_task_resident(
+    wt: &WorkerTask,
+    cell: &Cell,
+    layout: ResidentLayout,
+    plane: &mut HashMap<CellTypeId, ResidentBatch>,
+    scratch: &mut Scratch,
+) -> Vec<Option<u32>> {
+    let task = &wt.task;
+    let rb = plane
+        .entry(task.cell_type)
+        .or_insert_with(|| ResidentBatch::new(layout));
+    let n = task.entries.len();
+    let mut tokens_in: Vec<Option<u32>> = Vec::with_capacity(n);
+    for (i, (e, block)) in task.entries.iter().zip(&wt.blocks).enumerate() {
+        let dep = e.deps.first().copied();
+        rb.place(i, e.request, e.node, dep, || {
+            let d = dep.expect("state fetch without a dependency");
+            block
+                .state(d.index())
+                .unwrap_or_else(|| panic!("missing dependency {}/{} for {}", e.request, d, e.node))
+        });
+        tokens_in.push(match e.token {
+            TokenSource::None => None,
+            TokenSource::Fixed(t) => Some(t),
+            TokenSource::FromDep(k) => Some(
+                block
+                    .token(e.deps[k].index())
+                    .expect("FromDep dependency emitted no token"),
+            ),
+        });
+    }
+    let mut tokens: Vec<Option<u32>> = vec![None; n];
+    rb.step(cell, n, &tokens_in, scratch, |row, h, c, token| {
         let e = &task.entries[row];
         wt.blocks[row].write(e.node.index(), h, c, token);
         tokens[row] = token;

@@ -1,0 +1,145 @@
+//! The resident-state plane must be invisible to results: a runtime
+//! with `resident_state` on returns outputs bit-identical to the
+//! gather-path runtime, across worker counts × pipeline depths ×
+//! batch-formation policies × all model families. The plane may change
+//! *how* state reaches the cell — parked rows, swaps, refetches after
+//! migration — never *what* it computes.
+
+use std::sync::Arc;
+
+use bm_core::{PolicyKind, Request, Runtime, RuntimeOptions, ServedOutcome};
+use bm_model::{GruLm, LstmLm, Model, RequestInput, Seq2Seq, TreeLstm, TreeShape};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Vocabulary bound of `LstmLm::small()` / `GruLm::small()`.
+const VOCAB: u32 = 900;
+
+fn opts(
+    workers: usize,
+    depth: usize,
+    policy: Option<PolicyKind>,
+    resident: bool,
+) -> RuntimeOptions {
+    let mut o = RuntimeOptions::new()
+        .workers(workers)
+        .pipeline_depth(depth)
+        .resident_state(resident);
+    if let Some(p) = policy {
+        o = o.policy(p);
+    }
+    o
+}
+
+/// Serves every input and returns the full per-node outputs (states and
+/// tokens) in submission order.
+fn outputs_of(rt: &Runtime, inputs: &[RequestInput]) -> Vec<Vec<Option<bm_cell::CellOutput>>> {
+    let handles: Vec<_> = inputs
+        .iter()
+        .map(|i| rt.submit_request(Request::from(i)).expect("submit"))
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| match h.wait() {
+            ServedOutcome::Completed(res) => res.result.outputs,
+            other => panic!("request did not complete: {other:?}"),
+        })
+        .collect()
+}
+
+fn check_identity(
+    model: Arc<dyn Model>,
+    inputs: &[RequestInput],
+    workers: usize,
+    depth: usize,
+    policy: Option<PolicyKind>,
+) {
+    let gather = Runtime::start(Arc::clone(&model), opts(workers, depth, policy, false));
+    let want = outputs_of(&gather, inputs);
+    gather.shutdown();
+
+    let resident = Runtime::start(model, opts(workers, depth, policy, true));
+    let got = outputs_of(&resident, inputs);
+    resident.shutdown();
+
+    // PartialEq on CellOutput compares every f32 exactly: any
+    // accumulation-order or state-placement difference between the
+    // paths would fail here.
+    assert_eq!(
+        want, got,
+        "resident outputs diverged ({workers} workers, depth {depth}, {policy:?})"
+    );
+}
+
+fn policy_strategy() -> impl Strategy<Value = Option<PolicyKind>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(PolicyKind::PaperDefault)),
+        Just(Some(PolicyKind::lazy_slack())),
+        Just(Some(PolicyKind::DeadlineEdf)),
+    ]
+}
+
+fn tree_strategy() -> impl Strategy<Value = TreeShape> {
+    (0u32..VOCAB).prop_map(TreeShape::Leaf).prop_recursive(
+        4,  // depth
+        24, // total nodes
+        2,  // branches
+        |inner| (inner.clone(), inner).prop_map(|(l, r)| TreeShape::internal(l, r)),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn lstm_outputs_identical_with_resident_plane(
+        seqs in vec(vec(1u32..VOCAB, 1..12), 4..16),
+        workers in 1usize..4,
+        depth in 1usize..4,
+        policy in policy_strategy(),
+    ) {
+        let inputs: Vec<RequestInput> =
+            seqs.into_iter().map(RequestInput::Sequence).collect();
+        check_identity(Arc::new(LstmLm::small()), &inputs, workers, depth, policy);
+    }
+
+    #[test]
+    fn gru_outputs_identical_with_resident_plane(
+        seqs in vec(vec(1u32..VOCAB, 1..12), 4..12),
+        workers in 1usize..4,
+        policy in policy_strategy(),
+    ) {
+        let inputs: Vec<RequestInput> =
+            seqs.into_iter().map(RequestInput::Sequence).collect();
+        check_identity(Arc::new(GruLm::small()), &inputs, workers, 2, policy);
+    }
+
+    #[test]
+    fn seq2seq_outputs_identical_with_resident_plane(
+        // Seq2Seq::small has a 500-token vocabulary; 2.. reserves the
+        // <go>/<eos> ids.
+        pairs in vec((vec(2u32..490, 1..10), 1usize..8), 4..12),
+        workers in 1usize..4,
+        depth in 1usize..4,
+        policy in policy_strategy(),
+    ) {
+        let inputs: Vec<RequestInput> = pairs
+            .into_iter()
+            .map(|(src, decode_len)| RequestInput::Pair { src, decode_len })
+            .collect();
+        check_identity(Arc::new(Seq2Seq::small()), &inputs, workers, depth, policy);
+    }
+
+    #[test]
+    fn tree_outputs_identical_with_resident_plane_enabled(
+        // Tree cells have no resident layout; the knob must leave them
+        // on the gather path untouched.
+        trees in vec(tree_strategy(), 4..10),
+        workers in 1usize..3,
+    ) {
+        let inputs: Vec<RequestInput> =
+            trees.into_iter().map(RequestInput::Tree).collect();
+        check_identity(Arc::new(TreeLstm::small()), &inputs, workers, 2, None);
+    }
+}

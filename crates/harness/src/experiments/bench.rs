@@ -13,11 +13,13 @@ use std::path::Path;
 use std::sync::Mutex;
 use std::time::Instant;
 
-use bm_cell::{Cell, CellOutput, CellState, InvocationInput, LstmCell, Scratch};
-use bm_core::{Request, Runtime, RuntimeOptions, SlotBlock};
+use bm_cell::{
+    Cell, CellOutput, CellState, InvocationInput, LstmCell, RowInvocation, Scratch, StateRef,
+};
+use bm_core::{Request, RequestId, ResidentBatch, Runtime, RuntimeOptions, SlotBlock};
 use bm_metrics::{LatencyRecorder, RequestTiming, Table};
-use bm_model::{LstmLm, Model, RequestInput};
-use bm_tensor::{ops, xavier_uniform, Matrix};
+use bm_model::{LstmLm, Model, NodeId, RequestInput};
+use bm_tensor::{ops, xavier_uniform, ComputePool, Matrix};
 
 use crate::experiments::Scale;
 
@@ -430,15 +432,260 @@ fn state_plane_suite(scale: Scale) -> (KernelBench, KernelBench, f64) {
     (arena, locked, speedup)
 }
 
+/// One resident-vs-gather chain-step measurement plus the bit-identity
+/// check between the two paths.
+#[derive(Debug, Clone)]
+pub struct ResidentBench {
+    /// Steady-state gather-path step, ns per step (batched chain
+    /// requests; state copied in from per-request rows every step).
+    pub gather_step_ns: f64,
+    /// Steady-state resident-path step, ns per step (same weights and
+    /// batch; state parked in `ResidentBatch` rows).
+    pub resident_step_ns: f64,
+    /// `gather_step_ns / resident_step_ns`.
+    pub speedup: f64,
+    /// Resident step with one leave + one rejoin per tick, ns per step
+    /// (the churn overhead of swap-remove and join-with-fetch).
+    pub churn_step_ns: f64,
+    /// Whether one step produced bitwise-identical outputs on both
+    /// paths — the smoke-level mirror of the runtime identity proptest.
+    pub identity: bool,
+}
+
+/// Measures the resident-state plane against the gather path at the
+/// execution level the runtime workers run: per step, the gather side
+/// rebuilds row invocations pointing at per-request state rows, copies
+/// them into a contiguous batch and runs the full `[x|h]·W` affine; the
+/// resident side places (a no-op when fresh) rows parked in a
+/// [`ResidentBatch`] and runs the split affine — cached token
+/// projection plus the `h·Wh` fold continuation, half the multiplies.
+/// Both sides keep the production scatter (the emit copy-out), so the
+/// difference isolated is exactly what the plane eliminates: the
+/// gather and the `x`-half of the GEMM.
+///
+/// The shape follows the paper's microbenchmark configuration (§2.2:
+/// one `b × 2h` by `2h × 4h` matmul per step, embed == hidden) at
+/// hidden 256, batch 64.
+fn resident_suite(scale: Scale) -> ResidentBench {
+    let (embed, hidden, vocab, batch) = (256usize, 256usize, 1000usize, 64usize);
+    let cell = Cell::Lstm(LstmCell::seeded(embed, hidden, vocab, 71));
+    let layout = cell.resident_layout().expect("chain cell");
+    let mut scratch = Scratch::new();
+
+    // Per-request states after one warm-up step from zero.
+    let states: Vec<CellState> = (0..batch)
+        .map(|r| {
+            let o = cell.execute_batch(&[InvocationInput::token_only((r % vocab) as u32)]);
+            o.into_iter().next().unwrap().state
+        })
+        .collect();
+    let tokens: Vec<u32> = (0..batch).map(|r| ((r * 13 + 5) % vocab) as u32).collect();
+    let tokens_opt: Vec<Option<u32>> = tokens.iter().map(|&t| Some(t)).collect();
+
+    // Identity: one step over the same states, both paths, compared
+    // bitwise.
+    let invs: Vec<RowInvocation<'_>> = states
+        .iter()
+        .zip(&tokens)
+        .map(|(s, &t)| RowInvocation::chain(t, StateRef::of(s)))
+        .collect();
+    let mut want: Vec<(Vec<f32>, Vec<f32>)> = Vec::new();
+    cell.execute_rows_in(&invs, &mut scratch, |_, h, c, _| {
+        want.push((h.to_vec(), c.to_vec()));
+    });
+    let mut rb = ResidentBatch::new(layout);
+    for (i, s) in states.iter().enumerate() {
+        rb.place(i, RequestId(i as u64), NodeId(1), Some(NodeId(0)), || {
+            StateRef::of(s)
+        });
+    }
+    let mut got: Vec<(Vec<f32>, Vec<f32>)> = Vec::new();
+    rb.step(&cell, batch, &tokens_opt, &mut scratch, |_, h, c, _| {
+        got.push((h.to_vec(), c.to_vec()));
+    });
+    let identity = want == got;
+
+    // Steady state, interleaved: `reps` chain steps per sample. One
+    // step is a few µs, so a burst per sample sits well above clock
+    // resolution; per-step figures divide the burst back out.
+    let reps = 8usize;
+    let flops = (reps as u64 * cell.flops(batch)) as f64;
+    let mut scratch_res = Scratch::new();
+    let mut scratch_gat = Scratch::new();
+    let mut res_out = states.clone();
+    let mut prev = states.clone();
+    let mut next = states.clone();
+    let mut t_node: u32 = 1;
+    let (resident, gather) = bench_pair(
+        scale,
+        "chain_step_resident_b64_h256",
+        "chain_step_gather_b64_h256",
+        flops,
+        || {
+            for _ in 0..reps {
+                t_node += 1;
+                for i in 0..batch {
+                    rb.place(
+                        i,
+                        RequestId(i as u64),
+                        NodeId(t_node),
+                        Some(NodeId(t_node - 1)),
+                        || unreachable!("steady-state rows are always fresh"),
+                    );
+                }
+                rb.step(
+                    &cell,
+                    batch,
+                    &tokens_opt,
+                    &mut scratch_res,
+                    |row, h, c, _| {
+                        res_out[row].h.copy_from_slice(h);
+                        res_out[row].c.copy_from_slice(c);
+                    },
+                );
+            }
+            std::hint::black_box(&res_out);
+        },
+        || {
+            for _ in 0..reps {
+                let invs: Vec<RowInvocation<'_>> = prev
+                    .iter()
+                    .zip(&tokens)
+                    .map(|(s, &t)| RowInvocation::chain(t, StateRef::of(s)))
+                    .collect();
+                cell.execute_rows_in(&invs, &mut scratch_gat, |row, h, c, _| {
+                    next[row].h.copy_from_slice(h);
+                    next[row].c.copy_from_slice(c);
+                });
+                std::mem::swap(&mut prev, &mut next);
+            }
+            std::hint::black_box(&prev);
+        },
+    );
+
+    // Churn: one request leaves and rejoins every tick on top of the
+    // steady step — the swap-remove + join-with-fetch overhead.
+    let mut rb_churn = ResidentBatch::new(layout);
+    let mut scratch_churn = Scratch::new();
+    let zero = CellState::zeros(hidden);
+    let mut churn_out = states.clone();
+    let mut ct: u32 = 0;
+    let mut victim = 0u64;
+    let churn_total = best_ns(scale, || {
+        for _ in 0..reps {
+            ct += 1;
+            rb_churn.remove(RequestId(victim));
+            victim = (victim + 1) % batch as u64;
+            for i in 0..batch {
+                rb_churn.place(
+                    i,
+                    RequestId(i as u64),
+                    NodeId(ct),
+                    ct.checked_sub(1).map(NodeId),
+                    || StateRef::of(&zero),
+                );
+            }
+            rb_churn.step(
+                &cell,
+                batch,
+                &tokens_opt,
+                &mut scratch_churn,
+                |row, h, c, _| {
+                    churn_out[row].h.copy_from_slice(h);
+                    churn_out[row].c.copy_from_slice(c);
+                },
+            );
+        }
+        std::hint::black_box(&churn_out);
+    });
+
+    let gather_step_ns = gather.ns_per_op / reps as f64;
+    let resident_step_ns = resident.ns_per_op / reps as f64;
+    ResidentBench {
+        gather_step_ns,
+        resident_step_ns,
+        speedup: gather_step_ns / resident_step_ns,
+        churn_step_ns: churn_total / reps as f64,
+        identity,
+    }
+}
+
+/// Pool-parallel packed-GEMM scaling over the batch-row dimension:
+/// `affine_rows_into` serial vs spread across a [`ComputePool`] sized
+/// to the host.
+#[derive(Debug, Clone)]
+pub struct PoolScaling {
+    /// Batch rows of the measured affine.
+    pub batch: usize,
+    /// Pool participants (host `available_parallelism`).
+    pub workers: usize,
+    /// Serial (no pool) best time, ns.
+    pub serial_ns: f64,
+    /// Pooled best time, ns.
+    pub pool_ns: f64,
+    /// Whether the host has more than one core. On a single-core host
+    /// the pooled run cannot win, so CI gates strict superiority on
+    /// this flag.
+    pub multi_core: bool,
+}
+
+/// Measures [`PoolScaling`] at the resident fused-affine shape (batch
+/// 64 x k 256 -> 1024 gate columns) and returns the raw kernel entries
+/// for the benches table. Also spot-checks that the pooled result is
+/// bitwise identical to the serial one (the property bm-tensor's
+/// proptests pin at every pool size).
+fn pool_scaling_suite(scale: Scale) -> (PoolScaling, Vec<KernelBench>) {
+    let (m, k, n) = (64usize, 256usize, 1024usize);
+    let x = xavier_uniform(m, k, 81);
+    let w = xavier_uniform(k, n, 82);
+    let b = Matrix::zeros(1, n);
+    let mut out_serial = Matrix::zeros(m, n);
+    let mut out_pool = Matrix::zeros(m, n);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let pool = ComputePool::new(workers);
+    let flops = (2 * m * k * n) as f64;
+    let pooled_name = format!("affine_rows_pool{workers}_b64");
+    let (serial, pooled) = bench_pair(
+        scale,
+        "affine_rows_serial_b64",
+        &pooled_name,
+        flops,
+        || {
+            ops::affine_rows_into(&x, m, &w, &b, &mut out_serial, None);
+            std::hint::black_box(&out_serial);
+        },
+        || {
+            ops::affine_rows_into(&x, m, &w, &b, &mut out_pool, Some(&pool));
+            std::hint::black_box(&out_pool);
+        },
+    );
+    assert_eq!(
+        out_serial.as_slice(),
+        out_pool.as_slice(),
+        "pooled affine diverged from serial"
+    );
+    let scaling = PoolScaling {
+        batch: m,
+        workers,
+        serial_ns: serial.ns_per_op,
+        pool_ns: pooled.ns_per_op,
+        multi_core: workers > 1,
+    };
+    (scaling, vec![serial, pooled])
+}
+
 /// Renders `BENCH_runtime.json` (schema `bm-bench-runtime/v1`): the
-/// serving runs per depth, the end-to-end pipelining speedup, and the
-/// state-plane gather pair.
+/// serving runs per depth, the end-to-end pipelining speedup, the
+/// state-plane gather pair, and the resident-vs-gather chain step.
 fn runtime_to_json(
     runs: &[RuntimeBench],
     speedup: f64,
     arena: &KernelBench,
     locked: &KernelBench,
     gather_speedup: f64,
+    resident: &ResidentBench,
 ) -> String {
     let mut s = String::from("{\n  \"schema\": \"bm-bench-runtime/v1\",\n  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
@@ -454,14 +701,23 @@ fn runtime_to_json(
     }
     s.push_str(&format!(
         "  ],\n  \"pipelined_speedup\": {speedup:.2},\n  \"state_plane\": \
-         {{\"slot_arena_ns\": {:.1}, \"locked_map_ns\": {:.1}, \"gather_speedup\": {gather_speedup:.2}}}\n}}\n",
+         {{\"slot_arena_ns\": {:.1}, \"locked_map_ns\": {:.1}, \"gather_speedup\": {gather_speedup:.2}}},\n",
         arena.ns_per_op, locked.ns_per_op
+    ));
+    s.push_str(&format!(
+        "  \"resident\": {{\"gather_step_ns\": {:.1}, \"resident_step_ns\": {:.1}, \
+         \"speedup\": {:.2}, \"churn_step_ns\": {:.1}, \"identity\": {}}}\n}}\n",
+        resident.gather_step_ns,
+        resident.resident_step_ns,
+        resident.speedup,
+        resident.churn_step_ns,
+        resident.identity
     ));
     s
 }
 
 /// Renders the machine-readable regression file (schema `bm-bench/v1`).
-fn to_json(benches: &[KernelBench], speedup: f64, rps: f64) -> String {
+fn to_json(benches: &[KernelBench], speedup: f64, rps: f64, pool: &PoolScaling) -> String {
     let mut s = String::from("{\n  \"schema\": \"bm-bench/v1\",\n  \"benches\": [\n");
     for (i, b) in benches.iter().enumerate() {
         s.push_str(&format!(
@@ -473,7 +729,12 @@ fn to_json(benches: &[KernelBench], speedup: f64, rps: f64) -> String {
         ));
     }
     s.push_str(&format!(
-        "  ],\n  \"headline\": {{\"serving_rps\": {rps:.1}, \"lstm_b64_h512_speedup\": {speedup:.2}}}\n}}\n"
+        "  ],\n  \"pool_scaling\": {{\"batch\": {}, \"workers\": {}, \"serial_ns\": {:.1}, \
+         \"pool_ns\": {:.1}, \"multi_core\": {}}},\n",
+        pool.batch, pool.workers, pool.serial_ns, pool.pool_ns, pool.multi_core
+    ));
+    s.push_str(&format!(
+        "  \"headline\": {{\"serving_rps\": {rps:.1}, \"lstm_b64_h512_speedup\": {speedup:.2}}}\n}}\n"
     ));
     s
 }
@@ -486,10 +747,13 @@ fn to_json(benches: &[KernelBench], speedup: f64, rps: f64) -> String {
 /// Panics if any measurement is non-finite or non-positive (the smoke
 /// contract CI relies on), or if the output directory is unwritable.
 pub fn run(scale: Scale, out_dir: &Path) -> Vec<Table> {
-    let (benches, speedup) = kernel_suite(scale);
+    let (mut benches, speedup) = kernel_suite(scale);
     let rps = serving_rps(scale);
     let runtime_runs = runtime_suite(scale);
     let (arena, locked, gather_speedup) = state_plane_suite(scale);
+    let resident = resident_suite(scale);
+    let (pool, pool_benches) = pool_scaling_suite(scale);
+    benches.extend(pool_benches);
 
     for b in &benches {
         assert!(
@@ -541,10 +805,32 @@ pub fn run(scale: Scale, out_dir: &Path) -> Vec<Table> {
         gather_speedup.is_finite() && gather_speedup > 0.0,
         "bad gather speedup {gather_speedup}"
     );
+    for (metric, v) in [
+        ("gather_step_ns", resident.gather_step_ns),
+        ("resident_step_ns", resident.resident_step_ns),
+        ("speedup", resident.speedup),
+        ("churn_step_ns", resident.churn_step_ns),
+    ] {
+        assert!(
+            v.is_finite() && v > 0.0,
+            "resident bench has bad {metric} {v}"
+        );
+    }
+    assert!(
+        resident.identity,
+        "resident path diverged bitwise from the gather path"
+    );
+    for (metric, v) in [("serial_ns", pool.serial_ns), ("pool_ns", pool.pool_ns)] {
+        assert!(
+            v.is_finite() && v > 0.0,
+            "pool scaling has bad {metric} {v}"
+        );
+    }
 
     std::fs::create_dir_all(out_dir).expect("create output directory");
     let json_path = out_dir.join("BENCH_kernels.json");
-    std::fs::write(&json_path, to_json(&benches, speedup, rps)).expect("write BENCH_kernels.json");
+    std::fs::write(&json_path, to_json(&benches, speedup, rps, &pool))
+        .expect("write BENCH_kernels.json");
     eprintln!("wrote {}", json_path.display());
     let runtime_path = out_dir.join("BENCH_runtime.json");
     std::fs::write(
@@ -555,6 +841,7 @@ pub fn run(scale: Scale, out_dir: &Path) -> Vec<Table> {
             &arena,
             &locked,
             gather_speedup,
+            &resident,
         ),
     )
     .expect("write BENCH_runtime.json");
@@ -594,6 +881,22 @@ pub fn run(scale: Scale, out_dir: &Path) -> Vec<Table> {
             format!("{:.3}", b.gflops),
         ]);
     }
+    let mut resident_tbl = Table::new(
+        "Resident state plane (chain LSTM, batch 64, hidden 256)",
+        &["path", "ns_per_step"],
+    );
+    resident_tbl.push_row(vec![
+        "gather".into(),
+        format!("{:.0}", resident.gather_step_ns),
+    ]);
+    resident_tbl.push_row(vec![
+        "resident".into(),
+        format!("{:.0}", resident.resident_step_ns),
+    ]);
+    resident_tbl.push_row(vec![
+        "resident + churn (1 leave/join per tick)".into(),
+        format!("{:.0}", resident.churn_step_ns),
+    ]);
     let mut headline = Table::new("Headline", &["metric", "value"]);
     headline.push_row(vec![
         "LSTM step b64/h512 speedup vs seed".into(),
@@ -611,7 +914,23 @@ pub fn run(scale: Scale, out_dir: &Path) -> Vec<Table> {
         "state-plane gather speedup (arena vs locked map)".into(),
         format!("{gather_speedup:.2}x"),
     ]);
-    vec![kernels, runtime, state_plane, headline]
+    headline.push_row(vec![
+        "resident-state steady-step speedup vs gather".into(),
+        format!("{:.2}x", resident.speedup),
+    ]);
+    headline.push_row(vec![
+        format!(
+            "pool-parallel affine b64 ({} workers{})",
+            pool.workers,
+            if pool.multi_core {
+                ""
+            } else {
+                ", single-core host"
+            }
+        ),
+        format!("{:.2}x", pool.serial_ns / pool.pool_ns),
+    ]);
+    vec![kernels, runtime, state_plane, resident_tbl, headline]
 }
 
 #[cfg(test)]
@@ -677,7 +996,14 @@ mod tests {
             ns_per_op: 2500.0,
             gflops: 1.6,
         };
-        let j = runtime_to_json(&runs, 1.8, &arena, &locked, 2.5);
+        let resident = ResidentBench {
+            gather_step_ns: 9000.0,
+            resident_step_ns: 6000.0,
+            speedup: 1.5,
+            churn_step_ns: 6500.0,
+            identity: true,
+        };
+        let j = runtime_to_json(&runs, 1.8, &arena, &locked, 2.5, &resident);
         assert!(j.contains("\"schema\": \"bm-bench-runtime/v1\""));
         assert!(j.contains("\"pipeline_depth\": 1"));
         assert!(j.contains("\"pipeline_depth\": 2"));
@@ -685,6 +1011,10 @@ mod tests {
         assert!(j.contains("\"slot_arena_ns\": 1000.0"));
         assert!(j.contains("\"locked_map_ns\": 2500.0"));
         assert!(j.contains("\"gather_speedup\": 2.50"));
+        assert!(j.contains("\"gather_step_ns\": 9000.0"));
+        assert!(j.contains("\"resident_step_ns\": 6000.0"));
+        assert!(j.contains("\"churn_step_ns\": 6500.0"));
+        assert!(j.contains("\"identity\": true"));
     }
 
     #[test]
@@ -694,9 +1024,19 @@ mod tests {
             ns_per_op: 10.0,
             gflops: 1.5,
         }];
-        let j = to_json(&benches, 2.5, 100.0);
+        let pool = PoolScaling {
+            batch: 64,
+            workers: 4,
+            serial_ns: 80000.0,
+            pool_ns: 30000.0,
+            multi_core: true,
+        };
+        let j = to_json(&benches, 2.5, 100.0, &pool);
         assert!(j.contains("\"schema\": \"bm-bench/v1\""));
         assert!(j.contains("\"lstm_b64_h512_speedup\": 2.50"));
         assert!(j.contains("\"serving_rps\": 100.0"));
+        assert!(j.contains("\"pool_scaling\""));
+        assert!(j.contains("\"workers\": 4"));
+        assert!(j.contains("\"multi_core\": true"));
     }
 }

@@ -116,6 +116,50 @@ pub fn gemm_into(
     out: &mut [f32],
     pool: Option<&ComputePool>,
 ) {
+    gemm_into_seeded(a, m, k, packed, bias, out, pool, false);
+}
+
+/// Fold continuation: computes `out = (out + a * packed) (+ bias)` with
+/// the accumulator *seeded from the existing contents of `out`* instead
+/// of zero.
+///
+/// Per output element this extends the ascending-`k` fold: if `out`
+/// holds `fold(0, t_0..t_p)` (e.g. a precomputed input-projection row),
+/// the result is `fold(fold(0, t_0..t_p), u_0..u_k) (+ bias)` — the
+/// exact expression tree of one [`gemm_into`] over the concatenated
+/// inner dimension with the bias added once at the very end. This is
+/// what lets the resident-state plane split `[x|h]·W` into a cached
+/// `x·Wx` row plus a live `h·Wh` continuation without changing a single
+/// bit.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with `m`/`k`/`packed`.
+pub fn gemm_acc_into(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    packed: &PackedWeights,
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+    pool: Option<&ComputePool>,
+) {
+    gemm_into_seeded(a, m, k, packed, bias, out, pool, true);
+}
+
+/// Shared body of [`gemm_into`] / [`gemm_acc_into`]; `seed` selects
+/// whether accumulators start from zero or from `out`'s current values.
+#[allow(clippy::too_many_arguments)]
+fn gemm_into_seeded(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    packed: &PackedWeights,
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+    pool: Option<&ComputePool>,
+    seed: bool,
+) {
     let n = packed.n;
     assert_eq!(a.len(), m * k, "gemm: lhs length mismatch");
     assert_eq!(packed.k, k, "gemm: inner dimension mismatch");
@@ -137,22 +181,23 @@ pub fn gemm_into(
             // pool blocks until every chunk completes.
             let out_chunk =
                 unsafe { std::slice::from_raw_parts_mut(out_ptr.get().add(r0 * n), (r1 - r0) * n) };
-            gemm_block(a, k, packed, bias, out_chunk, r0);
+            gemm_block(a, k, packed, bias, out_chunk, r0, seed);
         });
     } else {
-        gemm_block(a, k, packed, bias, out, 0);
+        gemm_block(a, k, packed, bias, out, 0, seed);
     }
 }
 
 /// Computes output rows `row0 ..` of the product into `out_chunk`
 /// (`out_chunk.len() / n` rows), dispatching to the widest vector ISA
-/// the host supports.
+/// the host supports (AVX-512F, then AVX2, then baseline SSE2).
 ///
-/// The AVX2 clone is the *same* element-wise mul/add fold recompiled
-/// with 256-bit lanes; IEEE-754 multiplies and adds are value-identical
+/// The vector clones are the *same* element-wise mul/add fold recompiled
+/// with wider lanes; IEEE-754 multiplies and adds are value-identical
 /// at any vector width and Rust never contracts them to FMA, so every
 /// path produces bit-identical output (the proptests in
 /// `tests/proptests.rs` pin this down).
+#[allow(clippy::too_many_arguments)]
 fn gemm_block(
     a: &[f32],
     k: usize,
@@ -160,14 +205,45 @@ fn gemm_block(
     bias: Option<&[f32]>,
     out_chunk: &mut [f32],
     row0: usize,
+    seed: bool,
 ) {
     #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") {
-        // SAFETY: the feature check above guarantees AVX2 is available.
-        unsafe { gemm_block_avx2(a, k, packed, bias, out_chunk, row0) };
-        return;
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: the feature check above guarantees AVX-512F is
+            // available.
+            unsafe { gemm_block_avx512(a, k, packed, bias, out_chunk, row0, seed) };
+            return;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: the feature check above guarantees AVX2 is available.
+            unsafe { gemm_block_avx2(a, k, packed, bias, out_chunk, row0, seed) };
+            return;
+        }
     }
-    gemm_block_impl(a, k, packed, bias, out_chunk, row0);
+    gemm_block_impl(a, k, packed, bias, out_chunk, row0, seed);
+}
+
+/// [`gemm_block_impl`] recompiled for AVX-512F. The vectorized axis is
+/// the `NR`-wide accumulator arrays (output columns `jj`), never the
+/// `k` fold, so lane width cannot change the per-element fold order:
+/// with `NR = 8` the accumulators occupy one 256-bit lane group and the
+/// win over AVX2 comes from the doubled register file (32 vector
+/// registers keep all four row accumulators plus the panel row resident)
+/// and EVEX encodings, not from a different expression tree.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm_block_avx512(
+    a: &[f32],
+    k: usize,
+    packed: &PackedWeights,
+    bias: Option<&[f32]>,
+    out_chunk: &mut [f32],
+    row0: usize,
+    seed: bool,
+) {
+    gemm_block_impl(a, k, packed, bias, out_chunk, row0, seed);
 }
 
 /// [`gemm_block_impl`] recompiled for AVX2 so the `[f32; NR]`
@@ -175,6 +251,7 @@ fn gemm_block(
 /// SSE2 pairs (~2x the arithmetic throughput on the hot panel loop).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
 unsafe fn gemm_block_avx2(
     a: &[f32],
     k: usize,
@@ -182,13 +259,15 @@ unsafe fn gemm_block_avx2(
     bias: Option<&[f32]>,
     out_chunk: &mut [f32],
     row0: usize,
+    seed: bool,
 ) {
-    gemm_block_impl(a, k, packed, bias, out_chunk, row0);
+    gemm_block_impl(a, k, packed, bias, out_chunk, row0, seed);
 }
 
 /// Portable body of the block loop; `#[inline(always)]` so each ISA
 /// wrapper specialises the kernels under its own target features.
 #[inline(always)]
+#[allow(clippy::too_many_arguments)]
 fn gemm_block_impl(
     a: &[f32],
     k: usize,
@@ -196,6 +275,7 @@ fn gemm_block_impl(
     bias: Option<&[f32]>,
     out_chunk: &mut [f32],
     row0: usize,
+    seed: bool,
 ) {
     let n = packed.n;
     if n == 0 {
@@ -211,10 +291,10 @@ fn gemm_block_impl(
             let w = NR.min(n - j0);
             let panel = &packed.panels[p * k * NR..(p + 1) * k * NR];
             if mr == MR {
-                kernel_4xnr(a, k, panel, bias, out_chunk, row0, i0, n, j0, w);
+                kernel_4xnr(a, k, panel, bias, out_chunk, row0, i0, n, j0, w, seed);
             } else {
                 for ii in 0..mr {
-                    kernel_1xnr(a, k, panel, bias, out_chunk, row0, i0 + ii, n, j0, w);
+                    kernel_1xnr(a, k, panel, bias, out_chunk, row0, i0 + ii, n, j0, w, seed);
                 }
             }
         }
@@ -238,6 +318,7 @@ fn kernel_4xnr(
     n: usize,
     j0: usize,
     w: usize,
+    seed: bool,
 ) {
     let a0 = &a[(row0 + i0) * k..(row0 + i0 + 1) * k];
     let a1 = &a[(row0 + i0 + 1) * k..(row0 + i0 + 2) * k];
@@ -247,6 +328,16 @@ fn kernel_4xnr(
     let mut acc1 = [0.0f32; NR];
     let mut acc2 = [0.0f32; NR];
     let mut acc3 = [0.0f32; NR];
+    if seed {
+        // Padded lanes (`w..NR`) stay zero and are never written back.
+        for (ii, acc) in [&mut acc0, &mut acc1, &mut acc2, &mut acc3]
+            .into_iter()
+            .enumerate()
+        {
+            let o0 = (i0 + ii) * n + j0;
+            acc[..w].copy_from_slice(&out_chunk[o0..o0 + w]);
+        }
+    }
     for kk in 0..k {
         let bp: &[f32; NR] = panel[kk * NR..(kk + 1) * NR].try_into().unwrap();
         let (v0, v1, v2, v3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
@@ -291,9 +382,14 @@ fn kernel_1xnr(
     n: usize,
     j0: usize,
     w: usize,
+    seed: bool,
 ) {
     let a_row = &a[(row0 + i) * k..(row0 + i + 1) * k];
     let mut acc = [0.0f32; NR];
+    if seed {
+        let o0 = i * n + j0;
+        acc[..w].copy_from_slice(&out_chunk[o0..o0 + w]);
+    }
     for kk in 0..k {
         let bp: &[f32; NR] = panel[kk * NR..(kk + 1) * NR].try_into().unwrap();
         let v = a_row[kk];
@@ -384,6 +480,54 @@ mod tests {
         for _ in 0..8 {
             let mut par = vec![0.0f32; m * n];
             gemm_into(&a, m, k, &packed, None, &mut par, Some(&pool));
+            assert_eq!(par, serial);
+        }
+    }
+
+    #[test]
+    fn acc_fold_split_is_bitwise_identical_to_one_fold() {
+        // Split the inner dimension at an arbitrary boundary `e`: a
+        // zero-seeded GEMM over the first `e` terms followed by an
+        // accumulator-seeded continuation over the rest (bias at the
+        // end) must reproduce the single full fold bit for bit — the
+        // property the resident plane's cached input projection relies
+        // on.
+        for &(m, e, h, n) in &[(1, 1, 1, 1), (3, 5, 7, 9), (6, 16, 16, 64), (13, 7, 31, 20)] {
+            let k = e + h;
+            let a = seq(m * k, 0.23);
+            let b = seq(k * n, 0.41);
+            let bias = seq(n, 1.7);
+            let full = PackedWeights::pack(k, n, &b);
+            let mut want = vec![0.0f32; m * n];
+            gemm_into(&a, m, k, &full, Some(&bias), &mut want, None);
+
+            // Deinterleave a into its x (first e cols) and h halves.
+            let ax: Vec<f32> = (0..m).flat_map(|i| a[i * k..i * k + e].to_vec()).collect();
+            let ah: Vec<f32> = (0..m)
+                .flat_map(|i| a[i * k + e..(i + 1) * k].to_vec())
+                .collect();
+            let wx = PackedWeights::pack(e, n, &b[..e * n]);
+            let wh = PackedWeights::pack(h, n, &b[e * n..]);
+            let mut got = vec![0.0f32; m * n];
+            gemm_into(&ax, m, e, &wx, None, &mut got, None);
+            gemm_acc_into(&ah, m, h, &wh, Some(&bias), &mut got, None);
+            assert_eq!(got, want, "split ({m},{e}+{h},{n})");
+        }
+    }
+
+    #[test]
+    fn acc_pool_chunking_is_bitwise_identical() {
+        let (m, k, n) = (37, 24, 19);
+        let a = seq(m * k, 0.2);
+        let b = seq(k * n, 0.4);
+        let packed = PackedWeights::pack(k, n, &b);
+        let mut serial = seq(m * n, 0.05);
+        let par_init = serial.clone();
+        gemm_acc_into(&a, m, k, &packed, None, &mut serial, None);
+        let pool = ComputePool::new(4);
+        for _ in 0..8 {
+            let mut par = par_init.clone();
+            gemm_acc_into(&a, m, k, &packed, None, &mut par, Some(&pool));
             assert_eq!(par, serial);
         }
     }

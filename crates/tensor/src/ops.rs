@@ -9,6 +9,7 @@
 use crate::error::ShapeError;
 use crate::gemm;
 use crate::matrix::Matrix;
+use crate::pool::ComputePool;
 
 /// The scalar sigmoid `1 / (1 + e^-v)` shared by every sigmoid path
 /// (allocating, in-place and fused), so all of them agree bitwise.
@@ -81,6 +82,105 @@ pub fn affine_into(x: &Matrix, w: &Matrix, b: &Matrix, out: &mut Matrix) {
         out.as_mut_slice(),
         crate::matrix::auto_pool(m, k, w.cols()),
     );
+}
+
+/// Fused affine over the first `rows` rows of `x` into the first `rows`
+/// rows of `out`, with an explicit [`ComputePool`] choice.
+///
+/// This is the resident-state entry point: the resident batch matrix is
+/// allocated at capacity but only its occupied prefix carries live
+/// requests, so the GEMM must run over a row prefix without reshaping
+/// or copying. The pool parallelizes the batch-row dimension (disjoint
+/// `MR`-multiple row chunks); per-row folds are independent, so results
+/// are bitwise identical to [`affine_into`] on the same rows at any
+/// pool size.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or if `rows` exceeds either matrix.
+pub fn affine_rows_into(
+    x: &Matrix,
+    rows: usize,
+    w: &Matrix,
+    b: &Matrix,
+    out: &mut Matrix,
+    pool: Option<&ComputePool>,
+) {
+    assert!(rows <= x.rows(), "affine_rows_into: rows exceeds input");
+    assert!(rows <= out.rows(), "affine_rows_into: rows exceeds output");
+    assert_eq!(x.cols(), w.rows(), "affine_rows_into inner dimension");
+    assert!(
+        b.rows() == 1 && b.cols() == w.cols(),
+        "affine_rows_into bias shape"
+    );
+    assert_eq!(out.cols(), w.cols(), "affine_rows_into output width");
+    let k = x.cols();
+    let n = w.cols();
+    gemm::gemm_into(
+        &x.as_slice()[..rows * k],
+        rows,
+        k,
+        w.packed(),
+        Some(b.row(0)),
+        &mut out.as_mut_slice()[..rows * n],
+        pool,
+    );
+}
+
+/// Fold-continuation affine over the first `rows` rows: computes
+/// `out = (out + x · wh) + b`, seeding each output element's
+/// accumulator from `out`'s current value ([`gemm::gemm_acc_into`]).
+///
+/// This is the second half of the resident plane's split affine: `out`
+/// rows hold the precomputed token-projection partials
+/// (`fold(0, x·Wx terms)`, no bias) and `x` holds the live hidden-state
+/// rows, so the result is bitwise identical to one full
+/// `affine_rows_into` over the concatenated `[x|h]` input — the fold
+/// continues in the same ascending-`k` order and the bias is still
+/// added exactly once at the end.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or if `rows` exceeds either matrix.
+pub fn affine_acc_rows_into(
+    x: &Matrix,
+    rows: usize,
+    wh: &gemm::PackedWeights,
+    b: &Matrix,
+    out: &mut Matrix,
+    pool: Option<&ComputePool>,
+) {
+    assert!(rows <= x.rows(), "affine_acc_rows_into: rows exceeds input");
+    assert!(
+        rows <= out.rows(),
+        "affine_acc_rows_into: rows exceeds output"
+    );
+    assert_eq!(x.cols(), wh.k(), "affine_acc_rows_into inner dimension");
+    assert!(
+        b.rows() == 1 && b.cols() == wh.n(),
+        "affine_acc_rows_into bias shape"
+    );
+    assert_eq!(out.cols(), wh.n(), "affine_acc_rows_into output width");
+    let k = x.cols();
+    let n = wh.n();
+    gemm::gemm_acc_into(
+        &x.as_slice()[..rows * k],
+        rows,
+        k,
+        wh,
+        Some(b.row(0)),
+        &mut out.as_mut_slice()[..rows * n],
+        pool,
+    );
+}
+
+/// The pool-selection heuristic used by [`Matrix::matmul`] and
+/// [`affine_into`], exposed so callers driving [`affine_rows_into`] can
+/// make the same choice for an `(m, k, n)` product: the global
+/// [`ComputePool`] when the work amortizes the chunk handoff, `None`
+/// (serial) otherwise. Pool size never affects results (bitwise).
+pub fn auto_pool(m: usize, k: usize, n: usize) -> Option<&'static ComputePool> {
+    crate::matrix::auto_pool(m, k, n)
 }
 
 /// Element-wise sigmoid `1 / (1 + e^-x)`.
@@ -388,6 +488,49 @@ pub fn lstm_gates(z: &Matrix, c_prev: &Matrix, h_out: &mut Matrix, c_out: &mut M
     }
 }
 
+/// Single-row, in-place LSTM gate kernel for resident state rows: the
+/// previous cell state is read from and the new one written back to
+/// `c_row`, and the new hidden state overwrites `h_row` (which may be a
+/// sub-slice of a wider resident `[x|h]` row).
+///
+/// Per element this evaluates exactly the same expression tree as
+/// [`lstm_gates`] — each `c` element is read before it is overwritten —
+/// so a resident step is bitwise identical to the gather-path step.
+///
+/// # Panics
+///
+/// Panics on slice-length mismatch.
+pub fn lstm_gates_row_inplace(z_row: &[f32], h_row: &mut [f32], c_row: &mut [f32]) {
+    let h = c_row.len();
+    assert_eq!(z_row.len(), 4 * h, "lstm_gates_row pre-activation length");
+    assert_eq!(h_row.len(), h, "lstm_gates_row h length");
+    for j in 0..h {
+        let i_g = sigmoid_s(z_row[j]);
+        let f_g = sigmoid_s(z_row[h + j]);
+        let g_g = z_row[2 * h + j].tanh();
+        let o_g = sigmoid_s(z_row[3 * h + j]);
+        let c_new = (f_g * c_row[j]) + (i_g * g_g);
+        c_row[j] = c_new;
+        h_row[j] = o_g * c_new.tanh();
+    }
+}
+
+/// Single-row, in-place GRU combine for resident state rows:
+/// `h[j] = ((1 - z[j]) * n[j]) + (z[j] * h[j])`, each element read
+/// before it is overwritten — the same expression tree as
+/// [`gru_combine`], so resident and gather paths agree bitwise.
+///
+/// # Panics
+///
+/// Panics on slice-length mismatch.
+pub fn gru_combine_row_inplace(z_row: &[f32], n_row: &[f32], h_row: &mut [f32]) {
+    assert_eq!(z_row.len(), h_row.len(), "gru_combine_row z length");
+    assert_eq!(n_row.len(), h_row.len(), "gru_combine_row n length");
+    for ((hv, &zv), &nv) in h_row.iter_mut().zip(z_row).zip(n_row) {
+        *hv = ((1.0 - zv) * nv) + (zv * *hv);
+    }
+}
+
 /// Fused GRU combine: `h' = ((1 - z) * n) + (z * h_prev)` element-wise
 /// into `h_out`; bitwise identical to the unfused `map`/`mul`/`add`
 /// chain.
@@ -668,6 +811,57 @@ mod tests {
         lstm_gates(&z, &c_prev, &mut h, &mut c);
         assert_eq!(c, c_want);
         assert_eq!(h, h_want);
+    }
+
+    #[test]
+    fn row_inplace_kernels_match_batch_kernels() {
+        // The resident-state step must compute exactly the bits the
+        // gather-path batch kernels compute.
+        let z = m(&[
+            &[0.3, -0.7, 1.2, 0.1, -0.4, 0.9, 2.0, -1.1],
+            &[-0.2, 0.5, -1.3, 0.8, 1.1, -0.6, 0.4, 0.7],
+        ]);
+        let c_prev = m(&[&[0.5, -0.25], &[-1.5, 2.0]]);
+        let mut h_want = Matrix::zeros(2, 2);
+        let mut c_want = Matrix::zeros(2, 2);
+        lstm_gates(&z, &c_prev, &mut h_want, &mut c_want);
+        for r in 0..2 {
+            let mut h_row = [0.0f32; 2];
+            let mut c_row: [f32; 2] = c_prev.row(r).try_into().unwrap();
+            lstm_gates_row_inplace(z.row(r), &mut h_row, &mut c_row);
+            assert_eq!(&h_row, h_want.row(r));
+            assert_eq!(&c_row, c_want.row(r));
+        }
+
+        let zg = m(&[&[0.2, 0.8, 0.5]]);
+        let n = m(&[&[1.0, -1.0, 0.25]]);
+        let h_prev = m(&[&[0.5, 0.5, -2.0]]);
+        let mut hg_want = Matrix::zeros(1, 3);
+        gru_combine(&zg, &n, &h_prev, &mut hg_want);
+        let mut h_row: [f32; 3] = h_prev.row(0).try_into().unwrap();
+        gru_combine_row_inplace(zg.row(0), n.row(0), &mut h_row);
+        assert_eq!(&h_row, hg_want.row(0));
+    }
+
+    #[test]
+    fn affine_rows_into_matches_affine_on_prefix() {
+        let x = m(&[
+            &[1.0, -2.0, 0.5],
+            &[0.25, 3.0, -1.5],
+            &[9.0, 9.0, 9.0], // beyond the prefix: must be ignored
+        ]);
+        let w = m(&[&[1.0, 2.0], &[-0.5, 0.75], &[2.0, -1.0]]);
+        let b = m(&[&[0.125, -0.25]]);
+        let mut out = Matrix::from_vec(3, 2, vec![7.0; 6]);
+        let pool = ComputePool::new(3);
+        for p in [None, Some(&pool)] {
+            affine_rows_into(&x, 2, &w, &b, &mut out, p);
+            let full = affine(&x, &w, &b);
+            assert_eq!(out.row(0), full.row(0));
+            assert_eq!(out.row(1), full.row(1));
+            // Rows past the prefix are untouched.
+            assert_eq!(out.row(2), &[7.0, 7.0]);
+        }
     }
 
     #[test]

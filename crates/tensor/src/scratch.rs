@@ -40,6 +40,23 @@ impl Scratch {
         Matrix::from_vec(rows, cols, buf)
     }
 
+    /// Returns a `(rows, cols)` matrix with **unspecified contents**,
+    /// reusing a retired buffer when possible.
+    ///
+    /// For buffers every element of which is about to be overwritten
+    /// (GEMM outputs, gathered projections), [`take`]'s zeroing is pure
+    /// waste — the resident-state step uses this variant to keep its
+    /// steady-state memory traffic at zero. Callers must not read an
+    /// element before writing it.
+    ///
+    /// [`take`]: Scratch::take
+    pub fn take_dirty(&mut self, rows: usize, cols: usize) -> Matrix {
+        let mut buf = self.free.pop().unwrap_or_default();
+        buf.resize(rows * cols, 0.0);
+        buf.truncate(rows * cols);
+        Matrix::from_vec(rows, cols, buf)
+    }
+
     /// Retires a matrix, keeping its allocation for a later [`take`].
     ///
     /// [`take`]: Scratch::take
