@@ -17,6 +17,52 @@ use bm_trace::TraceSink;
 
 use crate::policy::PolicyKind;
 
+/// How the network front door (`bm-net`) learns that sockets and
+/// completions are ready, i.e. which readiness backend its single
+/// ingest/completion event loop runs on.
+///
+/// Lives here (rather than in `bm-net`) for the same reason as
+/// [`TenantRate`]: it is a serving-deployment knob carried by the one
+/// [`ServeConfig`] every driver embeds. Drivers without sockets (the
+/// in-process runtimes, the simulator) ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadinessMode {
+    /// Use the best backend the platform supports: the raw-syscall
+    /// epoll backend on Linux x86_64, the polled scan everywhere else.
+    #[default]
+    Auto,
+    /// Portable fallback: a polled scan of non-blocking sockets with
+    /// adaptive idle backoff. Always available; the bit-identity oracle
+    /// the epoll backend is tested against.
+    Polled,
+    /// Linux x86_64 epoll via `bm-net`'s raw-syscall shim (eventfd
+    /// wakeups, edge-free level-triggered readiness, write-interest
+    /// registration instead of write backoff). Binding a server with
+    /// this mode on an unsupported platform fails with an error.
+    Epoll,
+}
+
+impl ReadinessMode {
+    /// Parses a CLI-style name: `auto`, `polled` or `epoll`.
+    pub fn parse(s: &str) -> Option<ReadinessMode> {
+        match s {
+            "auto" => Some(ReadinessMode::Auto),
+            "polled" => Some(ReadinessMode::Polled),
+            "epoll" => Some(ReadinessMode::Epoll),
+            _ => None,
+        }
+    }
+
+    /// The CLI-style name ([`ReadinessMode::parse`]'s inverse).
+    pub fn label(self) -> &'static str {
+        match self {
+            ReadinessMode::Auto => "auto",
+            ReadinessMode::Polled => "polled",
+            ReadinessMode::Epoll => "epoll",
+        }
+    }
+}
+
 /// A per-tenant token-bucket rate limit, enforced by the network front
 /// door (`bm-net`) before a request reaches a scheduler shard.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,11 +125,26 @@ pub struct ServeConfig {
     /// Execute eligible chain cells through the resident-state plane
     /// ([`crate::ResidentBatch`]): each active request's recurrent state
     /// stays parked as a row of a per-worker persistent batch matrix,
-    /// eliminating the per-step gather. Off by default; the gather path
-    /// remains the bit-identity oracle and A/B baseline. Outputs are
+    /// eliminating the per-step gather. **On by default** since the
+    /// plane soaked through a full PR cycle with bit-identity pinned by
+    /// the `resident_identity` proptests; the gather path remains the
+    /// oracle and A/B baseline (`.resident_state(false)`). Outputs are
     /// bitwise identical either way. The discrete-event simulator
     /// (duration-based, no real state movement) ignores it.
     pub resident_state: bool,
+    /// Batch the manager's channel traffic: submit all tasks formed for
+    /// a worker in one message per dispatch pass, and let callers
+    /// coalesce many client submissions into one manager message
+    /// (`Runtime::submit_batch_tagged`; the network front door batches
+    /// every frame decoded in one readiness pass). On by default; turn
+    /// off to reproduce the per-message baseline the `repro serve`
+    /// manager-batching comparison measures against. Outputs are
+    /// identical either way — this only changes how many channel
+    /// round-trips carry them.
+    pub batched_dispatch: bool,
+    /// Readiness backend for the network front door's event loop
+    /// ([`ReadinessMode`]); in-process drivers ignore it.
+    pub readiness: ReadinessMode,
     /// Scheduler shards for the sharded runtime (each owns its own
     /// engine, queues and deadline heap). The plain threaded runtime
     /// and the simulator ignore it. Defaults to half the host's cores,
@@ -117,7 +178,9 @@ impl Default for ServeConfig {
             max_active: None,
             queue_cap: None,
             pipeline_depth: 2,
-            resident_state: false,
+            resident_state: true,
+            batched_dispatch: true,
+            readiness: ReadinessMode::Auto,
             shards: default_shards(),
             tenant_rate: None,
             trace: bm_trace::noop(),
@@ -129,7 +192,8 @@ impl Default for ServeConfig {
 impl ServeConfig {
     /// The default configuration (start of the builder chain): no
     /// policy override, no deadline, no admission cap, unbounded queue,
-    /// depth-2 pipeline, cores/2 shards, no tenant limits, tracing and
+    /// depth-2 pipeline, resident state and batched dispatch on, auto
+    /// readiness, cores/2 shards, no tenant limits, tracing and
     /// telemetry off.
     pub fn new() -> Self {
         Self::default()
@@ -167,9 +231,24 @@ impl ServeConfig {
     }
 
     /// Enables (or disables) the resident-state execution plane for
-    /// chain cells.
+    /// chain cells. On by default; `false` selects the gather-path
+    /// oracle.
     pub fn resident_state(mut self, on: bool) -> Self {
         self.resident_state = on;
+        self
+    }
+
+    /// Enables (or disables) batched manager dispatch and coalesced
+    /// submission. On by default; `false` reproduces the per-message
+    /// baseline.
+    pub fn batched_dispatch(mut self, on: bool) -> Self {
+        self.batched_dispatch = on;
+        self
+    }
+
+    /// Selects the network front door's readiness backend.
+    pub fn readiness(mut self, mode: ReadinessMode) -> Self {
+        self.readiness = mode;
         self
     }
 

@@ -13,7 +13,7 @@
 //!   threads) that executes real cell math on CPU and returns results
 //!   bit-identical to the unbatched reference executor;
 //! - [`ResidentBatch`] — the resident-state execution plane for chain
-//!   cells (opt-in via [`ServeConfig::resident_state`]): each active
+//!   cells (on by default via [`ServeConfig::resident_state`]): each active
 //!   request's recurrent state stays parked as a row of a persistent
 //!   batch matrix, eliminating the per-step gather while remaining
 //!   bit-identical to the gather path.
@@ -34,7 +34,7 @@ mod shard;
 mod state_plane;
 mod task;
 
-pub use config::{ServeConfig, TenantRate};
+pub use config::{ReadinessMode, ServeConfig, TenantRate};
 pub use engine::{CancelOutcome, CellularEngine, SchedulerConfig, SchedulerStats, STAGE_NAMES};
 pub use ids::{RequestId, SubgraphId, TaskId, WorkerId};
 pub use partition::{partition, Partition};
@@ -44,8 +44,8 @@ pub use policy::{
 pub use request::{DeadlineSpec, Request};
 pub use resident::{ResidentBatch, ResidentStats};
 pub use runtime::{
-    ResponseHandle, Runtime, RuntimeOptions, ServedOutcome, ServedResult, ServedTiming,
-    SubmitError, WaitError,
+    completion_queue, CompletionQueue, CompletionReceiver, ResponseHandle, Runtime, RuntimeOptions,
+    ServedOutcome, ServedResult, ServedTiming, SubmitError, WaitError,
 };
 pub use shard::ShardedRuntime;
 pub use state_plane::SlotBlock;

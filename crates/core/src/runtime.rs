@@ -223,9 +223,10 @@ impl ResponseHandle {
 
     /// Blocks until the request resolves or `timeout` elapses. On
     /// timeout the handle stays live: callers interleaving waits with
-    /// other work (e.g. the network front door's per-connection reaper
-    /// checking for closed connections) call it again. A runtime that
-    /// shut down yields [`ServedOutcome::ShutDown`], never an error.
+    /// other work call it again. (Tagged completion queues are the
+    /// non-blocking alternative — see [`Runtime::submit_request_tagged`].)
+    /// A runtime that shut down yields [`ServedOutcome::ShutDown`],
+    /// never an error.
     pub fn wait_timeout(&self, timeout: Duration) -> Result<ServedOutcome, WaitError> {
         match self.rx.recv_timeout(timeout) {
             Ok(outcome) => Ok(outcome),
@@ -237,6 +238,96 @@ impl ResponseHandle {
     /// Non-blocking poll.
     pub fn try_wait(&self) -> Option<ServedOutcome> {
         self.rx.try_recv().ok()
+    }
+}
+
+/// Creates a shared completion queue: the sending half is cloned into
+/// tagged submissions ([`Runtime::submit_request_tagged`] /
+/// [`Runtime::submit_batch_tagged`]), the receiving half is held by the
+/// one consumer pumping outcomes.
+///
+/// This is the many-requests-one-consumer alternative to
+/// [`ResponseHandle`]: instead of one channel (and one waiting thread)
+/// per request, every outcome lands on a single queue tagged with the
+/// caller's `u64`, so a single thread — the network front door's event
+/// loop — can drain thousands of requests' completions without a
+/// thread or a sleep-poll per connection.
+pub fn completion_queue() -> (CompletionQueue, CompletionReceiver) {
+    let (tx, rx) = unbounded();
+    (
+        CompletionQueue { tx, waker: None },
+        CompletionReceiver { rx },
+    )
+}
+
+/// The sending half of a [`completion_queue`]: a tagged outcome sink
+/// shared by many requests, with an optional waker invoked after each
+/// delivery (the front door points it at an eventfd so outcomes wake
+/// its readiness loop).
+#[derive(Clone)]
+pub struct CompletionQueue {
+    tx: Sender<(u64, ServedOutcome)>,
+    waker: Option<Arc<dyn Fn() + Send + Sync>>,
+}
+
+impl std::fmt::Debug for CompletionQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompletionQueue")
+            .field("waker", &self.waker.is_some())
+            .finish()
+    }
+}
+
+impl CompletionQueue {
+    /// Attaches a waker called (on the resolving manager thread) after
+    /// every outcome is queued. Must be cheap and non-blocking; an
+    /// eventfd write qualifies.
+    pub fn with_waker(mut self, waker: Arc<dyn Fn() + Send + Sync>) -> Self {
+        self.waker = Some(waker);
+        self
+    }
+
+    /// Queues one resolved outcome and fires the waker.
+    fn deliver(&self, tag: u64, outcome: ServedOutcome) {
+        let _ = self.tx.send((tag, outcome));
+        if let Some(w) = &self.waker {
+            w();
+        }
+    }
+}
+
+/// The receiving half of a [`completion_queue`].
+pub struct CompletionReceiver {
+    rx: Receiver<(u64, ServedOutcome)>,
+}
+
+impl CompletionReceiver {
+    /// Takes the next queued outcome without blocking.
+    pub fn try_recv(&self) -> Option<(u64, ServedOutcome)> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Blocks up to `timeout` for the next outcome.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<(u64, ServedOutcome)> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+/// Where one admitted request's outcome goes: its own handle channel,
+/// or a shared tagged queue.
+enum Respond {
+    Handle(Sender<ServedOutcome>),
+    Queue { queue: CompletionQueue, tag: u64 },
+}
+
+impl Respond {
+    fn deliver(self, outcome: ServedOutcome) {
+        match self {
+            Respond::Handle(tx) => {
+                let _ = tx.send(outcome);
+            }
+            Respond::Queue { queue, tag } => queue.deliver(tag, outcome),
+        }
     }
 }
 
@@ -382,15 +473,22 @@ impl RuntimeOptions {
     }
 }
 
+/// One admitted request on its way to the manager.
+struct Arrival {
+    id: RequestId,
+    graph: CellGraph,
+    arrival_us: u64,
+    deadline_us: Option<u64>,
+    priority: u8,
+    respond: Respond,
+}
+
 enum ManagerMsg {
-    Arrive {
-        id: RequestId,
-        graph: CellGraph,
-        arrival_us: u64,
-        deadline_us: Option<u64>,
-        priority: u8,
-        respond: Sender<ServedOutcome>,
-    },
+    /// One admitted request (the unbatched submission path).
+    Arrive(Box<Arrival>),
+    /// Many admitted requests coalesced into one manager wakeup
+    /// ([`Runtime::submit_batch_tagged`]). Never empty.
+    ArriveBatch(Vec<Arrival>),
     TaskDone {
         task: TaskId,
         worker: WorkerId,
@@ -401,15 +499,36 @@ enum ManagerMsg {
     Shutdown,
 }
 
+impl ManagerMsg {
+    /// How many logical items this message carries (requests for
+    /// arrivals, 1 otherwise) — the unit `bm_manager_drained_per_wakeup`
+    /// counts, so coalescing shows up as amortization rather than
+    /// hiding it.
+    fn items(&self) -> u64 {
+        match self {
+            ManagerMsg::ArriveBatch(v) => v.len() as u64,
+            _ => 1,
+        }
+    }
+}
+
 /// A dispatched task plus the state blocks its entries live in (one per
 /// entry, parallel to `task.entries`), so the worker can gather and
 /// scatter without any shared map.
 struct WorkerTask {
     task: Task,
     blocks: Vec<Arc<SlotBlock>>,
-    /// Requests that resolved since this worker's last task; the worker
-    /// releases their resident rows before executing. Always empty when
-    /// the resident plane is off.
+}
+
+/// One manager→worker message: every task formed for this worker in one
+/// dispatch pass (a batch of subgraph executions), plus the resident
+/// plane's eviction piggyback. With batched dispatch off, each task
+/// rides its own message — the per-message baseline.
+struct WorkerBatch {
+    tasks: Vec<WorkerTask>,
+    /// Requests that resolved since this worker's last message; the
+    /// worker releases their resident rows before executing. Always
+    /// empty when the resident plane is off.
     evict: Vec<RequestId>,
     /// Tells the worker to clear every resident batch outright — set
     /// when the eviction backlog for an idle worker grew past
@@ -476,11 +595,13 @@ impl Runtime {
             });
             // The manager stops refilling a worker at `pipeline_depth`
             // unfinished tasks and each refill overshoots by at most
-            // one dispatch (`max_tasks_to_submit` tasks) — so this
-            // bound is never hit and the manager never blocks on a
-            // worker.
+            // one dispatch (`max_tasks_to_submit` tasks); every message
+            // carries at least one task, so this bound is never hit and
+            // the manager never blocks on a worker — in batched mode a
+            // whole refill is one message, in the per-message baseline
+            // it is one message per task.
             let bound = pipeline_depth + opts.scheduler.max_tasks_to_submit.max(1);
-            let (tx, rx) = bounded::<WorkerTask>(bound);
+            let (tx, rx) = bounded::<WorkerBatch>(bound);
             worker_txs.push(tx);
             workers.push(spawn_worker(
                 WorkerId(w as u32),
@@ -557,14 +678,108 @@ impl Runtime {
     /// # }
     /// ```
     pub fn submit_request(&self, req: impl Into<Request>) -> Result<ResponseHandle, SubmitError> {
-        let req = req.into();
+        let (tx, rx) = unbounded();
+        let arrival = self.prepare(&req.into(), Respond::Handle(tx))?;
+        self.send_arrival(arrival)?;
+        Ok(ResponseHandle { rx })
+    }
+
+    /// Submits a [`Request`] whose outcome is delivered to a shared
+    /// [`CompletionQueue`] tagged with `tag`, instead of a per-request
+    /// [`ResponseHandle`]. Admission semantics are identical to
+    /// [`Runtime::submit_request`]; `Ok(())` means the outcome will
+    /// eventually appear on the queue (a runtime shutting down delivers
+    /// [`ServedOutcome::ShutDown`]).
+    pub fn submit_request_tagged(
+        &self,
+        req: impl Into<Request>,
+        tag: u64,
+        queue: &CompletionQueue,
+    ) -> Result<(), SubmitError> {
+        let respond = Respond::Queue {
+            queue: queue.clone(),
+            tag,
+        };
+        let arrival = self.prepare(&req.into(), respond)?;
+        self.send_arrival(arrival)
+    }
+
+    /// Submits many tagged requests in **one manager message**, so a
+    /// burst of arrivals costs the manager one wakeup instead of one
+    /// per request. Per-request admission still applies: the returned
+    /// vector gives each request's verdict in order, and only `Ok`
+    /// entries were admitted (their outcomes arrive on `queue`).
+    ///
+    /// With [`ServeConfig::batched_dispatch`] off this degrades to a
+    /// loop of single submissions — the per-message baseline the serve
+    /// benchmark compares against.
+    pub fn submit_batch_tagged(
+        &self,
+        reqs: impl IntoIterator<Item = (u64, Request)>,
+        queue: &CompletionQueue,
+    ) -> Vec<Result<(), SubmitError>> {
+        if !self.opts.serve().batched_dispatch {
+            return reqs
+                .into_iter()
+                .map(|(tag, req)| self.submit_request_tagged(req, tag, queue))
+                .collect();
+        }
+        let mut results = Vec::new();
+        let mut arrivals = Vec::new();
+        // Indices in `results` whose arrival rides the batch message,
+        // parallel to `arrivals`; patched to an error if the send fails.
+        let mut admitted_idx = Vec::new();
+        for (tag, req) in reqs {
+            let respond = Respond::Queue {
+                queue: queue.clone(),
+                tag,
+            };
+            match self.prepare(&req, respond) {
+                Ok(a) => {
+                    admitted_idx.push(results.len());
+                    arrivals.push(a);
+                    results.push(Ok(()));
+                }
+                Err(e) => results.push(Err(e)),
+            }
+        }
+        if arrivals.is_empty() {
+            return results;
+        }
+        match self.manager_tx.try_send(ManagerMsg::ArriveBatch(arrivals)) {
+            Ok(()) => {}
+            Err(e) => {
+                // The whole batch missed the queue: release every
+                // reserved slot and report per-request.
+                let (err, returned) = match e {
+                    TrySendError::Full(m) => (SubmitError::QueueFull, m),
+                    TrySendError::Disconnected(m) => (SubmitError::ShuttingDown, m),
+                };
+                if let ManagerMsg::ArriveBatch(batch) = returned {
+                    for a in &batch {
+                        self.active.fetch_sub(1, Ordering::AcqRel);
+                        if matches!(err, SubmitError::QueueFull) {
+                            self.trace_rejection(a.id, RejectReason::QueueFull);
+                        }
+                    }
+                }
+                for idx in admitted_idx {
+                    results[idx] = Err(err.clone());
+                }
+            }
+        }
+        results
+    }
+
+    /// Validates, unfolds and admits one request, reserving an active
+    /// slot. On success the caller owns the reserved slot and must ship
+    /// the [`Arrival`] to the manager or release the slot.
+    fn prepare(&self, req: &Request, respond: Respond) -> Result<Arrival, SubmitError> {
         self.model
             .validate(&req.input)
             .map_err(SubmitError::Invalid)?;
         let graph = self.model.unfold(&req.input);
         let id = RequestId(self.next_request.fetch_add(1, Ordering::Relaxed));
-        let (tx, rx) = unbounded();
-        let handle = ResponseHandle { rx };
 
         // Admission: reserve a slot under the cap or refuse outright.
         if let Some(cap) = self.opts.serve().max_active {
@@ -588,16 +803,25 @@ impl Runtime {
 
         let arrival_us = self.timer.now_us();
         let deadline_us = req.effective_deadline_us(self.opts.serve().deadline_us);
-        let msg = ManagerMsg::Arrive {
+        Ok(Arrival {
             id,
             graph,
             arrival_us,
             deadline_us: deadline_us.map(|d| arrival_us.saturating_add(d)),
             priority: req.priority,
-            respond: tx,
-        };
-        match self.manager_tx.try_send(msg) {
-            Ok(()) => Ok(handle),
+            respond,
+        })
+    }
+
+    /// Ships one prepared arrival, releasing its reserved slot on
+    /// failure.
+    fn send_arrival(&self, arrival: Arrival) -> Result<(), SubmitError> {
+        let id = arrival.id;
+        match self
+            .manager_tx
+            .try_send(ManagerMsg::Arrive(Box::new(arrival)))
+        {
+            Ok(()) => Ok(()),
             Err(TrySendError::Full(_)) => {
                 // Queue full (overload): release the reserved slot.
                 self.active.fetch_sub(1, Ordering::AcqRel);
@@ -711,7 +935,7 @@ impl Drop for Runtime {
 
 struct ManagerArgs {
     rx: Receiver<ManagerMsg>,
-    worker_txs: Vec<Sender<WorkerTask>>,
+    worker_txs: Vec<Sender<WorkerBatch>>,
     registry: Arc<CellRegistry>,
     cfg: SchedulerConfig,
     pipeline_depth: usize,
@@ -725,7 +949,7 @@ struct ManagerArgs {
 /// The client side of one admitted request, kept by the manager until
 /// the request resolves.
 struct Responder {
-    tx: Sender<ServedOutcome>,
+    respond: Respond,
     n_nodes: usize,
     /// Whether the deadline heap still holds this request's entry; used
     /// to count entries that go stale when the request resolves first.
@@ -771,6 +995,7 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
         .name("bm-manager".into())
         .spawn(move || {
             let resident_state = cfg.serve.resident_state;
+            let batched_dispatch = cfg.serve.batched_dispatch;
             // The engine installs its own trace/telemetry sinks from
             // the serve config embedded in `cfg`.
             let mut engine = CellularEngine::new(Arc::clone(&registry), cfg);
@@ -793,6 +1018,20 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
             let scatter_hist = telemetry
                 .enabled()
                 .then(|| telemetry.histogram_with("bm_stage_us", &[("stage", "scatter_resolve")]));
+            // Manager hot-path amortization metrics: how often the
+            // manager wakes, how many logical items (requests +
+            // completions) each wakeup drains, and how many tasks each
+            // worker message carries. drained-per-wakeup > 1 under load
+            // is the whole point of batched dispatch.
+            let wakeup_counter = telemetry
+                .enabled()
+                .then(|| telemetry.counter("bm_manager_wakeups_total"));
+            let drained_hist = telemetry
+                .enabled()
+                .then(|| telemetry.histogram("bm_manager_drained_per_wakeup"));
+            let submit_hist = telemetry
+                .enabled()
+                .then(|| telemetry.histogram("bm_manager_submit_batch"));
             let mut responders: HashMap<RequestId, Responder> = HashMap::new();
             // Per-request state blocks; workers hold per-task `Arc`
             // clones, so dropping an entry here reclaims the storage as
@@ -846,63 +1085,70 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
                 // Drain every pending message before dispatching, so a
                 // burst of completions triggers one dispatch pass (and
                 // one batching decision), not one per completion.
+                let mut drained_items = 0u64;
                 let mut msg = first;
                 loop {
-                    match msg {
-                        Some(ManagerMsg::Arrive {
-                            id,
-                            graph,
-                            arrival_us,
-                            deadline_us,
-                            priority,
-                            respond,
-                        }) => {
-                            responders.insert(
-                                id,
-                                Responder {
-                                    tx: respond,
-                                    n_nodes: graph.len(),
-                                    has_deadline: deadline_us.is_some(),
-                                },
-                            );
-                            blocks.insert(id, Arc::new(SlotBlock::for_graph(&graph, &registry)));
-                            engine.on_arrival_full(id, graph, arrival_us, deadline_us, priority);
-                            if let Some(d) = deadline_us {
-                                deadlines.push(std::cmp::Reverse((d, id)));
+                    if let Some(m) = msg {
+                        drained_items += m.items();
+                        match m {
+                            ManagerMsg::Arrive(a) => admit_arrival(
+                                *a,
+                                &mut engine,
+                                &mut responders,
+                                &mut blocks,
+                                &mut deadlines,
+                                &registry,
+                            ),
+                            ManagerMsg::ArriveBatch(batch) => {
+                                for a in batch {
+                                    admit_arrival(
+                                        a,
+                                        &mut engine,
+                                        &mut responders,
+                                        &mut blocks,
+                                        &mut deadlines,
+                                        &registry,
+                                    );
+                                }
+                            }
+                            ManagerMsg::TaskDone {
+                                task,
+                                worker,
+                                started_us,
+                                finished_us,
+                                tokens,
+                            } => {
+                                inflight_per_worker[worker.index()] -= 1;
+                                engine.on_task_started(task, started_us);
+                                let done = engine.on_task_completed(task, &tokens, finished_us);
+                                for c in done {
+                                    resolve(
+                                        &mut responders,
+                                        &mut blocks,
+                                        &active,
+                                        &mut stale_deadlines,
+                                        &mut retired,
+                                        c,
+                                        scatter_hist.as_ref(),
+                                        &timer,
+                                    );
+                                }
+                            }
+                            ManagerMsg::Shutdown => {
+                                shutting_down = true;
                             }
                         }
-                        Some(ManagerMsg::TaskDone {
-                            task,
-                            worker,
-                            started_us,
-                            finished_us,
-                            tokens,
-                        }) => {
-                            inflight_per_worker[worker.index()] -= 1;
-                            engine.on_task_started(task, started_us);
-                            let done = engine.on_task_completed(task, &tokens, finished_us);
-                            for c in done {
-                                resolve(
-                                    &mut responders,
-                                    &mut blocks,
-                                    &active,
-                                    &mut stale_deadlines,
-                                    &mut retired,
-                                    c,
-                                    scatter_hist.as_ref(),
-                                    &timer,
-                                );
-                            }
-                        }
-                        Some(ManagerMsg::Shutdown) => {
-                            shutting_down = true;
-                        }
-                        None => {}
                     }
                     match rx.try_recv() {
                         Ok(m) => msg = Some(m),
                         Err(_) => break,
                     }
+                }
+                if let Some(c) = &wakeup_counter {
+                    c.inc();
+                }
+                if let Some(h) = &drained_hist {
+                    h.record(drained_items);
                 }
 
                 // Expire overdue requests: cancel unsubmitted work now;
@@ -977,8 +1223,12 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
                 // Refill every worker's pipeline window (§5: per-device
                 // FIFO queues + MaxTasksToSubmit hide the completion
                 // round-trip; depth 1 degenerates to dispatch-on-drain).
+                // All tasks formed for a worker this pass ride one
+                // message — a batch of subgraph executions — so a full
+                // refill costs one channel send, not one per task.
                 engine.advance_clock(now);
                 for (w, tx) in worker_txs.iter().enumerate() {
+                    let mut formed: Vec<WorkerTask> = Vec::new();
                     while inflight_per_worker[w] < pipeline_depth {
                         let tasks = engine.dispatch(WorkerId(w as u32));
                         if tasks.is_empty() {
@@ -986,7 +1236,7 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
                         }
                         for t in tasks {
                             inflight_per_worker[w] += 1;
-                            let wt = WorkerTask {
+                            formed.push(WorkerTask {
                                 blocks: t
                                     .entries
                                     .iter()
@@ -999,10 +1249,40 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
                                     })
                                     .collect(),
                                 task: t,
-                                evict: std::mem::take(&mut pending_evict[w]),
-                                flush_resident: std::mem::replace(&mut pending_flush[w], false),
-                            };
-                            let _ = tx.send(wt);
+                            });
+                        }
+                    }
+                    if formed.is_empty() {
+                        continue;
+                    }
+                    if batched_dispatch {
+                        if let Some(h) = &submit_hist {
+                            h.record(formed.len() as u64);
+                        }
+                        let _ = tx.send(WorkerBatch {
+                            tasks: formed,
+                            evict: std::mem::take(&mut pending_evict[w]),
+                            flush_resident: std::mem::replace(&mut pending_flush[w], false),
+                        });
+                    } else {
+                        // Per-message baseline: one task per send, the
+                        // eviction piggyback on the first.
+                        let mut first_msg = true;
+                        for wt in formed {
+                            if let Some(h) = &submit_hist {
+                                h.record(1);
+                            }
+                            let _ = tx.send(WorkerBatch {
+                                tasks: vec![wt],
+                                evict: if first_msg {
+                                    std::mem::take(&mut pending_evict[w])
+                                } else {
+                                    Vec::new()
+                                },
+                                flush_resident: first_msg
+                                    && std::mem::replace(&mut pending_flush[w], false),
+                            });
+                            first_msg = false;
                         }
                     }
                 }
@@ -1033,6 +1313,40 @@ fn spawn_manager(args: ManagerArgs) -> JoinHandle<()> {
             // the responders resolves outstanding handles to ShutDown.
         })
         .expect("spawn manager")
+}
+
+/// Books one arrival into the manager's state: responder, slot block,
+/// engine admission, deadline-heap entry. Shared by the single-arrival
+/// and coalesced-batch message paths.
+fn admit_arrival(
+    a: Arrival,
+    engine: &mut CellularEngine,
+    responders: &mut HashMap<RequestId, Responder>,
+    blocks: &mut HashMap<RequestId, Arc<SlotBlock>>,
+    deadlines: &mut BinaryHeap<std::cmp::Reverse<(u64, RequestId)>>,
+    registry: &CellRegistry,
+) {
+    let Arrival {
+        id,
+        graph,
+        arrival_us,
+        deadline_us,
+        priority,
+        respond,
+    } = a;
+    responders.insert(
+        id,
+        Responder {
+            respond,
+            n_nodes: graph.len(),
+            has_deadline: deadline_us.is_some(),
+        },
+    );
+    blocks.insert(id, Arc::new(SlotBlock::for_graph(&graph, registry)));
+    engine.on_arrival_full(id, graph, arrival_us, deadline_us, priority);
+    if let Some(d) = deadline_us {
+        deadlines.push(std::cmp::Reverse((d, id)));
+    }
 }
 
 /// Resolves one completion record: removes the responder and the
@@ -1085,13 +1399,13 @@ fn resolve(
             timing,
         })
     };
-    let _ = r.tx.send(outcome);
+    r.respond.deliver(outcome);
 }
 
 #[allow(clippy::too_many_arguments)]
 fn spawn_worker(
     id: WorkerId,
-    rx: Receiver<WorkerTask>,
+    rx: Receiver<WorkerBatch>,
     mgr_tx: Sender<ManagerMsg>,
     registry: Arc<CellRegistry>,
     timer: CpuTimer,
@@ -1110,24 +1424,43 @@ fn spawn_worker(
             // cell type, rows owned by this worker's active requests.
             let mut plane: Option<HashMap<CellTypeId, ResidentBatch>> = resident.then(HashMap::new);
             let mut last_stats = ResidentStats::default();
-            while let Ok(wt) = rx.recv() {
+            'recv: while let Ok(wb) = rx.recv() {
                 if let Some(plane) = plane.as_mut() {
-                    if wt.flush_resident {
+                    if wb.flush_resident {
                         for rb in plane.values_mut() {
                             rb.clear();
                         }
                     }
-                    for id in &wt.evict {
+                    for id in &wb.evict {
                         for rb in plane.values_mut() {
                             rb.remove(*id);
                         }
                     }
                 }
-                let started_us = timer.now_us();
-                let tokens = execute_task(&wt, &registry, &mut scratch, plane.as_mut());
-                let finished_us = timer.now_us();
-                if let Some(c) = &busy_counter {
-                    c.add(finished_us - started_us);
+                // Execute the batch in order, reporting one completion
+                // per task (the engine tracks per-task dependencies);
+                // the manager drains the burst in one wakeup.
+                for wt in &wb.tasks {
+                    let started_us = timer.now_us();
+                    let tokens = execute_task(wt, &registry, &mut scratch, plane.as_mut());
+                    let finished_us = timer.now_us();
+                    if let Some(c) = &busy_counter {
+                        c.add(finished_us - started_us);
+                    }
+                    // Blocking send: completions are backpressure, never
+                    // dropped — the manager always drains its queue.
+                    if mgr_tx
+                        .send(ManagerMsg::TaskDone {
+                            task: wt.task.id,
+                            worker: id,
+                            started_us,
+                            finished_us,
+                            tokens,
+                        })
+                        .is_err()
+                    {
+                        break 'recv;
+                    }
                 }
                 if let (Some(t), Some(plane)) = (&resident_tel, plane.as_ref()) {
                     let mut occupied = 0usize;
@@ -1146,20 +1479,6 @@ fn spawn_worker(
                     t.compactions
                         .add(agg.compaction_moves - last_stats.compaction_moves);
                     last_stats = agg;
-                }
-                // Blocking send: completions are backpressure, never
-                // dropped — the manager always drains its queue.
-                if mgr_tx
-                    .send(ManagerMsg::TaskDone {
-                        task: wt.task.id,
-                        worker: id,
-                        started_us,
-                        finished_us,
-                        tokens,
-                    })
-                    .is_err()
-                {
-                    break;
                 }
             }
         })

@@ -47,7 +47,7 @@ use bm_telemetry::{Snapshot, Telemetry};
 
 use crate::config::ServeConfig;
 use crate::request::Request;
-use crate::runtime::{ResponseHandle, Runtime, RuntimeOptions, SubmitError};
+use crate::runtime::{CompletionQueue, ResponseHandle, Runtime, RuntimeOptions, SubmitError};
 
 /// How far (in active requests) a home shard may run ahead of the
 /// least-loaded shard before affinity yields to rebalancing. Small
@@ -136,10 +136,97 @@ impl ShardedRuntime {
     /// immediately (no shard would accept it).
     pub fn submit_request(&self, req: impl Into<Request>) -> Result<ResponseHandle, SubmitError> {
         let req = req.into();
+        let loads = self.loads();
+        let first = self.place(&req.input, &loads);
+        self.with_second_chance(first, &loads, |shard| shard.submit_request(req.clone()))
+    }
+
+    /// [`Runtime::submit_request_tagged`] with the same cell-type
+    /// affinity placement, load-aware rebalancing and second-chance
+    /// overload retry as [`ShardedRuntime::submit_request`]: the
+    /// outcome is delivered to `queue` with `tag` regardless of which
+    /// shard admits the request.
+    pub fn submit_request_tagged(
+        &self,
+        req: impl Into<Request>,
+        tag: u64,
+        queue: &CompletionQueue,
+    ) -> Result<(), SubmitError> {
+        let req = req.into();
+        let loads = self.loads();
+        let first = self.place(&req.input, &loads);
+        self.with_second_chance(first, &loads, |shard| {
+            shard.submit_request_tagged(req.clone(), tag, queue)
+        })
+    }
+
+    /// [`Runtime::submit_batch_tagged`] across shards: the batch is
+    /// grouped by placement shard (affinity + load-aware rebalancing,
+    /// with in-batch assignments projected onto the load estimate so
+    /// one burst does not dogpile a single shard) and each group rides
+    /// one manager message into its shard. Requests a shard refuses
+    /// for overload get the usual second chance, lightest shard first,
+    /// as individual submissions.
+    ///
+    /// Returns one result per request, in input order.
+    pub fn submit_batch_tagged(
+        &self,
+        reqs: impl IntoIterator<Item = (u64, Request)>,
+        queue: &CompletionQueue,
+    ) -> Vec<Result<(), SubmitError>> {
         let n = self.shards.len();
-        let home = affinity_shard(&req.input, n);
+        let loads = self.loads();
+        // Group by placement shard, remembering each request's index
+        // in the result vector. `assigned` projects this batch's own
+        // placements onto the (snapshot) load estimate.
+        let mut groups: Vec<Vec<(usize, u64, Request)>> = vec![Vec::new(); n];
+        let mut assigned = vec![0usize; n];
+        let mut total = 0usize;
+        for (idx, (tag, req)) in reqs.into_iter().enumerate() {
+            let proj: Vec<usize> = loads.iter().zip(&assigned).map(|(l, a)| l + a).collect();
+            let s = self.place(&req.input, &proj);
+            assigned[s] += 1;
+            groups[s].push((idx, tag, req));
+            total = idx + 1;
+        }
+        let mut results: Vec<Result<(), SubmitError>> = Vec::with_capacity(total);
+        results.resize_with(total, || Ok(()));
+        for (s, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            // Clone the requests into the batch message; the originals
+            // stay behind for the overload retry path.
+            let batch: Vec<(u64, Request)> =
+                group.iter().map(|(_, t, r)| (*t, r.clone())).collect();
+            let shard_results = self.shards[s].submit_batch_tagged(batch, queue);
+            for ((idx, tag, req), res) in group.into_iter().zip(shard_results) {
+                results[idx] = match res {
+                    Ok(()) => Ok(()),
+                    Err(e @ SubmitError::Invalid(_)) | Err(e @ SubmitError::ShuttingDown) => Err(e),
+                    Err(_) => self.with_second_chance(s, &loads, |shard| {
+                        shard.submit_request_tagged(req.clone(), tag, queue)
+                    }),
+                };
+            }
+        }
+        results
+    }
+
+    /// Per-shard active-request snapshot used for placement.
+    fn loads(&self) -> Vec<usize> {
+        self.shards.iter().map(Runtime::active_requests).collect()
+    }
+
+    /// The shard a request with `input` should be offered to first:
+    /// its affinity home unless that home is more than [`SPILL_MARGIN`]
+    /// requests ahead of the least-loaded shard, in which case the
+    /// least-loaded shard (scan started at a rotating offset so
+    /// equal-load ties spread).
+    fn place(&self, input: &RequestInput, loads: &[usize]) -> usize {
+        let n = self.shards.len();
+        let home = affinity_shard(input, n);
         let start = self.rr.fetch_add(1, Ordering::Relaxed) % n;
-        let loads: Vec<usize> = self.shards.iter().map(Runtime::active_requests).collect();
         let (mut lightest, mut min_load) = (start, loads[start]);
         for off in 1..n {
             let i = (start + off) % n;
@@ -148,23 +235,33 @@ impl ShardedRuntime {
                 min_load = loads[i];
             }
         }
-        let first = if loads[home] > min_load + SPILL_MARGIN {
+        if loads[home] > min_load + SPILL_MARGIN {
             lightest
         } else {
             home
-        };
+        }
+    }
 
-        match self.shards[first].submit_request(req.clone()) {
-            Ok(h) => Ok(h),
+    /// Runs `attempt` against shard `first`; on an overload refusal
+    /// (`QueueFull`/`AtCapacity`) retries the remaining shards in load
+    /// order before giving up. `Invalid`/`ShuttingDown` fail
+    /// immediately — no shard would accept the request.
+    fn with_second_chance<T>(
+        &self,
+        first: usize,
+        loads: &[usize],
+        mut attempt: impl FnMut(&Runtime) -> Result<T, SubmitError>,
+    ) -> Result<T, SubmitError> {
+        match attempt(&self.shards[first]) {
+            Ok(v) => Ok(v),
             Err(e @ SubmitError::Invalid(_)) | Err(e @ SubmitError::ShuttingDown) => Err(e),
             Err(mut overloaded) => {
-                // Second chance: try the remaining shards, lightest
-                // first, before refusing.
-                let mut order: Vec<usize> = (0..n).filter(|&i| i != first).collect();
+                let mut order: Vec<usize> =
+                    (0..self.shards.len()).filter(|&i| i != first).collect();
                 order.sort_by_key(|&i| loads[i]);
                 for i in order {
-                    match self.shards[i].submit_request(req.clone()) {
-                        Ok(h) => return Ok(h),
+                    match attempt(&self.shards[i]) {
+                        Ok(v) => return Ok(v),
                         Err(e @ SubmitError::Invalid(_)) | Err(e @ SubmitError::ShuttingDown) => {
                             return Err(e)
                         }

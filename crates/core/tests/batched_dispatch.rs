@@ -1,0 +1,161 @@
+//! The batched manager hot path: tagged completion-queue submission,
+//! coalesced arrival batches, batched worker dispatch, and the
+//! amortization telemetry — all bit-identical to the per-message
+//! baseline and to the unbatched reference executor.
+
+use std::sync::Arc;
+
+use bm_core::{
+    completion_queue, Runtime, RuntimeOptions, SchedulerConfig, ServeConfig, ServedOutcome,
+    ShardedRuntime,
+};
+use bm_model::{reference, LstmLm, Model, RequestInput};
+use bm_telemetry::{MetricValue, Telemetry};
+
+fn inputs(n: usize) -> Vec<RequestInput> {
+    (0..n)
+        .map(|i| RequestInput::Sequence((0..(1 + i % 9)).map(|t| (t % 50) as u32).collect()))
+        .collect()
+}
+
+fn opts(batched: bool, workers: usize) -> RuntimeOptions {
+    RuntimeOptions::new()
+        .workers(workers)
+        .scheduler(SchedulerConfig::new().serve(ServeConfig::new().batched_dispatch(batched)))
+}
+
+/// Submits `inputs` as one tagged batch and returns the outcomes in
+/// tag order, pulled off the completion queue.
+fn serve_batch(rt: &Runtime, inputs: &[RequestInput]) -> Vec<ServedOutcome> {
+    let (queue, completions) = completion_queue();
+    let reqs = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, input)| (i as u64, input.into()));
+    let results = rt.submit_batch_tagged(reqs, &queue);
+    assert!(results.iter().all(Result::is_ok), "{results:?}");
+    let mut out: Vec<Option<ServedOutcome>> = (0..inputs.len()).map(|_| None).collect();
+    for _ in 0..inputs.len() {
+        let (tag, outcome) = completions
+            .recv_timeout(std::time::Duration::from_secs(30))
+            .expect("completion within timeout");
+        let slot = &mut out[tag as usize];
+        assert!(slot.is_none(), "duplicate completion for tag {tag}");
+        *slot = Some(outcome);
+    }
+    out.into_iter().map(|o| o.expect("all tags seen")).collect()
+}
+
+#[test]
+fn batch_tagged_results_match_reference() {
+    let model: Arc<dyn Model> = Arc::new(LstmLm::small());
+    let inputs = inputs(24);
+    let rt = Runtime::start(Arc::clone(&model), opts(true, 2));
+    for (input, outcome) in inputs.iter().zip(serve_batch(&rt, &inputs)) {
+        let ServedOutcome::Completed(res) = outcome else {
+            panic!("expected completion for {input:?}");
+        };
+        let expect = reference::execute_graph(&model.unfold(input), model.registry());
+        assert_eq!(res.result, expect, "diverged from reference for {input:?}");
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn batched_and_per_message_dispatch_are_bit_identical() {
+    let model: Arc<dyn Model> = Arc::new(LstmLm::small());
+    let inputs = inputs(20);
+    let batched_rt = Runtime::start(Arc::clone(&model), opts(true, 2));
+    let baseline_rt = Runtime::start(Arc::clone(&model), opts(false, 2));
+    let batched = serve_batch(&batched_rt, &inputs);
+    let baseline = serve_batch(&baseline_rt, &inputs);
+    for ((input, b), p) in inputs.iter().zip(batched).zip(baseline) {
+        let (ServedOutcome::Completed(b), ServedOutcome::Completed(p)) = (b, p) else {
+            panic!("expected completions for {input:?}");
+        };
+        assert_eq!(b.result, p.result, "dispatch modes diverged for {input:?}");
+    }
+    batched_rt.shutdown();
+    baseline_rt.shutdown();
+}
+
+#[test]
+fn sharded_batch_tagged_serves_across_shards() {
+    let model: Arc<dyn Model> = Arc::new(LstmLm::small());
+    let inputs = inputs(32);
+    let rt = ShardedRuntime::start(
+        Arc::clone(&model),
+        RuntimeOptions::new()
+            .workers(2)
+            .scheduler(SchedulerConfig::new().serve(ServeConfig::new().shards(2))),
+    );
+    let (queue, completions) = completion_queue();
+    let reqs = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, input)| (i as u64, input.into()));
+    let results = rt.submit_batch_tagged(reqs, &queue);
+    assert!(results.iter().all(Result::is_ok), "{results:?}");
+    let mut seen = vec![false; inputs.len()];
+    for _ in 0..inputs.len() {
+        let (tag, outcome) = completions
+            .recv_timeout(std::time::Duration::from_secs(30))
+            .expect("completion within timeout");
+        assert!(!seen[tag as usize], "duplicate tag {tag}");
+        seen[tag as usize] = true;
+        let ServedOutcome::Completed(res) = outcome else {
+            panic!("expected completion for tag {tag}");
+        };
+        let expect =
+            reference::execute_graph(&model.unfold(&inputs[tag as usize]), model.registry());
+        assert_eq!(res.result, expect, "shard diverged for tag {tag}");
+    }
+    assert!(seen.iter().all(|&s| s));
+    rt.shutdown();
+}
+
+#[test]
+fn manager_amortization_metrics_record_batching() {
+    let model: Arc<dyn Model> = Arc::new(LstmLm::small());
+    let telemetry = Telemetry::new();
+    let rt = Runtime::start(
+        Arc::clone(&model),
+        RuntimeOptions::new().workers(2).scheduler(
+            SchedulerConfig::new().serve(
+                ServeConfig::new()
+                    .batched_dispatch(true)
+                    .telemetry(Arc::clone(&telemetry)),
+            ),
+        ),
+    );
+    let inputs = inputs(32);
+    let outcomes = serve_batch(&rt, &inputs);
+    assert!(outcomes
+        .iter()
+        .all(|o| matches!(o, ServedOutcome::Completed(_))));
+    rt.shutdown();
+
+    let snap = telemetry.snapshot();
+    let wakeups = snap.counter_sum("bm_manager_wakeups_total");
+    assert!(wakeups > 0, "manager never counted a wakeup");
+    let Some(MetricValue::Histogram(drained)) = snap.get_with("bm_manager_drained_per_wakeup", &[])
+    else {
+        panic!("drained-per-wakeup histogram missing");
+    };
+    assert_eq!(drained.count, wakeups, "one drain sample per wakeup");
+    // The 32-request arrival batch is one message, so its wakeup must
+    // have drained at least the whole batch in one go.
+    assert!(
+        drained.max >= inputs.len() as u64,
+        "coalesced arrivals not drained in one wakeup: max {}",
+        drained.max
+    );
+    let Some(MetricValue::Histogram(submit)) = snap.get_with("bm_manager_submit_batch", &[]) else {
+        panic!("submit-batch histogram missing");
+    };
+    assert!(submit.count > 0, "no worker submissions recorded");
+    assert!(
+        submit.max > 1,
+        "batched dispatch never put two tasks in one worker message"
+    );
+}

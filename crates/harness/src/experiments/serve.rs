@@ -2,8 +2,8 @@
 //!
 //! Everything the other experiments drive in-process or in virtual time
 //! runs here over a real loopback TCP connection: wire encode →
-//! non-blocking ingest → sharded scheduler → threaded workers → reaper
-//! write-back → wire decode. Two measurements:
+//! event-loop ingest → sharded scheduler → threaded workers →
+//! completion-pump write-back → wire decode. Four measurements:
 //!
 //! 1. **Shard scaling** — a closed-loop, deeply pipelined load drives
 //!    the front door with 1 scheduler shard and again with N shards,
@@ -16,6 +16,16 @@
 //!    schedule in wall time), reporting client-observed latency
 //!    percentiles per offered rate — the numbers a network client would
 //!    see, including wire and ingest overhead.
+//! 3. **Idle-connection sweep** — 1 hot closed-loop connection next to
+//!    512 idle sockets, once per readiness backend. The polled scan
+//!    pays a read syscall per idle socket per pass, so it degrades with
+//!    idle population; epoll only hears about ready descriptors and
+//!    must not. CI gates `epoll_rps >= polled_rps` here.
+//! 4. **Manager dispatch comparison** — the same load with batched
+//!    manager dispatch on vs off, plus the amortization telemetry
+//!    (wakeups, drained-per-wakeup, submit batch size) from the batched
+//!    arm. CI gates drained-per-wakeup > 1: under load the manager
+//!    must be handling multiple messages per channel wakeup.
 //!
 //! Artifacts: `BENCH_serve.json` (schema `bm-serve/v1`) and the
 //! standard markdown/CSV tables. The smoke run (`--smoke`) is the CI
@@ -28,9 +38,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use bm_core::{Request, RuntimeOptions, SchedulerConfig, ServeConfig};
+use bm_core::{ReadinessMode, Request, RuntimeOptions, SchedulerConfig, ServeConfig};
 use bm_metrics::{LatencyRecorder, RequestTiming, Table};
 use bm_model::{LstmLm, Model, RequestInput};
+use bm_net::readiness::SUPPORTED as EPOLL_SUPPORTED;
 use bm_net::{wire, NetClient, NetResponse, NetServer, NetServerOptions};
 use bm_workload::{Dataset, LengthDistribution, Pacer, PoissonArrivals};
 use rand::rngs::StdRng;
@@ -50,21 +61,102 @@ fn model() -> Arc<dyn Model> {
 }
 
 /// Short-sequence dataset: per-request compute is a few cells, so the
-/// control plane (ingest, scheduler, reapers) is the measured system.
+/// control plane (ingest, scheduler, dispatch) is the measured system.
 fn dataset(n: usize) -> Dataset {
     Dataset::lstm(n, LengthDistribution::Fixed(3), 900, 0x5e7e)
 }
 
-fn server_options(shards: usize, workers: usize, telemetry: bool) -> NetServerOptions {
-    let mut serve = ServeConfig::new().shards(shards);
-    if telemetry {
-        serve = serve.telemetry(bm_telemetry::Telemetry::new());
+/// One closed-loop load configuration: the serving knobs under test
+/// plus the client shape driving them.
+#[derive(Clone, Copy)]
+struct LoadCfg {
+    shards: usize,
+    workers: usize,
+    total: usize,
+    telemetry: bool,
+    /// Hot (request-driving) client connections.
+    conns: usize,
+    /// Sockets that connect and then stay silent for the whole run.
+    idle_conns: usize,
+    readiness: ReadinessMode,
+    batched_dispatch: bool,
+}
+
+/// Readiness backend for the non-comparative measurements:
+/// `BM_SERVE_READINESS=auto|polled|epoll` (default `auto`), so CI can
+/// run the whole smoke under each backend. The idle sweep always
+/// measures both explicitly.
+fn default_readiness() -> ReadinessMode {
+    match std::env::var("BM_SERVE_READINESS") {
+        Ok(v) => ReadinessMode::parse(&v)
+            .unwrap_or_else(|| panic!("BM_SERVE_READINESS must be auto|polled|epoll, got {v:?}")),
+        Err(_) => ReadinessMode::Auto,
     }
-    NetServerOptions::new().max_inflight(2 * WINDOW).runtime(
-        RuntimeOptions::new()
-            .workers(workers)
-            .scheduler(SchedulerConfig::new().serve(serve)),
+}
+
+impl LoadCfg {
+    fn new(shards: usize, workers: usize, total: usize, telemetry: bool) -> Self {
+        LoadCfg {
+            shards,
+            workers,
+            total,
+            telemetry,
+            conns: CONNS,
+            idle_conns: 0,
+            readiness: default_readiness(),
+            batched_dispatch: true,
+        }
+    }
+
+    fn server_options(&self) -> NetServerOptions {
+        let mut serve = ServeConfig::new()
+            .shards(self.shards)
+            .readiness(self.readiness)
+            .batched_dispatch(self.batched_dispatch);
+        if self.telemetry {
+            serve = serve.telemetry(bm_telemetry::Telemetry::new());
+        }
+        NetServerOptions::new().max_inflight(2 * WINDOW).runtime(
+            RuntimeOptions::new()
+                .workers(self.workers)
+                .scheduler(SchedulerConfig::new().serve(serve)),
+        )
+    }
+}
+
+/// Manager hot-path amortization counters, rolled up across shards.
+#[derive(Clone, Copy, Default)]
+struct ManagerStats {
+    wakeups: u64,
+    drained_per_wakeup_mean: f64,
+    submit_batch_mean: f64,
+}
+
+/// Sums a labeled (per-shard) histogram's `(count, sum)` across every
+/// snapshot entry with `name`.
+fn histogram_totals(snapshot: &bm_telemetry::Snapshot, name: &str) -> (u64, u64) {
+    snapshot.entries.iter().filter(|e| e.name == name).fold(
+        (0u64, 0u64),
+        |(count, sum), e| match &e.value {
+            bm_telemetry::MetricValue::Histogram(h) => (count + h.count, sum + h.sum),
+            _ => (count, sum),
+        },
     )
+}
+
+fn manager_stats(snapshot: &bm_telemetry::Snapshot) -> ManagerStats {
+    let mean = |(count, sum): (u64, u64)| {
+        if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        }
+    };
+    ManagerStats {
+        wakeups: snapshot.counter_sum("bm_manager_wakeups_total"),
+        drained_per_wakeup_mean: mean(histogram_totals(snapshot, "bm_manager_drained_per_wakeup")),
+        submit_batch_mean: mean(histogram_totals(snapshot, "bm_manager_submit_batch")),
+    }
 }
 
 /// One closed-loop throughput measurement.
@@ -78,24 +170,33 @@ struct ThroughputPoint {
     /// Snapshot entry count and per-shard completion counters, when
     /// telemetry was on.
     shard_completions: Vec<(String, u64)>,
+    /// Manager amortization counters, when telemetry was on.
+    manager: ManagerStats,
+    /// Readiness backend the server actually ran ("polled"/"epoll").
+    backend: &'static str,
 }
 
-/// Drives `total` requests through `conns` connections, each keeping
-/// [`WINDOW`] requests in flight (send-one-per-receive after the
-/// initial burst). Returns the aggregate completion rate.
-fn closed_loop(shards: usize, workers: usize, total: usize, telemetry: bool) -> ThroughputPoint {
-    let server = NetServer::bind(
-        model(),
-        server_options(shards, workers, telemetry),
-        "127.0.0.1:0",
-    )
-    .expect("bind loopback");
+/// Drives `cfg.total` requests through `cfg.conns` connections, each
+/// keeping [`WINDOW`] requests in flight (send-one-per-receive after
+/// the initial burst), with `cfg.idle_conns` silent sockets held open
+/// for the whole run. Returns the aggregate completion rate.
+fn closed_loop_cfg(cfg: LoadCfg) -> ThroughputPoint {
+    let server =
+        NetServer::bind(model(), cfg.server_options(), "127.0.0.1:0").expect("bind loopback");
+    let backend = server.readiness_backend();
     let addr = server.local_addr();
     let ds = dataset(256);
-    let per_conn = total / CONNS;
+    let (total, conns) = (cfg.total, cfg.conns);
+    let per_conn = total / conns;
+
+    // Idle sockets: admitted, registered with the readiness backend,
+    // and silent — pure scan load for the polled backend.
+    let _idle: Vec<TcpStream> = (0..cfg.idle_conns)
+        .map(|_| TcpStream::connect(addr).expect("idle connect"))
+        .collect();
 
     let t0 = Instant::now();
-    let threads: Vec<_> = (0..CONNS)
+    let threads: Vec<_> = (0..conns)
         .map(|c| {
             let items: Vec<RequestInput> = {
                 let mut rng = StdRng::seed_from_u64(0x10ad ^ c as u64);
@@ -160,6 +261,7 @@ fn closed_loop(shards: usize, workers: usize, total: usize, telemetry: bool) -> 
             (shard, v)
         })
         .collect();
+    let manager = manager_stats(&snapshot);
 
     let stats = server.stats();
     assert_eq!(stats.submitted, total as u64, "every request admitted");
@@ -170,13 +272,83 @@ fn closed_loop(shards: usize, workers: usize, total: usize, telemetry: bool) -> 
     latencies.sort_unstable();
     let pct = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize] as f64 / 1e3;
     ThroughputPoint {
-        shards,
+        shards: cfg.shards,
         completed,
         wall_s,
         rps: completed as f64 / wall_s,
         p50_ms: pct(0.50),
         p99_ms: pct(0.99),
         shard_completions,
+        manager,
+        backend,
+    }
+}
+
+/// The default-shape closed loop: [`CONNS`] hot connections, no idle
+/// sockets, auto readiness, batched dispatch.
+fn closed_loop(shards: usize, workers: usize, total: usize, telemetry: bool) -> ThroughputPoint {
+    closed_loop_cfg(LoadCfg::new(shards, workers, total, telemetry))
+}
+
+/// The idle-connection sweep: 1 hot connection next to `idle_conns`
+/// silent sockets, per readiness backend.
+struct IdleSweep {
+    idle_conns: usize,
+    requests: usize,
+    polled_rps: f64,
+    epoll_supported: bool,
+    /// 0.0 when epoll is unsupported on this platform.
+    epoll_rps: f64,
+    epoll_wins: bool,
+}
+
+fn idle_sweep(workers: usize, idle_conns: usize, total: usize) -> IdleSweep {
+    let arm = |mode: ReadinessMode| {
+        let mut cfg = LoadCfg::new(1, workers, total, false);
+        cfg.conns = 1;
+        cfg.idle_conns = idle_conns;
+        cfg.readiness = mode;
+        closed_loop_cfg(cfg)
+    };
+    let polled = arm(ReadinessMode::Polled);
+    assert_eq!(polled.backend, "polled");
+    let (epoll_rps, epoll_wins) = if EPOLL_SUPPORTED {
+        let epoll = arm(ReadinessMode::Epoll);
+        assert_eq!(epoll.backend, "epoll");
+        (epoll.rps, epoll.rps >= polled.rps)
+    } else {
+        (0.0, false)
+    };
+    IdleSweep {
+        idle_conns,
+        requests: total,
+        polled_rps: polled.rps,
+        epoll_supported: EPOLL_SUPPORTED,
+        epoll_rps,
+        epoll_wins,
+    }
+}
+
+/// Batched vs per-message manager dispatch under the same closed-loop
+/// load, with the batched arm's amortization telemetry.
+struct ManagerCompare {
+    batched_rps: f64,
+    per_message_rps: f64,
+    stats: ManagerStats,
+}
+
+fn manager_compare(shards: usize, workers: usize, total: usize) -> ManagerCompare {
+    let arm = |batched: bool| {
+        let mut cfg = LoadCfg::new(shards, workers, total, true);
+        cfg.batched_dispatch = batched;
+        closed_loop_cfg(cfg)
+    };
+    let batched = arm(true);
+    let per_message = arm(false);
+    ManagerCompare {
+        batched_rps: batched.rps,
+        per_message_rps: per_message.rps,
+        stats: batched.manager,
     }
 }
 
@@ -199,7 +371,7 @@ struct SweepPoint {
 fn open_loop_point(shards: usize, workers: usize, rate: f64, n: usize) -> SweepPoint {
     let server = NetServer::bind(
         model(),
-        server_options(shards, workers, false),
+        LoadCfg::new(shards, workers, n, false).server_options(),
         "127.0.0.1:0",
     )
     .expect("bind loopback");
@@ -306,6 +478,8 @@ fn to_json(
     shard_counts: (usize, usize),
     points: &[ThroughputPoint],
     sweep: &[SweepPoint],
+    idle: &IdleSweep,
+    manager: &ManagerCompare,
 ) -> String {
     let best = |shards: usize| {
         points
@@ -343,7 +517,28 @@ fn to_json(
             if i + 1 < points.len() { "," } else { "" }
         ));
     }
-    s.push_str("  ],\n  \"sla_sweep\": [\n");
+    s.push_str(&format!(
+        "  ],\n  \"idle_sweep\": {{\"idle_conns\": {}, \"hot_conns\": 1, \"requests\": {}, \
+         \"polled_rps\": {:.1}, \"epoll_supported\": {}, \"epoll_rps\": {:.1}, \
+         \"epoll_wins\": {}}},\n",
+        idle.idle_conns,
+        idle.requests,
+        idle.polled_rps,
+        idle.epoll_supported,
+        idle.epoll_rps,
+        idle.epoll_wins
+    ));
+    s.push_str(&format!(
+        "  \"manager\": {{\"batched_rps\": {:.1}, \"per_message_rps\": {:.1}, \
+         \"wakeups\": {}, \"drained_per_wakeup_mean\": {:.3}, \
+         \"submit_batch_mean\": {:.3}}},\n",
+        manager.batched_rps,
+        manager.per_message_rps,
+        manager.stats.wakeups,
+        manager.stats.drained_per_wakeup_mean,
+        manager.stats.submit_batch_mean
+    ));
+    s.push_str("  \"sla_sweep\": [\n");
     for (i, p) in sweep.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"offered_rps\": {:.0}, \"completed\": {}, \"throughput_rps\": {:.1}, \
@@ -401,7 +596,23 @@ pub fn run(scale: Scale, out_dir: &Path) -> Vec<Table> {
     let rollup_sum: u64 = multi_tel.shard_completions.iter().map(|(_, v)| v).sum();
     assert_eq!(rollup_sum, total as u64, "per-shard counters must roll up");
 
-    // Part 2: the SLA sweep over the socket, N-shard configuration.
+    // Part 2: the idle-connection sweep (1 hot / 512 idle) and the
+    // batched-vs-per-message manager comparison. Under load the
+    // manager must be amortizing: >1 message drained per wakeup.
+    let (idle_total, idle_conns) = match scale {
+        Scale::Quick => (3_000, 512),
+        Scale::Full => (10_000, 512),
+    };
+    let idle = idle_sweep(workers, idle_conns, idle_total);
+    let manager = manager_compare(multi_shards, workers, total);
+    assert!(
+        manager.stats.wakeups > 0 && manager.stats.drained_per_wakeup_mean > 1.0,
+        "manager not amortizing under load: {} wakeups, {:.3} drained/wakeup",
+        manager.stats.wakeups,
+        manager.stats.drained_per_wakeup_mean
+    );
+
+    // Part 3: the SLA sweep over the socket, N-shard configuration.
     let full_rates = [500.0, 1_000.0, 2_000.0, 4_000.0];
     let rates = scale.rates(&full_rates);
     let sweep: Vec<SweepPoint> = rates
@@ -416,7 +627,7 @@ pub fn run(scale: Scale, out_dir: &Path) -> Vec<Table> {
     }
 
     std::fs::create_dir_all(out_dir).expect("create results dir");
-    let json = to_json(cores, (1, multi_shards), &points, &sweep);
+    let json = to_json(cores, (1, multi_shards), &points, &sweep, &idle, &manager);
     let json_path = out_dir.join("BENCH_serve.json");
     std::fs::write(&json_path, &json).expect("write BENCH_serve.json");
     eprintln!("wrote {}", json_path.display());
@@ -435,6 +646,43 @@ pub fn run(scale: Scale, out_dir: &Path) -> Vec<Table> {
             format!("{:.3}", p.p99_ms),
         ]);
     }
+
+    let mut i = Table::new(
+        "Idle-connection sweep: readiness backend rps with 1 hot conn",
+        &["backend", "idle_conns", "requests", "rps"],
+    );
+    i.push_row(vec![
+        "polled".into(),
+        idle.idle_conns.to_string(),
+        idle.requests.to_string(),
+        format!("{:.0}", idle.polled_rps),
+    ]);
+    if idle.epoll_supported {
+        i.push_row(vec![
+            "epoll".into(),
+            idle.idle_conns.to_string(),
+            idle.requests.to_string(),
+            format!("{:.0}", idle.epoll_rps),
+        ]);
+    }
+
+    let mut m = Table::new(
+        "Manager dispatch: batched vs per-message",
+        &[
+            "batched_rps",
+            "per_message_rps",
+            "wakeups",
+            "drained_per_wakeup_mean",
+            "submit_batch_mean",
+        ],
+    );
+    m.push_row(vec![
+        format!("{:.0}", manager.batched_rps),
+        format!("{:.0}", manager.per_message_rps),
+        manager.stats.wakeups.to_string(),
+        format!("{:.2}", manager.stats.drained_per_wakeup_mean),
+        format!("{:.2}", manager.stats.submit_batch_mean),
+    ]);
 
     let mut s = Table::new(
         "SLA sweep over the socket (open loop, client-observed)",
@@ -457,5 +705,5 @@ pub fn run(scale: Scale, out_dir: &Path) -> Vec<Table> {
             p.max_lateness_us.to_string(),
         ]);
     }
-    vec![t, s]
+    vec![t, i, m, s]
 }

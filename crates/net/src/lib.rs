@@ -6,10 +6,12 @@
 //!   [`Request`](bm_core::Request)s in and typed [`NetResponse`]s out.
 //!   Decoding is incremental and total — malformed bytes yield a
 //!   [`WireError`], never a panic.
-//! - [`NetServer`]: a hand-rolled non-blocking TCP ingest thread over a
+//! - [`NetServer`]: a hand-rolled non-blocking TCP event loop over a
 //!   [`ShardedRuntime`](bm_core::ShardedRuntime), with admission
-//!   control at accept time, per-tenant token-bucket rate limiting, and
-//!   per-connection backpressure + reaper threads writing responses.
+//!   control at accept time, per-tenant token-bucket rate limiting and
+//!   per-connection backpressure, running on a pluggable [`readiness`]
+//!   backend — raw-syscall epoll + eventfd completion wakeups on Linux
+//!   x86_64, a portable polled scan everywhere else.
 //! - [`NetClient`]: a blocking, pipeline-capable client used by the
 //!   tests and the `repro serve` load generator.
 //!
@@ -31,10 +33,12 @@
 #![deny(missing_docs)]
 
 pub mod client;
+pub mod readiness;
 pub mod server;
 pub mod wire;
 
 pub use client::{NetClient, NetError};
+pub use readiness::{Epoll, Event, EventFd, Events, Interest, SysError, SysErrorKind};
 pub use server::{NetServer, NetServerOptions, NetStatsView};
 pub use wire::{
     decode_frame, encode_response, encode_submit, Frame, Message, NetReject, NetResponse,

@@ -1,62 +1,93 @@
-//! The TCP front door: non-blocking ingest over a [`ShardedRuntime`].
+//! The TCP front door: a single event loop over a [`ShardedRuntime`].
 //!
-//! One **ingest thread** owns the listener and every connection's read
-//! half: it accepts (with admission control — past
+//! One **event thread** owns the listener, every connection (both
+//! halves), and the runtime's completion queue. Per pass it accepts
+//! (with admission control — past
 //! [`NetServerOptions::max_connections`] new sockets are closed
 //! immediately), drains readable sockets into per-connection buffers,
 //! decodes frames incrementally, applies per-tenant token-bucket rate
-//! limits ([`bm_core::ServeConfig::tenant_rate`]), and submits decoded requests
-//! to the sharded runtime. The vendored dependency set has no epoll
-//! wrapper, so readiness is a polled scan of non-blocking sockets with
-//! an adaptive idle backoff — at the connection counts the harness
-//! drives (tens), the scan is cheaper than a syscall-per-wakeup
-//! reactor.
+//! limits ([`bm_core::ServeConfig::tenant_rate`]), and submits **every
+//! request decoded in the pass as one batch**
+//! ([`ShardedRuntime::submit_batch_tagged`]) so a manager wakeup
+//! amortizes across the burst. Responses come back tagged on one
+//! [`bm_core::CompletionQueue`] — there are no per-connection reaper
+//! threads and no per-request channels — and are written back in
+//! submission order per connection (clients match concurrent submits
+//! by correlation id).
 //!
-//! Each connection gets a **reaper thread** that resolves that
-//! connection's pending [`ResponseHandle`]s in submission order (via
-//! [`ResponseHandle::wait_timeout`]) and writes response frames back.
-//! Responses to one connection are therefore FIFO by submission;
-//! clients match concurrent submits by correlation id.
+//! How the loop learns that sockets and completions are ready is the
+//! [`crate::readiness`] backend, selected by
+//! [`bm_core::ServeConfig::readiness`]:
+//!
+//! - **epoll** (Linux x86_64): one blocked `epoll_wait` covers the
+//!   listener, every connection and an eventfd the completion queue's
+//!   waker signals. Idle connections cost nothing; write-blocked
+//!   connections register write interest instead of sleeping;
+//!   backpressured connections drop read interest instead of being
+//!   re-scanned.
+//! - **polled** (portable fallback and bit-identity oracle): a scan of
+//!   non-blocking sockets with an adaptive exponential idle backoff
+//!   (50 µs doubling to a 2 ms cap). The same backoff paces write
+//!   retries after `WouldBlock` — there is no constant-sleep retry
+//!   loop.
 //!
 //! **Backpressure** is per-connection: while a connection has
-//! [`NetServerOptions::max_inflight`] unresolved requests, the ingest
-//! thread stops reading its socket, so the kernel receive buffer fills
-//! and TCP flow control pushes back on the client. A protocol error on
-//! a connection closes it (the stream can never re-synchronise).
+//! [`NetServerOptions::max_inflight`] unresolved requests, its socket
+//! is not read, so the kernel receive buffer fills and TCP flow
+//! control pushes back on the client. A protocol error on a connection
+//! closes it (the stream can never re-synchronise).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use bm_core::{
-    Request, ResponseHandle, RuntimeOptions, ServedOutcome, ShardedRuntime, SubmitError,
+    completion_queue, CompletionQueue, CompletionReceiver, ReadinessMode, Request, ServedOutcome,
+    ShardedRuntime, SubmitError,
 };
 use bm_model::Model;
 use bm_telemetry::Snapshot;
 
+use crate::readiness::{self, Epoll, EventFd, Events, Interest};
 use crate::wire::{self, Message, NetReject, NetResponse};
 
-/// How long a reaper sleeps between polls of its channel / a pending
-/// handle, and the write-retry backoff on `WouldBlock`.
-const REAPER_TICK: Duration = Duration::from_millis(20);
-const WRITE_BACKOFF: Duration = Duration::from_micros(100);
-
-/// Bytes read from a socket per scan pass.
+/// Bytes read from a socket per `read` call.
 const READ_CHUNK: usize = 64 * 1024;
 
+/// Events buffered per `epoll_wait`.
+const EVENTS_CAP: usize = 256;
+
+/// Safety-net timeout for `epoll_wait`: every wake source (sockets,
+/// listener, completion eventfd, shutdown wake) is registered, so this
+/// only bounds how stale a missed edge could get.
+const EPOLL_TIMEOUT_MS: i32 = 100;
+
+/// How long shutdown keeps flushing pending responses to clients that
+/// have stopped reading before giving up on them.
+const SHUTDOWN_FLUSH: Duration = Duration::from_secs(5);
+
+/// Epoll token for the listener (connection ids are `u32`, so the top
+/// two `u64` values can never collide with one).
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Epoll token for the completion-queue eventfd.
+const TOKEN_WAKER: u64 = u64::MAX - 1;
+
 /// Front-door configuration on top of the runtime's own options.
+///
+/// The readiness backend is chosen by the embedded serve config:
+/// `opts.runtime(RuntimeOptions::new().serve_config(
+///     ServeConfig::new().readiness(ReadinessMode::Epoll)))`.
 #[derive(Clone)]
 #[non_exhaustive]
 pub struct NetServerOptions {
     /// Options for the backing [`ShardedRuntime`] (shard count, worker
-    /// threads, policy, deadlines, tenant rate limits — all via the
-    /// embedded [`bm_core::ServeConfig`]).
-    pub runtime: RuntimeOptions,
+    /// threads, policy, deadlines, tenant rate limits, readiness
+    /// backend — all via the embedded [`bm_core::ServeConfig`]).
+    pub runtime: bm_core::RuntimeOptions,
     /// Admission control: connections accepted beyond this cap are
     /// closed immediately without reading a byte.
     pub max_connections: usize,
@@ -68,7 +99,7 @@ pub struct NetServerOptions {
 impl Default for NetServerOptions {
     fn default() -> Self {
         NetServerOptions {
-            runtime: RuntimeOptions::new(),
+            runtime: bm_core::RuntimeOptions::new(),
             max_connections: 1024,
             max_inflight: 1024,
         }
@@ -82,7 +113,7 @@ impl NetServerOptions {
     }
 
     /// Replaces the runtime options.
-    pub fn runtime(mut self, runtime: RuntimeOptions) -> Self {
+    pub fn runtime(mut self, runtime: bm_core::RuntimeOptions) -> Self {
         self.runtime = runtime;
         self
     }
@@ -100,9 +131,8 @@ impl NetServerOptions {
     }
 }
 
-/// Monotonic front-door counters, updated lock-free by the ingest and
-/// reaper threads. Read a consistent-enough view with
-/// [`NetServer::stats`].
+/// Monotonic front-door counters, updated lock-free by the event
+/// thread. Read a consistent-enough view with [`NetServer::stats`].
 #[derive(Default)]
 struct NetStats {
     accepted: AtomicU64,
@@ -161,21 +191,77 @@ impl Bucket {
     }
 }
 
-/// What a reaper must turn into a response frame.
-enum Pending {
-    /// Wait for the runtime to resolve this handle.
-    Handle(ResponseHandle),
-    /// Already decided at ingest (rate limit, submit refusal).
-    Immediate(NetResponse),
+/// One response slot in a connection's FIFO. `ready` is `None` while
+/// the runtime still owns the request; responses are written strictly
+/// in submission order, so a resolved entry behind an unresolved one
+/// waits its turn.
+struct PendingResp {
+    corr: u32,
+    seq: u32,
+    ready: Option<NetResponse>,
 }
 
-/// Ingest-side connection state. The write half lives in the reaper.
+/// Per-connection state, all owned by the event thread.
 struct Conn {
     stream: TcpStream,
+    fd: readiness::RawFd,
+    /// Incoming bytes not yet forming a complete frame.
     rbuf: Vec<u8>,
-    inflight: Arc<AtomicUsize>,
-    to_reaper: Sender<(u32, Pending)>,
+    /// Encoded response bytes not yet accepted by the socket.
+    wbuf: Vec<u8>,
+    /// Responses owed to this connection, in submission order.
+    pending: VecDeque<PendingResp>,
+    /// Next per-connection sequence number (the low half of the
+    /// completion tag).
+    next_seq: u32,
+    /// Read side finished: peer EOF, read error, or protocol error.
+    /// The connection stays alive until its owed responses flush.
     dead: bool,
+    /// Write side failed: responses are discarded (the counts still
+    /// tick) and the connection is retired immediately.
+    write_broken: bool,
+    /// The interest currently registered with the epoll (unused by
+    /// the polled backend).
+    cur_interest: Interest,
+}
+
+impl Conn {
+    /// The completion tag for this connection's next request:
+    /// connection id in the high 32 bits, per-connection sequence in
+    /// the low 32.
+    fn next_tag(&mut self, conn_id: u32) -> (u32, u64) {
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        (seq, (u64::from(conn_id) << 32) | u64::from(seq))
+    }
+}
+
+/// The readiness backend driving the event loop.
+enum Backend {
+    /// Portable polled scan with adaptive idle backoff.
+    Polled,
+    /// Linux x86_64 epoll + eventfd (see [`crate::readiness`]).
+    Epoll {
+        ep: Epoll,
+        efd: Arc<EventFd>,
+        events: Events,
+    },
+}
+
+impl Backend {
+    fn label(&self) -> &'static str {
+        match self {
+            Backend::Polled => "polled",
+            Backend::Epoll { .. } => "epoll",
+        }
+    }
+
+    fn epoll(&self) -> Option<&Epoll> {
+        match self {
+            Backend::Polled => None,
+            Backend::Epoll { ep, .. } => Some(ep),
+        }
+    }
 }
 
 /// The serving front door. Binds, serves until [`NetServer::shutdown`],
@@ -185,14 +271,23 @@ pub struct NetServer {
     runtime: Arc<ShardedRuntime>,
     stats: Arc<NetStats>,
     stop: Arc<AtomicBool>,
+    /// Wakes the epoll loop out of `epoll_wait` for shutdown; `None`
+    /// on the polled backend (its sleep is bounded at 2 ms).
+    waker: Option<Arc<EventFd>>,
     ingest: Option<JoinHandle<()>>,
-    reapers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    backend: &'static str,
 }
 
 impl NetServer {
     /// Starts a sharded runtime for `model` and binds the front door to
     /// `addr` (use port 0 for an ephemeral port, then
     /// [`local_addr`](Self::local_addr)).
+    ///
+    /// The readiness backend follows
+    /// [`bm_core::ServeConfig::readiness`]: `Auto` uses epoll where
+    /// supported and the polled scan elsewhere; an explicit `Epoll` on
+    /// a platform without the backend fails with
+    /// [`std::io::ErrorKind::Unsupported`].
     pub fn bind<A: ToSocketAddrs>(
         model: Arc<dyn Model>,
         opts: NetServerOptions,
@@ -201,19 +296,34 @@ impl NetServer {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+
+        let (queue, completions) = completion_queue();
+        let (backend, queue, waker) =
+            build_backend(opts.runtime.serve().readiness, &listener, queue)?;
+        let backend_label = backend.label();
+
         let runtime = Arc::new(ShardedRuntime::start(model, opts.runtime.clone()));
         let stats = Arc::new(NetStats::default());
         let stop = Arc::new(AtomicBool::new(false));
-        let reapers = Arc::new(Mutex::new(Vec::new()));
 
         let ingest = {
             let runtime = Arc::clone(&runtime);
             let stats = Arc::clone(&stats);
             let stop = Arc::clone(&stop);
-            let reapers = Arc::clone(&reapers);
             thread::Builder::new()
-                .name("bm-net-ingest".into())
-                .spawn(move || ingest_loop(listener, &opts, &runtime, &stats, &stop, &reapers))?
+                .name("bm-net-events".into())
+                .spawn(move || {
+                    event_loop(EventLoop {
+                        listener: Some(listener),
+                        backend,
+                        opts,
+                        runtime,
+                        stats,
+                        stop,
+                        queue,
+                        completions,
+                    })
+                })?
         };
 
         Ok(NetServer {
@@ -221,14 +331,21 @@ impl NetServer {
             runtime,
             stats,
             stop,
+            waker,
             ingest: Some(ingest),
-            reapers,
+            backend: backend_label,
         })
     }
 
     /// The bound address (resolves port 0).
     pub fn local_addr(&self) -> std::net::SocketAddr {
         self.local_addr
+    }
+
+    /// The readiness backend the event loop actually runs on:
+    /// `"epoll"` or `"polled"` (`Auto` resolves at bind time).
+    pub fn readiness_backend(&self) -> &'static str {
+        self.backend
     }
 
     /// The backing sharded runtime (placement observability, telemetry
@@ -263,21 +380,75 @@ impl NetServer {
     /// then shuts the runtime down, joining all threads.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        if let Some(h) = self.ingest.take() {
-            let _ = h.join();
+        if let Some(w) = &self.waker {
+            w.wake();
         }
-        // Reapers drain their channels (the runtime is still up, so
-        // pending handles resolve) before the runtime is torn down.
-        let handles = {
-            let mut guard = self.reapers.lock().unwrap_or_else(|e| e.into_inner());
-            std::mem::take(&mut *guard)
-        };
-        for h in handles {
+        if let Some(h) = self.ingest.take() {
             let _ = h.join();
         }
         if let Ok(rt) = Arc::try_unwrap(self.runtime) {
             rt.shutdown();
         }
+    }
+}
+
+/// Resolves the configured [`ReadinessMode`] into a live backend,
+/// wiring the completion queue's waker to the epoll eventfd.
+fn build_backend(
+    mode: ReadinessMode,
+    listener: &TcpListener,
+    queue: CompletionQueue,
+) -> std::io::Result<(Backend, CompletionQueue, Option<Arc<EventFd>>)> {
+    let explicit = match mode {
+        ReadinessMode::Polled => return Ok((Backend::Polled, queue, None)),
+        ReadinessMode::Epoll => true,
+        ReadinessMode::Auto => false,
+    };
+    if !readiness::SUPPORTED {
+        return if explicit {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "epoll readiness backend requires Linux x86_64",
+            ))
+        } else {
+            Ok((Backend::Polled, queue, None))
+        };
+    }
+    let assemble = || -> Result<(Epoll, Arc<EventFd>), readiness::SysError> {
+        let ep = Epoll::new()?;
+        let efd = Arc::new(EventFd::new()?);
+        ep.register(
+            readiness::raw_fd_of_listener(listener),
+            TOKEN_LISTENER,
+            Interest::READ,
+        )?;
+        ep.register(efd.raw_fd(), TOKEN_WAKER, Interest::READ)?;
+        Ok((ep, efd))
+    };
+    match assemble() {
+        Ok((ep, efd)) => {
+            // Completions wake the event loop out of `epoll_wait`;
+            // multiple wakes coalesce in the eventfd counter.
+            let wake_efd = Arc::clone(&efd);
+            let queue = queue.with_waker(Arc::new(move || wake_efd.wake()));
+            let events = Events::with_capacity(EVENTS_CAP);
+            Ok((
+                Backend::Epoll {
+                    ep,
+                    efd: Arc::clone(&efd),
+                    events,
+                },
+                queue,
+                Some(efd),
+            ))
+        }
+        Err(e) if !explicit => {
+            // Auto mode: a kernel refusing epoll (fd limits, seccomp)
+            // falls back to the polled scan.
+            let _ = e;
+            Ok((Backend::Polled, queue, None))
+        }
+        Err(e) => Err(e.into()),
     }
 }
 
@@ -289,134 +460,354 @@ fn tenant_key(tenant: Option<u32>) -> u64 {
     }
 }
 
-fn ingest_loop(
-    listener: TcpListener,
-    opts: &NetServerOptions,
-    runtime: &Arc<ShardedRuntime>,
-    stats: &Arc<NetStats>,
-    stop: &Arc<AtomicBool>,
-    reapers: &Mutex<Vec<JoinHandle<()>>>,
-) {
+/// Everything the event thread owns.
+struct EventLoop {
+    listener: Option<TcpListener>,
+    backend: Backend,
+    opts: NetServerOptions,
+    runtime: Arc<ShardedRuntime>,
+    stats: Arc<NetStats>,
+    stop: Arc<AtomicBool>,
+    queue: CompletionQueue,
+    completions: CompletionReceiver,
+}
+
+fn event_loop(ctx: EventLoop) {
+    let EventLoop {
+        mut listener,
+        mut backend,
+        opts,
+        runtime,
+        stats,
+        stop,
+        queue,
+        completions,
+    } = ctx;
     let rate = runtime.serve().tenant_rate;
     let mut buckets: HashMap<u64, Bucket> = HashMap::new();
-    let mut conns: Vec<Conn> = Vec::new();
+    let mut conns: HashMap<u32, Conn> = HashMap::new();
+    let mut next_conn_id: u32 = 0;
     let mut chunk = vec![0u8; READ_CHUNK];
+    // Requests decoded this pass, submitted as one batch below.
+    let mut batch: Vec<(u64, Request)> = Vec::new();
+    // Tagged submissions the runtime has accepted but not yet
+    // resolved; shutdown drains to zero before exiting.
+    let mut outstanding: usize = 0;
     let mut idle_passes: u32 = 0;
+    let mut stop_deadline: Option<Instant> = None;
 
-    while !stop.load(Ordering::Relaxed) {
+    loop {
+        let stopping = stop.load(Ordering::Relaxed);
+        if stopping && listener.is_some() {
+            // Stop accepting: close the listener (which also removes
+            // it from the epoll set) and start the flush deadline.
+            if let (Some(ep), Some(l)) = (backend.epoll(), &listener) {
+                let _ = ep.deregister(readiness::raw_fd_of_listener(l));
+            }
+            listener = None;
+            stop_deadline = Some(Instant::now() + SHUTDOWN_FLUSH);
+        }
+
         let mut progressed = false;
 
-        // Accept with admission control.
-        loop {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    progressed = true;
-                    if conns.len() >= opts.max_connections {
-                        stats.refused.fetch_add(1, Ordering::Relaxed);
-                        drop(stream); // refuse by closing
+        // ── Input phase: learn what is ready; read and decode it. ──
+        match &mut backend {
+            Backend::Polled => {
+                if let Some(l) = &listener {
+                    progressed |= accept_all(l, None, &mut conns, &mut next_conn_id, &opts, &stats);
+                }
+                let ids: Vec<u32> = conns.keys().copied().collect();
+                for id in ids {
+                    let Some(c) = conns.get_mut(&id) else {
+                        continue;
+                    };
+                    // Backpressure: stop reading while the window is
+                    // full, so TCP flow control reaches the client.
+                    if c.dead || stopping || c.pending.len() >= opts.max_inflight {
                         continue;
                     }
-                    match spawn_conn(stream, stats) {
-                        Ok((conn, reaper)) => {
-                            stats.accepted.fetch_add(1, Ordering::Relaxed);
-                            conns.push(conn);
-                            reapers
-                                .lock()
-                                .unwrap_or_else(|e| e.into_inner())
-                                .push(reaper);
+                    progressed |= read_conn(
+                        id,
+                        c,
+                        &mut chunk,
+                        &mut batch,
+                        &stats,
+                        rate.as_ref(),
+                        &mut buckets,
+                        opts.max_inflight,
+                    );
+                }
+            }
+            Backend::Epoll { ep, efd, events } => {
+                let timeout = if stopping { 1 } else { EPOLL_TIMEOUT_MS };
+                let _ = ep.wait(events, timeout);
+                // Drain the wakeup counter *before* the completion
+                // pump below: a wake posted after the pump empties the
+                // queue then stays pending and re-triggers the next
+                // wait, so no completion is ever stranded.
+                efd.drain();
+                let ready: Vec<readiness::Event> = events.iter().collect();
+                for ev in ready {
+                    match ev.token {
+                        TOKEN_WAKER => {}
+                        TOKEN_LISTENER => {
+                            if let Some(l) = &listener {
+                                progressed |= accept_all(
+                                    l,
+                                    Some(ep),
+                                    &mut conns,
+                                    &mut next_conn_id,
+                                    &opts,
+                                    &stats,
+                                );
+                            }
                         }
-                        Err(_) => {
-                            stats.refused.fetch_add(1, Ordering::Relaxed);
+                        token => {
+                            let id = token as u32;
+                            let Some(c) = conns.get_mut(&id) else {
+                                continue;
+                            };
+                            if ev.readable && !c.dead && !stopping {
+                                progressed |= read_conn(
+                                    id,
+                                    c,
+                                    &mut chunk,
+                                    &mut batch,
+                                    &stats,
+                                    rate.as_ref(),
+                                    &mut buckets,
+                                    opts.max_inflight,
+                                );
+                            } else if ev.error {
+                                // Error/hangup with nothing readable:
+                                // the peer is gone.
+                                c.dead = true;
+                            }
+                            if ev.writable && !c.wbuf.is_empty() {
+                                progressed |= flush_wbuf(c);
+                            }
                         }
                     }
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(_) => break,
             }
         }
 
-        // Read, decode, submit.
-        for conn in &mut conns {
-            if conn.dead {
-                continue;
-            }
-            // Backpressure: stop reading while the window is full, so
-            // TCP flow control reaches the client.
-            if conn.inflight.load(Ordering::Relaxed) >= opts.max_inflight {
-                continue;
-            }
-            match conn.stream.read(&mut chunk) {
-                Ok(0) => conn.dead = true, // peer closed
-                Ok(n) => {
-                    progressed = true;
-                    conn.rbuf.extend_from_slice(&chunk[..n]);
-                    drain_frames(conn, runtime, stats, rate.as_ref(), &mut buckets);
+        // ── Submit phase: the whole pass's decode in one batch. ──
+        if !batch.is_empty() {
+            progressed = true;
+            let tags: Vec<u64> = batch.iter().map(|(t, _)| *t).collect();
+            let results = runtime.submit_batch_tagged(batch.drain(..), &queue);
+            for (tag, res) in tags.into_iter().zip(results) {
+                match res {
+                    Ok(()) => {
+                        outstanding += 1;
+                        stats.submitted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        mark_ready(&mut conns, tag, submit_error_response(e));
+                    }
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(_) => conn.dead = true,
             }
         }
 
-        // Dropping a dead Conn drops its reaper sender: the reaper
-        // drains what is queued, then exits.
-        conns.retain(|c| !c.dead);
+        // ── Completion pump: everything the runtime resolved. ──
+        while let Some((tag, outcome)) = completions.try_recv() {
+            progressed = true;
+            outstanding = outstanding.saturating_sub(1);
+            let resp = outcome_response(outcome);
+            match &resp {
+                NetResponse::Completed { .. } => stats.completed.fetch_add(1, Ordering::Relaxed),
+                NetResponse::Expired { .. } => stats.expired.fetch_add(1, Ordering::Relaxed),
+                _ => 0,
+            };
+            mark_ready(&mut conns, tag, resp);
+        }
 
-        if progressed {
-            idle_passes = 0;
-        } else {
-            idle_passes = idle_passes.saturating_add(1);
-            // Adaptive backoff: 50 µs after one idle pass, growing to a
-            // 2 ms cap so an idle server costs ~500 wakeups/s.
-            let us = (50u64 << idle_passes.min(6)).min(2_000);
-            thread::sleep(Duration::from_micros(us));
+        // ── Flush phase: release resolved FIFO heads, write. ──
+        for c in conns.values_mut() {
+            while let Some(front) = c.pending.front_mut() {
+                let Some(resp) = front.ready.take() else {
+                    break;
+                };
+                if !c.write_broken {
+                    wire::encode_response(&mut c.wbuf, front.corr, &resp);
+                }
+                c.pending.pop_front();
+                progressed = true;
+            }
+            if !c.wbuf.is_empty() && !c.write_broken {
+                progressed |= flush_wbuf(c);
+            }
+        }
+
+        // ── Retire finished connections. ──
+        let ep = backend.epoll();
+        conns.retain(|_, c| {
+            let finished = c.write_broken || (c.dead && c.pending.is_empty() && c.wbuf.is_empty());
+            if finished {
+                if let Some(ep) = ep {
+                    // Tolerant deregister: closing the fd (on drop
+                    // below) removes it from the set anyway.
+                    let _ = ep.deregister(c.fd);
+                }
+            }
+            !finished
+        });
+
+        // ── Interest maintenance (epoll only): read unless paused,
+        // write while bytes are queued. ──
+        if let Some(ep) = ep {
+            for (id, c) in conns.iter_mut() {
+                let read_on = !c.dead && !stopping && c.pending.len() < opts.max_inflight;
+                let write_on = !c.wbuf.is_empty() && !c.write_broken;
+                let want = Interest::new(read_on, write_on);
+                if want != c.cur_interest && ep.reregister(c.fd, u64::from(*id), want).is_ok() {
+                    c.cur_interest = want;
+                }
+            }
+        }
+
+        if stopping {
+            let drained = outstanding == 0
+                && conns
+                    .values()
+                    .all(|c| c.pending.is_empty() && (c.wbuf.is_empty() || c.write_broken));
+            if drained || stop_deadline.is_some_and(|d| Instant::now() >= d) {
+                break;
+            }
+        }
+
+        // The polled scan's pacing: adaptive exponential backoff from
+        // 50 µs to a 2 ms cap whenever a pass makes no progress. This
+        // is also the write-retry backoff — a `WouldBlock`ed write
+        // with nothing else moving retries on this schedule instead
+        // of a constant-sleep spin.
+        if let Backend::Polled = &backend {
+            if progressed {
+                idle_passes = 0;
+            } else {
+                idle_passes = idle_passes.saturating_add(1);
+                let us = (50u64 << idle_passes.min(6)).min(2_000);
+                thread::sleep(Duration::from_micros(us));
+            }
         }
     }
-    // Loop exit drops every Conn → reaper senders close → reapers drain.
 }
 
-/// Accepts one connection: non-blocking read half for the ingest scan,
-/// a cloned write half owned by a dedicated reaper thread.
-fn spawn_conn(stream: TcpStream, stats: &Arc<NetStats>) -> std::io::Result<(Conn, JoinHandle<()>)> {
-    stream.set_nonblocking(true)?;
-    stream.set_nodelay(true)?;
-    let write_half = stream.try_clone()?;
-    let inflight = Arc::new(AtomicUsize::new(0));
-    let (tx, rx) = channel::<(u32, Pending)>();
-    let reaper = {
-        let inflight = Arc::clone(&inflight);
-        let stats = Arc::clone(stats);
-        thread::Builder::new()
-            .name("bm-net-reaper".into())
-            .spawn(move || reaper_loop(write_half, rx, &inflight, &stats))?
-    };
-    Ok((
-        Conn {
-            stream,
-            rbuf: Vec::new(),
-            inflight,
-            to_reaper: tx,
-            dead: false,
-        },
-        reaper,
-    ))
+/// Accepts until the listener would block, applying the admission cap
+/// and (in epoll mode) registering each new socket.
+fn accept_all(
+    listener: &TcpListener,
+    ep: Option<&Epoll>,
+    conns: &mut HashMap<u32, Conn>,
+    next_conn_id: &mut u32,
+    opts: &NetServerOptions,
+    stats: &NetStats,
+) -> bool {
+    let mut progressed = false;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                progressed = true;
+                if conns.len() >= opts.max_connections {
+                    stats.refused.fetch_add(1, Ordering::Relaxed);
+                    drop(stream); // refuse by closing
+                    continue;
+                }
+                if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                    stats.refused.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let id = *next_conn_id;
+                *next_conn_id = next_conn_id.wrapping_add(1);
+                let fd = readiness::raw_fd_of(&stream);
+                if let Some(ep) = ep {
+                    if ep.register(fd, u64::from(id), Interest::READ).is_err() {
+                        stats.refused.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                }
+                stats.accepted.fetch_add(1, Ordering::Relaxed);
+                conns.insert(
+                    id,
+                    Conn {
+                        stream,
+                        fd,
+                        rbuf: Vec::new(),
+                        wbuf: Vec::new(),
+                        pending: VecDeque::new(),
+                        next_seq: 0,
+                        dead: false,
+                        write_broken: false,
+                        cur_interest: Interest::READ,
+                    },
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    progressed
 }
 
-/// Decodes every complete frame in `conn.rbuf`, submitting requests and
-/// queueing their (eventual) responses on the connection's reaper.
+/// Reads a connection until it would block (or its backpressure window
+/// fills), decoding frames as they complete.
+#[allow(clippy::too_many_arguments)]
+fn read_conn(
+    conn_id: u32,
+    c: &mut Conn,
+    chunk: &mut [u8],
+    batch: &mut Vec<(u64, Request)>,
+    stats: &NetStats,
+    rate: Option<&bm_core::TenantRate>,
+    buckets: &mut HashMap<u64, Bucket>,
+    max_inflight: usize,
+) -> bool {
+    let mut progressed = false;
+    loop {
+        match c.stream.read(chunk) {
+            Ok(0) => {
+                c.dead = true; // peer closed
+                break;
+            }
+            Ok(n) => {
+                progressed = true;
+                c.rbuf.extend_from_slice(&chunk[..n]);
+                drain_frames(conn_id, c, batch, stats, rate, buckets);
+                if c.dead || c.pending.len() >= max_inflight {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                c.dead = true;
+                break;
+            }
+        }
+    }
+    progressed
+}
+
+/// Decodes every complete frame in `conn.rbuf`: each submit either
+/// joins the pass's batch (tagged, response slot queued) or is
+/// rejected on the spot (rate limit), which still occupies its FIFO
+/// slot so response order matches submission order.
 fn drain_frames(
-    conn: &mut Conn,
-    runtime: &ShardedRuntime,
+    conn_id: u32,
+    c: &mut Conn,
+    batch: &mut Vec<(u64, Request)>,
     stats: &NetStats,
     rate: Option<&bm_core::TenantRate>,
     buckets: &mut HashMap<u64, Bucket>,
 ) {
     loop {
-        match wire::decode_frame(&conn.rbuf) {
+        match wire::decode_frame(&c.rbuf) {
             Ok(None) => break,
             Ok(Some((frame, consumed))) => {
-                conn.rbuf.drain(..consumed);
+                c.rbuf.drain(..consumed);
                 stats.frames_in.fetch_add(1, Ordering::Relaxed);
                 let req = match frame.message {
                     Message::Submit(req) => req,
@@ -424,149 +815,129 @@ fn drain_frames(
                     // out of protocol.
                     Message::Response(_) => {
                         stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                        conn.dead = true;
+                        c.dead = true;
                         return;
                     }
                 };
-                let pending = admit(req, runtime, stats, rate, buckets);
-                conn.inflight.fetch_add(1, Ordering::Relaxed);
-                if conn.to_reaper.send((frame.correlation, pending)).is_err() {
-                    conn.dead = true; // reaper gone (write side failed)
-                    return;
+                let (seq, tag) = c.next_tag(conn_id);
+                if let Some(r) = rate {
+                    let now = Instant::now();
+                    let bucket = buckets.entry(tenant_key(req.tenant)).or_insert(Bucket {
+                        tokens: f64::from(r.burst),
+                        last: now,
+                    });
+                    if !bucket.admit(r.per_sec, f64::from(r.burst), now) {
+                        stats.rate_limited.fetch_add(1, Ordering::Relaxed);
+                        c.pending.push_back(PendingResp {
+                            corr: frame.correlation,
+                            seq,
+                            ready: Some(NetResponse::Rejected(NetReject::RateLimited)),
+                        });
+                        continue;
+                    }
                 }
+                c.pending.push_back(PendingResp {
+                    corr: frame.correlation,
+                    seq,
+                    ready: None,
+                });
+                batch.push((tag, req));
             }
             Err(_) => {
                 // Framing is unrecoverable; close the connection.
                 stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                conn.dead = true;
+                c.dead = true;
                 return;
             }
         }
     }
 }
 
-/// Rate-limits and submits one request, producing either a live handle
-/// or an immediately-decided response.
-fn admit(
-    req: Request,
-    runtime: &ShardedRuntime,
-    stats: &NetStats,
-    rate: Option<&bm_core::TenantRate>,
-    buckets: &mut HashMap<u64, Bucket>,
-) -> Pending {
-    if let Some(r) = rate {
-        let now = Instant::now();
-        let bucket = buckets.entry(tenant_key(req.tenant)).or_insert(Bucket {
-            tokens: f64::from(r.burst),
-            last: now,
-        });
-        if !bucket.admit(r.per_sec, f64::from(r.burst), now) {
-            stats.rate_limited.fetch_add(1, Ordering::Relaxed);
-            return Pending::Immediate(NetResponse::Rejected(NetReject::RateLimited));
-        }
-    }
-    match runtime.submit_request(req) {
-        Ok(handle) => {
-            stats.submitted.fetch_add(1, Ordering::Relaxed);
-            Pending::Handle(handle)
-        }
-        Err(e) => {
-            stats.rejected.fetch_add(1, Ordering::Relaxed);
-            let resp = match e {
-                SubmitError::Invalid(msg) => NetResponse::Rejected(NetReject::Invalid(msg)),
-                SubmitError::QueueFull => NetResponse::Rejected(NetReject::QueueFull),
-                SubmitError::AtCapacity => NetResponse::Rejected(NetReject::AtCapacity),
-                SubmitError::ShuttingDown => NetResponse::ShutDown,
-                // SubmitError is non-exhaustive-ready; treat unknown
-                // refusals as capacity.
-                _ => NetResponse::Rejected(NetReject::AtCapacity),
-            };
-            Pending::Immediate(resp)
+/// Routes a resolved response to its FIFO slot. A missing connection
+/// (retired after a write failure or mid-stream disconnect) just drops
+/// the response — the runtime already did the work and the counters
+/// already ticked.
+fn mark_ready(conns: &mut HashMap<u32, Conn>, tag: u64, resp: NetResponse) {
+    let conn_id = (tag >> 32) as u32;
+    let seq = tag as u32;
+    let Some(c) = conns.get_mut(&conn_id) else {
+        return;
+    };
+    let Some(front) = c.pending.front() else {
+        return;
+    };
+    // Sequences are assigned contiguously and only released from the
+    // front, so the slot's index is its distance from the head.
+    let idx = seq.wrapping_sub(front.seq) as usize;
+    if let Some(entry) = c.pending.get_mut(idx) {
+        if entry.seq == seq {
+            entry.ready = Some(resp);
         }
     }
 }
 
-/// Resolves one connection's pending responses in order and writes them
-/// back. Exits when the ingest side drops the sender (connection closed
-/// or server stopping) and the queue is drained.
-fn reaper_loop(
-    mut stream: TcpStream,
-    rx: Receiver<(u32, Pending)>,
-    inflight: &AtomicUsize,
-    stats: &NetStats,
-) {
-    let mut wbuf = Vec::with_capacity(4096);
-    // Once a write fails the peer is gone: keep draining (handles must
-    // be consumed and `inflight` decremented) but stop writing.
-    let mut writable = true;
-    loop {
-        let (corr, pending) = match rx.recv_timeout(REAPER_TICK) {
-            Ok(item) => item,
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => break,
-        };
-        let resp = match pending {
-            Pending::Immediate(r) => r,
-            Pending::Handle(h) => resolve(h),
-        };
-        match &resp {
-            NetResponse::Completed { .. } => stats.completed.fetch_add(1, Ordering::Relaxed),
-            NetResponse::Expired { .. } => stats.expired.fetch_add(1, Ordering::Relaxed),
-            _ => 0,
-        };
-        if writable {
-            wbuf.clear();
-            wire::encode_response(&mut wbuf, corr, &resp);
-            if write_all_nb(&mut stream, &wbuf).is_err() {
-                writable = false;
-            }
-        }
-        inflight.fetch_sub(1, Ordering::Relaxed);
-    }
-}
-
-/// Blocks (in reaper context) until the runtime resolves the handle.
-fn resolve(handle: ResponseHandle) -> NetResponse {
-    loop {
-        match handle.wait_timeout(REAPER_TICK) {
-            Err(_) => continue, // timed out; runtime still working
-            Ok(ServedOutcome::Completed(res)) => {
-                let executed = res.result.outputs.iter().flatten().count() as u32;
-                let tokens = res
-                    .result
-                    .outputs
-                    .iter()
-                    .map(|o| o.as_ref().and_then(|c| c.token))
-                    .collect();
-                return NetResponse::Completed {
-                    timing: res.timing,
-                    executed,
-                    tokens,
-                };
-            }
-            Ok(ServedOutcome::Expired(timing)) => return NetResponse::Expired { timing },
-            Ok(_) => return NetResponse::ShutDown,
-        }
-    }
-}
-
-/// `write_all` over a non-blocking socket: retries `WouldBlock` with a
-/// short backoff. Gives up (reporting the error) only on a real I/O
-/// failure — shutdown still flushes queued responses.
-fn write_all_nb(stream: &mut TcpStream, mut buf: &[u8]) -> std::io::Result<()> {
-    while !buf.is_empty() {
-        match stream.write(buf) {
+/// Writes as much queued output as the socket accepts right now.
+/// `WouldBlock` leaves the remainder queued (the epoll backend
+/// registers write interest; the polled backend retries next pass
+/// under the adaptive backoff). A hard error marks the write side
+/// broken.
+fn flush_wbuf(c: &mut Conn) -> bool {
+    let mut written = 0usize;
+    while written < c.wbuf.len() {
+        match c.stream.write(&c.wbuf[written..]) {
             Ok(0) => {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::WriteZero,
-                    "socket closed mid-frame",
-                ))
+                c.write_broken = true;
+                break;
             }
-            Ok(n) => buf = &buf[n..],
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(WRITE_BACKOFF),
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
+            Err(_) => {
+                c.write_broken = true;
+                break;
+            }
         }
     }
-    Ok(())
+    if written > 0 {
+        c.wbuf.drain(..written);
+    }
+    if c.write_broken {
+        c.wbuf.clear();
+    }
+    written > 0
+}
+
+/// Maps a runtime refusal onto the wire.
+fn submit_error_response(e: SubmitError) -> NetResponse {
+    match e {
+        SubmitError::Invalid(msg) => NetResponse::Rejected(NetReject::Invalid(msg)),
+        SubmitError::QueueFull => NetResponse::Rejected(NetReject::QueueFull),
+        SubmitError::AtCapacity => NetResponse::Rejected(NetReject::AtCapacity),
+        SubmitError::ShuttingDown => NetResponse::ShutDown,
+        // SubmitError is non-exhaustive-ready; treat unknown refusals
+        // as capacity.
+        _ => NetResponse::Rejected(NetReject::AtCapacity),
+    }
+}
+
+/// Maps a resolved outcome onto the wire.
+fn outcome_response(outcome: ServedOutcome) -> NetResponse {
+    match outcome {
+        ServedOutcome::Completed(res) => {
+            let executed = res.result.outputs.iter().flatten().count() as u32;
+            let tokens = res
+                .result
+                .outputs
+                .iter()
+                .map(|o| o.as_ref().and_then(|c| c.token))
+                .collect();
+            NetResponse::Completed {
+                timing: res.timing,
+                executed,
+                tokens,
+            }
+        }
+        ServedOutcome::Expired(timing) => NetResponse::Expired { timing },
+        _ => NetResponse::ShutDown,
+    }
 }
